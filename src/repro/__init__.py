@@ -1,0 +1,73 @@
+"""repro — Adaptive Spatially Aware I/O for Multiresolution Particle Data Layouts.
+
+A from-scratch Python reproduction of Usher et al., IPDPS 2021 ("libbat"):
+spatially aware adaptive two-phase aggregation for particle data, the
+Binned Attribute Tree (BAT) multiresolution layout built in situ during
+I/O, scalable two-phase restart reads, and low-latency visualization
+queries — plus the baselines (AUG aggregation, file-per-process, shared
+file, IOR) and machine models (Stampede2, Summit) the paper evaluates
+against. See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results.
+
+Typical use::
+
+    from repro import (
+        TwoPhaseWriter, TwoPhaseReader, BATDataset, RankData, machines,
+    )
+
+    writer = TwoPhaseWriter(machines.stampede2(), target_size=8 << 20)
+    report = writer.write(rank_data, out_dir="out", name="ts0042")
+    ds = BATDataset("out/ts0042.meta.json")
+    coarse, _ = ds.query(quality=0.1)
+"""
+
+from . import machines
+from .bat import AttributeFilter, BATBuildConfig, BATFile, build_bat
+from .bat.validate import validate_dataset, validate_file
+from .binning import EquiDepthBinning, EquiWidthBinning
+from .core import (
+    AggregationTree,
+    AggTreeConfig,
+    DatasetMetadata,
+    RankData,
+    ReadReport,
+    TwoPhaseReader,
+    TwoPhaseWriter,
+    WriteReport,
+    build_aggregation_tree,
+)
+from .core.autotune import recommend_target_size
+from .core.dataset import BATDataset
+from .core.timeseries import TimeSeriesDataset, TimeSeriesWriter
+from .types import AttributeSpec, Box, ParticleBatch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "machines",
+    "Box",
+    "AttributeSpec",
+    "ParticleBatch",
+    "RankData",
+    "AggTreeConfig",
+    "AggregationTree",
+    "build_aggregation_tree",
+    "TwoPhaseWriter",
+    "WriteReport",
+    "TwoPhaseReader",
+    "ReadReport",
+    "DatasetMetadata",
+    "BATDataset",
+    "BATBuildConfig",
+    "BATFile",
+    "build_bat",
+    "AttributeFilter",
+    "EquiWidthBinning",
+    "EquiDepthBinning",
+    "TimeSeriesWriter",
+    "TimeSeriesDataset",
+    "recommend_target_size",
+    "validate_file",
+    "validate_dataset",
+]

@@ -1,0 +1,4 @@
+import sys
+from .cli import main
+
+sys.exit(main())

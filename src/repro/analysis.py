@@ -1,0 +1,137 @@
+"""Analysis queries over BAT data: histograms and region statistics.
+
+The paper positions the layout for "spatial or attribute subset queries"
+driving analysis as well as visualization (§I, §V-A). These helpers run
+common analysis reductions *through the query engine's callback path*, so
+they stream over matching particles chunk-by-chunk without materializing
+the full result — the access pattern an analysis tool sitting on top of
+the library would use.
+
+All functions accept either a :class:`~repro.core.dataset.BATDataset`
+(whole timestep) or a single :class:`~repro.bat.BATFile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bat.file import BATFile
+from .bat.query import query_file
+from .types import Box
+
+__all__ = ["RegionStats", "attribute_histogram", "region_stats", "attribute_summary"]
+
+
+def _run_query(source, callback, box, filters, quality):
+    if isinstance(source, BATFile):
+        query_file(source, quality=quality, box=box, filters=filters, callback=callback)
+    else:
+        source.query(quality=quality, box=box, filters=filters, callback=callback)
+
+
+def _attr_range(source, attr: str) -> tuple[float, float]:
+    ranges = source.attr_ranges
+    if attr not in ranges:
+        raise KeyError(f"no attribute {attr!r}")
+    return ranges[attr]
+
+
+def attribute_histogram(
+    source,
+    attr: str,
+    bins: int = 64,
+    value_range: tuple[float, float] | None = None,
+    box: Box | None = None,
+    filters=(),
+    quality: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of one attribute over the (filtered) query result.
+
+    Returns ``(counts, edges)`` as :func:`numpy.histogram` would, but
+    computed streaming — each emitted chunk is binned and discarded.
+    ``quality < 1`` histograms the LOD subset, the cheap approximate-first
+    pattern progressive analysis uses.
+    """
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    lo, hi = value_range if value_range is not None else _attr_range(source, attr)
+    if hi <= lo:
+        hi = lo + 1.0
+    edges = np.linspace(lo, hi, bins + 1)
+    counts = np.zeros(bins, dtype=np.int64)
+
+    def accumulate(positions, attrs):
+        h, _ = np.histogram(attrs[attr], bins=edges)
+        counts[:] += h
+
+    _run_query(source, accumulate, box, tuple(filters), quality)
+    return counts, edges
+
+
+@dataclass
+class RegionStats:
+    """Streaming count/mean/min/max/std for one attribute."""
+
+    count: int = 0
+    mean: float = 0.0
+    m2: float = 0.0  # sum of squared deviations (Welford/Chan)
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def update(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        n_b = values.size
+        mean_b = float(values.mean())
+        m2_b = float(((values - mean_b) ** 2).sum())
+        if self.count == 0:
+            self.count, self.mean, self.m2 = n_b, mean_b, m2_b
+        else:
+            # Chan et al. parallel-variance merge
+            n = self.count + n_b
+            delta = mean_b - self.mean
+            self.m2 += m2_b + delta * delta * self.count * n_b / n
+            self.mean += delta * n_b / n
+            self.count = n
+        self.min = min(self.min, float(values.min()))
+        self.max = max(self.max, float(values.max()))
+
+    @property
+    def variance(self) -> float:
+        return self.m2 / self.count if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+
+def region_stats(
+    source,
+    attrs: list[str],
+    box: Box | None = None,
+    filters=(),
+    quality: float = 1.0,
+) -> dict[str, RegionStats]:
+    """Count/mean/std/min/max per attribute over a spatial region."""
+    for a in attrs:
+        _attr_range(source, a)  # validate names up front
+    stats = {a: RegionStats() for a in attrs}
+
+    def accumulate(positions, chunk_attrs):
+        for a in attrs:
+            stats[a].update(chunk_attrs[a])
+
+    _run_query(source, accumulate, box, tuple(filters), quality)
+    return stats
+
+
+def attribute_summary(source, box: Box | None = None, quality: float = 1.0) -> dict:
+    """Stats for every attribute in the file/dataset at once."""
+    if isinstance(source, BATFile):
+        names = list(source.attr_names)
+    else:
+        names = list(source.attr_ranges.keys())
+    return region_stats(source, names, box=box, quality=quality)

@@ -1,0 +1,27 @@
+"""Baseline I/O strategies the paper compares against.
+
+- :mod:`repro.baselines.aug` — the adjustable-uniform-grid aggregation of
+  Kumar et al. (ICPP 2019), reimplemented inside this library exactly as
+  the paper did for a direct algorithmic comparison;
+- :mod:`repro.baselines.fpp` — file-per-process writes/reads;
+- :mod:`repro.baselines.shared` — single-shared-file (MPI-IO collective)
+  and HDF5-style writes/reads;
+- :mod:`repro.baselines.ior` — an IOR-style synthetic benchmark facade
+  producing the reference curves of Figs 5 and 7.
+"""
+
+from .aug import AUGPlan, build_aug_plan
+from .fpp import FilePerProcessReader, FilePerProcessWriter
+from .ior import IORResult, ior_benchmark
+from .shared import SharedFileReader, SharedFileWriter
+
+__all__ = [
+    "AUGPlan",
+    "build_aug_plan",
+    "FilePerProcessWriter",
+    "FilePerProcessReader",
+    "SharedFileWriter",
+    "SharedFileReader",
+    "ior_benchmark",
+    "IORResult",
+]

@@ -1,0 +1,126 @@
+"""Adjustable Uniform Grid (AUG) aggregation — Kumar et al., ICPP 2019.
+
+The prior state of the art the paper compares against (§VI-A2). A uniform
+grid is fit to the data bounds; the number of cells is chosen from the
+target file size *assuming a uniform particle density*; ranks map to the
+cell containing their center; empty cells are discarded. Because cells have
+equal volume rather than equal particle counts, clustered distributions
+produce badly imbalanced aggregation groups — exactly the behaviour Figs
+9–12 quantify.
+
+The plan object exposes the same ``leaves`` interface as the adaptive
+:class:`~repro.core.aggtree.AggregationTree`, so it plugs into the same
+two-phase writer (the paper implemented AUG "within our library to provide
+a direct algorithmic comparison").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.aggtree import AggLeaf
+from ..types import Box
+
+__all__ = ["AUGPlan", "build_aug_plan"]
+
+
+@dataclass
+class AUGPlan:
+    """Flat aggregation plan produced by the uniform grid."""
+
+    leaves: list[AggLeaf] = field(default_factory=list)
+    grid_dims: tuple[int, int, int] = (1, 1, 1)
+    data_bounds: Box = field(default_factory=Box.empty)
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaves)
+
+    def query_box(self, box: Box) -> list[int]:
+        return [l.leaf_index for l in self.leaves if l.bounds.intersects(box)]
+
+    def file_sizes(self) -> np.ndarray:
+        return np.array([l.nbytes for l in self.leaves], dtype=np.int64)
+
+    def imbalance(self) -> float:
+        counts = np.array([l.count for l in self.leaves], dtype=np.float64)
+        if len(counts) == 0 or counts.mean() == 0:
+            return 1.0
+        return float(counts.max() / counts.mean())
+
+
+def _choose_grid_dims(extents: np.ndarray, n_cells: int) -> tuple[int, int, int]:
+    """Integer grid dims with product >= n_cells, proportional to extents.
+
+    Greedy: grow the axis whose per-cell extent is currently largest, so
+    cells stay near-cubic in the data's aspect ratio.
+    """
+    dims = np.ones(3, dtype=np.int64)
+    ext = np.where(extents > 0, extents, 0.0)
+    if not (ext > 0).any():
+        return (1, 1, 1)
+    while int(np.prod(dims)) < n_cells:
+        per_cell = np.where(ext > 0, ext / dims, -1.0)
+        dims[int(np.argmax(per_cell))] += 1
+    return tuple(int(d) for d in dims)
+
+
+def build_aug_plan(
+    rank_bounds: np.ndarray,
+    rank_counts: np.ndarray,
+    bytes_per_particle: float,
+    target_size: int,
+) -> AUGPlan:
+    """Build the AUG aggregation groups.
+
+    Matches the paper's description of Kumar et al.: the grid is sized so
+    the *average* cell holds ``target_size`` bytes (uniform-density
+    assumption), fit to the bounds of the ranks that have particles, and
+    empty regions of the grid are discarded.
+    """
+    rank_bounds = np.asarray(rank_bounds, dtype=np.float64).reshape(-1, 2, 3)
+    rank_counts = np.asarray(rank_counts, dtype=np.int64)
+    if target_size <= 0:
+        raise ValueError("target_size must be positive")
+
+    members = np.nonzero(rank_counts > 0)[0]
+    plan = AUGPlan()
+    if len(members) == 0:
+        return plan
+
+    lo = rank_bounds[members, 0, :].min(axis=0)
+    hi = rank_bounds[members, 1, :].max(axis=0)
+    data_bounds = Box(tuple(lo.tolist()), tuple(hi.tolist()))
+    total_bytes = float(rank_counts[members].sum() * bytes_per_particle)
+    n_cells = max(1, int(np.ceil(total_bytes / target_size)))
+    dims = np.array(_choose_grid_dims(hi - lo, n_cells), dtype=np.int64)
+
+    # Map each member rank to the grid cell containing its center.
+    centers = (rank_bounds[members, 0, :] + rank_bounds[members, 1, :]) * 0.5
+    ext = np.where(hi > lo, hi - lo, 1.0)
+    cell = ((centers - lo) / ext * dims).astype(np.int64)
+    np.clip(cell, 0, dims - 1, out=cell)
+    flat = (cell[:, 0] * dims[1] + cell[:, 1]) * dims[2] + cell[:, 2]
+
+    leaves: list[AggLeaf] = []
+    for cell_id in np.unique(flat):
+        sel = members[flat == cell_id]
+        count = int(rank_counts[sel].sum())
+        blo = rank_bounds[sel, 0, :].min(axis=0)
+        bhi = rank_bounds[sel, 1, :].max(axis=0)
+        leaf = AggLeaf(
+            node_id=len(leaves),
+            rank_ids=np.sort(sel),
+            count=count,
+            nbytes=int(count * bytes_per_particle),
+            bounds=Box(tuple(blo.tolist()), tuple(bhi.tolist())),
+            leaf_index=len(leaves),
+        )
+        leaves.append(leaf)
+
+    plan.leaves = leaves
+    plan.grid_dims = tuple(int(d) for d in dims)
+    plan.data_bounds = data_bounds
+    return plan

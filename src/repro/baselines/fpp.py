@@ -1,0 +1,116 @@
+"""File-per-process baseline.
+
+The simplest unstructured strategy (§II-A): every rank dumps its particle
+arrays into its own file, with no aggregation, no spatial organization, and
+no metadata beyond the file naming convention. Performs well at small scale
+and collapses under metadata pressure as the file count grows — the
+reference curve of Figs 5 and 7.
+
+Functional mode writes flat ``.npz`` files (positions plus one array per
+attribute), deliberately mirroring the "flat arrays without metadata or
+hierarchies" output the paper's introduction criticizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.rankdata import RankData
+from ..machines import MachineSpec
+from ..simmpi import VirtualCluster
+from ..types import ParticleBatch
+
+__all__ = ["FilePerProcessWriter", "FilePerProcessReader", "FPPReport"]
+
+
+@dataclass
+class FPPReport:
+    elapsed: float
+    breakdown: dict[str, float]
+    total_bytes: float
+    n_files: int
+
+    @property
+    def bandwidth(self) -> float:
+        return self.total_bytes / self.elapsed if self.elapsed > 0 else 0.0
+
+
+def rank_file_name(name: str, rank: int) -> str:
+    return f"{name}.rank{rank:06d}.npz"
+
+
+class FilePerProcessWriter:
+    """Each rank writes its own flat file."""
+
+    def __init__(self, machine: MachineSpec):
+        self.machine = machine
+
+    def write(self, data: RankData, out_dir=None, name: str = "timestep") -> FPPReport:
+        cluster = VirtualCluster(data.nranks, self.machine)
+        sizes = data.counts.astype(np.float64) * data.bytes_per_particle
+        cluster.write_independent("write files", sizes, creates=1)
+
+        if data.materialized and out_dir is not None:
+            out_dir = Path(out_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            for r, batch in enumerate(data.batches):
+                if len(batch) == 0:
+                    continue
+                np.savez(
+                    out_dir / rank_file_name(name, r),
+                    positions=batch.positions,
+                    **batch.attributes,
+                )
+        return FPPReport(
+            elapsed=cluster.elapsed,
+            breakdown=cluster.breakdown(),
+            total_bytes=data.total_bytes,
+            n_files=int((data.counts > 0).sum()),
+        )
+
+
+class FilePerProcessReader:
+    """Restart read of file-per-process output.
+
+    Assumes the reading job uses the same decomposition as the writer (the
+    strategy's key portability weakness); rank *r* reads file
+    ``(r + shift) mod R`` so benchmarks can avoid the writer's page cache,
+    as the paper's methodology does.
+    """
+
+    def __init__(self, machine: MachineSpec):
+        self.machine = machine
+
+    def read(
+        self, nranks: int, sizes: np.ndarray, in_dir=None, name: str = "timestep", shift: int = 0
+    ) -> tuple[FPPReport, list[ParticleBatch] | None]:
+        sizes = np.asarray(sizes, dtype=np.float64)
+        if len(sizes) != nranks:
+            raise ValueError("one size per reading rank required")
+        cluster = VirtualCluster(nranks, self.machine)
+        read_sizes = np.roll(sizes, -shift)
+        cluster.read_independent("read files", read_sizes, opens=1)
+
+        batches = None
+        if in_dir is not None:
+            in_dir = Path(in_dir)
+            batches = []
+            for r in range(nranks):
+                src = (r + shift) % nranks
+                path = in_dir / rank_file_name(name, src)
+                if not path.exists():
+                    batches.append(ParticleBatch.empty())
+                    continue
+                with np.load(path) as z:
+                    attrs = {k: z[k] for k in z.files if k != "positions"}
+                    batches.append(ParticleBatch(z["positions"], attrs))
+        report = FPPReport(
+            elapsed=cluster.elapsed,
+            breakdown=cluster.breakdown(),
+            total_bytes=float(read_sizes.sum()),
+            n_files=int((read_sizes > 0).sum()),
+        )
+        return report, batches

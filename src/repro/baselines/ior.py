@@ -1,0 +1,74 @@
+"""IOR-style synthetic reference benchmark (Shan et al., SC'08).
+
+The paper compares its two-phase writes against IOR runs "on an equivalent
+amount of data" in file-per-process, single-shared-file (MPI-IO), and HDF5
+shared modes (§VI-A1). This facade drives the same filesystem models with
+IOR's access pattern — every rank reads/writes one contiguous block of the
+given size — and reports bandwidth, giving the reference curves of
+Figs 5 and 7 without materializing any data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machines import MachineSpec
+from ..simmpi import VirtualCluster
+
+__all__ = ["IORResult", "ior_benchmark", "IOR_MODES"]
+
+IOR_MODES = ("fpp", "shared", "hdf5")
+
+
+@dataclass(frozen=True)
+class IORResult:
+    """One IOR data point."""
+
+    mode: str
+    nranks: int
+    block_bytes: float
+    write_seconds: float
+    read_seconds: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.nranks * self.block_bytes
+
+    @property
+    def write_bandwidth(self) -> float:
+        return self.total_bytes / self.write_seconds if self.write_seconds else 0.0
+
+    @property
+    def read_bandwidth(self) -> float:
+        return self.total_bytes / self.read_seconds if self.read_seconds else 0.0
+
+
+def ior_benchmark(machine: MachineSpec, nranks: int, block_bytes: float, mode: str) -> IORResult:
+    """Run one IOR configuration against the machine's cost models."""
+    if mode not in IOR_MODES:
+        raise ValueError(f"mode must be one of {IOR_MODES}, got {mode!r}")
+    if nranks <= 0 or block_bytes <= 0:
+        raise ValueError("nranks and block_bytes must be positive")
+
+    sizes = np.full(nranks, float(block_bytes))
+    total = float(nranks * block_bytes)
+
+    wc = VirtualCluster(nranks, machine)
+    rc = VirtualCluster(nranks, machine)
+    if mode == "fpp":
+        wc.write_independent("write", sizes, creates=1)
+        rc.read_independent("read", sizes, opens=1)
+    else:
+        meta = 2.5 if mode == "hdf5" else 1.0
+        wc.write_shared("write", total, meta_factor=meta)
+        rc.read_shared("read", total, meta_factor=meta)
+
+    return IORResult(
+        mode=mode,
+        nranks=nranks,
+        block_bytes=block_bytes,
+        write_seconds=wc.elapsed,
+        read_seconds=rc.elapsed,
+    )

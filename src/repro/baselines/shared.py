@@ -1,0 +1,105 @@
+"""Single-shared-file baselines (MPI-IO collective and HDF5-style).
+
+All ranks write one file. The collective buffering / extent-lock coupling
+charges a per-writer cost that grows linearly with the job, and on Lustre
+the file's stripe width caps its bandwidth — the mechanisms behind the
+flat shared-file curves of Figs 5 and 7. The HDF5 mode pays an extra
+metadata factor for its collective metadata operations (dataset extents,
+attribute tables), which is why IOR's HDF5 mode trails plain MPI-IO.
+
+Functional mode writes one ``.npz`` with concatenated arrays plus the
+per-rank offsets index — the unstructured single-file layout common in
+practice (e.g. H5hut-style particle storage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.rankdata import RankData
+from ..machines import MachineSpec
+from ..simmpi import VirtualCluster
+from ..types import ParticleBatch
+
+__all__ = ["SharedFileWriter", "SharedFileReader", "SharedReport", "HDF5_META_FACTOR"]
+
+#: extra metadata-collective cost of the HDF5 shared mode vs plain MPI-IO
+HDF5_META_FACTOR = 2.5
+
+
+@dataclass
+class SharedReport:
+    elapsed: float
+    breakdown: dict[str, float]
+    total_bytes: float
+
+    @property
+    def bandwidth(self) -> float:
+        return self.total_bytes / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class SharedFileWriter:
+    """All ranks collectively write one shared file."""
+
+    def __init__(self, machine: MachineSpec, hdf5: bool = False):
+        self.machine = machine
+        self.meta_factor = HDF5_META_FACTOR if hdf5 else 1.0
+
+    def write(self, data: RankData, out_path=None) -> SharedReport:
+        cluster = VirtualCluster(data.nranks, self.machine)
+        cluster.write_shared("shared write", data.total_bytes, meta_factor=self.meta_factor)
+
+        if data.materialized and out_path is not None:
+            out_path = Path(out_path)
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            whole = ParticleBatch.concatenate(data.batches)
+            offsets = np.concatenate([[0], np.cumsum(data.counts)])
+            np.savez(
+                out_path,
+                positions=whole.positions,
+                rank_offsets=offsets,
+                **whole.attributes,
+            )
+        return SharedReport(
+            elapsed=cluster.elapsed,
+            breakdown=cluster.breakdown(),
+            total_bytes=data.total_bytes,
+        )
+
+
+class SharedFileReader:
+    """Collective read of a shared file (each rank its slice)."""
+
+    def __init__(self, machine: MachineSpec, hdf5: bool = False):
+        self.machine = machine
+        self.meta_factor = HDF5_META_FACTOR if hdf5 else 1.0
+
+    def read(
+        self, nranks: int, total_bytes: float, in_path=None, shift: int = 0
+    ) -> tuple[SharedReport, list[ParticleBatch] | None]:
+        cluster = VirtualCluster(nranks, self.machine)
+        cluster.read_shared("shared read", total_bytes, meta_factor=self.meta_factor)
+
+        batches = None
+        if in_path is not None:
+            with np.load(in_path) as z:
+                offsets = z["rank_offsets"]
+                pos = z["positions"]
+                attrs = {k: z[k] for k in z.files if k not in ("positions", "rank_offsets")}
+            writers = len(offsets) - 1
+            batches = []
+            for r in range(nranks):
+                src = (r + shift) % writers
+                sl = slice(int(offsets[src]), int(offsets[src + 1]))
+                batches.append(
+                    ParticleBatch(pos[sl], {k: v[sl] for k, v in attrs.items()})
+                )
+        report = SharedReport(
+            elapsed=cluster.elapsed,
+            breakdown=cluster.breakdown(),
+            total_bytes=total_bytes,
+        )
+        return report, batches

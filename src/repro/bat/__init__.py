@@ -1,0 +1,26 @@
+"""The Binned Attribute Tree (BAT) — the paper's multiresolution layout.
+
+A BAT (§III-C) is built on each aggregator over the particles it received:
+
+1. a *shallow* k-d tree obtained from Karras's parallel radix-tree build
+   over merged 12-bit Morton subprefixes (:mod:`repro.bat.build`),
+2. a median-split k-d *treelet* inside each shallow leaf, storing a fixed
+   number of stratified-sample LOD particles at every inner node and
+   32-bit binned bitmaps at every node (:mod:`repro.bat.treelet`),
+3. a compacted single-buffer file with 4 KB-aligned treelets and a shared
+   bitmap dictionary (:mod:`repro.bat.compact`, :mod:`repro.bat.format`),
+4. memory-mapped readers with spatial/attribute/progressive queries
+   (:mod:`repro.bat.file`, :mod:`repro.bat.query`).
+"""
+
+from .builder import BATBuildConfig, build_bat
+from .file import BATFile
+from .query import AttributeFilter, QueryStats
+
+__all__ = [
+    "BATBuildConfig",
+    "build_bat",
+    "BATFile",
+    "AttributeFilter",
+    "QueryStats",
+]

@@ -1,0 +1,161 @@
+"""Bottom-up shallow-tree construction (paper §III-C1).
+
+Karras's algorithm builds a radix tree over a sorted array of unique Morton
+codes: inner node *i* sits between leaves *i* and *i+1*, its covered range
+and split found from common-prefix lengths, and the whole construction is
+data-parallel. We follow the paper's modification: instead of full-precision
+codes (one particle per leaf), each particle contributes only a *subprefix*
+(12 bits by default) and shared subprefixes merge, so each leaf of the
+resulting shallow tree holds the large group of particles that fall in one
+coarse Morton cell. A treelet is then built inside each leaf
+(:mod:`repro.bat.treelet`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..morton import MAX_BITS
+
+__all__ = ["RadixTree", "build_radix_tree", "shallow_tree_leaves"]
+
+DEFAULT_SUBPREFIX_BITS = 12
+
+
+@dataclass
+class RadixTree:
+    """Karras radix tree over ``n`` sorted unique codes.
+
+    ``n - 1`` inner nodes. ``left``/``right`` index inner nodes, unless the
+    matching ``*_is_leaf`` flag is set, in which case they index leaves
+    (i.e. positions in the sorted code array). A single-code input has no
+    inner nodes and the tree is just that one leaf.
+    """
+
+    n_leaves: int
+    left: np.ndarray
+    right: np.ndarray
+    left_is_leaf: np.ndarray
+    right_is_leaf: np.ndarray
+    #: inner-node index of the root (0 by Karras's construction), or -1 if
+    #: the tree is a single leaf
+    root: int
+
+    @property
+    def n_inner(self) -> int:
+        return len(self.left)
+
+    def parents(self) -> tuple[np.ndarray, np.ndarray]:
+        """(inner parent per inner node, inner parent per leaf); −1 for root."""
+        ip = np.full(self.n_inner, -1, dtype=np.int64)
+        lp = np.full(self.n_leaves, -1, dtype=np.int64)
+        for i in range(self.n_inner):
+            for child, is_leaf in ((self.left[i], self.left_is_leaf[i]),
+                                   (self.right[i], self.right_is_leaf[i])):
+                if is_leaf:
+                    lp[child] = i
+                else:
+                    ip[child] = i
+        return ip, lp
+
+
+def _delta(codes: np.ndarray, i: int, j: int, code_bits: int) -> int:
+    """Common-prefix length of codes i and j; −1 when j is out of range."""
+    n = len(codes)
+    if j < 0 or j >= n:
+        return -1
+    x = int(codes[i]) ^ int(codes[j])
+    if x == 0:
+        # Karras's duplicate-key fallback; unreachable for unique codes.
+        return code_bits + 32
+    return code_bits - x.bit_length()
+
+
+def build_radix_tree(codes: np.ndarray, code_bits: int) -> RadixTree:
+    """Build the radix tree over sorted *unique* ``codes``.
+
+    ``code_bits`` is the significant bit width of the codes (e.g. 12 for the
+    default shallow subprefix). Follows Karras 2012 §4: each inner node
+    determines its direction, range, and split via prefix-length binary
+    searches, all independent of the others.
+    """
+    codes = np.asarray(codes, dtype=np.uint64)
+    n = len(codes)
+    if n == 0:
+        raise ValueError("cannot build a radix tree over zero codes")
+    if n > 1:
+        d = np.diff(codes.astype(object))
+        if any(x <= 0 for x in d):
+            raise ValueError("codes must be sorted and unique")
+    if n == 1:
+        return RadixTree(
+            n_leaves=1,
+            left=np.empty(0, np.int64),
+            right=np.empty(0, np.int64),
+            left_is_leaf=np.empty(0, bool),
+            right_is_leaf=np.empty(0, bool),
+            root=-1,
+        )
+
+    left = np.empty(n - 1, dtype=np.int64)
+    right = np.empty(n - 1, dtype=np.int64)
+    left_leaf = np.empty(n - 1, dtype=bool)
+    right_leaf = np.empty(n - 1, dtype=bool)
+
+    for i in range(n - 1):
+        # direction of the range containing i
+        d = 1 if _delta(codes, i, i + 1, code_bits) > _delta(codes, i, i - 1, code_bits) else -1
+        delta_min = _delta(codes, i, i - d, code_bits)
+        # find upper bound of range length
+        lmax = 2
+        while _delta(codes, i, i + lmax * d, code_bits) > delta_min:
+            lmax *= 2
+        # binary search exact range end
+        length = 0
+        t = lmax // 2
+        while t >= 1:
+            if _delta(codes, i, i + (length + t) * d, code_bits) > delta_min:
+                length += t
+            t //= 2
+        j = i + length * d
+        # binary search the split position
+        delta_node = _delta(codes, i, j, code_bits)
+        s = 0
+        t = (length + 1) // 2
+        while True:
+            if _delta(codes, i, i + (s + t) * d, code_bits) > delta_node:
+                s += t
+            if t == 1:
+                break
+            t = (t + 1) // 2
+        gamma = i + s * d + min(d, 0)
+
+        left[i] = gamma
+        right[i] = gamma + 1
+        left_leaf[i] = min(i, j) == gamma
+        right_leaf[i] = max(i, j) == gamma + 1
+
+    return RadixTree(
+        n_leaves=n, left=left, right=right,
+        left_is_leaf=left_leaf, right_is_leaf=right_leaf, root=0,
+    )
+
+
+def shallow_tree_leaves(
+    sorted_codes: np.ndarray, subprefix_bits: int = DEFAULT_SUBPREFIX_BITS, bits: int = MAX_BITS
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge shared subprefixes of sorted full Morton codes (§III-C1).
+
+    Returns ``(unique_subprefixes, leaf_starts)`` where ``leaf_starts`` has
+    one extra trailing entry so leaf *k*'s particles are the slice
+    ``sorted order[leaf_starts[k]:leaf_starts[k+1]]``.
+    """
+    if not 3 <= subprefix_bits <= 3 * bits:
+        raise ValueError("subprefix_bits out of range")
+    codes = np.asarray(sorted_codes, dtype=np.uint64)
+    sub = codes >> np.uint64(3 * bits - subprefix_bits)
+    uniq, starts = np.unique(sub, return_index=True)
+    starts = np.append(starts, len(codes))
+    return uniq, starts

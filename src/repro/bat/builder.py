@@ -1,0 +1,425 @@
+"""In-situ BAT construction on an aggregator (paper §III-C).
+
+``build_bat`` takes the particles an aggregator received and produces the
+complete serialized file image plus the summary (attribute ranges and root
+bitmaps) that the aggregator later sends to rank 0 for the top-level
+metadata (§III-D). The build is the two-step scheme from the paper: a
+bottom-up shallow radix tree over merged Morton subprefixes, then an
+independent treelet per shallow leaf.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..binning import EquiDepthBinning, EquiWidthBinning
+from ..bitmaps import BitmapDictionary
+from ..morton import MAX_BITS, encode_positions
+from ..types import Box, ParticleBatch
+from .build import DEFAULT_SUBPREFIX_BITS, build_radix_tree, shallow_tree_leaves
+from .format import (
+    FLAG_COMPRESSED_TREELETS,
+    FLAG_QUANTIZED_POSITIONS,
+    HEADER_SIZE,
+    LEAF_FLAG,
+    PAGE_SIZE,
+    Header,
+    attr_table_dtype,
+    pack_binning_section,
+    pad_to,
+    shallow_inner_dtype,
+    shallow_leaf_dtype,
+    treelet_header_dtype,
+    treelet_node_dtype,
+)
+from .treelet import Treelet, build_treelet, treelet_node_bitmaps
+
+__all__ = ["BATBuildConfig", "BuiltBAT", "build_bat"]
+
+
+@dataclass(frozen=True)
+class BATBuildConfig:
+    """Knobs of the BAT build.
+
+    The defaults follow the paper's evaluation: up to a 12-bit shallow
+    subprefix, 8 LOD particles per treelet inner node, up to 128 particles
+    per treelet leaf, 21-bit Morton quantization.
+
+    ``subprefix_bits=None`` (the default) adapts the subprefix to the input
+    size so each shallow leaf receives about ``target_treelet_points``
+    particles, capped at the paper's 12 bits — the paper evaluated
+    aggregators holding millions of particles, where 12 bits "provides
+    satisfactory results"; a fixed 12 bits on a small input would shatter
+    it into thousands of near-empty page-aligned treelets.
+    """
+
+    subprefix_bits: int | None = None
+    lod_per_node: int = 8
+    max_leaf_points: int = 128
+    morton_bits: int = MAX_BITS
+    target_treelet_points: int = 4096
+    #: "equiwidth" (the paper's scheme) or "equidepth" (quantile bins — the
+    #: §VII extension for skewed attributes)
+    attribute_binning: str = "equiwidth"
+    #: store treelet positions as uint16 quantized to the treelet bounds
+    #: (§VII quantization extension; halves position storage, lossy to
+    #: ~1/65535 of a treelet's extent)
+    quantize_positions: bool = False
+    #: zlib-compress each treelet payload (§VII compression extension;
+    #: treelets decompress on first access rather than mapping in place)
+    compress: bool = False
+
+    def __post_init__(self) -> None:
+        if self.attribute_binning not in ("equiwidth", "equidepth"):
+            raise ValueError("attribute_binning must be 'equiwidth' or 'equidepth'")
+        if self.subprefix_bits is not None:
+            if not 3 <= self.subprefix_bits <= 3 * self.morton_bits:
+                raise ValueError("subprefix_bits must be in [3, 3*morton_bits]")
+            if self.subprefix_bits % 3 != 0:
+                raise ValueError("subprefix_bits must be a multiple of 3")
+        if self.target_treelet_points < 1:
+            raise ValueError("target_treelet_points must be >= 1")
+        if self.lod_per_node < 1 or self.max_leaf_points < 1:
+            raise ValueError("lod_per_node and max_leaf_points must be >= 1")
+        if not 1 <= self.morton_bits <= MAX_BITS:
+            raise ValueError(f"morton_bits must be in [1, {MAX_BITS}]")
+
+    def resolve_subprefix_bits(self, n_points: int) -> int:
+        """Subprefix width to use for an input of ``n_points`` particles."""
+        if self.subprefix_bits is not None:
+            return self.subprefix_bits
+        import math
+
+        ratio = max(n_points / self.target_treelet_points, 1.0)
+        levels = math.ceil(math.log2(ratio) / 3.0) if ratio > 1.0 else 1
+        return int(min(max(3 * levels, 3), DEFAULT_SUBPREFIX_BITS, 3 * self.morton_bits))
+
+
+@dataclass
+class BuiltBAT:
+    """A serialized BAT plus the summary sent to rank 0.
+
+    ``data`` is the exact file image; writing it to disk and opening it with
+    :class:`repro.bat.BATFile` is lossless. The object is also usable
+    directly for in-transit analysis without touching disk.
+    """
+
+    data: bytes
+    n_points: int
+    bounds: Box
+    #: per-attribute (lo, hi) local value ranges
+    attr_ranges: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: per-attribute root bitmap (relative to the local range)
+    root_bitmaps: dict[str, int] = field(default_factory=dict)
+    #: bytes of structure beyond the raw particle payload
+    overhead_bytes: int = 0
+    raw_bytes: int = 0
+    dict_entries: int = 0
+    n_treelets: int = 0
+    #: per-attribute binning scheme used by the file's bitmaps
+    attr_binnings: dict = field(default_factory=dict)
+    #: FLAG_* bits recorded in the header
+    flags: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data)
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Structure overhead relative to the raw data (paper reports ~0.9%)."""
+        return self.overhead_bytes / self.raw_bytes if self.raw_bytes else 0.0
+
+    def write(self, path) -> None:
+        with open(path, "wb") as f:
+            f.write(self.data)
+
+    def open(self):
+        """Open the image in memory for in-transit analysis (§III-C3).
+
+        Returns a fully functional :class:`repro.bat.BATFile` without
+        touching disk — the paper's "used for in transit visualization and
+        analysis on the aggregators before or instead of being written".
+        """
+        from .file import BATFile
+
+        return BATFile.from_bytes(self.data)
+
+
+def _shallow_bitmaps_and_boxes(
+    radix, leaf_bitmaps: np.ndarray, leaf_boxes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Propagate bitmaps (OR) and bboxes (union) up the shallow tree."""
+    n_inner = radix.n_inner
+    n_attrs = leaf_bitmaps.shape[1]
+    inner_bm = np.zeros((n_inner, n_attrs), dtype=np.uint32)
+    inner_box = np.zeros((n_inner, 6), dtype=np.float32)
+    if n_inner == 0:
+        return inner_bm, inner_box
+
+    # Post-order DFS from the root; children (inner or leaf) are resolved
+    # before their parent.
+    state = np.zeros(n_inner, dtype=np.int8)
+    stack = [radix.root]
+    while stack:
+        node = stack[-1]
+        if state[node] == 0:
+            state[node] = 1
+            if not radix.left_is_leaf[node]:
+                stack.append(int(radix.left[node]))
+            if not radix.right_is_leaf[node]:
+                stack.append(int(radix.right[node]))
+            continue
+        stack.pop()
+        if state[node] == 2:
+            continue
+        state[node] = 2
+        parts_bm = []
+        parts_box = []
+        for child, is_leaf in (
+            (int(radix.left[node]), radix.left_is_leaf[node]),
+            (int(radix.right[node]), radix.right_is_leaf[node]),
+        ):
+            if is_leaf:
+                parts_bm.append(leaf_bitmaps[child])
+                parts_box.append(leaf_boxes[child])
+            else:
+                parts_bm.append(inner_bm[child])
+                parts_box.append(inner_box[child])
+        inner_bm[node] = parts_bm[0] | parts_bm[1]
+        lo = np.minimum(parts_box[0][:3], parts_box[1][:3])
+        hi = np.maximum(parts_box[0][3:], parts_box[1][3:])
+        inner_box[node] = np.concatenate([lo, hi])
+    return inner_bm, inner_box
+
+
+def build_bat(batch: ParticleBatch, config: BATBuildConfig | None = None) -> BuiltBAT:
+    """Construct the BAT over an aggregator's particles and serialize it."""
+    config = config or BATBuildConfig()
+    n = len(batch)
+    if n == 0:
+        raise ValueError("cannot build a BAT over zero particles")
+
+    bounds = batch.bounds
+    subprefix_bits = config.resolve_subprefix_bits(n)
+    codes = encode_positions(batch.positions, bounds, bits=config.morton_bits)
+    sort_order = np.argsort(codes, kind="stable")
+    uniq, starts = shallow_tree_leaves(codes[sort_order], subprefix_bits, config.morton_bits)
+    radix = build_radix_tree(uniq, subprefix_bits)
+    n_leaves = len(uniq)
+
+    # Independent treelet builds per shallow leaf (parallel in the paper).
+    treelets: list[Treelet] = []
+    order_parts: list[np.ndarray] = []
+    for k in range(n_leaves):
+        seg = sort_order[starts[k] : starts[k + 1]]
+        t = build_treelet(
+            batch.positions[seg],
+            lod_per_node=config.lod_per_node,
+            max_leaf_points=config.max_leaf_points,
+        )
+        treelets.append(t)
+        order_parts.append(seg[t.order])
+    global_order = np.concatenate(order_parts)
+
+    positions_no = batch.positions[global_order]
+    attr_names = list(batch.attributes.keys())
+    n_attrs = len(attr_names)
+    attrs_no = {name: batch.attributes[name][global_order] for name in attr_names}
+    attr_ranges = {
+        name: (float(np.min(arr)), float(np.max(arr))) for name, arr in attrs_no.items()
+    }
+    if config.attribute_binning == "equidepth":
+        attr_binnings = {name: EquiDepthBinning.fit(arr) for name, arr in attrs_no.items()}
+    else:
+        attr_binnings = {
+            name: EquiWidthBinning(*attr_ranges[name]) for name in attr_names
+        }
+
+    # Per-treelet bitmaps -> dictionary IDs (ID 0 reserved for the empty
+    # bitmap so absent attributes prune immediately).
+    dictionary = BitmapDictionary()
+    dictionary.add(0)
+    bm_cols = max(n_attrs, 1)
+    leaf_root_bitmaps = np.zeros((n_leaves, bm_cols), dtype=np.uint32)
+    leaf_boxes = np.zeros((n_leaves, 6), dtype=np.float32)
+    treelet_bitmap_ids: list[np.ndarray] = []
+    pos_cursor = 0
+    for k, t in enumerate(treelets):
+        ids = np.zeros((t.n_nodes, bm_cols), dtype=np.uint16)
+        seg_pos = positions_no[pos_cursor : pos_cursor + t.n_points]
+        leaf_boxes[k, :3] = seg_pos.min(axis=0)
+        leaf_boxes[k, 3:] = seg_pos.max(axis=0)
+        for a, name in enumerate(attr_names):
+            vals = attrs_no[name][pos_cursor : pos_cursor + t.n_points]
+            bms = treelet_node_bitmaps(t, vals, binning=attr_binnings[name])
+            ids[:, a] = dictionary.add_many(bms)
+            leaf_root_bitmaps[k, a] = bms[0]
+        treelet_bitmap_ids.append(ids)
+        pos_cursor += t.n_points
+
+    inner_bm, inner_box = _shallow_bitmaps_and_boxes(radix, leaf_root_bitmaps, leaf_boxes)
+
+    # ---- serialize -------------------------------------------------------
+    atab = np.zeros(n_attrs, dtype=attr_table_dtype())
+    for a, name in enumerate(attr_names):
+        atab[a]["name"] = name.encode()[:40]
+        atab[a]["dtype"] = batch.attributes[name].dtype.str.encode()
+        atab[a]["lo"], atab[a]["hi"] = attr_ranges[name]
+
+    inner_dt = shallow_inner_dtype(n_attrs)
+    leaf_dt = shallow_leaf_dtype(n_attrs)
+    inner_rec = np.zeros(radix.n_inner, dtype=inner_dt)
+    for i in range(radix.n_inner):
+        l = np.uint32(radix.left[i]) | (LEAF_FLAG if radix.left_is_leaf[i] else np.uint32(0))
+        r = np.uint32(radix.right[i]) | (LEAF_FLAG if radix.right_is_leaf[i] else np.uint32(0))
+        inner_rec[i]["left"] = l
+        inner_rec[i]["right"] = r
+        inner_rec[i]["bbox"] = inner_box[i]
+        for a in range(n_attrs):
+            inner_rec[i]["bitmap_ids"][a] = dictionary.add(int(inner_bm[i, a]))
+
+    leaf_rec = np.zeros(n_leaves, dtype=leaf_dt)
+    node_dt = treelet_node_dtype(n_attrs)
+    thead_dt = treelet_header_dtype()
+
+    attr_table_offset = HEADER_SIZE
+    shallow_inner_offset = attr_table_offset + atab.nbytes
+    shallow_leaf_offset = shallow_inner_offset + inner_rec.nbytes
+    dict_offset = shallow_leaf_offset + leaf_rec.nbytes
+    # dictionary can still grow while filling leaf records, so fill leaf
+    # bitmap IDs first
+    pos_cursor = 0
+    for k, t in enumerate(treelets):
+        leaf_rec[k]["n_points"] = t.n_points
+        leaf_rec[k]["bbox"] = leaf_boxes[k]
+        for a in range(n_attrs):
+            leaf_rec[k]["bitmap_ids"][a] = treelet_bitmap_ids[k][0, a]
+        pos_cursor += t.n_points
+
+    dict_arr = dictionary.as_array()
+    binning_offset = dict_offset + dict_arr.nbytes
+    binning_bytes = b""
+    if n_attrs:
+        edge_tables = np.stack([attr_binnings[name].edges() for name in attr_names])
+        binning_bytes = pack_binning_section(
+            [attr_binnings[name].kind for name in attr_names], edge_tables
+        )
+    treelets_offset = pad_to(binning_offset + len(binning_bytes), PAGE_SIZE)
+
+    flags = 0
+    if config.quantize_positions:
+        flags |= FLAG_QUANTIZED_POSITIONS
+    if config.compress:
+        flags |= FLAG_COMPRESSED_TREELETS
+
+    # Treelet blobs with page alignment.
+    blobs: list[bytes] = []
+    offsets: list[int] = []
+    cursor = treelets_offset
+    pos_cursor = 0
+    max_depth = 0
+    for k, t in enumerate(treelets):
+        nodes = np.zeros(t.n_nodes, dtype=node_dt)
+        nodes["axis"] = t.axis
+        nodes["depth"] = t.depth
+        nodes["split"] = t.split
+        nodes["left"] = t.left
+        nodes["right"] = t.right
+        nodes["begin"] = t.begin
+        nodes["count"] = t.count
+        nodes["subtree_end"] = t.subtree_end
+        if n_attrs:
+            nodes["bitmap_ids"] = treelet_bitmap_ids[k][:, :n_attrs]
+        max_depth = max(max_depth, t.max_depth)
+        seg = slice(pos_cursor, pos_cursor + t.n_points)
+
+        seg_pos = positions_no[seg]
+        if config.quantize_positions:
+            lo = leaf_boxes[k, :3].astype(np.float64)
+            ext = np.maximum(leaf_boxes[k, 3:].astype(np.float64) - lo, 0.0)
+            scale = np.where(ext > 0, 65535.0 / np.where(ext > 0, ext, 1.0), 0.0)
+            q = np.round((seg_pos.astype(np.float64) - lo) * scale)
+            pos_bytes = np.clip(q, 0, 65535).astype("<u2").tobytes()
+        else:
+            pos_bytes = np.ascontiguousarray(seg_pos).tobytes()
+
+        payload_parts = [nodes.tobytes(), pos_bytes]
+        for name in attr_names:
+            payload_parts.append(np.ascontiguousarray(attrs_no[name][seg]).tobytes())
+        payload = b"".join(payload_parts)
+
+        th = np.zeros(1, dtype=thead_dt)
+        th[0]["n_nodes"] = t.n_nodes
+        th[0]["n_points"] = t.n_points
+        th[0]["max_depth"] = t.max_depth
+        if config.compress:
+            th[0]["raw_nbytes"] = len(payload)
+            payload = zlib.compress(payload, level=6)
+        blob = th.tobytes() + payload
+
+        aligned = pad_to(cursor, PAGE_SIZE)
+        offsets.append(aligned)
+        leaf_rec[k]["treelet_offset"] = aligned
+        leaf_rec[k]["treelet_nbytes"] = len(blob)
+        cursor = aligned + len(blob)
+        blobs.append(blob)
+        pos_cursor += t.n_points
+
+    file_size = cursor
+    header = Header(
+        n_points=n,
+        n_attrs=n_attrs,
+        morton_bits=config.morton_bits,
+        subprefix_bits=subprefix_bits,
+        lod_per_node=config.lod_per_node,
+        max_leaf_points=config.max_leaf_points,
+        n_shallow_inner=radix.n_inner,
+        n_shallow_leaves=n_leaves,
+        dict_entries=len(dictionary),
+        max_treelet_depth=max_depth,
+        bounds=bounds.as_array(),
+        attr_table_offset=attr_table_offset,
+        shallow_inner_offset=shallow_inner_offset,
+        shallow_leaf_offset=shallow_leaf_offset,
+        dict_offset=dict_offset,
+        treelets_offset=treelets_offset,
+        file_size=file_size,
+        flags=flags,
+        binning_offset=binning_offset if n_attrs else 0,
+    )
+
+    out = bytearray(file_size)
+    out[0:HEADER_SIZE] = header.pack()
+    out[attr_table_offset : attr_table_offset + atab.nbytes] = atab.tobytes()
+    out[shallow_inner_offset : shallow_inner_offset + inner_rec.nbytes] = inner_rec.tobytes()
+    out[shallow_leaf_offset : shallow_leaf_offset + leaf_rec.nbytes] = leaf_rec.tobytes()
+    out[dict_offset : dict_offset + dict_arr.nbytes] = dict_arr.tobytes()
+    out[binning_offset : binning_offset + len(binning_bytes)] = binning_bytes
+    for off, blob in zip(offsets, blobs):
+        out[off : off + len(blob)] = blob
+
+    raw = batch.nbytes
+    root_bitmaps = {}
+    for a, name in enumerate(attr_names):
+        if radix.n_inner:
+            root_bitmaps[name] = int(inner_bm[radix.root, a])
+        else:
+            root_bitmaps[name] = int(leaf_root_bitmaps[0, a])
+
+    return BuiltBAT(
+        data=bytes(out),
+        n_points=n,
+        bounds=bounds,
+        attr_ranges=attr_ranges,
+        root_bitmaps=root_bitmaps,
+        overhead_bytes=file_size - raw,
+        raw_bytes=raw,
+        dict_entries=len(dictionary),
+        n_treelets=n_leaves,
+        attr_binnings=attr_binnings,
+        flags=flags,
+    )

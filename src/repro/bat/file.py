@@ -1,0 +1,279 @@
+"""Memory-mapped BAT file reader (paper §V).
+
+Reads go through ``mmap`` so the OS page cache serves repeated traversals
+and the 4 KB-aligned treelets map cleanly onto pages. The shallow tree,
+attribute table, and bitmap dictionary — touched by every query — live in
+the first pages of the file.
+"""
+
+from __future__ import annotations
+
+import mmap
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..binning import make_binning
+from ..types import AttributeSpec, Box
+from .format import (
+    FLAG_COMPRESSED_TREELETS,
+    FLAG_QUANTIZED_POSITIONS,
+    LEAF_FLAG,
+    Header,
+    attr_table_dtype,
+    shallow_inner_dtype,
+    shallow_leaf_dtype,
+    treelet_header_dtype,
+    treelet_node_dtype,
+    unpack_binning_section,
+)
+
+__all__ = ["BATFile", "TreeletView"]
+
+
+@dataclass
+class TreeletView:
+    """Zero-copy views into one treelet's region of the mapped file."""
+
+    nodes: np.ndarray  # structured treelet_node_dtype
+    positions: np.ndarray  # (n, 3) float32, node order
+    attributes: dict[str, np.ndarray]
+    max_depth: int
+
+    @property
+    def n_points(self) -> int:
+        return len(self.positions)
+
+
+class BATFile:
+    """One aggregator's BAT file, opened read-only via memory mapping.
+
+    Usable as a context manager. All returned arrays are views into the
+    mapping and become invalid after :meth:`close`.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._f = open(self.path, "rb")
+        try:
+            self._mm = mmap.mmap(self._f.fileno(), 0, access=mmap.ACCESS_READ)
+        except ValueError:
+            self._f.close()
+            raise
+        self._parse()
+
+    @classmethod
+    def from_bytes(cls, data: bytes, name: str = "<memory>") -> "BATFile":
+        """Open a BAT image that was never written to disk.
+
+        This is the paper's in-transit path (§III-C3): "the tree can be
+        used for in transit visualization and analysis on the aggregators
+        before or instead of being written to disk." All query APIs work
+        identically; the buffer replaces the memory map.
+        """
+        self = cls.__new__(cls)
+        self.path = name
+        self._f = None
+        self._mm = bytes(data)
+        self._parse()
+        return self
+
+    def _parse(self) -> None:
+        self.header = Header.unpack(self._mm[: 256])
+        h = self.header
+        if h.file_size != len(self._mm):
+            raise ValueError(
+                f"BAT file size mismatch: header says {h.file_size}, file is {len(self._mm)}"
+            )
+        self._inner_dt = shallow_inner_dtype(h.n_attrs)
+        self._leaf_dt = shallow_leaf_dtype(h.n_attrs)
+        self._node_dt = treelet_node_dtype(h.n_attrs)
+
+        atab = np.frombuffer(
+            self._mm, dtype=attr_table_dtype(), count=h.n_attrs, offset=h.attr_table_offset
+        )
+        self.attr_names: list[str] = [
+            bytes(rec["name"]).rstrip(b"\0").decode() for rec in atab
+        ]
+        self.attr_dtypes: dict[str, np.dtype] = {
+            name: np.dtype(bytes(rec["dtype"]).rstrip(b"\0").decode())
+            for name, rec in zip(self.attr_names, atab)
+        }
+        self.attr_ranges: dict[str, tuple[float, float]] = {
+            name: (float(rec["lo"]), float(rec["hi"]))
+            for name, rec in zip(self.attr_names, atab)
+        }
+        self.shallow_inner = np.frombuffer(
+            self._mm, dtype=self._inner_dt, count=h.n_shallow_inner, offset=h.shallow_inner_offset
+        )
+        self.shallow_leaves = np.frombuffer(
+            self._mm, dtype=self._leaf_dt, count=h.n_shallow_leaves, offset=h.shallow_leaf_offset
+        )
+        self.dictionary = np.frombuffer(
+            self._mm, dtype=np.uint32, count=h.dict_entries, offset=h.dict_offset
+        )
+        #: per-attribute binning scheme (drives query-bitmap computation)
+        self.binnings: dict[str, object] = {}
+        if h.n_attrs and h.binning_offset:
+            kinds, edge_tables = unpack_binning_section(
+                self._mm, h.binning_offset, h.n_attrs
+            )
+            for a, name in enumerate(self.attr_names):
+                lo, hi = self.attr_ranges[name]
+                self.binnings[name] = make_binning(kinds[a], lo, hi, edge_tables[a])
+        self._treelet_cache: dict[int, TreeletView] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the mapping.
+
+        If the caller still holds numpy views into the file, the mapping
+        cannot be unmapped yet; it is released when the last view dies
+        (CPython keeps an mmap alive while exported buffers exist), so the
+        views stay valid either way.
+        """
+        self._treelet_cache.clear()
+        self.shallow_inner = None
+        self.shallow_leaves = None
+        self.dictionary = None
+        if getattr(self, "_mm", None) is not None:
+            if isinstance(self._mm, mmap.mmap):
+                try:
+                    self._mm.close()
+                except BufferError:
+                    pass  # outstanding views; freed when they are collected
+            self._mm = None
+        if getattr(self, "_f", None) is not None:
+            self._f.close()
+            self._f = None
+
+    def __enter__(self) -> "BATFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def n_points(self) -> int:
+        return self.header.n_points
+
+    @property
+    def bounds(self) -> Box:
+        return Box.from_array(self.header.bounds)
+
+    @property
+    def n_treelets(self) -> int:
+        return self.header.n_shallow_leaves
+
+    @property
+    def max_treelet_depth(self) -> int:
+        return self.header.max_treelet_depth
+
+    def attribute_specs(self) -> list[AttributeSpec]:
+        return [AttributeSpec(n, self.attr_dtypes[n]) for n in self.attr_names]
+
+    def attr_index(self, name: str) -> int:
+        try:
+            return self.attr_names.index(name)
+        except ValueError:
+            raise KeyError(f"no attribute {name!r} in {self.path}") from None
+
+    def bitmap(self, bitmap_id: int) -> int:
+        """Resolve a 16-bit dictionary ID to its 32-bit bitmap."""
+        return int(self.dictionary[bitmap_id])
+
+    def leaf_box(self, leaf: int) -> Box:
+        b = self.shallow_leaves[leaf]["bbox"]
+        return Box(tuple(map(float, b[:3])), tuple(map(float, b[3:])))
+
+    def inner_box(self, inner: int) -> Box:
+        b = self.shallow_inner[inner]["bbox"]
+        return Box(tuple(map(float, b[:3])), tuple(map(float, b[3:])))
+
+    def root(self) -> tuple[int, bool]:
+        """(index, is_leaf) of the shallow root."""
+        if self.header.n_shallow_inner == 0:
+            return 0, True
+        return 0, False
+
+    def children(self, inner: int) -> list[tuple[int, bool]]:
+        """Decode an inner node's (child index, child-is-leaf) pairs."""
+        rec = self.shallow_inner[inner]
+        out = []
+        for key in ("left", "right"):
+            raw = np.uint32(rec[key])
+            is_leaf = bool(raw & LEAF_FLAG)
+            out.append((int(raw & ~LEAF_FLAG), is_leaf))
+        return out
+
+    @property
+    def quantized(self) -> bool:
+        return bool(self.header.flags & FLAG_QUANTIZED_POSITIONS)
+
+    @property
+    def compressed(self) -> bool:
+        return bool(self.header.flags & FLAG_COMPRESSED_TREELETS)
+
+    def treelet(self, leaf: int) -> TreeletView:
+        """Map (or decompress/decode) the treelet of shallow leaf ``leaf``.
+
+        Plain files hand back zero-copy views into the mapping; compressed
+        treelets inflate on first access, and quantized positions decode to
+        float32 against the leaf's bounding box. Either way the view is
+        cached, so repeated traversals pay once.
+        """
+        cached = self._treelet_cache.get(leaf)
+        if cached is not None:
+            return cached
+        rec = self.shallow_leaves[leaf]
+        off = int(rec["treelet_offset"])
+        th = np.frombuffer(self._mm, dtype=treelet_header_dtype(), count=1, offset=off)[0]
+        n_nodes = int(th["n_nodes"])
+        n_pts = int(th["n_points"])
+        head = treelet_header_dtype().itemsize
+
+        if self.compressed:
+            comp = self._mm[off + head : off + int(rec["treelet_nbytes"])]
+            payload = zlib.decompress(comp)
+            if len(payload) != int(th["raw_nbytes"]):
+                raise ValueError(f"treelet {leaf}: decompressed size mismatch")
+            buf, base = payload, 0
+        else:
+            buf, base = self._mm, off + head
+
+        cursor = base
+        nodes = np.frombuffer(buf, dtype=self._node_dt, count=n_nodes, offset=cursor)
+        cursor += nodes.nbytes
+        if self.quantized:
+            q = np.frombuffer(buf, dtype="<u2", count=3 * n_pts, offset=cursor).reshape(
+                n_pts, 3
+            )
+            cursor += q.nbytes
+            lo = np.asarray(rec["bbox"][:3], dtype=np.float64)
+            ext = np.maximum(np.asarray(rec["bbox"][3:], dtype=np.float64) - lo, 0.0)
+            positions = (lo + q.astype(np.float64) / 65535.0 * ext).astype(np.float32)
+        else:
+            positions = np.frombuffer(
+                buf, dtype=np.float32, count=3 * n_pts, offset=cursor
+            ).reshape(n_pts, 3)
+            cursor += positions.nbytes
+        attrs: dict[str, np.ndarray] = {}
+        for name in self.attr_names:
+            dt = self.attr_dtypes[name]
+            attrs[name] = np.frombuffer(buf, dtype=dt, count=n_pts, offset=cursor)
+            cursor += n_pts * dt.itemsize
+        view = TreeletView(
+            nodes=nodes, positions=positions, attributes=attrs, max_depth=int(th["max_depth"])
+        )
+        self._treelet_cache[leaf] = view
+        return view
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BATFile({self.path!r}, points={self.n_points}, "
+            f"treelets={self.n_treelets}, attrs={self.attr_names})"
+        )

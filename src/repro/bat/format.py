@@ -1,0 +1,233 @@
+"""On-disk BAT file format (paper §III-C3, Fig 2).
+
+Layout, in file order::
+
+    header (256 B, fixed)
+    attribute table          (64 B per attribute)
+    shallow inner nodes      (structured records)
+    shallow leaf nodes       (structured records, treelet offsets)
+    bitmap dictionary        (u32 per entry)
+    -- pad to 4 KB --
+    treelet 0 (4 KB aligned) : treelet header | nodes | positions | attrs...
+    treelet 1 (4 KB aligned)
+    ...
+
+Everything frequently touched during traversal (tree + dictionary) sits at
+the start of the file; treelets are page-aligned for memory-mapped access.
+All integers are little-endian.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "HEADER_SIZE",
+    "PAGE_SIZE",
+    "Header",
+    "attr_table_dtype",
+    "shallow_inner_dtype",
+    "shallow_leaf_dtype",
+    "treelet_node_dtype",
+    "treelet_header_dtype",
+    "LEAF_FLAG",
+]
+
+MAGIC = b"BATF"
+VERSION = 2
+HEADER_SIZE = 256
+PAGE_SIZE = 4096
+
+#: High bit of a shallow inner node's child field: set when the child is a
+#: shallow *leaf* index rather than another inner node.
+LEAF_FLAG = np.uint32(0x80000000)
+
+#: header flag: treelet positions stored as uint16 quantized against the
+#: shallow leaf's bounding box (6 B/particle instead of 12 B) — the §VII
+#: quantization extension; lossy to ~1/65535 of the leaf extent.
+FLAG_QUANTIZED_POSITIONS = 0x1
+#: header flag: each treelet's payload (nodes + positions + attributes) is
+#: zlib-compressed — the §VII compression extension; treelets decompress on
+#: first access instead of mapping in place.
+FLAG_COMPRESSED_TREELETS = 0x2
+
+_HEADER_FMT = "<4sI Q IIIIII III 6d 8Q"
+_HEADER_FIELDS = struct.calcsize(_HEADER_FMT)
+assert _HEADER_FIELDS <= HEADER_SIZE
+
+
+@dataclass
+class Header:
+    """Parsed fixed-size file header."""
+
+    n_points: int
+    n_attrs: int
+    morton_bits: int
+    subprefix_bits: int
+    lod_per_node: int
+    max_leaf_points: int
+    n_shallow_inner: int
+    n_shallow_leaves: int
+    dict_entries: int
+    max_treelet_depth: int
+    bounds: np.ndarray  # (2, 3) float64 local bounds
+    attr_table_offset: int
+    shallow_inner_offset: int
+    shallow_leaf_offset: int
+    dict_offset: int
+    treelets_offset: int
+    file_size: int
+    #: FLAG_* bits
+    flags: int = 0
+    #: offset of the binning section (per-attr kind bytes + edge tables);
+    #: 0 when the file has no attributes
+    binning_offset: int = 0
+
+    def pack(self) -> bytes:
+        b = self.bounds.reshape(6)
+        raw = struct.pack(
+            _HEADER_FMT,
+            MAGIC,
+            VERSION,
+            self.n_points,
+            self.n_attrs,
+            self.morton_bits,
+            self.subprefix_bits,
+            self.lod_per_node,
+            self.max_leaf_points,
+            self.n_shallow_inner,
+            self.n_shallow_leaves,
+            self.dict_entries,
+            self.max_treelet_depth,
+            *b.tolist(),
+            self.attr_table_offset,
+            self.shallow_inner_offset,
+            self.shallow_leaf_offset,
+            self.dict_offset,
+            self.treelets_offset,
+            self.file_size,
+            self.flags,
+            self.binning_offset,
+        )
+        return raw.ljust(HEADER_SIZE, b"\0")
+
+    @staticmethod
+    def unpack(raw: bytes) -> "Header":
+        if len(raw) < HEADER_SIZE:
+            raise ValueError("truncated BAT header")
+        vals = struct.unpack(_HEADER_FMT, raw[:_HEADER_FIELDS])
+        magic, version = vals[0], vals[1]
+        if magic != MAGIC:
+            raise ValueError(f"not a BAT file (magic {magic!r})")
+        if version != VERSION:
+            raise ValueError(f"unsupported BAT version {version}")
+        bounds = np.array(vals[12:18], dtype=np.float64).reshape(2, 3)
+        return Header(
+            n_points=vals[2],
+            n_attrs=vals[3],
+            morton_bits=vals[4],
+            subprefix_bits=vals[5],
+            lod_per_node=vals[6],
+            max_leaf_points=vals[7],
+            n_shallow_inner=vals[8],
+            n_shallow_leaves=vals[9],
+            dict_entries=vals[10],
+            max_treelet_depth=vals[11],
+            bounds=bounds,
+            attr_table_offset=vals[18],
+            shallow_inner_offset=vals[19],
+            shallow_leaf_offset=vals[20],
+            dict_offset=vals[21],
+            treelets_offset=vals[22],
+            file_size=vals[23],
+            flags=vals[24],
+            binning_offset=vals[25],
+        )
+
+
+def attr_table_dtype() -> np.dtype:
+    """64-byte attribute descriptor: name, numpy dtype string, local range."""
+    return np.dtype(
+        [("name", "S40"), ("dtype", "S8"), ("lo", "<f8"), ("hi", "<f8")]
+    )
+
+
+def shallow_inner_dtype(n_attrs: int) -> np.dtype:
+    """Shallow (Karras) inner node: children, bbox, per-attr bitmap IDs."""
+    return np.dtype(
+        [
+            ("left", "<u4"),
+            ("right", "<u4"),
+            ("bbox", "<f4", (6,)),
+            ("bitmap_ids", "<u2", (max(n_attrs, 1),)),
+        ]
+    )
+
+
+def shallow_leaf_dtype(n_attrs: int) -> np.dtype:
+    """Shallow leaf: where its treelet lives, plus bbox and bitmap IDs."""
+    return np.dtype(
+        [
+            ("treelet_offset", "<u8"),
+            ("treelet_nbytes", "<u8"),
+            ("n_points", "<u8"),
+            ("bbox", "<f4", (6,)),
+            ("bitmap_ids", "<u2", (max(n_attrs, 1),)),
+        ]
+    )
+
+
+def treelet_node_dtype(n_attrs: int) -> np.dtype:
+    """Treelet k-d node; ``axis == -1`` marks a leaf."""
+    return np.dtype(
+        [
+            ("axis", "i1"),
+            ("pad", "u1"),
+            ("depth", "<u2"),
+            ("split", "<f4"),
+            ("left", "<i4"),
+            ("right", "<i4"),
+            ("begin", "<u4"),
+            ("count", "<u4"),
+            ("subtree_end", "<u4"),
+            ("bitmap_ids", "<u2", (max(n_attrs, 1),)),
+        ]
+    )
+
+
+def treelet_header_dtype() -> np.dtype:
+    """16-byte treelet preamble; ``raw_nbytes`` is the decompressed payload
+    size (0 for uncompressed files)."""
+    return np.dtype(
+        [("n_nodes", "<u4"), ("n_points", "<u4"), ("max_depth", "<u4"), ("raw_nbytes", "<u4")]
+    )
+
+
+def pad_to(offset: int, alignment: int) -> int:
+    """Next multiple of ``alignment`` at or after ``offset``."""
+    return (offset + alignment - 1) // alignment * alignment
+
+
+def pack_binning_section(kinds: list[int], edge_tables: np.ndarray) -> bytes:
+    """Serialize per-attribute binning info.
+
+    ``kinds`` is one code per attribute (see :mod:`repro.binning`);
+    ``edge_tables`` is ``(n_attrs, 33)`` float64 (zeros for attributes whose
+    binning derives its edges from the (lo, hi) range).
+    """
+    n = len(kinds)
+    kind_bytes = bytes(kinds).ljust(pad_to(max(n, 1), 8), b"\0")
+    return kind_bytes + np.ascontiguousarray(edge_tables, dtype="<f8").tobytes()
+
+
+def unpack_binning_section(buf, offset: int, n_attrs: int) -> tuple[list[int], np.ndarray]:
+    """Inverse of :func:`pack_binning_section`."""
+    kinds = list(buf[offset : offset + n_attrs])
+    edges_off = offset + pad_to(max(n_attrs, 1), 8)
+    edges = np.frombuffer(buf, dtype="<f8", count=n_attrs * 33, offset=edges_off)
+    return kinds, edges.reshape(n_attrs, 33)

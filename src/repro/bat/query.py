@@ -1,0 +1,274 @@
+"""Visualization reads on a BAT file (paper §V).
+
+Queries take a quality level, an optional bounding box, and a set of
+attribute filters. Spatial pruning uses the k-d hierarchy (exact);
+attribute pruning uses the binned bitmaps (conservative — a final
+false-positive check is applied to every returned particle). Progressive
+reads pass the previously fetched quality so only the increment is
+processed.
+
+Quality ∈ [0, 1] maps to a maximum treelet depth through a log remap:
+the number of LOD particles doubles per level, so the remap
+``e(q) = log2(1 + q·(2^(D+1) − 1))`` makes perceived quality progress
+smoothly. A node at depth *d* is processed fully when ``d < floor(e)`` and
+fractionally (a prefix of its particles) when ``d == floor(e)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bitmaps import query_bitmap
+from ..types import Box, ParticleBatch
+from .file import BATFile
+
+__all__ = ["AttributeFilter", "QueryStats", "quality_to_depth", "query_file"]
+
+
+@dataclass(frozen=True)
+class AttributeFilter:
+    """Keep particles with ``lo <= value(name) <= hi``."""
+
+    name: str
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"filter on {self.name!r} has hi < lo")
+
+
+@dataclass
+class QueryStats:
+    """Work counters for one query; summed across files by dataset reads."""
+
+    treelets_visited: int = 0
+    nodes_visited: int = 0
+    points_tested: int = 0
+    points_returned: int = 0
+    pruned_spatial: int = 0
+    pruned_bitmap: int = 0
+
+    def merge(self, other: "QueryStats") -> None:
+        self.treelets_visited += other.treelets_visited
+        self.nodes_visited += other.nodes_visited
+        self.points_tested += other.points_tested
+        self.points_returned += other.points_returned
+        self.pruned_spatial += other.pruned_spatial
+        self.pruned_bitmap += other.pruned_bitmap
+
+
+def quality_to_depth(quality: float, max_depth: int) -> float:
+    """Log-remapped effective depth ``e`` ∈ [0, max_depth+1] (see module doc)."""
+    if not 0.0 <= quality <= 1.0:
+        raise ValueError("quality must be in [0, 1]")
+    levels = max_depth + 1
+    if quality == 0.0:
+        return 0.0
+    e = math.log2(1.0 + quality * (2.0**levels - 1.0))
+    return min(e, float(levels))
+
+
+def _depth_fraction(depth: int, e: float) -> float:
+    """Fraction of a depth-``depth`` node's own particles covered at ``e``."""
+    fl = math.floor(e)
+    if depth < fl:
+        return 1.0
+    if depth == fl:
+        return e - fl
+    return 0.0
+
+
+@dataclass
+class _QueryContext:
+    box: Box | None
+    filters: tuple[AttributeFilter, ...]
+    qbitmaps: dict[str, int]
+    e_prev: float
+    e_new: float
+    stats: QueryStats = field(default_factory=QueryStats)
+    chunks_pos: list[np.ndarray] = field(default_factory=list)
+    chunks_attr: dict[str, list[np.ndarray]] = field(default_factory=dict)
+    callback: object = None
+    #: names to materialize in the result; None = all
+    attributes: tuple[str, ...] | None = None
+
+    def select_attrs(self, attrs: dict) -> dict:
+        if self.attributes is None:
+            return attrs
+        return {k: v for k, v in attrs.items() if k in self.attributes}
+
+    def emit(self, positions: np.ndarray, attrs: dict[str, np.ndarray]) -> None:
+        if len(positions) == 0:
+            return
+        self.stats.points_returned += len(positions)
+        if self.callback is not None:
+            self.callback(positions, attrs)
+            return
+        self.chunks_pos.append(np.asarray(positions))
+        for name, arr in attrs.items():
+            self.chunks_attr.setdefault(name, []).append(np.asarray(arr))
+
+
+def query_file(
+    bat: BATFile,
+    quality: float = 1.0,
+    prev_quality: float = 0.0,
+    box: Box | None = None,
+    filters: tuple[AttributeFilter, ...] | list[AttributeFilter] = (),
+    callback=None,
+    attributes: list[str] | None = None,
+) -> tuple[ParticleBatch | None, QueryStats]:
+    """Run one (progressive) visualization read against a BAT file.
+
+    Returns ``(batch, stats)``; ``batch`` is ``None`` when a ``callback`` is
+    given (the paper's API invokes a user callback for each point; here the
+    callback receives chunked arrays for vectorization).
+
+    ``attributes`` restricts which attribute arrays are materialized in the
+    result — the array-per-attribute storage model means unrequested
+    attributes are never touched (filter attributes are still read for the
+    false-positive check but only returned if requested).
+    """
+    if prev_quality > quality:
+        raise ValueError("prev_quality must be <= quality")
+    if attributes is not None:
+        for name in attributes:
+            bat.attr_index(name)  # raises KeyError for unknown names
+    filters = tuple(filters)
+    qbitmaps: dict[str, int] = {}
+    for f in filters:
+        bat.attr_index(f.name)  # raises KeyError for unknown attributes
+        binning = bat.binnings.get(f.name)
+        if binning is not None:
+            qbitmaps[f.name] = int(binning.query(f.lo, f.hi))
+        else:
+            lo, hi = bat.attr_ranges[f.name]
+            qbitmaps[f.name] = int(query_bitmap(f.lo, f.hi, lo, hi))
+
+    ctx = _QueryContext(
+        box=box,
+        filters=filters,
+        qbitmaps=qbitmaps,
+        e_prev=quality_to_depth(prev_quality, bat.max_treelet_depth),
+        e_new=quality_to_depth(quality, bat.max_treelet_depth),
+        callback=callback,
+        attributes=tuple(attributes) if attributes is not None else None,
+    )
+
+    empty_filter = any(q == 0 for q in qbitmaps.values())
+    root_prunes = box is not None and not bat.bounds.intersects(box)
+    if not (empty_filter or root_prunes or ctx.e_new == 0.0):
+        _traverse_shallow(bat, ctx)
+
+    if callback is not None:
+        return None, ctx.stats
+    if not ctx.chunks_pos:
+        specs = bat.attribute_specs()
+        if attributes is not None:
+            specs = [sp for sp in specs if sp.name in attributes]
+        return ParticleBatch.empty(specs), ctx.stats
+    positions = np.concatenate(ctx.chunks_pos, axis=0)
+    attrs = {name: np.concatenate(parts) for name, parts in ctx.chunks_attr.items()}
+    return ParticleBatch(positions, attrs), ctx.stats
+
+
+def _bitmaps_prune(bat: BATFile, bitmap_ids, ctx: _QueryContext) -> bool:
+    """True when the node's bitmaps prove no filter can match below it."""
+    for f in ctx.filters:
+        a = bat.attr_index(f.name)
+        node_bm = bat.bitmap(int(bitmap_ids[a]))
+        if node_bm & ctx.qbitmaps[f.name] == 0:
+            return True
+    return False
+
+
+def _traverse_shallow(bat: BATFile, ctx: _QueryContext) -> None:
+    root, root_is_leaf = bat.root()
+    stack = [(root, root_is_leaf)]
+    while stack:
+        idx, is_leaf = stack.pop()
+        ctx.stats.nodes_visited += 1
+        rec = bat.shallow_leaves[idx] if is_leaf else bat.shallow_inner[idx]
+        nb = rec["bbox"]
+        node_box = Box(tuple(map(float, nb[:3])), tuple(map(float, nb[3:])))
+        if ctx.box is not None and not node_box.intersects(ctx.box):
+            ctx.stats.pruned_spatial += 1
+            continue
+        if ctx.filters and _bitmaps_prune(bat, rec["bitmap_ids"], ctx):
+            ctx.stats.pruned_bitmap += 1
+            continue
+        if is_leaf:
+            ctx.stats.treelets_visited += 1
+            _traverse_treelet(bat, idx, node_box, ctx)
+        else:
+            stack.extend(bat.children(idx))
+
+
+def _traverse_treelet(bat: BATFile, leaf: int, leaf_box: Box, ctx: _QueryContext) -> None:
+    tv = bat.treelet(leaf)
+    nodes = tv.nodes
+    full_speed = (
+        ctx.box is None or ctx.box.contains_box(leaf_box)
+    ) and not ctx.filters and ctx.e_prev == 0.0 and ctx.e_new >= tv.max_depth + 1
+    if full_speed:
+        # Whole treelet requested at full quality: one contiguous emit.
+        ctx.stats.nodes_visited += 1
+        ctx.emit(tv.positions, ctx.select_attrs(tv.attributes))
+        return
+
+    stack: list[tuple[int, Box]] = [(0, leaf_box)]
+    while stack:
+        node_id, node_box = stack.pop()
+        ctx.stats.nodes_visited += 1
+        rec = nodes[node_id]
+        if ctx.box is not None and not node_box.intersects(ctx.box):
+            ctx.stats.pruned_spatial += 1
+            continue
+        if ctx.filters and _bitmaps_prune(bat, rec["bitmap_ids"], ctx):
+            ctx.stats.pruned_bitmap += 1
+            continue
+
+        depth = int(rec["depth"])
+        f0 = _depth_fraction(depth, ctx.e_prev)
+        f1 = _depth_fraction(depth, ctx.e_new)
+        begin = int(rec["begin"])
+        count = int(rec["count"])
+        # Rounded (not floored) so small nodes still contribute at low
+        # quality; monotone in f, hits `count` exactly at f == 1.
+        lo_slot = begin + int(f0 * count + 0.5)
+        hi_slot = begin + int(f1 * count + 0.5)
+        if hi_slot > lo_slot:
+            _emit_points(tv, lo_slot, hi_slot, ctx)
+
+        if rec["axis"] >= 0:
+            ax = int(rec["axis"])
+            pos = float(rec["split"])
+            left_box, right_box = node_box.split(ax, pos)
+            stack.append((int(rec["right"]), right_box))
+            stack.append((int(rec["left"]), left_box))
+
+
+def _emit_points(tv, lo_slot: int, hi_slot: int, ctx: _QueryContext) -> None:
+    pos = tv.positions[lo_slot:hi_slot]
+    ctx.stats.points_tested += len(pos)
+    mask = None
+    if ctx.box is not None:
+        mask = ctx.box.contains_points(pos)
+    for f in ctx.filters:
+        vals = tv.attributes[f.name][lo_slot:hi_slot]
+        fmask = (vals >= f.lo) & (vals <= f.hi)
+        mask = fmask if mask is None else (mask & fmask)
+    wanted = tv.attributes if ctx.attributes is None else {
+        n: a for n, a in tv.attributes.items() if n in ctx.attributes
+    }
+    if mask is None:
+        ctx.emit(pos, {n: a[lo_slot:hi_slot] for n, a in wanted.items()})
+    elif mask.any():
+        ctx.emit(
+            pos[mask],
+            {n: a[lo_slot:hi_slot][mask] for n, a in wanted.items()},
+        )

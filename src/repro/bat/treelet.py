@@ -1,0 +1,238 @@
+"""Median-split treelets with LOD sampling (paper §III-C2).
+
+A treelet is built over the particles of one shallow-tree leaf. Every inner
+node sets aside a fixed number of *LOD particles*, chosen by stratified
+sampling from its (Morton-sorted, hence spatially stratified) input, and
+passes the rest to its children — no particle is duplicated and none is
+invented, so the layout costs no extra memory for multiresolution.
+
+Particles are emitted in *node order*: depth-first pre-order, each node's
+own particles (LOD set for inner nodes, everything for leaves) first, then
+the left subtree, then the right. Two consequences the file format relies
+on:
+
+- a node's own particles are the contiguous slice ``[begin, begin+count)``;
+- a node's entire *subtree* is the contiguous slice ``[begin, subtree_end)``,
+  so coarse-to-fine reads are sequential I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bitmaps import bitmaps_by_group
+
+__all__ = ["Treelet", "build_treelet", "treelet_node_bitmaps"]
+
+
+@dataclass
+class Treelet:
+    """Array-of-struct treelet produced by :func:`build_treelet`.
+
+    All arrays have one entry per node. ``axis == -1`` marks a leaf.
+    ``order`` maps node-order slots back to the caller's particle indices:
+    particle ``order[k]`` occupies slot ``k``.
+    """
+
+    axis: np.ndarray  # int8, -1 for leaves
+    split: np.ndarray  # float32, split plane position (inner only)
+    left: np.ndarray  # int32 node index, -1 for leaves
+    right: np.ndarray  # int32 node index, -1 for leaves
+    begin: np.ndarray  # uint32, first own-particle slot
+    count: np.ndarray  # uint32, number of own particles
+    subtree_end: np.ndarray  # uint32, end slot of the whole subtree
+    depth: np.ndarray  # uint16
+    parent: np.ndarray  # int32, -1 for root
+    order: np.ndarray  # int64 permutation of the input particle indices
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.axis)
+
+    @property
+    def n_points(self) -> int:
+        return len(self.order)
+
+    @property
+    def max_depth(self) -> int:
+        return int(self.depth.max()) if self.n_nodes else 0
+
+    def is_leaf(self, node: int) -> bool:
+        return self.axis[node] < 0
+
+    def validate(self) -> None:
+        """Cheap structural invariants; used by tests and debug builds."""
+        n = self.n_nodes
+        if n == 0:
+            raise ValueError("empty treelet")
+        slots = np.zeros(self.n_points, dtype=np.int64)
+        for i in range(n):
+            b, c, e = int(self.begin[i]), int(self.count[i]), int(self.subtree_end[i])
+            if not (b + c <= e <= self.n_points):
+                raise ValueError(f"node {i}: bad slice [{b}, {b + c}, {e})")
+            slots[b : b + c] += 1
+            if self.axis[i] >= 0:
+                l, r = int(self.left[i]), int(self.right[i])
+                if not (i < l < n and i < r < n):
+                    raise ValueError(f"node {i}: children must follow parent")
+                if int(self.begin[l]) != b + c or int(self.subtree_end[r]) != e:
+                    raise ValueError(f"node {i}: children do not tile subtree")
+                if int(self.subtree_end[l]) != int(self.begin[r]):
+                    raise ValueError(f"node {i}: gap between children")
+        if (slots != 1).any():
+            raise ValueError("node-order slots do not partition the particles")
+        if sorted(self.order.tolist()) != list(range(self.n_points)):
+            raise ValueError("order is not a permutation")
+
+
+def _stratified_sample(n: int, k: int) -> np.ndarray:
+    """k stratum midpoints out of n slots (indices, ascending)."""
+    return (np.arange(k, dtype=np.int64) * n + n // 2) // k
+
+
+def build_treelet(
+    positions: np.ndarray, lod_per_node: int = 8, max_leaf_points: int = 128
+) -> Treelet:
+    """Build a median-split k-d treelet over ``(n, 3)`` positions.
+
+    ``positions`` should arrive Morton-sorted (as they do from the shallow
+    build) so the stratified LOD sample is spatially representative. A node
+    with at most ``max_leaf_points`` particles (or too few to both sample
+    LOD and split) becomes a leaf.
+    """
+    positions = np.asarray(positions, dtype=np.float32).reshape(-1, 3)
+    n = len(positions)
+    if n == 0:
+        raise ValueError("cannot build a treelet over zero particles")
+    if lod_per_node < 1:
+        raise ValueError("lod_per_node must be >= 1")
+    if max_leaf_points < 1:
+        raise ValueError("max_leaf_points must be >= 1")
+
+    axis_l: list[int] = []
+    split_l: list[float] = []
+    left_l: list[int] = []
+    right_l: list[int] = []
+    begin_l: list[int] = []
+    count_l: list[int] = []
+    end_l: list[int] = []
+    depth_l: list[int] = []
+    parent_l: list[int] = []
+    order = np.empty(n, dtype=np.int64)
+
+    cursor = 0
+
+    def emit(idx: np.ndarray, depth: int, parent: int) -> int:
+        nonlocal cursor
+        node = len(axis_l)
+        m = len(idx)
+        # Leaf when small enough, or when splitting would leave a child
+        # empty after the LOD sample is set aside.
+        if m <= max_leaf_points or m - lod_per_node < 2:
+            axis_l.append(-1)
+            split_l.append(0.0)
+            left_l.append(-1)
+            right_l.append(-1)
+            begin_l.append(cursor)
+            count_l.append(m)
+            end_l.append(cursor + m)
+            depth_l.append(depth)
+            parent_l.append(parent)
+            order[cursor : cursor + m] = idx
+            cursor += m
+            return node
+
+        # Inner node: stratified LOD sample from the (sorted) input.
+        sel = _stratified_sample(m, lod_per_node)
+        mask = np.zeros(m, dtype=bool)
+        mask[sel] = True
+        lod_idx = idx[mask]
+        rest = idx[~mask]
+
+        pts = positions[rest]
+        extents = pts.max(axis=0) - pts.min(axis=0)
+        ax = int(np.argmax(extents))
+        coords = pts[:, ax]
+        mid = len(rest) // 2
+        part = np.argpartition(coords, mid)
+        split_pos = float(coords[part[mid]])
+        left_idx = rest[part[:mid]]
+        right_idx = rest[part[mid:]]
+
+        axis_l.append(ax)
+        split_l.append(split_pos)
+        left_l.append(-1)  # patched below
+        right_l.append(-1)
+        begin_l.append(cursor)
+        count_l.append(len(lod_idx))
+        end_l.append(-1)  # patched below
+        depth_l.append(depth)
+        parent_l.append(parent)
+        order[cursor : cursor + len(lod_idx)] = lod_idx
+        cursor += len(lod_idx)
+
+        left_id = emit(left_idx, depth + 1, node)
+        right_id = emit(right_idx, depth + 1, node)
+        left_l[node] = left_id
+        right_l[node] = right_id
+        end_l[node] = end_l[right_id]
+        return node
+
+    import sys
+
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old, 10_000))
+    try:
+        emit(np.arange(n, dtype=np.int64), 0, -1)
+    finally:
+        sys.setrecursionlimit(old)
+
+    return Treelet(
+        axis=np.array(axis_l, dtype=np.int8),
+        split=np.array(split_l, dtype=np.float32),
+        left=np.array(left_l, dtype=np.int32),
+        right=np.array(right_l, dtype=np.int32),
+        begin=np.array(begin_l, dtype=np.uint32),
+        count=np.array(count_l, dtype=np.uint32),
+        subtree_end=np.array(end_l, dtype=np.uint32),
+        depth=np.array(depth_l, dtype=np.uint16),
+        parent=np.array(parent_l, dtype=np.int32),
+        order=order,
+    )
+
+
+def treelet_node_bitmaps(
+    treelet: Treelet,
+    values_node_order: np.ndarray,
+    lo: float | None = None,
+    hi: float | None = None,
+    binning=None,
+) -> np.ndarray:
+    """Per-node bitmaps for one attribute (§III-C2).
+
+    ``values_node_order`` is the attribute in node order. Leaf bitmaps cover
+    the leaf's particles; inner bitmaps are the OR of their children plus
+    their own LOD particles — computed bottom-up, which pre-order node ids
+    make a simple reverse sweep (children always have larger ids).
+
+    Pass either an explicit ``binning`` scheme or the equi-width ``(lo, hi)``
+    range (the paper's default).
+    """
+    n_nodes = treelet.n_nodes
+    owner = np.empty(treelet.n_points, dtype=np.int64)
+    for i in range(n_nodes):
+        b, c = int(treelet.begin[i]), int(treelet.count[i])
+        owner[b : b + c] = i
+    if binning is not None:
+        bitmaps = binning.group_bitmaps(values_node_order, owner, n_nodes)
+    else:
+        if lo is None or hi is None:
+            raise ValueError("provide a binning or an explicit (lo, hi) range")
+        bitmaps = bitmaps_by_group(values_node_order, owner, n_nodes, lo, hi)
+    for i in range(n_nodes - 1, -1, -1):
+        p = int(treelet.parent[i])
+        if p >= 0:
+            bitmaps[p] |= bitmaps[i]
+    return bitmaps

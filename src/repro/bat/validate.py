@@ -1,0 +1,244 @@
+"""Integrity validation for BAT files and datasets (fsck-style).
+
+A production I/O library must be able to tell a damaged checkpoint from a
+good one *before* a restart consumes it. ``validate_file`` walks every
+structural invariant of the format:
+
+- header magic/version/size bookkeeping,
+- section offsets in order and within the file,
+- shallow tree: every leaf reachable exactly once, child pointers in range,
+- treelets: page alignment, node slices tile the particle range,
+  parent/child depth relations, subtree contiguity,
+- bitmaps: every 16-bit ID resolves in the dictionary; node bitmaps are
+  supersets of their children's,
+- particles: positions inside their leaf's (slightly padded) bbox.
+
+``validate_dataset`` additionally cross-checks the manifest against the
+leaf files (counts, bounds, attribute ranges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..types import Box
+from .file import BATFile
+from .format import PAGE_SIZE
+
+__all__ = ["ValidationReport", "validate_file", "validate_dataset"]
+
+
+@dataclass
+class ValidationReport:
+    """Findings of one validation pass."""
+
+    path: str
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    checks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def error(self, msg: str) -> None:
+        self.errors.append(msg)
+
+    def check(self, condition: bool, msg: str) -> bool:
+        self.checks += 1
+        if not condition:
+            self.errors.append(msg)
+        return condition
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.errors)} ERROR(S)"
+        lines = [f"{self.path}: {status} ({self.checks} checks)"]
+        lines += [f"  error: {e}" for e in self.errors]
+        lines += [f"  warning: {w}" for w in self.warnings]
+        return "\n".join(lines)
+
+
+def validate_file(path, deep: bool = True) -> ValidationReport:
+    """Validate one BAT file; ``deep=False`` skips per-treelet checks."""
+    report = ValidationReport(path=str(path))
+    try:
+        bat = BATFile(path)
+    except Exception as exc:  # noqa: BLE001 - any parse failure is the finding
+        report.error(f"cannot open: {exc}")
+        return report
+    try:
+        _validate_open_file(bat, report, deep)
+    finally:
+        bat.close()
+    return report
+
+
+def _validate_open_file(bat: BATFile, report: ValidationReport, deep: bool) -> None:
+    h = bat.header
+    report.check(h.n_points > 0, "file holds zero particles")
+    report.check(
+        h.attr_table_offset
+        <= h.shallow_inner_offset
+        <= h.shallow_leaf_offset
+        <= h.dict_offset
+        <= h.treelets_offset,
+        "section offsets out of order",
+    )
+    report.check(h.treelets_offset % PAGE_SIZE == 0, "treelet section not page aligned")
+
+    # shallow tree reachability
+    root, root_is_leaf = bat.root()
+    seen_leaves: set[int] = set()
+    seen_inner: set[int] = set()
+    stack = [(root, root_is_leaf)]
+    while stack:
+        idx, is_leaf = stack.pop()
+        if is_leaf:
+            if not report.check(0 <= idx < h.n_shallow_leaves, f"leaf index {idx} out of range"):
+                continue
+            if not report.check(idx not in seen_leaves, f"leaf {idx} reached twice"):
+                continue
+            seen_leaves.add(idx)
+        else:
+            if not report.check(0 <= idx < max(h.n_shallow_inner, 1), f"inner index {idx} out of range"):
+                continue
+            if not report.check(idx not in seen_inner, f"inner {idx} reached twice (cycle?)"):
+                continue
+            seen_inner.add(idx)
+            stack.extend(bat.children(idx))
+    report.check(
+        seen_leaves == set(range(h.n_shallow_leaves)),
+        f"unreachable shallow leaves: {sorted(set(range(h.n_shallow_leaves)) - seen_leaves)[:5]}",
+    )
+
+    # leaf records
+    total_points = 0
+    for k in range(h.n_shallow_leaves):
+        rec = bat.shallow_leaves[k]
+        report.check(
+            int(rec["treelet_offset"]) % PAGE_SIZE == 0, f"treelet {k} not page aligned"
+        )
+        report.check(
+            int(rec["treelet_offset"]) + int(rec["treelet_nbytes"]) <= h.file_size,
+            f"treelet {k} extends past end of file",
+        )
+        total_points += int(rec["n_points"])
+    report.check(
+        total_points == h.n_points,
+        f"leaf point counts sum to {total_points}, header says {h.n_points}",
+    )
+
+    # bitmap dictionary IDs in range
+    for arr in (bat.shallow_inner, bat.shallow_leaves):
+        if len(arr):
+            ids = arr["bitmap_ids"]
+            report.check(
+                int(ids.max(initial=0)) < max(h.dict_entries, 1),
+                "shallow-node bitmap ID exceeds dictionary",
+            )
+
+    if not deep:
+        return
+
+    for k in range(h.n_shallow_leaves):
+        _validate_treelet(bat, k, report)
+
+
+def _validate_treelet(bat: BATFile, leaf: int, report: ValidationReport) -> None:
+    h = bat.header
+    try:
+        tv = bat.treelet(leaf)
+    except Exception as exc:  # noqa: BLE001
+        report.error(f"treelet {leaf}: cannot load ({exc})")
+        return
+    nodes = tv.nodes
+    n = len(nodes)
+    rec = bat.shallow_leaves[leaf]
+    if not report.check(tv.n_points == int(rec["n_points"]), f"treelet {leaf}: point count mismatch"):
+        return
+
+    slots = np.zeros(tv.n_points, dtype=np.int64)
+    for i in range(n):
+        b, c, e = int(nodes[i]["begin"]), int(nodes[i]["count"]), int(nodes[i]["subtree_end"])
+        if not report.check(
+            b + c <= e <= tv.n_points, f"treelet {leaf} node {i}: bad slice [{b},{b + c},{e})"
+        ):
+            return
+        slots[b : b + c] += 1
+        if nodes[i]["axis"] >= 0:
+            l, r = int(nodes[i]["left"]), int(nodes[i]["right"])
+            if not report.check(i < l < n and i < r < n, f"treelet {leaf} node {i}: bad children"):
+                return
+            report.check(
+                int(nodes[l]["begin"]) == b + c and int(nodes[r]["subtree_end"]) == e,
+                f"treelet {leaf} node {i}: children do not tile subtree",
+            )
+            report.check(
+                int(nodes[l]["depth"]) == int(nodes[i]["depth"]) + 1,
+                f"treelet {leaf} node {i}: child depth not parent+1",
+            )
+            # bitmap containment: parent covers children
+            for a in range(h.n_attrs):
+                pb = bat.bitmap(int(nodes[i]["bitmap_ids"][a]))
+                for child in (l, r):
+                    cb = bat.bitmap(int(nodes[child]["bitmap_ids"][a]))
+                    report.check(
+                        pb & cb == cb,
+                        f"treelet {leaf} node {i} attr {a}: child bitmap not contained",
+                    )
+    report.check(
+        bool((slots == 1).all()), f"treelet {leaf}: node slices do not partition particles"
+    )
+
+    # particles inside leaf bbox (pad for float32 rounding / quantization)
+    box = bat.leaf_box(leaf)
+    ext = np.maximum(box.extents, 1e-6)
+    lo = np.asarray(box.lower) - 1e-4 * ext
+    hi = np.asarray(box.upper) + 1e-4 * ext
+    inside = ((tv.positions >= lo.astype(np.float32)) & (tv.positions <= hi.astype(np.float32))).all()
+    report.check(bool(inside), f"treelet {leaf}: particles outside leaf bounds")
+
+
+def validate_dataset(metadata_path, deep: bool = False) -> ValidationReport:
+    """Validate a manifest and every leaf file it references."""
+    from ..core.metadata import DatasetMetadata
+
+    metadata_path = Path(metadata_path)
+    report = ValidationReport(path=str(metadata_path))
+    try:
+        meta = DatasetMetadata.load(metadata_path)
+    except Exception as exc:  # noqa: BLE001
+        report.error(f"cannot load metadata: {exc}")
+        return report
+    if meta.layout != "bat":
+        report.warnings.append(f"layout {meta.layout!r}: only manifest checks performed")
+
+    for leaf in meta.leaves:
+        fpath = metadata_path.parent / leaf.file_name
+        if not report.check(fpath.exists(), f"missing leaf file {leaf.file_name}"):
+            continue
+        if meta.layout != "bat":
+            continue
+        sub = validate_file(fpath, deep=deep)
+        report.checks += sub.checks
+        report.errors.extend(f"{leaf.file_name}: {e}" for e in sub.errors)
+        if sub.ok:
+            with BATFile(fpath) as f:
+                report.check(
+                    f.n_points == leaf.count,
+                    f"{leaf.file_name}: manifest says {leaf.count} points, file has {f.n_points}",
+                )
+                report.check(
+                    leaf.bounds.contains_box(f.bounds) or f.bounds.contains_box(leaf.bounds),
+                    f"{leaf.file_name}: bounds disagree with manifest",
+                )
+                for name, (lo, hi) in f.attr_ranges.items():
+                    glo, ghi = meta.attr_ranges.get(name, (None, None))
+                    report.check(
+                        glo is not None and glo <= lo and hi <= ghi,
+                        f"{leaf.file_name}: attribute {name} range outside global range",
+                    )
+    return report

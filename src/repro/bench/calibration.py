@@ -1,0 +1,115 @@
+"""Calibration of the machine models against observed behaviour.
+
+The virtual machines in :mod:`repro.machines` are calibrated so the
+paper's crossovers land near the observed rank counts (DESIGN.md §2).
+This module makes that calibration *programmatic* and checkable:
+
+- :func:`fpp_knee` scans the modeled file-per-process weak-scaling curve
+  and returns the rank count where bandwidth stops growing — the knee the
+  paper reports at 1536 ranks (Stampede2) / 672 (Summit);
+- :func:`fpp_saturation_bandwidth` gives the closed-form plateau the FPP
+  curve saturates at, and :func:`solve_create_rate` inverts it — given a
+  desired plateau, what metadata create rate produces it;
+- :func:`measure_bat_build_rate` measures this host's real BAT build
+  throughput (particles/second), the quantity the paper's Fig 6 discussion
+  compares across CPUs — useful when retargeting the compute model at a
+  different machine.
+
+Keeping calibration executable means the presets cannot silently drift
+from their rationale.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..machines import MachineSpec
+
+__all__ = [
+    "fpp_knee",
+    "fpp_saturation_bandwidth",
+    "solve_create_rate",
+    "measure_bat_build_rate",
+]
+
+
+def fpp_bandwidth(machine: MachineSpec, nranks: int, bytes_per_rank: float = 4.06e6) -> float:
+    """Modeled file-per-process write bandwidth at one rank count."""
+    if nranks <= 0:
+        raise ValueError("nranks must be positive")
+    fs = machine.fs_model()
+    t = float(fs.independent_write(np.full(nranks, bytes_per_rank)).max())
+    return nranks * bytes_per_rank / t if t > 0 else 0.0
+
+
+def fpp_knee(
+    machine: MachineSpec,
+    bytes_per_rank: float = 4.06e6,
+    rank_range: tuple[int, int] = (16, 1 << 20),
+    growth_threshold: float = 1.10,
+) -> int:
+    """Rank count where FPP bandwidth stops growing.
+
+    Scans doublings of the rank count and returns the first P whose
+    bandwidth is within ``growth_threshold`` of the bandwidth at 2P — i.e.
+    a further doubling buys less than ~10 %.
+    """
+    p = rank_range[0]
+    bw = fpp_bandwidth(machine, p, bytes_per_rank)
+    while p <= rank_range[1]:
+        bw_next = fpp_bandwidth(machine, 2 * p, bytes_per_rank)
+        if bw_next < growth_threshold * bw:
+            return p
+        p *= 2
+        bw = bw_next
+    return rank_range[1]
+
+
+def fpp_saturation_bandwidth(machine: MachineSpec, bytes_per_rank: float = 4.06e6) -> float:
+    """Closed-form FPP plateau.
+
+    At scale both the create storm and the payload write grow linearly in
+    P, so bandwidth saturates at ``1 / (1/(create_rate·b) + 1/peak)`` —
+    the harmonic combination of the metadata-limited and bandwidth-limited
+    ceilings.
+    """
+    spec = machine.filesystem
+    meta_ceiling = spec.create_rate * bytes_per_rank
+    return 1.0 / (1.0 / meta_ceiling + 1.0 / spec.peak_write_bw)
+
+
+def solve_create_rate(
+    machine: MachineSpec, target_plateau_bw: float, bytes_per_rank: float = 4.06e6
+) -> float:
+    """Create rate whose FPP plateau equals ``target_plateau_bw``.
+
+    Inverts :func:`fpp_saturation_bandwidth`. The target must lie below
+    the filesystem's peak bandwidth (the plateau can never exceed it).
+    """
+    peak = machine.filesystem.peak_write_bw
+    if not 0 < target_plateau_bw < peak:
+        raise ValueError("target plateau must be in (0, peak_write_bw)")
+    meta_ceiling = 1.0 / (1.0 / target_plateau_bw - 1.0 / peak)
+    return meta_ceiling / bytes_per_rank
+
+
+def measure_bat_build_rate(n_particles: int = 200_000, n_attrs: int = 7, seed: int = 0) -> float:
+    """Measured BAT build throughput on this host, in particles/second.
+
+    Builds a real BAT over synthetic data and times it — the constant that
+    would replace ``MachineSpec.bat_build_rate`` when modeling this host.
+    """
+    from ..bat import build_bat
+    from ..types import ParticleBatch
+
+    rng = np.random.default_rng(seed)
+    batch = ParticleBatch(
+        rng.random((n_particles, 3)).astype(np.float32),
+        {f"a{i}": rng.random(n_particles) for i in range(n_attrs)},
+    )
+    t0 = time.perf_counter()
+    build_bat(batch)
+    dt = time.perf_counter() - t0
+    return n_particles / dt

@@ -1,0 +1,69 @@
+"""Plain-text renderers for benchmark results.
+
+The paper's figures are bandwidth-vs-scale curves and stacked breakdowns;
+these helpers print them as aligned text tables so ``pytest benchmarks/``
+output is directly comparable against the published plots.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_series", "gb"]
+
+
+def gb(x: float) -> str:
+    """Bytes/s rendered as GB/s with sensible precision."""
+    return f"{x / 1e9:.2f}"
+
+
+def format_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Render rows as an aligned monospace table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    points,
+    x_key: str,
+    y_key: str,
+    label_key: str = "label",
+    title: str | None = None,
+    y_format=gb,
+) -> str:
+    """Pivot a list of records into one column per series label.
+
+    ``points`` may be dataclass instances or dicts.
+    """
+
+    def get(p, key):
+        return p[key] if isinstance(p, dict) else getattr(p, key)
+
+    labels = []
+    xs = []
+    for p in points:
+        l = get(p, label_key)
+        x = get(p, x_key)
+        if l not in labels:
+            labels.append(l)
+        if x not in xs:
+            xs.append(x)
+    table = {(get(p, x_key), get(p, label_key)): get(p, y_key) for p in points}
+    headers = [x_key] + [str(l) for l in labels]
+    rows = []
+    for x in xs:
+        row = [x]
+        for l in labels:
+            v = table.get((x, l))
+            row.append(y_format(v) if v is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows, title=title)

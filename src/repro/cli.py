@@ -1,0 +1,173 @@
+"""Command-line tools: inspect, query, and benchmark BAT data.
+
+Usage::
+
+    python -m repro info out/ts0000.meta.json        # dataset manifest
+    python -m repro info out/ts0000.00003.bat        # one leaf file
+    python -m repro query out/ts0000.meta.json --quality 0.2 \
+        --box 0,0,0,1,1,1 --filter temperature:300:400 --stats
+    python -m repro bench weak-scaling --machine stampede2 --ranks 96,384,1536
+
+Every subcommand prints plain text; nothing is modified on disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from . import machines
+from .bat.file import BATFile
+from .bat.query import AttributeFilter
+from .core.dataset import BATDataset
+from .core.metadata import DatasetMetadata
+from .types import Box
+
+__all__ = ["main"]
+
+
+def _parse_box(spec: str) -> Box:
+    vals = [float(x) for x in spec.split(",")]
+    if len(vals) != 6:
+        raise argparse.ArgumentTypeError("box must be 'x0,y0,z0,x1,y1,z1'")
+    return Box(tuple(vals[:3]), tuple(vals[3:]))
+
+
+def _parse_filter(spec: str) -> AttributeFilter:
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError("filter must be 'name:lo:hi'")
+    return AttributeFilter(parts[0], float(parts[1]), float(parts[2]))
+
+
+def _machine(name: str):
+    try:
+        return getattr(machines, name)()
+    except AttributeError:
+        raise argparse.ArgumentTypeError(f"unknown machine {name!r}") from None
+
+
+def _cmd_info(args) -> int:
+    path = Path(args.path)
+    if path.suffix == ".json":
+        meta = DatasetMetadata.load(path)
+        print(f"dataset: {path}")
+        print(f"  written by {meta.nranks} ranks into {meta.n_files} leaf files")
+        print(f"  particles: {meta.total_particles:,}")
+        print(f"  bounds: {meta.bounds.lower} .. {meta.bounds.upper}")
+        for name, (lo, hi) in meta.attr_ranges.items():
+            print(f"  attribute {name}: [{lo:g}, {hi:g}]")
+        sizes = np.array([l.nbytes for l in meta.leaves], dtype=np.float64)
+        if len(sizes):
+            print(
+                f"  leaf payloads: mean {sizes.mean() / 1e6:.1f} MB, "
+                f"std {sizes.std() / 1e6:.1f} MB, max {sizes.max() / 1e6:.1f} MB"
+            )
+        return 0
+    with BATFile(path) as f:
+        h = f.header
+        print(f"BAT file: {path}")
+        print(f"  points: {f.n_points:,}  treelets: {f.n_treelets}  "
+              f"max depth: {f.max_treelet_depth}")
+        print(f"  bounds: {f.bounds.lower} .. {f.bounds.upper}")
+        print(f"  dictionary: {h.dict_entries} bitmaps  "
+              f"flags: quantized={f.quantized} compressed={f.compressed}")
+        for name in f.attr_names:
+            lo, hi = f.attr_ranges[name]
+            kind = type(f.binnings[name]).__name__ if name in f.binnings else "?"
+            print(f"  attribute {name} ({f.attr_dtypes[name]}): [{lo:g}, {hi:g}] {kind}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    with BATDataset(args.metadata) as ds:
+        batch, stats = ds.query(
+            quality=args.quality,
+            box=args.box,
+            filters=args.filter or (),
+        )
+        print(f"matched {len(batch):,} of {ds.total_particles:,} particles "
+              f"(tested {stats.points_tested:,}, "
+              f"pruned {stats.pruned_spatial} spatial / {stats.pruned_bitmap} bitmap subtrees)")
+        if args.stats and len(batch):
+            for name, arr in batch.attributes.items():
+                print(f"  {name}: mean {arr.mean():g}  min {arr.min():g}  max {arr.max():g}")
+        if args.output:
+            np.savez(args.output, positions=batch.positions, **batch.attributes)
+            print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .bench import format_series, weak_scaling
+
+    machine = args.machine
+    ranks = [int(r) for r in args.ranks.split(",")]
+    if args.experiment == "weak-scaling":
+        pts = weak_scaling(machine, ranks)
+        print(format_series(pts, "nranks", "write_bandwidth",
+                            title=f"write bandwidth (GB/s) on virtual {machine.name}"))
+        print()
+        print(format_series(pts, "nranks", "read_bandwidth",
+                            title=f"read bandwidth (GB/s) on virtual {machine.name}"))
+        return 0
+    raise AssertionError  # argparse restricts choices
+
+
+def _cmd_validate(args) -> int:
+    from .bat.validate import validate_dataset, validate_file
+
+    path = Path(args.path)
+    if path.suffix == ".json":
+        report = validate_dataset(path, deep=args.deep)
+    else:
+        report = validate_file(path, deep=True)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="describe a .bat file or dataset manifest")
+    info.add_argument("path")
+    info.set_defaults(func=_cmd_info)
+
+    query = sub.add_parser("query", help="query a dataset")
+    query.add_argument("metadata", help="path to the .meta.json manifest")
+    query.add_argument("--quality", type=float, default=1.0)
+    query.add_argument("--box", type=_parse_box, default=None,
+                       help="spatial filter: x0,y0,z0,x1,y1,z1")
+    query.add_argument("--filter", type=_parse_filter, action="append",
+                       help="attribute filter: name:lo:hi (repeatable)")
+    query.add_argument("--stats", action="store_true",
+                       help="print per-attribute statistics of the result")
+    query.add_argument("--output", help="write the result to an .npz file")
+    query.set_defaults(func=_cmd_query)
+
+    bench = sub.add_parser("bench", help="run a virtual-machine benchmark")
+    bench.add_argument("experiment", choices=["weak-scaling"])
+    bench.add_argument("--machine", type=_machine, default=machines.stampede2())
+    bench.add_argument("--ranks", default="96,384,1536,6144")
+    bench.set_defaults(func=_cmd_bench)
+
+    validate = sub.add_parser("validate", help="check a .bat file or dataset for damage")
+    validate.add_argument("path")
+    validate.add_argument("--deep", action="store_true",
+                          help="also walk every treelet of every leaf file")
+    validate.set_defaults(func=_cmd_validate)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

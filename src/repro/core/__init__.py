@@ -1,0 +1,31 @@
+"""The paper's primary contribution: spatially aware adaptive aggregation.
+
+- :mod:`repro.core.aggtree` — the adaptive Aggregation Tree (§III-A),
+- :mod:`repro.core.assign` — write/read aggregator assignment (§III-A, §IV-A),
+- :mod:`repro.core.writer` — the two-phase write pipeline (§III),
+- :mod:`repro.core.reader` — the two-phase restart-read pipeline (§IV),
+- :mod:`repro.core.metadata` — the top-level metadata file (§III-D).
+"""
+
+from .aggtree import AggregationTree, AggTreeConfig, build_aggregation_tree
+from .assign import assign_read_aggregators, assign_write_aggregators
+from .metadata import DatasetMetadata, LeafMetadata, build_metadata
+from .rankdata import RankData
+from .reader import ReadReport, TwoPhaseReader
+from .writer import TwoPhaseWriter, WriteReport
+
+__all__ = [
+    "AggregationTree",
+    "AggTreeConfig",
+    "build_aggregation_tree",
+    "assign_write_aggregators",
+    "assign_read_aggregators",
+    "RankData",
+    "TwoPhaseWriter",
+    "WriteReport",
+    "TwoPhaseReader",
+    "ReadReport",
+    "DatasetMetadata",
+    "LeafMetadata",
+    "build_metadata",
+]

@@ -1,0 +1,302 @@
+"""The adaptive Aggregation Tree (paper §III-A).
+
+Rank 0 receives every rank's spatial bounds and particle count and builds a
+k-d tree over the *ranks* (never splitting one rank's data) so that each
+leaf — one output file — holds a similar number of particles. Split
+positions are restricted to rank-boundary edges; each candidate is scored
+by how unevenly it partitions the particles, ``c = |0.5 − n_l/(n_l+n_r)|``,
+and the minimum-cost candidate wins. Leaves are created when a node's data
+falls below the target file size; "overfull" leaves up to a configured
+factor of the target are allowed when the best available split is too
+imbalanced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..types import Box
+
+__all__ = [
+    "AggTreeConfig",
+    "AggLeaf",
+    "AggInner",
+    "AggregationTree",
+    "build_aggregation_tree",
+    "split_cost",
+]
+
+MB = 1 << 20
+
+
+def split_cost(n_left: float, n_right: float) -> float:
+    """Imbalance cost of a candidate split: ``|0.5 − n_l/(n_l+n_r)|`` ∈ [0, 0.5]."""
+    total = n_left + n_right
+    if total <= 0:
+        return 0.5
+    return abs(0.5 - n_left / total)
+
+
+@dataclass(frozen=True)
+class AggTreeConfig:
+    """Tuning knobs of the Aggregation Tree build.
+
+    ``target_size``
+        Desired bytes per output file. Lower → more, smaller files and less
+        network traffic during aggregation; higher → fewer, larger files.
+        The paper exposes this as *the* portability parameter.
+    ``split_all_axes``
+        If True, candidate splits on all three axes are scored and the best
+        wins; the default tests only the longest axis of the node's bounds.
+    ``overfull_cost_ratio``
+        If the best split leaves one side with ``ratio`` times more
+        particles than the other (the paper's evaluation uses 4) *and* the
+        node is within ``overfull_factor`` of the target size, the node
+        becomes an overfull leaf instead of splitting badly. ``inf``
+        disables overfull leaves.
+    ``overfull_factor``
+        Max overfull leaf size as a multiple of ``target_size`` (paper: 1.5).
+    """
+
+    target_size: int = 8 * MB
+    split_all_axes: bool = False
+    overfull_cost_ratio: float = float("inf")
+    overfull_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.target_size <= 0:
+            raise ValueError("target_size must be positive")
+        if self.overfull_factor < 1.0:
+            raise ValueError("overfull_factor must be >= 1")
+        if self.overfull_cost_ratio < 1.0:
+            raise ValueError("overfull_cost_ratio must be >= 1")
+
+
+@dataclass
+class AggLeaf:
+    """One aggregation group: the ranks whose data lands in one file."""
+
+    node_id: int
+    rank_ids: np.ndarray
+    count: int
+    nbytes: int
+    bounds: Box
+    overfull: bool = False
+    #: index of this leaf in traversal order; set by the tree
+    leaf_index: int = -1
+    #: rank assigned to aggregate and write this leaf; set by assignment
+    aggregator: int = -1
+
+
+@dataclass
+class AggInner:
+    """Inner k-d node: a split of the rank set at a rank-boundary edge."""
+
+    node_id: int
+    axis: int
+    position: float
+    left: int
+    right: int
+    bounds: Box
+
+
+@dataclass
+class AggregationTree:
+    """Result of the adaptive build: k-d hierarchy plus leaf groups.
+
+    ``nodes[0]`` is the root when the tree is nonempty. Leaves appear in
+    ``leaves`` in depth-first (left-to-right, spatially coherent) order.
+    """
+
+    nranks: int
+    nodes: list[AggInner | AggLeaf] = field(default_factory=list)
+    leaves: list[AggLeaf] = field(default_factory=list)
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaves)
+
+    def leaf_of_rank(self) -> np.ndarray:
+        """Map each rank to its leaf index (−1 for ranks in no leaf)."""
+        out = np.full(self.nranks, -1, dtype=np.int64)
+        for leaf in self.leaves:
+            out[leaf.rank_ids] = leaf.leaf_index
+        return out
+
+    def query_box(self, box: Box) -> list[int]:
+        """Leaf indices whose bounds intersect ``box`` (tree-pruned)."""
+        if not self.nodes:
+            return []
+        out: list[int] = []
+        stack = [0]
+        while stack:
+            node = self.nodes[stack.pop()]
+            if not node.bounds.intersects(box):
+                continue
+            if isinstance(node, AggLeaf):
+                out.append(node.leaf_index)
+            else:
+                stack.append(node.right)
+                stack.append(node.left)
+        return sorted(out)
+
+    def file_sizes(self) -> np.ndarray:
+        return np.array([leaf.nbytes for leaf in self.leaves], dtype=np.int64)
+
+    def imbalance(self) -> float:
+        """Max/mean leaf particle count; 1.0 is perfectly balanced."""
+        counts = np.array([leaf.count for leaf in self.leaves], dtype=np.float64)
+        if len(counts) == 0 or counts.mean() == 0:
+            return 1.0
+        return float(counts.max() / counts.mean())
+
+
+def _best_split_on_axis(axis_uppers: np.ndarray, counts: np.ndarray) -> tuple[float, float, int]:
+    """Best candidate along one axis.
+
+    ``axis_uppers`` holds each member rank's upper bound on the axis; the
+    candidates are its unique values except the last (which would leave the
+    right side empty). Returns ``(cost, position, n_left)`` with
+    ``cost = inf`` when the axis offers no valid split.
+    """
+    order = np.argsort(axis_uppers, kind="stable")
+    sorted_uppers = axis_uppers[order]
+    csum = np.cumsum(counts[order])
+    # last index of each distinct upper value
+    distinct = np.nonzero(np.diff(sorted_uppers) > 0)[0]
+    if len(distinct) == 0:
+        return float("inf"), 0.0, 0
+    n_left = csum[distinct]
+    total = csum[-1]
+    cost = np.abs(0.5 - n_left / total)
+    best = int(np.argmin(cost))
+    return float(cost[best]), float(sorted_uppers[distinct[best]]), int(n_left[best])
+
+
+def build_aggregation_tree(
+    rank_bounds: np.ndarray,
+    rank_counts: np.ndarray,
+    bytes_per_particle: float,
+    config: AggTreeConfig | None = None,
+) -> AggregationTree:
+    """Build the adaptive Aggregation Tree on rank 0.
+
+    ``rank_bounds`` is ``(R, 2, 3)`` (lower/upper per rank), ``rank_counts``
+    length-R particle counts. Ranks with zero particles take no part in the
+    tree (they send nothing during aggregation, §III-B). The split
+    partitions member ranks by whether their upper bound on the split axis
+    lies at or left of the chosen rank-boundary edge, so no rank's data is
+    ever divided between aggregators.
+    """
+    config = config or AggTreeConfig()
+    rank_bounds = np.asarray(rank_bounds, dtype=np.float64).reshape(-1, 2, 3)
+    rank_counts = np.asarray(rank_counts, dtype=np.int64)
+    if len(rank_bounds) != len(rank_counts):
+        raise ValueError("rank_bounds and rank_counts length mismatch")
+    nranks = len(rank_counts)
+    tree = AggregationTree(nranks=nranks)
+
+    members_all = np.nonzero(rank_counts > 0)[0]
+    if len(members_all) == 0:
+        return tree
+
+    def node_bounds(members: np.ndarray) -> Box:
+        lo = rank_bounds[members, 0, :].min(axis=0)
+        hi = rank_bounds[members, 1, :].max(axis=0)
+        return Box(tuple(lo.tolist()), tuple(hi.tolist()))
+
+    # Iterative DFS so leaf order is depth-first left-to-right regardless of
+    # rank count; each work item is (members, slot-in-parent) where the
+    # parent's child index is patched once the node id is known.
+    nodes: list[AggInner | AggLeaf] = []
+
+    def build_node(members: np.ndarray) -> int:
+        bounds = node_bounds(members)
+        count = int(rank_counts[members].sum())
+        nbytes = int(count * bytes_per_particle)
+        node_id = len(nodes)
+
+        def make_leaf(overfull: bool) -> int:
+            leaf = AggLeaf(
+                node_id=node_id,
+                rank_ids=np.sort(members),
+                count=count,
+                nbytes=nbytes,
+                bounds=bounds,
+                overfull=overfull,
+            )
+            nodes.append(leaf)
+            return node_id
+
+        if nbytes <= config.target_size or len(members) == 1:
+            return make_leaf(overfull=False)
+
+        counts = rank_counts[members].astype(np.float64)
+        # Try the preferred axis (or all three), then — if no candidate
+        # exists because every member shares the same upper bound — the
+        # remaining axes, so degenerate decompositions still split.
+        if config.split_all_axes:
+            preferred = [0, 1, 2]
+        else:
+            longest = bounds.longest_axis()
+            preferred = [longest] + [a for a in (0, 1, 2) if a != longest]
+        cost, pos, axis = float("inf"), 0.0, -1
+        for trial in preferred:
+            c, p, _ = _best_split_on_axis(rank_bounds[members, 1, trial], counts)
+            if c < cost:
+                cost, pos, axis = c, p, trial
+            if np.isfinite(cost) and not config.split_all_axes and trial == preferred[0]:
+                break  # longest axis had candidates; honor the paper default
+
+        if not np.isfinite(cost):
+            # All member ranks share identical bounds on every axis (fully
+            # overlapping decomposition): split the member list evenly so
+            # the build always terminates.
+            half = len(members) // 2
+            inner_id = node_id
+            nodes.append(None)  # placeholder until children exist
+            left_id = build_node(members[:half])
+            right_id = build_node(members[half:])
+            nodes[inner_id] = AggInner(
+                inner_id, axis=0, position=float(bounds.center[0]),
+                left=left_id, right=right_id, bounds=bounds,
+            )
+            return inner_id
+
+        # Overfull rule (§III-A): accept an oversized leaf rather than a
+        # badly imbalanced split, when within the allowed size factor.
+        if np.isfinite(config.overfull_cost_ratio):
+            frac = 1.0 / (1.0 + config.overfull_cost_ratio)
+            cost_threshold = abs(0.5 - frac)
+            if cost >= cost_threshold and nbytes <= config.overfull_factor * config.target_size:
+                return make_leaf(overfull=True)
+
+        axis_uppers = rank_bounds[members, 1, axis]
+        left_mask = axis_uppers <= pos
+        left_members = members[left_mask]
+        right_members = members[~left_mask]
+        inner_id = node_id
+        nodes.append(None)  # placeholder until children exist
+        left_id = build_node(left_members)
+        right_id = build_node(right_members)
+        nodes[inner_id] = AggInner(
+            inner_id, axis=axis, position=pos, left=left_id, right=right_id, bounds=bounds
+        )
+        return inner_id
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10_000 + 4 * len(members_all)))
+    try:
+        build_node(members_all)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    tree.nodes = nodes
+    tree.leaves = [n for n in nodes if isinstance(n, AggLeaf)]
+    for i, leaf in enumerate(tree.leaves):
+        leaf.leaf_index = i
+    return tree

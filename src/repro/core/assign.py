@@ -1,0 +1,64 @@
+"""Aggregator assignment for writes (§III-A) and reads (§IV-A).
+
+Write side: leaves are assigned to aggregator ranks spread evenly through
+the rank space (after Kumar et al. [39]) so that a densely populated region
+— whose many leaves would otherwise all be aggregated by the co-located
+ranks — does not oversubscribe a few nodes while others idle.
+
+Read side: if there are more ranks than leaf files, read aggregators are
+spread the same way; if there are fewer ranks than files, the files are
+dealt out evenly so every file has exactly one reader. This lets data
+written at one scale be restarted at any other scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["assign_write_aggregators", "assign_read_aggregators"]
+
+
+def _spread(n_items: int, nranks: int) -> np.ndarray:
+    """Assign item *i* to rank ``floor(i * nranks / n_items)``.
+
+    Evenly distributes items through the rank space; distinct ranks when
+    ``n_items <= nranks``.
+    """
+    idx = np.arange(n_items, dtype=np.int64)
+    return (idx * nranks) // n_items
+
+
+def assign_write_aggregators(n_leaves: int, nranks: int) -> np.ndarray:
+    """Aggregator rank for each leaf, spread evenly across ranks.
+
+    The leaf order is the tree's depth-first order, which is spatially
+    coherent — adjacent leaves land on well-separated ranks, which is
+    exactly the paper's intent: dense regions fan their files out across
+    the whole machine.
+    """
+    if n_leaves == 0:
+        return np.empty(0, dtype=np.int64)
+    if nranks <= 0:
+        raise ValueError("nranks must be positive")
+    if n_leaves > nranks:
+        # More leaves than ranks (can only happen with tiny targets): wrap
+        # around so every leaf still has an owner.
+        return np.arange(n_leaves, dtype=np.int64) % nranks
+    return _spread(n_leaves, nranks)
+
+
+def assign_read_aggregators(n_files: int, nranks: int) -> np.ndarray:
+    """Read-aggregator rank for each leaf file.
+
+    Computed locally on every rank from the metadata alone (no
+    communication), so all ranks derive the same map.
+    """
+    if n_files == 0:
+        return np.empty(0, dtype=np.int64)
+    if nranks <= 0:
+        raise ValueError("nranks must be positive")
+    if nranks >= n_files:
+        # More ranks than files: spread through the rank space as for writes.
+        return _spread(n_files, nranks)
+    # Fewer ranks than files: deal files out evenly, ceil(F/R) max per rank.
+    return (np.arange(n_files, dtype=np.int64) * nranks) // n_files

@@ -1,0 +1,70 @@
+"""Automatic target-size selection (paper §VII future work).
+
+The paper closes its evaluation with concrete guidance (§VI-A2): use
+roughly 1:1–4:1 aggregation factors at lower core/particle counts, 16:1 or
+higher at larger scales, and increase the target size if particles are
+being injected over time. §VII then notes "it would also be valuable to
+support automatically selecting the target size based on the particle
+count and size using the results of our evaluation" — this module encodes
+that rule so ``TwoPhaseWriter(target_size="auto")`` just works.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "recommend_aggregation_factor",
+    "recommend_target_size",
+    "MIN_TARGET_SIZE",
+    "MAX_TARGET_SIZE",
+]
+
+MB = 1 << 20
+MIN_TARGET_SIZE = 1 * MB
+MAX_TARGET_SIZE = 512 * MB
+
+#: rank count at which the recommended factor starts growing past ~4:1
+_SMALL_SCALE_RANKS = 1536
+
+
+def recommend_aggregation_factor(nranks: int, growth_factor: float = 1.0) -> float:
+    """Ranks-per-file factor from the paper's evaluation guidance.
+
+    Small jobs keep 1:1–4:1 (many aggregators, cheap creates); beyond
+    ~1.5k ranks the factor doubles with the rank count so the file count —
+    and with it the metadata storm — stays bounded. ``growth_factor``
+    scales the recommendation up for simulations that inject particles
+    over time (Coal-Boiler-style), per the paper's "the target size should
+    be increased correspondingly".
+    """
+    if nranks <= 0:
+        raise ValueError("nranks must be positive")
+    if growth_factor < 1.0:
+        raise ValueError("growth_factor must be >= 1")
+    if nranks <= 384:
+        base = 1.0
+    elif nranks <= _SMALL_SCALE_RANKS:
+        base = 4.0
+    else:
+        base = 4.0 * (nranks / _SMALL_SCALE_RANKS)
+    return min(base * growth_factor, 256.0)
+
+
+def recommend_target_size(
+    total_bytes: float, nranks: int, growth_factor: float = 1.0
+) -> int:
+    """Target file size in bytes for one timestep write.
+
+    ``total_bytes`` is the timestep's payload, ``nranks`` the writing job's
+    size. The result is the per-rank payload times the recommended
+    aggregation factor, clamped to [1 MB, 512 MB] and rounded up to a whole
+    MB so file sizes read sensibly in tooling.
+    """
+    if total_bytes < 0:
+        raise ValueError("total_bytes must be >= 0")
+    per_rank = total_bytes / nranks if nranks else 0.0
+    factor = recommend_aggregation_factor(nranks, growth_factor)
+    raw = max(per_rank * factor, float(MIN_TARGET_SIZE))
+    clamped = min(raw, float(MAX_TARGET_SIZE))
+    return int(math.ceil(clamped / MB) * MB)

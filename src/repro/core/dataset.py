@@ -1,0 +1,150 @@
+"""Whole-dataset visualization reads (paper §V).
+
+A :class:`BATDataset` opens a written timestep through its top-level
+metadata and serves spatial, attribute, and progressive multiresolution
+queries across all leaf files as if the data set were a single file. Leaf
+files are opened lazily and memory-mapped; the Aggregation Tree prunes
+which leaves a query touches, and the global-range bitmaps in the metadata
+prune attribute-filtered queries before any file is opened.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..bat.file import BATFile
+from ..bat.query import AttributeFilter, QueryStats, query_file
+from ..bitmaps import query_bitmap
+from ..types import Box, ParticleBatch
+from .metadata import DatasetMetadata
+
+__all__ = ["BATDataset"]
+
+
+class BATDataset:
+    """Read-side facade over one written timestep."""
+
+    def __init__(self, metadata_path):
+        self.metadata_path = Path(metadata_path)
+        self.metadata = DatasetMetadata.load(self.metadata_path)
+        if self.metadata.layout != "bat":
+            raise ValueError(
+                f"dataset uses the {self.metadata.layout!r} layout; BATDataset "
+                "only reads 'bat' files (see repro.layouts for the reader)"
+            )
+        self.directory = self.metadata_path.parent
+        self._files: dict[int, BATFile] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        for f in self._files.values():
+            f.close()
+        self._files.clear()
+
+    def __enter__(self) -> "BATDataset":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def bounds(self) -> Box:
+        return self.metadata.bounds
+
+    @property
+    def n_files(self) -> int:
+        return self.metadata.n_files
+
+    @property
+    def total_particles(self) -> int:
+        return self.metadata.total_particles
+
+    @property
+    def attr_ranges(self) -> dict[str, tuple[float, float]]:
+        """Global per-attribute value ranges."""
+        return self.metadata.attr_ranges
+
+    def file(self, leaf_index: int) -> BATFile:
+        """Open (and cache) the BAT file of one leaf."""
+        f = self._files.get(leaf_index)
+        if f is None:
+            leaf = self.metadata.leaves[leaf_index]
+            f = BATFile(self.directory / leaf.file_name)
+            self._files[leaf_index] = f
+        return f
+
+    # -- queries ----------------------------------------------------------------
+
+    def _candidate_leaves(self, box, filters) -> list[int]:
+        leaves = (
+            self.metadata.query_box(box)
+            if box is not None
+            else [l.leaf_index for l in self.metadata.leaves]
+        )
+        if not filters:
+            return leaves
+        out = []
+        for idx in leaves:
+            leaf = self.metadata.leaves[idx]
+            keep = True
+            for f in filters:
+                glo, ghi = self.metadata.attr_ranges[f.name]
+                q = int(query_bitmap(f.lo, f.hi, glo, ghi))
+                if leaf.global_bitmaps.get(f.name, 0xFFFFFFFF) & q == 0:
+                    keep = False
+                    break
+            if keep:
+                out.append(idx)
+        return out
+
+    def query(
+        self,
+        quality: float = 1.0,
+        prev_quality: float = 0.0,
+        box: Box | None = None,
+        filters=(),
+        callback=None,
+        attributes: list[str] | None = None,
+    ) -> tuple[ParticleBatch | None, QueryStats]:
+        """Run one (progressive) query across the whole data set.
+
+        Same semantics as :func:`repro.bat.query.query_file`, with the
+        metadata pruning which leaf files get touched at all.
+        """
+        filters = tuple(filters)
+        stats = QueryStats()
+        parts: list[ParticleBatch] = []
+        for idx in self._candidate_leaves(box, filters):
+            f = self.file(idx)
+            res, s = query_file(
+                f,
+                quality=quality,
+                prev_quality=prev_quality,
+                box=box,
+                filters=filters,
+                callback=callback,
+                attributes=attributes,
+            )
+            stats.merge(s)
+            if res is not None and len(res):
+                parts.append(res)
+        if callback is not None:
+            return None, stats
+        if not parts:
+            specs = []
+            if self.metadata.leaves:
+                with_file = self.file(self.metadata.leaves[0].leaf_index)
+                specs = with_file.attribute_specs()
+                if attributes is not None:
+                    specs = [sp for sp in specs if sp.name in attributes]
+            return ParticleBatch.empty(specs), stats
+        return ParticleBatch.concatenate(parts), stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BATDataset({str(self.metadata_path)!r}, files={self.n_files}, "
+            f"particles={self.total_particles})"
+        )

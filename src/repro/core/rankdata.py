@@ -1,0 +1,89 @@
+"""Per-rank simulation state handed to the I/O layer.
+
+A :class:`RankData` is what the whole virtual job would pass to the write
+call: every rank's domain bounds and particle count, plus (optionally) the
+actual particles. Timing-only runs at large virtual scale carry counts but
+no particle arrays — the aggregation tree, assignments, message sizes, and
+file sizes only need counts and bounds (see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import AttributeSpec, ParticleBatch
+
+__all__ = ["RankData"]
+
+
+@dataclass
+class RankData:
+    """Bounds, counts, and optional particle payloads for every rank.
+
+    ``bounds`` is ``(R, 2, 3)``; ``counts`` length R. ``batches`` is either
+    ``None`` (timing-only) or a list of R :class:`ParticleBatch`, where
+    ranks without particles hold empty batches. ``bytes_per_particle`` must
+    be given in timing-only mode; with payloads it is derived.
+    """
+
+    bounds: np.ndarray
+    counts: np.ndarray
+    batches: list[ParticleBatch] | None = None
+    bytes_per_particle: float | None = None
+
+    def __post_init__(self) -> None:
+        self.bounds = np.asarray(self.bounds, dtype=np.float64).reshape(-1, 2, 3)
+        self.counts = np.asarray(self.counts, dtype=np.int64)
+        if len(self.bounds) != len(self.counts):
+            raise ValueError("bounds and counts length mismatch")
+        if self.batches is not None:
+            if len(self.batches) != len(self.counts):
+                raise ValueError("batches length mismatch")
+            for r, (b, c) in enumerate(zip(self.batches, self.counts)):
+                if len(b) != c:
+                    raise ValueError(f"rank {r}: batch has {len(b)} particles, count says {c}")
+            total = int(self.counts.sum())
+            if total > 0:
+                payload = sum(b.nbytes for b in self.batches)
+                self.bytes_per_particle = payload / total
+            elif self.bytes_per_particle is None:
+                # an entirely empty timestep carries no payload at all
+                self.bytes_per_particle = 0.0
+        if self.bytes_per_particle is None:
+            raise ValueError("bytes_per_particle required when batches is None")
+
+    @property
+    def nranks(self) -> int:
+        return len(self.counts)
+
+    @property
+    def total_particles(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.total_particles * self.bytes_per_particle)
+
+    @property
+    def materialized(self) -> bool:
+        return self.batches is not None
+
+    def attribute_specs(self) -> list[AttributeSpec]:
+        if not self.materialized:
+            return []
+        for b in self.batches:
+            if len(b) > 0:
+                return b.attribute_specs()
+        return []
+
+    @staticmethod
+    def from_batches(batches: list[ParticleBatch]) -> "RankData":
+        """Derive bounds and counts from actual per-rank particles."""
+        bounds = np.zeros((len(batches), 2, 3))
+        counts = np.zeros(len(batches), dtype=np.int64)
+        for r, b in enumerate(batches):
+            counts[r] = len(b)
+            bounds[r] = b.bounds.as_array() if len(b) else np.zeros((2, 3))
+        return RankData(bounds=bounds, counts=counts, batches=batches)

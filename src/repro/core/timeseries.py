@@ -1,0 +1,199 @@
+"""Time-series catalogs: many timesteps of one simulation in one directory.
+
+Both evaluation workloads are *time series* — the Coal Boiler writes
+timesteps 501…4501 and the Dam Break 0…4001 — and a post-hoc analysis tool
+needs to discover and navigate them. A :class:`TimeSeriesWriter` wraps the
+two-phase writer, names each step's files consistently, and maintains a
+small catalog file (``series.json``) recording every written step, its
+particle count, data bounds, and global attribute ranges over time.
+:class:`TimeSeriesDataset` reads it back and opens any step as a
+:class:`~repro.core.dataset.BATDataset`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..machines import MachineSpec
+from ..types import Box
+from .dataset import BATDataset
+from .rankdata import RankData
+from .writer import TwoPhaseWriter, WriteReport
+
+__all__ = ["TimeSeriesWriter", "TimeSeriesDataset", "StepRecord"]
+
+CATALOG_NAME = "series.json"
+CATALOG_VERSION = 1
+
+
+@dataclass
+class StepRecord:
+    """One timestep's entry in the catalog."""
+
+    step: int
+    metadata_file: str
+    n_particles: int
+    n_files: int
+    bounds: Box
+    write_seconds: float
+
+    def to_doc(self) -> dict:
+        return {
+            "step": self.step,
+            "metadata": self.metadata_file,
+            "particles": self.n_particles,
+            "files": self.n_files,
+            "bounds": [list(self.bounds.lower), list(self.bounds.upper)],
+            "write_seconds": self.write_seconds,
+        }
+
+    @staticmethod
+    def from_doc(doc: dict) -> "StepRecord":
+        return StepRecord(
+            step=doc["step"],
+            metadata_file=doc["metadata"],
+            n_particles=doc["particles"],
+            n_files=doc["files"],
+            bounds=Box(tuple(doc["bounds"][0]), tuple(doc["bounds"][1])),
+            write_seconds=doc["write_seconds"],
+        )
+
+
+class TimeSeriesWriter:
+    """Writes a simulation's timesteps and maintains the series catalog.
+
+    Accepts the same configuration as :class:`TwoPhaseWriter` (including
+    ``target_size="auto"``, which re-tunes per step as the population
+    grows — the paper's recommendation for injection simulations).
+    """
+
+    def __init__(self, machine: MachineSpec, directory, **writer_kwargs):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.writer = TwoPhaseWriter(machine, **writer_kwargs)
+        self._steps: dict[int, StepRecord] = {}
+        catalog = self.directory / CATALOG_NAME
+        if catalog.exists():
+            for rec in _load_catalog(catalog):
+                self._steps[rec.step] = rec
+
+    @property
+    def steps(self) -> list[int]:
+        return sorted(self._steps)
+
+    def write_step(self, step: int, data: RankData) -> WriteReport:
+        """Write one timestep and update the catalog atomically-ish.
+
+        Re-writing an existing step replaces its record (the files are
+        overwritten in place, as a restarted simulation would).
+        """
+        if step < 0:
+            raise ValueError("step must be >= 0")
+        name = f"ts{step:06d}"
+        report = self.writer.write(data, out_dir=self.directory, name=name)
+        if report.metadata_path is None:
+            raise ValueError("time-series writes require materialized data")
+        bounds = Box.empty()
+        for leaf in report.metadata.leaves:
+            bounds = bounds.union(leaf.bounds)
+        self._steps[step] = StepRecord(
+            step=step,
+            metadata_file=Path(report.metadata_path).name,
+            n_particles=report.metadata.total_particles,
+            n_files=report.n_files,
+            bounds=bounds,
+            write_seconds=report.elapsed,
+        )
+        self._save()
+        return report
+
+    def _save(self) -> None:
+        doc = {
+            "format": "bat-series",
+            "version": CATALOG_VERSION,
+            "steps": [self._steps[s].to_doc() for s in sorted(self._steps)],
+        }
+        tmp = self.directory / (CATALOG_NAME + ".tmp")
+        tmp.write_text(json.dumps(doc, indent=1))
+        tmp.replace(self.directory / CATALOG_NAME)
+
+
+def _load_catalog(path: Path) -> list[StepRecord]:
+    doc = json.loads(path.read_text())
+    if doc.get("format") != "bat-series":
+        raise ValueError(f"{path} is not a BAT series catalog")
+    if doc.get("version") != CATALOG_VERSION:
+        raise ValueError(f"unsupported series catalog version {doc.get('version')}")
+    return [StepRecord.from_doc(d) for d in doc["steps"]]
+
+
+class TimeSeriesDataset:
+    """Read-side view over a written time series."""
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.records = {r.step: r for r in _load_catalog(self.directory / CATALOG_NAME)}
+        self._open: dict[int, BATDataset] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        for ds in self._open.values():
+            ds.close()
+        self._open.clear()
+
+    def __enter__(self) -> "TimeSeriesDataset":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- navigation -------------------------------------------------------------
+
+    @property
+    def steps(self) -> list[int]:
+        return sorted(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def record(self, step: int) -> StepRecord:
+        return self.records[step]
+
+    def step(self, step: int) -> BATDataset:
+        """Open (and cache) one timestep."""
+        ds = self._open.get(step)
+        if ds is None:
+            rec = self.records[step]
+            ds = BATDataset(self.directory / rec.metadata_file)
+            self._open[step] = ds
+        return ds
+
+    def nearest_step(self, step: int) -> int:
+        """The written step closest to ``step`` (scrubbing support)."""
+        if not self.records:
+            raise ValueError("empty time series")
+        return min(self.records, key=lambda s: (abs(s - step), s))
+
+    # -- series-level queries ------------------------------------------------------
+
+    def particle_counts(self) -> dict[int, int]:
+        return {s: self.records[s].n_particles for s in self.steps}
+
+    def attr_range_over_time(self, name: str) -> dict[int, tuple[float, float]]:
+        """Global range of one attribute at every step (opens metadata only)."""
+        out = {}
+        for s in self.steps:
+            ds = self.step(s)
+            if name not in ds.attr_ranges:
+                raise KeyError(f"no attribute {name!r} at step {s}")
+            out[s] = ds.attr_ranges[name]
+        return out
+
+    def query_over_time(self, steps=None, **query_kwargs):
+        """Run the same query against several steps; yields (step, batch, stats)."""
+        for s in steps if steps is not None else self.steps:
+            batch, stats = self.step(s).query(**query_kwargs)
+            yield s, batch, stats

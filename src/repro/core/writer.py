@@ -1,0 +1,272 @@
+"""Two-phase adaptive write pipeline (paper §III, Fig 1).
+
+The pipeline runs on a :class:`~repro.simmpi.VirtualCluster`:
+
+1. gather (bounds, count) per rank to rank 0;
+2. rank 0 builds the aggregation plan (adaptive k-d tree, or a baseline
+   strategy such as AUG) and assigns aggregators;
+3. scatter assignments;
+4. every rank sends its particles to its leaf's aggregator (nonblocking
+   point-to-point; a rank with no particles sends nothing);
+5. each aggregator builds a BAT over its received particles and writes it
+   to its own file;
+6. aggregators send per-attribute ranges and root bitmaps to rank 0, which
+   writes the top-level metadata file.
+
+With materialized data the pipeline really moves the bytes and writes real
+BAT files (lossless, query-able); timing always comes from the cost models,
+so scaling studies can also run counts-only (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..machines import MachineSpec
+from ..bat.builder import BATBuildConfig
+from ..simmpi import Message, VirtualCluster
+from ..types import ParticleBatch
+from .aggtree import AggTreeConfig, build_aggregation_tree
+from .assign import assign_write_aggregators
+from .metadata import DatasetMetadata, build_metadata
+from .rankdata import RankData
+
+__all__ = ["TwoPhaseWriter", "WriteReport", "PHASE_NAMES"]
+
+#: canonical phase names, in pipeline order (breakdown figures key off these)
+PHASE_NAMES = (
+    "gather rank info",
+    "build aggregation tree",
+    "scatter assignments",
+    "transfer to aggregators",
+    "construct BAT",
+    "write files",
+    "write metadata",
+)
+
+#: BAT structure overhead assumed for counts-only runs (paper §VI-B: ~0.9%,
+#: plus page-alignment padding)
+ESTIMATED_BAT_OVERHEAD = 1.02
+
+
+@dataclass
+class WriteReport:
+    """Outcome of one timestep write."""
+
+    elapsed: float
+    breakdown: dict[str, float]
+    total_bytes: float
+    n_files: int
+    file_sizes: np.ndarray
+    imbalance: float
+    metadata: DatasetMetadata | None = None
+    metadata_path: str | None = None
+    plan: object = None
+
+    @property
+    def bandwidth(self) -> float:
+        """Apparent write bandwidth in bytes/s, as a simulation observes it."""
+        return self.total_bytes / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class TwoPhaseWriter:
+    """Spatially aware two-phase writer with a pluggable aggregation strategy.
+
+    ``strategy`` is either ``"adaptive"`` (the paper's contribution) or a
+    callable ``(bounds, counts, bytes_per_particle, target_size) -> plan``
+    where the plan exposes ``leaves`` (used for the AUG baseline).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        target_size: int | str = 8 << 20,
+        strategy="adaptive",
+        agg_config: AggTreeConfig | None = None,
+        bat_config: BATBuildConfig | None = None,
+        layout: str = "bat",
+        network_model: str = "phase",
+    ):
+        from ..layouts import get_layout
+
+        self.machine = machine
+        self.strategy = strategy
+        self.network_model = network_model
+        self.layout = get_layout(layout)
+        if layout != "bat" and bat_config is not None:
+            raise ValueError("bat_config only applies to the 'bat' layout")
+        if target_size == "auto":
+            # resolved per write from the timestep's size (§VII extension)
+            if agg_config is not None:
+                raise ValueError("agg_config cannot be combined with target_size='auto'")
+            self.target_size = "auto"
+            self.agg_config = None
+        else:
+            self.target_size = int(target_size)
+            self.agg_config = agg_config or AggTreeConfig(target_size=self.target_size)
+            if self.agg_config.target_size != self.target_size:
+                raise ValueError("agg_config.target_size disagrees with target_size")
+        self.bat_config = bat_config or BATBuildConfig()
+
+    # -- plan ---------------------------------------------------------------
+
+    def _resolve_target(self, data: RankData) -> tuple[int, AggTreeConfig]:
+        if self.target_size == "auto":
+            from .autotune import recommend_target_size
+
+            target = recommend_target_size(data.total_bytes, data.nranks)
+            # the paper's evaluated overfull settings (§VI-A2)
+            return target, AggTreeConfig(
+                target_size=target, overfull_cost_ratio=4.0, overfull_factor=1.5
+            )
+        return self.target_size, self.agg_config
+
+    def build_plan(self, data: RankData):
+        target, agg_config = self._resolve_target(data)
+        if self.strategy == "adaptive":
+            return build_aggregation_tree(
+                data.bounds, data.counts, data.bytes_per_particle, agg_config
+            )
+        if callable(self.strategy):
+            return self.strategy(data.bounds, data.counts, data.bytes_per_particle, target)
+        raise ValueError(f"unknown strategy {self.strategy!r}")
+
+    # -- pipeline -------------------------------------------------------------
+
+    def write(
+        self,
+        data: RankData,
+        out_dir=None,
+        name: str = "timestep",
+    ) -> WriteReport:
+        """Write one timestep; returns the report with modeled timings.
+
+        When ``data`` is materialized and ``out_dir`` is given, real BAT
+        files and the metadata manifest land in ``out_dir``.
+        """
+        materialize = data.materialized and out_dir is not None
+        if out_dir is not None:
+            out_dir = Path(out_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+
+        nranks = data.nranks
+        cluster = VirtualCluster(nranks, self.machine, network_model=self.network_model)
+        net = self.machine.network
+
+        # 1. gather rank info
+        cluster.gather_to_root(PHASE_NAMES[0], self.machine.rank_meta_bytes)
+
+        # 2. aggregation plan on rank 0 (modeled serial cost ~ R log R)
+        plan = self.build_plan(data)
+        r_active = max(int((data.counts > 0).sum()), 1)
+        tree_cost = self.machine.tree_build_coeff * r_active * max(math.log2(r_active), 1.0)
+        cluster.root_compute(PHASE_NAMES[1], tree_cost)
+
+        leaves = list(plan.leaves)
+        n_leaves = len(leaves)
+        aggregators = assign_write_aggregators(n_leaves, nranks)
+        for leaf, agg in zip(leaves, aggregators):
+            leaf.aggregator = int(agg)
+
+        # 3. scatter assignments: each rank gets its aggregator id and count;
+        # aggregators additionally get their member-rank list.
+        member_bytes = sum(len(l.rank_ids) for l in leaves) * 12 / nranks
+        cluster.scatter_from_root(PHASE_NAMES[2], 16 + member_bytes)
+
+        # 4. transfer particles to aggregators
+        bpp = data.bytes_per_particle
+        messages = []
+        for leaf in leaves:
+            for r in leaf.rank_ids:
+                c = int(data.counts[r])
+                if c > 0:
+                    messages.append(Message(int(r), leaf.aggregator, c * bpp))
+        cluster.p2p(PHASE_NAMES[3], messages)
+
+        # Functional aggregation: concatenate member batches per leaf.
+        built = None
+        leaf_batches: list[ParticleBatch] | None = None
+        if data.materialized:
+            leaf_batches = [
+                ParticleBatch.concatenate([data.batches[r] for r in leaf.rank_ids])
+                for leaf in leaves
+            ]
+
+        # 5. BAT construction on aggregators (per-rank, sums over the leaves
+        # a rank aggregates)
+        bat_seconds = np.zeros(nranks)
+        for leaf in leaves:
+            bat_seconds[leaf.aggregator] += leaf.count / self.machine.bat_build_rate
+        cluster.compute(PHASE_NAMES[4], bat_seconds)
+
+        ext = self.layout.extension
+        file_names = [f"{name}.{i:05d}{ext}" for i in range(n_leaves)]
+        leaf_ranges: list[dict] = []
+        leaf_bitmaps: list[dict] = []
+        leaf_binnings: list[dict] | None = None
+        write_sizes = np.zeros(nranks)
+        file_sizes = np.zeros(n_leaves)
+        if leaf_batches is not None:
+            cfg = self.bat_config if self.layout.name == "bat" else None
+            built = [self.layout.build(b, cfg) for b in leaf_batches]
+            leaf_binnings = []
+            for i, (leaf, bb) in enumerate(zip(leaves, built)):
+                leaf_ranges.append(bb.attr_ranges)
+                leaf_bitmaps.append(bb.root_bitmaps)
+                leaf_binnings.append(bb.attr_binnings)
+                write_sizes[leaf.aggregator] += bb.nbytes
+                file_sizes[i] = bb.nbytes
+                if materialize:
+                    bb.write(out_dir / file_names[i])
+        else:
+            for i, leaf in enumerate(leaves):
+                leaf_ranges.append({})
+                leaf_bitmaps.append({})
+                size = leaf.nbytes * ESTIMATED_BAT_OVERHEAD
+                write_sizes[leaf.aggregator] += size
+                file_sizes[i] = size
+
+        # 6. write aggregator files
+        writers = write_sizes > 0
+        creates = np.bincount(
+            aggregators, weights=np.ones(n_leaves), minlength=nranks
+        )
+        avg_creates = float(creates[writers].mean()) if writers.any() else 1.0
+        cluster.write_independent(PHASE_NAMES[5], write_sizes, creates=avg_creates)
+
+        # 7. metadata: aggregators send ranges+bitmaps to rank 0, which
+        # writes the manifest.
+        n_attrs = max(len(leaf_ranges[0]) if leaf_ranges else 0, 1)
+        cluster.gather_to_root("gather leaf summaries", 20.0 * n_attrs)
+        metadata = build_metadata(
+            plan, nranks, file_names, leaf_ranges, leaf_bitmaps, leaf_binnings,
+            layout=self.layout.name,
+        )
+        meta_bytes = metadata.json_size
+        cluster.root_small_write(PHASE_NAMES[6], meta_bytes)
+        metadata_path = None
+        if materialize:
+            metadata_path = str(out_dir / f"{name}.meta.json")
+            metadata.save(metadata_path)
+
+        breakdown = cluster.breakdown()
+        breakdown[PHASE_NAMES[6]] = breakdown.pop(PHASE_NAMES[6], 0.0) + breakdown.pop(
+            "gather leaf summaries", 0.0
+        )
+        counts_arr = np.array([l.count for l in leaves], dtype=np.float64)
+        imbalance = float(counts_arr.max() / counts_arr.mean()) if n_leaves else 1.0
+        return WriteReport(
+            elapsed=cluster.elapsed,
+            breakdown=breakdown,
+            total_bytes=data.total_bytes,
+            n_files=n_leaves,
+            file_sizes=file_sizes,
+            imbalance=imbalance,
+            metadata=metadata,
+            metadata_path=metadata_path,
+            plan=plan,
+        )

@@ -1,0 +1,20 @@
+"""Parallel filesystem cost models (Lustre- and GPFS-style).
+
+Real runs in the paper hit a Lustre scratch system (Stampede2, 330 GB/s
+peak) and IBM Spectrum Scale/GPFS (Summit, 2.5 TB/s). This package models
+the three first-order mechanisms their evaluation exercises:
+
+1. metadata pressure — file creates/opens serialize at the metadata
+   service, which is what makes file-per-process collapse at scale;
+2. bandwidth sharing — concurrent writers share per-target and aggregate
+   bandwidth;
+3. shared-file coupling — a single shared file adds per-writer
+   synchronization (MPI-IO collective buffering, extent locks) and, on
+   Lustre, caps bandwidth at ``stripe_count`` targets.
+
+Machine presets live in :mod:`repro.machines`.
+"""
+
+from .filesystem import FileSystemSpec, ParallelFileSystem
+
+__all__ = ["FileSystemSpec", "ParallelFileSystem"]

@@ -1,0 +1,142 @@
+"""Parametric parallel-filesystem timing model.
+
+All durations are in seconds, sizes in bytes, rates in ops/s or bytes/s.
+The model is deliberately first-order (DESIGN.md §5): it reproduces the
+*shape* of the paper's scaling curves — where file-per-process collapses,
+where shared files stop scaling, and how the two-phase target size trades
+file count against transfer volume — not the absolute numbers of any
+particular machine week.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FileSystemSpec", "ParallelFileSystem"]
+
+
+@dataclass(frozen=True)
+class FileSystemSpec:
+    """Calibration constants for one filesystem.
+
+    ``peak_write_bw``/``peak_read_bw``
+        Aggregate bandwidth caps across all clients.
+    ``client_bw``
+        Max bandwidth a single client (rank) can drive on its own.
+    ``target_bw``
+        Bandwidth of one storage target (OST / NSD). A file striped over
+        ``stripe_count`` targets cannot exceed ``stripe_count * target_bw``.
+    ``stripe_count``
+        Stripe width used for files (Lustre: per-file layout; GPFS: treated
+        as effectively "all targets", so presets use a large value).
+    ``create_rate`` / ``open_rate``
+        Metadata-service throughput for file creates and opens. These
+        serialize globally — the mechanism behind FPP degradation.
+    ``shared_writer_overhead``
+        Per-writer coupling cost of a single shared file (collective
+        buffering exchange, extent-lock traffic). Charged once per writer,
+        so shared-file time grows linearly with rank count.
+    ``op_latency``
+        Base latency of any I/O call.
+    """
+
+    name: str
+    peak_write_bw: float
+    peak_read_bw: float
+    client_bw: float
+    target_bw: float
+    stripe_count: int
+    create_rate: float
+    open_rate: float
+    shared_writer_overhead: float
+    op_latency: float = 1e-4
+
+
+class ParallelFileSystem:
+    """Timing model over a :class:`FileSystemSpec`."""
+
+    def __init__(self, spec: FileSystemSpec):
+        self.spec = spec
+
+    # -- independent files (file-per-process, two-phase subfiles) ---------
+
+    def independent_write(self, sizes: np.ndarray, creates_per_writer: int = 1) -> np.ndarray:
+        """Durations for W writers each writing its own file(s).
+
+        ``sizes`` is bytes per writer; writers with zero bytes take no time.
+        Every active writer is charged the full metadata storm (creates
+        serialize at the MDS and a writer cannot proceed until its create
+        returns; with synchronized timestep writes the storm's tail is what
+        the makespan sees).
+        """
+        return self._independent(sizes, creates_per_writer, write=True)
+
+    def independent_read(self, sizes: np.ndarray, opens_per_reader: int = 1) -> np.ndarray:
+        """Durations for R readers each reading its own file(s)."""
+        return self._independent(sizes, opens_per_reader, write=False)
+
+    def _independent(self, sizes: np.ndarray, meta_ops: int, write: bool) -> np.ndarray:
+        spec = self.spec
+        sizes = np.asarray(sizes, dtype=np.float64)
+        active = sizes > 0
+        n_active = int(active.sum())
+        out = np.zeros_like(sizes)
+        if n_active == 0:
+            return out
+        meta_rate = spec.create_rate if write else spec.open_rate
+        meta_time = (n_active * meta_ops) / meta_rate
+        peak = spec.peak_write_bw if write else spec.peak_read_bw
+        per_writer_bw = min(
+            spec.client_bw,
+            spec.stripe_count * spec.target_bw,
+            peak / n_active,
+        )
+        out[active] = spec.op_latency + meta_time + sizes[active] / per_writer_bw
+        return out
+
+    # -- single shared file (MPI-IO / HDF5 style) -------------------------
+
+    def shared_write(self, total_bytes: float, n_writers: int, meta_factor: float = 1.0) -> float:
+        """Duration of W ranks collectively writing one shared file.
+
+        ``meta_factor`` scales the per-writer coupling term; the HDF5 mode
+        uses a factor > 1 for its extra metadata collectives.
+        """
+        return self._shared(total_bytes, n_writers, meta_factor, write=True)
+
+    def shared_read(self, total_bytes: float, n_readers: int, meta_factor: float = 1.0) -> float:
+        """Duration of R ranks collectively reading one shared file."""
+        return self._shared(total_bytes, n_readers, meta_factor, write=False)
+
+    def _shared(self, total_bytes: float, n_ranks: int, meta_factor: float, write: bool) -> float:
+        spec = self.spec
+        if n_ranks <= 0 or total_bytes <= 0:
+            return 0.0
+        peak = spec.peak_write_bw if write else spec.peak_read_bw
+        file_bw = min(
+            peak,
+            spec.stripe_count * spec.target_bw,
+            n_ranks * spec.client_bw,
+        )
+        coupling = meta_factor * spec.shared_writer_overhead * n_ranks
+        return spec.op_latency + coupling + total_bytes / file_bw
+
+    # -- small metadata file ----------------------------------------------
+
+    def small_write(self, nbytes: float) -> float:
+        """One rank writing one small file (e.g. top-level metadata)."""
+        return self.spec.op_latency + 1.0 / self.spec.create_rate + nbytes / self.spec.client_bw
+
+    def small_read_all(self, nbytes: float, n_readers: int) -> float:
+        """All ranks opening and reading the same small file.
+
+        Opens of a single shared inode are served mostly from metadata
+        caches; we charge a mild sublinear open cost rather than the full
+        per-file storm.
+        """
+        if n_readers <= 0:
+            return 0.0
+        open_time = np.sqrt(n_readers) / self.spec.open_rate
+        return self.spec.op_latency + open_time + nbytes / self.spec.client_bw

@@ -1,0 +1,93 @@
+"""Pluggable aggregator layouts (paper §VII future work).
+
+§VII: "Allowing users to build their own data layout would ease adoption
+of our method for simulation-analysis pipelines that already use a
+specific layout. The layout would also be available in situ..." — the
+two-phase pipeline's load balancing only depends on input sizes, so any
+layout can ride on it.
+
+A layout is registered under a name and provides:
+
+``build(batch, config=None) -> built``
+    Serialize one aggregation leaf. The result must expose ``data``
+    (bytes), ``nbytes``, ``attr_ranges``, ``root_bitmaps``,
+    ``attr_binnings`` (may be empty), and ``write(path)``.
+``open(path) -> reader``
+    Open a written leaf; the reader must expose
+    ``query_box(box) -> ParticleBatch`` and ``close()`` (what the restart
+    reader needs).
+``extension``
+    File-name suffix for leaf files.
+
+The BAT layout is the default; :mod:`repro.layouts.flat` registers a
+minimal Morton-sorted flat layout as the reference second implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LayoutSpec", "register_layout", "get_layout", "available_layouts"]
+
+
+@dataclass(frozen=True)
+class LayoutSpec:
+    """One registered layout (see module docstring for the contracts)."""
+
+    name: str
+    build: object
+    open: object
+    extension: str
+
+
+_REGISTRY: dict[str, LayoutSpec] = {}
+
+
+def register_layout(spec: LayoutSpec) -> None:
+    """Register (or replace) a layout under its name."""
+    _REGISTRY[spec.name] = spec
+
+
+def get_layout(name: str) -> LayoutSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown layout {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_layouts() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    from ..bat.builder import build_bat
+    from ..bat.file import BATFile
+    from ..bat.query import query_file
+
+    class _BATReader:
+        """Adapter giving BATFile the restart-reader contract."""
+
+        def __init__(self, path):
+            self._f = BATFile(path)
+
+        def query_box(self, box):
+            batch, _ = query_file(self._f, box=box)
+            return batch
+
+        def close(self):
+            self._f.close()
+
+    register_layout(
+        LayoutSpec(name="bat", build=build_bat, open=_BATReader, extension=".bat")
+    )
+
+    from .flat import FlatFile, build_flat
+
+    register_layout(
+        LayoutSpec(name="flat", build=build_flat, open=FlatFile, extension=".flat")
+    )
+
+
+_register_builtins()

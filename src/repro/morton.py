@@ -1,0 +1,116 @@
+"""Vectorized 3D Morton (Z-order) codes.
+
+Positions are quantized to a ``bits``-per-axis integer grid over a bounding
+box and interleaved into 3*bits-bit codes held in uint64. The default of 21
+bits per axis yields 63-bit codes, the maximum that fits a uint64.
+
+The BAT shallow-tree build (:mod:`repro.bat.build`) keys off *subprefixes*
+of these codes, so the encoding must be deterministic and monotone per axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .types import Box
+
+__all__ = [
+    "MAX_BITS",
+    "encode_positions",
+    "encode_grid",
+    "decode_grid",
+    "morton_cell_box",
+]
+
+MAX_BITS = 21
+
+# Magic numbers for 21-bit "part1by2" spreading (x -> bits at positions 3i).
+_MASKS = (
+    np.uint64(0x1FFFFF),
+    np.uint64(0x1F00000000FFFF),
+    np.uint64(0x1F0000FF0000FF),
+    np.uint64(0x100F00F00F00F00F),
+    np.uint64(0x10C30C30C30C30C3),
+    np.uint64(0x1249249249249249),
+)
+_SHIFTS = (32, 16, 8, 4, 2)
+
+
+def _part1by2(v: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of each uint64 so bit i lands at bit 3i."""
+    v = v & _MASKS[0]
+    for mask, shift in zip(_MASKS[1:], _SHIFTS):
+        v = (v | (v << np.uint64(shift))) & mask
+    return v
+
+
+def _compact1by2(v: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_part1by2`."""
+    v = v & _MASKS[5]
+    for mask, shift in zip(reversed(_MASKS[:5]), reversed(_SHIFTS)):
+        v = (v | (v >> np.uint64(shift))) & mask
+    return v
+
+
+def encode_grid(ix: np.ndarray, iy: np.ndarray, iz: np.ndarray, bits: int = MAX_BITS) -> np.ndarray:
+    """Interleave integer grid coordinates into Morton codes.
+
+    Coordinates must already lie in ``[0, 2**bits)``.
+    """
+    if not 1 <= bits <= MAX_BITS:
+        raise ValueError(f"bits must be in [1, {MAX_BITS}], got {bits}")
+    ix = np.asarray(ix, dtype=np.uint64)
+    iy = np.asarray(iy, dtype=np.uint64)
+    iz = np.asarray(iz, dtype=np.uint64)
+    return (_part1by2(iz) << np.uint64(2)) | (_part1by2(iy) << np.uint64(1)) | _part1by2(ix)
+
+
+def decode_grid(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Recover ``(ix, iy, iz)`` grid coordinates from Morton codes."""
+    codes = np.asarray(codes, dtype=np.uint64)
+    ix = _compact1by2(codes)
+    iy = _compact1by2(codes >> np.uint64(1))
+    iz = _compact1by2(codes >> np.uint64(2))
+    return ix, iy, iz
+
+
+def encode_positions(positions: np.ndarray, bounds: Box, bits: int = MAX_BITS) -> np.ndarray:
+    """Quantize ``(N, 3)`` positions inside ``bounds`` and Morton-encode them.
+
+    Points exactly on the upper boundary map to the last grid cell. The
+    mapping is monotone per axis, so sorting by code groups spatial
+    neighbours.
+    """
+    pts = np.asarray(positions, dtype=np.float64).reshape(-1, 3)
+    if len(pts) == 0:
+        return np.empty(0, dtype=np.uint64)
+    if bounds.is_empty:
+        raise ValueError("cannot Morton-encode against an empty bounding box")
+    lo = np.asarray(bounds.lower)
+    ext = bounds.extents
+    # Degenerate axes (zero extent) quantize everything to cell 0.
+    scale = np.where(ext > 0, (2**bits) / np.where(ext > 0, ext, 1.0), 0.0)
+    cells = ((pts - lo) * scale).astype(np.int64)
+    np.clip(cells, 0, 2**bits - 1, out=cells)
+    return encode_grid(cells[:, 0], cells[:, 1], cells[:, 2], bits=bits)
+
+
+def morton_cell_box(code_prefix: int, prefix_bits: int, bounds: Box, bits: int = MAX_BITS) -> Box:
+    """Spatial box covered by all codes sharing a leading ``prefix_bits`` prefix.
+
+    ``code_prefix`` holds the prefix in the *low* bits (i.e. the full code
+    right-shifted by ``3*bits - prefix_bits``). Used to map shallow-tree
+    leaves back to space. ``prefix_bits`` must be a multiple of 3.
+    """
+    if prefix_bits % 3 != 0:
+        raise ValueError("prefix_bits must be a multiple of 3")
+    levels = prefix_bits // 3
+    code = np.uint64(int(code_prefix) << (3 * (bits - levels)))
+    ix, iy, iz = decode_grid(np.array([code], dtype=np.uint64))
+    cell = np.array([ix[0], iy[0], iz[0]], dtype=np.float64) / (2**bits)
+    size = 1.0 / (2**levels) if levels > 0 else 1.0
+    lo = np.asarray(bounds.lower)
+    ext = np.where(bounds.extents > 0, bounds.extents, 1.0)
+    lower = lo + cell * ext
+    upper = lower + size * ext
+    return Box(tuple(lower.tolist()), tuple(upper.tolist()))

@@ -1,0 +1,25 @@
+"""Virtual MPI cluster substrate.
+
+The paper runs on real MPI at 24k–43k cores; this environment has neither
+an MPI runtime nor multiple cores. The substitute (DESIGN.md §2/§5) executes
+the I/O pipelines *functionally* for real — every byte lands where MPI would
+put it — while elapsed time is produced by first-order cost models:
+
+- :mod:`repro.simmpi.network` — fat-tree point-to-point phase model,
+- :mod:`repro.simmpi.collectives` — LogP-style collective costs,
+- :mod:`repro.simmpi.timeline` — per-rank clocks and phase accounting,
+- :mod:`repro.simmpi.cluster` — the :class:`VirtualCluster` facade.
+"""
+
+from .cluster import VirtualCluster
+from .network import Message, NetworkSpec, transfer_phase
+from .timeline import PhaseRecord, Timeline
+
+__all__ = [
+    "VirtualCluster",
+    "Message",
+    "NetworkSpec",
+    "transfer_phase",
+    "Timeline",
+    "PhaseRecord",
+]

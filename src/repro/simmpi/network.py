@@ -1,0 +1,127 @@
+"""Fat-tree network cost model for point-to-point transfer phases.
+
+The aggregation transfer (paper §III-B) and read fetch (§IV-B) are bulk
+point-to-point phases: many ranks send one message each to a much smaller
+set of aggregators. On a full-bisection fat tree, the first-order limits are
+
+1. *injection* — a rank shares its node's NIC with the other ranks on the
+   node, so its outgoing bandwidth is ``node_bw / ranks_per_node`` while
+   neighbours are also sending;
+2. *in-cast* — an aggregator receiving from k senders is limited by its
+   node's ingest bandwidth, shared with co-located aggregators;
+3. *bisection* — the whole phase cannot move bytes faster than the network
+   core allows.
+
+Completion per rank is computed from these three terms plus a per-message
+latency charge. Congestion from adversarial routing is not modeled; the
+paper's machines both use (near-)full-bisection fat trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NetworkSpec", "Message", "transfer_phase"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Parameters of the interconnect.
+
+    ``node_bw`` is the per-node NIC bandwidth in bytes/s, ``latency`` the
+    per-message software+wire latency in seconds, ``ranks_per_node`` how many
+    ranks share a NIC, and ``bisection_bw`` the aggregate core bandwidth in
+    bytes/s (``inf`` for an ideal full-bisection fabric).
+    """
+
+    node_bw: float
+    latency: float
+    ranks_per_node: int
+    bisection_bw: float = float("inf")
+
+    def node_of(self, ranks: np.ndarray) -> np.ndarray:
+        return np.asarray(ranks, dtype=np.int64) // self.ranks_per_node
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point transfer of ``nbytes`` from ``src`` to ``dst``."""
+
+    src: int
+    dst: int
+    nbytes: int
+
+
+def transfer_phase(
+    messages: list[Message],
+    clocks: np.ndarray,
+    spec: NetworkSpec,
+) -> np.ndarray:
+    """Advance per-rank clocks across a bulk point-to-point phase.
+
+    Returns a new clock array. Self-messages (``src == dst``) are charged a
+    memcpy at node bandwidth with no latency. Ranks not involved in any
+    message keep their clock.
+    """
+    clocks = np.asarray(clocks, dtype=np.float64)
+    new = clocks.copy()
+    if not messages:
+        return new
+
+    srcs = np.array([m.src for m in messages], dtype=np.int64)
+    dsts = np.array([m.dst for m in messages], dtype=np.int64)
+    sizes = np.array([m.nbytes for m in messages], dtype=np.float64)
+    remote = srcs != dsts
+
+    nranks = len(clocks)
+    out_bytes = np.bincount(srcs[remote], weights=sizes[remote], minlength=nranks)
+    in_bytes = np.bincount(dsts[remote], weights=sizes[remote], minlength=nranks)
+    n_in = np.bincount(dsts[remote], minlength=nranks).astype(np.float64)
+    n_out = np.bincount(srcs[remote], minlength=nranks).astype(np.float64)
+
+    # Node-level NIC sharing: bytes through each NIC in each direction.
+    nodes_src = spec.node_of(np.arange(nranks))
+    n_nodes = int(nodes_src.max()) + 1 if nranks else 0
+    node_out = np.bincount(nodes_src, weights=out_bytes, minlength=n_nodes)
+    node_in = np.bincount(nodes_src, weights=in_bytes, minlength=n_nodes)
+
+    total_bytes = float(sizes[remote].sum())
+    bisection_time = total_bytes / spec.bisection_bw if np.isfinite(spec.bisection_bw) else 0.0
+
+    # A phase starts when every participant has arrived (nonblocking sends
+    # are posted, but an aggregator cannot finish before the last sender
+    # reaches the phase). Use the max clock of involved ranks as the common
+    # start — conservative but matches the barrier-like structure of a
+    # timestep write.
+    involved = (out_bytes > 0) | (in_bytes > 0) | (n_in > 0)
+    # Include self-message participants.
+    for m in messages:
+        if m.src == m.dst:
+            involved[m.src] = True
+    start = float(clocks[involved].max()) if involved.any() else float(clocks.max())
+
+    # Per-rank duration: latency per posted message plus the slower of its
+    # NIC-shared send and receive streams, floored by bisection.
+    send_time = np.zeros(nranks)
+    recv_time = np.zeros(nranks)
+    nz = node_out > 0
+    node_out_time = np.zeros(n_nodes)
+    node_out_time[nz] = node_out[nz] / spec.node_bw
+    nz = node_in > 0
+    node_in_time = np.zeros(n_nodes)
+    node_in_time[nz] = node_in[nz] / spec.node_bw
+    send_time = node_out_time[nodes_src] * np.where(out_bytes > 0, 1.0, 0.0)
+    recv_time = node_in_time[nodes_src] * np.where(in_bytes > 0, 1.0, 0.0)
+
+    dur = spec.latency * (n_in + n_out) + np.maximum(send_time, recv_time)
+    dur = np.where(involved, np.maximum(dur, bisection_time), 0.0)
+
+    # Self-messages: local memcpy at node bandwidth.
+    if (~remote).any():
+        self_bytes = np.bincount(srcs[~remote], weights=sizes[~remote], minlength=nranks)
+        dur += self_bytes / spec.node_bw
+
+    new[involved] = start + dur[involved]
+    return new

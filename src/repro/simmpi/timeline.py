@@ -1,0 +1,90 @@
+"""Per-rank clocks and named-phase accounting.
+
+A :class:`Timeline` tracks one float64 clock per virtual rank and records,
+for every named phase, how much the *makespan* (max clock) advanced. The
+phase records are what the breakdown figures (paper Figs 6, 10, 12) plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PhaseRecord", "Timeline"]
+
+
+@dataclass
+class PhaseRecord:
+    """Makespan contribution of one pipeline phase."""
+
+    name: str
+    duration: float
+    #: per-rank time spent inside the phase (0 for uninvolved ranks)
+    per_rank: np.ndarray | None = None
+
+
+@dataclass
+class Timeline:
+    """Clocks for ``nranks`` virtual ranks plus an ordered phase log."""
+
+    nranks: int
+    clocks: np.ndarray = field(init=False)
+    phases: list[PhaseRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.clocks = np.zeros(self.nranks, dtype=np.float64)
+
+    @property
+    def elapsed(self) -> float:
+        """Current makespan — what a barrier at this point would observe."""
+        return float(self.clocks.max()) if self.nranks else 0.0
+
+    def record(self, name: str, new_clocks: np.ndarray) -> PhaseRecord:
+        """Adopt updated clocks and log the makespan delta as a phase."""
+        new_clocks = np.asarray(new_clocks, dtype=np.float64)
+        if new_clocks.shape != self.clocks.shape:
+            raise ValueError("clock array shape changed")
+        if (new_clocks < self.clocks - 1e-12).any():
+            raise ValueError(f"phase {name!r} moved a clock backwards")
+        before = self.elapsed
+        per_rank = new_clocks - self.clocks
+        self.clocks = new_clocks
+        rec = PhaseRecord(name, self.elapsed - before, per_rank)
+        self.phases.append(rec)
+        return rec
+
+    def add_uniform(self, name: str, duration: float) -> PhaseRecord:
+        """Charge every rank the same duration (e.g. a collective)."""
+        if duration < 0:
+            raise ValueError("negative phase duration")
+        return self.record(name, self.clocks + duration)
+
+    def add_root(self, name: str, duration: float, root: int = 0) -> PhaseRecord:
+        """Charge only ``root``, then synchronize others to it if behind.
+
+        Models root-side serial work (e.g. the Aggregation Tree build) that
+        every rank must wait on before the following scatter.
+        """
+        new = self.clocks.copy()
+        new[root] += duration
+        new = np.maximum(new, new[root])
+        return self.record(name, new)
+
+    def add_per_rank(self, name: str, durations: np.ndarray) -> PhaseRecord:
+        """Charge each rank its own duration (e.g. local BAT builds)."""
+        durations = np.asarray(durations, dtype=np.float64)
+        if (durations < 0).any():
+            raise ValueError("negative per-rank duration")
+        return self.record(name, self.clocks + durations)
+
+    def synchronize(self) -> None:
+        """Barrier: align all clocks to the makespan (not logged as a phase)."""
+        self.clocks[:] = self.elapsed
+
+    def breakdown(self) -> dict[str, float]:
+        """Total makespan contribution per phase name, merging repeats."""
+        out: dict[str, float] = {}
+        for rec in self.phases:
+            out[rec.name] = out.get(rec.name, 0.0) + rec.duration
+        return out

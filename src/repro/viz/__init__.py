@@ -1,0 +1,23 @@
+"""Visualization utilities: LOD presentation and progressive streaming.
+
+The BAT layout "does not impose a specific visual representation" (§VI-B);
+:mod:`repro.viz.lod` provides the paper's example policy — coarser quality
+levels rendered with inflated particle radii to preserve overall shape —
+and :mod:`repro.viz.server` reproduces the Fig 4 prototype: a server that
+progressively streams increments of a BAT data set to clients with spatial
+and attribute filtering.
+"""
+
+from .lod import lod_radius, quality_progression
+from .render import ascii_render, density_projection, projection_similarity
+from .server import ProgressiveStreamServer, StreamSession
+
+__all__ = [
+    "lod_radius",
+    "quality_progression",
+    "ProgressiveStreamServer",
+    "StreamSession",
+    "density_projection",
+    "ascii_render",
+    "projection_similarity",
+]

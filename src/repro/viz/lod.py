@@ -1,0 +1,48 @@
+"""Level-of-detail presentation policy (paper §VI-B1, Fig 13).
+
+At coarse quality levels only a subset of particles is loaded; rendering
+them at their native radius would leave holes. The paper's example policy
+increases the radius so the displayed set still covers roughly the same
+volume: if a fraction *f* of particles is shown, each is drawn with radius
+``r / f^(1/3)`` (volume conservation in 3D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lod_radius", "quality_progression"]
+
+
+def lod_radius(base_radius: float, shown_fraction: float) -> float:
+    """Radius that preserves covered volume when showing a fraction of points."""
+    if not 0.0 < shown_fraction <= 1.0:
+        raise ValueError("shown_fraction must be in (0, 1]")
+    if base_radius <= 0:
+        raise ValueError("base_radius must be positive")
+    return float(base_radius / shown_fraction ** (1.0 / 3.0))
+
+
+def quality_progression(dataset, qualities=(0.2, 0.4, 0.8), base_radius: float = 1.0):
+    """Point counts and LOD radii over a quality sweep (Fig 13's data).
+
+    ``dataset`` is a :class:`~repro.core.dataset.BATDataset`. Returns one
+    dict per quality with the loaded point count, shown fraction, and the
+    radius the example policy would render with.
+    """
+    total = dataset.total_particles
+    out = []
+    for q in qualities:
+        batch, stats = dataset.query(quality=q)
+        n = len(batch)
+        frac = n / total if total else 0.0
+        out.append(
+            {
+                "quality": float(q),
+                "points": n,
+                "fraction": frac,
+                "radius": lod_radius(base_radius, max(frac, 1e-9)),
+                "points_tested": stats.points_tested,
+            }
+        )
+    return out

@@ -1,0 +1,83 @@
+"""Density projections: text-mode stand-ins for the paper's renders.
+
+Figs 8 and 13 are particle renders; in a text environment the comparable
+artifact is a 2D density projection — rasterize particles along one axis
+and show the mass distribution. The projection is also the right tool for
+*testing* LOD fidelity: a good coarse level has a projection close to the
+full data's (which is exactly what "preserve the overall shape of the
+object" means, §VI-B1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import Box
+
+__all__ = ["density_projection", "ascii_render", "projection_similarity"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def density_projection(
+    positions: np.ndarray,
+    axis: int = 1,
+    shape: tuple[int, int] = (48, 24),
+    bounds: Box | None = None,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Project particles along ``axis`` onto a 2D count grid.
+
+    The remaining two axes map to (columns, rows); rows are returned
+    bottom-up (row 0 = lowest coordinate) so callers can flip for display.
+    """
+    pts = np.asarray(positions, dtype=np.float64).reshape(-1, 3)
+    if axis not in (0, 1, 2):
+        raise ValueError("axis must be 0, 1, or 2")
+    cols_axis, rows_axis = [a for a in (0, 1, 2) if a != axis]
+    nx, ny = shape
+    if nx < 1 or ny < 1:
+        raise ValueError("shape must be positive")
+    box = bounds if bounds is not None else Box.of_points(pts)
+    if box.is_empty:
+        return np.zeros((ny, nx))
+    lo = np.asarray(box.lower)
+    ext = np.where(box.extents > 0, box.extents, 1.0)
+
+    u = np.clip(((pts[:, cols_axis] - lo[cols_axis]) / ext[cols_axis] * nx), 0, nx - 1e-9)
+    v = np.clip(((pts[:, rows_axis] - lo[rows_axis]) / ext[rows_axis] * ny), 0, ny - 1e-9)
+    grid = np.zeros((ny, nx))
+    np.add.at(grid, (v.astype(np.int64), u.astype(np.int64)),
+              1.0 if weights is None else np.asarray(weights, dtype=np.float64))
+    return grid
+
+
+def ascii_render(grid: np.ndarray, log_scale: bool = True) -> str:
+    """Render a density grid as ASCII art (top row = highest coordinate)."""
+    grid = np.asarray(grid, dtype=np.float64)
+    if grid.ndim != 2:
+        raise ValueError("grid must be 2D")
+    vals = np.log1p(grid) if log_scale else grid
+    peak = vals.max()
+    if peak <= 0:
+        return "\n".join(" " * grid.shape[1] for _ in range(grid.shape[0]))
+    idx = np.clip((vals / peak * (len(_RAMP) - 1)).astype(int), 0, len(_RAMP) - 1)
+    rows = ["".join(_RAMP[i] for i in row) for row in idx[::-1]]
+    return "\n".join(rows)
+
+
+def projection_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Similarity of two density projections in [0, 1].
+
+    One minus half the L1 distance between the normalized grids — 1.0 for
+    identical shapes, 0.0 for disjoint mass. Used to score how well a
+    coarse LOD level preserves the full data's shape.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("projections must have the same shape")
+    sa, sb = a.sum(), b.sum()
+    if sa <= 0 or sb <= 0:
+        return 0.0
+    return float(1.0 - 0.5 * np.abs(a / sa - b / sb).sum())

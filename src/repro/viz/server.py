@@ -1,0 +1,115 @@
+"""Progressive streaming prototype (paper §V-B, Fig 4).
+
+The paper demonstrates a web viewer whose server uses the BAT layout to
+progressively load and send data to clients, with spatial and attribute
+filtering applied server-side. This module reproduces that architecture as
+an in-process server: clients open sessions, each session tracks the
+quality level already delivered, and every request returns only the
+increment — exactly the progressive-read contract of the layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bat.query import AttributeFilter
+from ..core.dataset import BATDataset
+from ..types import Box, ParticleBatch
+
+__all__ = ["StreamSession", "ProgressiveStreamServer"]
+
+
+@dataclass
+class StreamSession:
+    """One client's progressive view of the data set.
+
+    Changing the spatial box or filters resets the progression (the server
+    must re-stream matching data from the coarsest level).
+    """
+
+    session_id: int
+    box: Box | None = None
+    filters: tuple[AttributeFilter, ...] = ()
+    delivered_quality: float = 0.0
+    bytes_sent: int = 0
+    requests: int = 0
+
+    def matches(self, box, filters) -> bool:
+        return self.box == box and self.filters == tuple(filters)
+
+
+class ProgressiveStreamServer:
+    """Serves progressive increments of one BAT timestep to many clients."""
+
+    def __init__(self, metadata_path):
+        self.dataset = BATDataset(metadata_path)
+        self._sessions: dict[int, StreamSession] = {}
+        self._next_id = 0
+
+    def close(self) -> None:
+        self.dataset.close()
+
+    def __enter__(self) -> "ProgressiveStreamServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- session management ---------------------------------------------------
+
+    def open_session(self) -> int:
+        sid = self._next_id
+        self._next_id += 1
+        self._sessions[sid] = StreamSession(session_id=sid)
+        return sid
+
+    def close_session(self, session_id: int) -> StreamSession:
+        return self._sessions.pop(session_id)
+
+    def session(self, session_id: int) -> StreamSession:
+        return self._sessions[session_id]
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self._sessions)
+
+    # -- streaming ----------------------------------------------------------------
+
+    def request(
+        self,
+        session_id: int,
+        quality: float,
+        box: Box | None = None,
+        filters=(),
+    ) -> ParticleBatch:
+        """Return the increment needed to reach ``quality`` for this client.
+
+        If the view (box/filters) changed since the last request, the
+        progression restarts from zero. If ``quality`` is at or below what
+        was already delivered for the same view, the increment is empty.
+        """
+        sess = self._sessions[session_id]
+        filters = tuple(filters)
+        if not sess.matches(box, filters):
+            sess.box = box
+            sess.filters = filters
+            sess.delivered_quality = 0.0
+        sess.requests += 1
+
+        if quality <= sess.delivered_quality:
+            specs = []
+            if self.dataset.metadata.leaves:
+                specs = self.dataset.file(
+                    self.dataset.metadata.leaves[0].leaf_index
+                ).attribute_specs()
+            return ParticleBatch.empty(specs)
+
+        batch, _ = self.dataset.query(
+            quality=quality,
+            prev_quality=sess.delivered_quality,
+            box=box,
+            filters=filters,
+        )
+        sess.delivered_quality = quality
+        sess.bytes_sent += batch.nbytes
+        return batch

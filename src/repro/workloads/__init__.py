@@ -1,0 +1,33 @@
+"""Workload generators reproducing the paper's evaluation datasets.
+
+- :mod:`repro.workloads.decomposition` — rank-grid domain decompositions;
+- :mod:`repro.workloads.uniform` — the fixed uniform distribution of the
+  weak-scaling study (32k particles/rank, 3 f32 coords + 14 f64 attrs);
+- :mod:`repro.workloads.coal_boiler` — a synthetic stand-in for the Uintah
+  Coal Boiler time series (particle injection, 4.6M → 41.5M particles);
+- :mod:`repro.workloads.dam_break` — a synthetic stand-in for the
+  ExaMPM/Cabana Dam Break (fixed particle count migrating through a 2D
+  decomposition).
+
+The Coal Boiler and Dam Break generators are substitutions for
+production datasets we cannot obtain (DESIGN.md §2); they match the
+published particle counts and produce the clustered, time-drifting
+per-rank histograms that drive the adaptive-vs-AUG comparison.
+"""
+
+from .coal_boiler import CoalBoiler
+from .dam_break import DamBreak
+from .decomposition import grid_decompose, grid_dims
+from .injection import InjectionSim
+from .swe import ShallowWaterSim
+from .uniform import uniform_rank_data
+
+__all__ = [
+    "grid_dims",
+    "grid_decompose",
+    "uniform_rank_data",
+    "CoalBoiler",
+    "InjectionSim",
+    "ShallowWaterSim",
+    "DamBreak",
+]

@@ -1,0 +1,166 @@
+"""Synthetic Dam Break: a stand-in for the ExaMPM/Cabana water column.
+
+The paper's Dam Break (§VI-A2, Fig 8b) is a 3D free-surface water-column
+collapse with a *fixed* number of particles that migrate through the
+domain over a 2D (x, y) rank decomposition — early timesteps concentrate
+all particles in the column's ranks, later ones spread them along the
+floor. We reproduce that trajectory with the classical Ritter shallow-water
+dam-break solution (height profile on a dry bed) blended into a settled
+uniform layer after the surge reaches the far wall (DESIGN.md §2).
+
+Two configurations mirror the paper: 2M particles written from 1536 ranks
+and 8M from 6144. Each particle carries 3 float32 coordinates and 4 float64
+attributes (44 B/particle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.rankdata import RankData
+from ..types import Box, ParticleBatch
+from .decomposition import grid_decompose, grid_dims, rank_cell_index
+
+__all__ = ["DamBreak"]
+
+ATTRIBUTES = ("vel_x", "vel_z", "pressure", "density")
+
+
+@dataclass(frozen=True)
+class DamBreak:
+    """Deterministic synthetic dam break over timesteps 0..4001."""
+
+    #: tank: x is the flow direction, y the width, z up
+    domain: Box = Box((0.0, 0.0, 0.0), (4.0, 1.0, 1.0))
+    #: initial column occupies x in [0, dam_x], full height
+    dam_x: float = 1.0
+    column_height: float = 1.0
+    #: sqrt(g*h0) front speed in domain units per timestep
+    wave_speed: float = 1.0e-3
+    ts_end: int = 4001
+    #: relaxation timescale (timesteps) toward the settled layer after the
+    #: surge reaches the far wall
+    settle_steps: float = 800.0
+    total: int = 2_000_000
+    seed: int = 99
+
+    # -- height profile ---------------------------------------------------
+
+    def height_profile(self, timestep: int, x: np.ndarray) -> np.ndarray:
+        """Free-surface height at positions ``x`` along the tank.
+
+        Ritter's solution: undisturbed column behind the rarefaction,
+        parabolic surge ahead of it, empty beyond the front; once the front
+        reaches the far wall the profile relaxes exponentially toward the
+        volume-conserving flat layer.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        lo = self.domain.lower[0]
+        hi = self.domain.upper[0]
+        h0 = self.column_height
+        c0 = self.wave_speed  # sqrt(g h0) in domain units / step
+        t = float(timestep)
+
+        if t <= 0:
+            return np.where(x <= lo + self.dam_x, h0, 0.0)
+
+        xd = lo + self.dam_x
+        x_tail = xd - c0 * t  # rarefaction tail moving into the column
+        x_front = xd + 2 * c0 * t  # surge front
+
+        h = np.zeros_like(x)
+        h = np.where(x <= x_tail, h0, h)
+        mid = (x > x_tail) & (x < np.minimum(x_front, hi))
+        # Ritter: h = (2 c0 - (x - xd)/t)^2 / (9 g); with c0^2 = g h0 this
+        # normalizes to h0/9 * (2 - (x-xd)/(c0 t))^2
+        xi = (x[mid] - xd) / (c0 * t)
+        h[mid] = h0 / 9.0 * (2.0 - xi) ** 2
+
+        if x_front >= hi:
+            # blend toward the settled uniform layer
+            h_settled = h0 * self.dam_x / (hi - lo)
+            t_wall = (hi - xd) / (2 * c0)
+            blend = 1.0 - np.exp(-(t - t_wall) / self.settle_steps)
+            h = (1.0 - blend) * h + blend * h_settled
+        return np.maximum(h, 0.0)
+
+    # -- sampling -------------------------------------------------------------
+
+    def sample(self, timestep: int, n: int | None = None) -> ParticleBatch:
+        """Draw particles from the water body at ``timestep``.
+
+        x is sampled proportionally to the column height (mass per unit
+        length), z uniformly below the surface, y uniformly across the
+        width.
+        """
+        n = n if n is not None else self.total
+        rng = np.random.default_rng((self.seed, timestep))
+        lo = np.asarray(self.domain.lower)
+        hi = np.asarray(self.domain.upper)
+
+        grid = np.linspace(lo[0], hi[0], 2049)
+        centers = 0.5 * (grid[:-1] + grid[1:])
+        h = self.height_profile(timestep, centers)
+        weights = np.maximum(h, 0.0)
+        if weights.sum() <= 0:
+            weights = np.ones_like(weights)
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        u = rng.random(n)
+        idx = np.searchsorted(cdf, u)
+        cell_w = grid[1] - grid[0]
+        x = grid[idx] + rng.random(n) * cell_w
+        hx = np.maximum(self.height_profile(timestep, x), 1e-6)
+        z = lo[2] + rng.random(n) * hx
+        y = lo[1] + rng.random(n) * (hi[1] - lo[1])
+        pos = np.column_stack([x, y, z])
+
+        c0 = self.wave_speed
+        xd = lo[0] + self.dam_x
+        vel_x = np.clip((x - xd) / max(timestep, 1.0), -2 * c0, 2 * c0) / max(c0, 1e-12)
+        attrs = {
+            "vel_x": vel_x,
+            "vel_z": -0.1 * rng.random(n),
+            "pressure": 1000.0 * 9.81 * (hx - (z - lo[2])),
+            "density": np.full(n, 1000.0) + rng.normal(0, 1.0, n),
+        }
+        return ParticleBatch(pos.astype(np.float32), attrs)
+
+    # -- rank data ---------------------------------------------------------
+
+    def rank_data(
+        self,
+        timestep: int,
+        nranks: int,
+        scale: float = 1.0,
+        materialize: bool = False,
+        sample_size: int = 200_000,
+    ) -> RankData:
+        """Per-rank counts (optionally particles) on the fixed 2D rank grid.
+
+        Unlike the boiler, the decomposition never changes — the particles
+        move across it, which is exactly what imbalances the I/O workload.
+        """
+        total = max(int(self.total * scale), 1)
+        n_sample = total if materialize else min(total, sample_size)
+        batch = self.sample(timestep, n_sample)
+
+        rank_bounds = grid_decompose(self.domain, nranks, ndims=2)
+        dims = grid_dims(nranks, 2, self.domain.extents[:2])
+        cells = rank_cell_index(batch.positions, self.domain, dims)
+
+        if materialize:
+            batches = []
+            counts = np.zeros(nranks, dtype=np.int64)
+            for r in range(nranks):
+                sel = cells == r
+                counts[r] = int(sel.sum())
+                batches.append(batch.select(sel))
+            return RankData(bounds=rank_bounds, counts=counts, batches=batches)
+
+        hist = np.bincount(cells, minlength=nranks).astype(np.float64)
+        counts = np.round(hist * (total / max(hist.sum(), 1))).astype(np.int64)
+        bpp = 3 * 4 + 4 * 8
+        return RankData(bounds=rank_bounds, counts=counts, bytes_per_particle=float(bpp))

@@ -1,0 +1,94 @@
+"""Rank-grid domain decompositions.
+
+Both evaluation simulations partition their domain with a regular grid of
+ranks: the Coal Boiler a 3D grid resized to the data bounds over time
+(Uintah-style), the Dam Break a 2D grid along x and y (the floor). These
+helpers produce the per-rank bounds arrays the I/O layer consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import Box
+
+__all__ = ["grid_dims", "grid_decompose", "rank_cell_index"]
+
+
+def grid_dims(nranks: int, ndims: int = 3, extents=None) -> tuple[int, ...]:
+    """Factor ``nranks`` into a near-uniform ``ndims``-dimensional grid.
+
+    With ``extents`` given, the factorization tracks the domain's aspect
+    ratio (longer axes get more ranks). Exact: the product always equals
+    ``nranks``.
+    """
+    if nranks <= 0:
+        raise ValueError("nranks must be positive")
+    if ndims < 1:
+        raise ValueError("ndims must be >= 1")
+    ext = np.ones(ndims) if extents is None else np.asarray(extents, dtype=np.float64)[:ndims]
+
+    # Greedy prime-factor assignment: give each prime factor (largest
+    # first) to the axis with the largest extent-per-rank.
+    dims = np.ones(ndims, dtype=np.int64)
+    factors = []
+    m = nranks
+    p = 2
+    while p * p <= m:
+        while m % p == 0:
+            factors.append(p)
+            m //= p
+        p += 1
+    if m > 1:
+        factors.append(m)
+    for f in sorted(factors, reverse=True):
+        axis = int(np.argmax(ext / dims))
+        dims[axis] *= f
+    return tuple(int(d) for d in dims)
+
+
+def grid_decompose(domain: Box, nranks: int, ndims: int = 3) -> np.ndarray:
+    """Per-rank bounds ``(R, 2, 3)`` for a regular grid decomposition.
+
+    For ``ndims == 2`` the grid covers x and y and every rank spans the
+    full z extent (the Dam Break layout). Rank order is row-major over the
+    grid, which keeps ranks with adjacent ids spatially adjacent — the
+    layout the aggregation strategies exploit and MPI Cartesian
+    communicators produce.
+    """
+    if domain.is_empty:
+        raise ValueError("cannot decompose an empty domain")
+    dims3 = np.ones(3, dtype=np.int64)
+    d = grid_dims(nranks, ndims, domain.extents)
+    dims3[:ndims] = d
+
+    lo = np.asarray(domain.lower)
+    ext = domain.extents
+    cell = ext / dims3
+    out = np.zeros((nranks, 2, 3))
+    idx = 0
+    for i in range(dims3[0]):
+        for j in range(dims3[1]):
+            for k in range(dims3[2]):
+                clo = lo + cell * [i, j, k]
+                chi = lo + cell * [i + 1, j + 1, k + 1]
+                out[idx, 0] = clo
+                out[idx, 1] = chi
+                idx += 1
+    return out
+
+
+def rank_cell_index(positions: np.ndarray, domain: Box, dims: tuple[int, ...]) -> np.ndarray:
+    """Row-major rank index of the grid cell containing each position.
+
+    ``dims`` may be 2D (x, y) or 3D. Positions outside the domain clamp to
+    the boundary cells.
+    """
+    pts = np.asarray(positions, dtype=np.float64).reshape(-1, 3)
+    dims3 = np.ones(3, dtype=np.int64)
+    dims3[: len(dims)] = dims
+    lo = np.asarray(domain.lower)
+    ext = np.where(domain.extents > 0, domain.extents, 1.0)
+    cell = ((pts - lo) / ext * dims3).astype(np.int64)
+    np.clip(cell, 0, dims3 - 1, out=cell)
+    return (cell[:, 0] * dims3[1] + cell[:, 1]) * dims3[2] + cell[:, 2]

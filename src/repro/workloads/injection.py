@@ -1,0 +1,175 @@
+"""A time-stepped particle injection simulation (Uintah-boiler stand-in).
+
+Where :mod:`repro.workloads.coal_boiler` draws each timestep's particle
+*distribution* analytically, this module runs an actual simulation loop
+with persistent particles: every step new particles enter at wall inlets
+and every existing particle advects through a steady buoyant, swirling
+velocity field plus an Ornstein–Uhlenbeck turbulent velocity — the
+Lagrangian-particle side of a disperse multiphase solver, which is exactly
+the class of simulation (§I) whose drifting, growing populations imbalance
+the I/O workload.
+
+State is fully captured by the particle arrays, so the I/O layer's
+checkpoints restart it exactly (see :mod:`repro.driver`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rankdata import RankData
+from ..types import Box, ParticleBatch
+from .decomposition import grid_decompose, grid_dims, rank_cell_index
+
+__all__ = ["InjectionSim"]
+
+
+class InjectionSim:
+    """Continuous particle injection into a tall, swirling chamber."""
+
+    def __init__(
+        self,
+        domain: Box = Box((0.0, 0.0, 0.0), (6.0, 6.0, 12.0)),
+        n_inlets: int = 8,
+        injection_rate: int = 200,
+        rise_speed: float = 3.0e-2,
+        swirl_rate: float = 8.0e-3,
+        turbulence: float = 2.0e-2,
+        relaxation: float = 0.05,
+        dt: float = 1.0,
+        seed: int = 17,
+    ):
+        if injection_rate < 0:
+            raise ValueError("injection_rate must be >= 0")
+        self.domain = domain
+        self.n_inlets = n_inlets
+        self.injection_rate = injection_rate
+        self.rise_speed = rise_speed
+        self.swirl_rate = swirl_rate
+        self.turbulence = turbulence
+        self.relaxation = relaxation
+        self.dt = dt
+        self.step_count = 0
+        self._rng = np.random.default_rng(seed)
+
+        self.pos = np.empty((0, 3))
+        self.turb_vel = np.empty((0, 3))
+        self.temperature = np.empty(0)
+        self.age = np.empty(0)
+
+        lo = np.asarray(domain.lower)
+        ext = domain.extents
+        theta = np.linspace(0, 2 * np.pi, n_inlets, endpoint=False)
+        cx, cy = lo[0] + ext[0] / 2, lo[1] + ext[1] / 2
+        self._center = np.array([cx, cy])
+        self._inlets = np.column_stack(
+            [
+                cx + 0.45 * ext[0] * np.cos(theta),
+                cy + 0.45 * ext[1] * np.sin(theta),
+                np.full(n_inlets, lo[2] + 0.08 * ext[2]),
+            ]
+        )
+
+    @property
+    def n_particles(self) -> int:
+        return len(self.pos)
+
+    # -- dynamics --------------------------------------------------------------
+
+    def _mean_velocity(self, pos: np.ndarray) -> np.ndarray:
+        """Steady buoyant swirl: rise plus solid-body rotation about the axis."""
+        v = np.zeros_like(pos)
+        dx = pos[:, 0] - self._center[0]
+        dy = pos[:, 1] - self._center[1]
+        v[:, 0] = -self.swirl_rate * dy
+        v[:, 1] = self.swirl_rate * dx
+        v[:, 2] = self.rise_speed
+        return v
+
+    def _inject(self) -> None:
+        n = self.injection_rate
+        if n == 0:
+            return
+        which = self._rng.integers(0, self.n_inlets, n)
+        newpos = self._inlets[which] + self._rng.normal(0.0, 0.06, (n, 3))
+        self.pos = np.concatenate([self.pos, newpos])
+        self.turb_vel = np.concatenate([self.turb_vel, np.zeros((n, 3))])
+        self.temperature = np.concatenate(
+            [self.temperature, 1400.0 + self._rng.normal(0.0, 25.0, n)]
+        )
+        self.age = np.concatenate([self.age, np.zeros(n)])
+
+    def step(self, n: int = 1) -> None:
+        """Advance ``n`` timesteps: inject, advect, cool, reflect."""
+        lo = np.asarray(self.domain.lower)
+        hi = np.asarray(self.domain.upper)
+        ext = np.where(hi > lo, hi - lo, 1.0)
+        for _ in range(n):
+            self._inject()
+            if len(self.pos):
+                # Ornstein-Uhlenbeck turbulent velocity per particle
+                self.turb_vel += (
+                    -self.relaxation * self.turb_vel * self.dt
+                    + self.turbulence * self._rng.normal(size=self.pos.shape)
+                )
+                self.pos += (self._mean_velocity(self.pos) + self.turb_vel) * self.dt
+                # reflective walls (fold), matching the analytic generator
+                folded = np.mod(self.pos - lo, 2.0 * ext)
+                self.pos = lo + np.where(folded > ext, 2.0 * ext - folded, folded)
+                # cool toward the ambient profile as particles age
+                self.temperature += -0.15 * self.dt * (
+                    self.temperature - (700.0 + 20.0 * (hi[2] - self.pos[:, 2]))
+                ) * 0.01
+                self.age += self.dt
+            self.step_count += 1
+
+    # -- I/O-facing views ----------------------------------------------------------
+
+    def particles(self) -> ParticleBatch:
+        """Complete checkpoint of the simulation state."""
+        return ParticleBatch(
+            self.pos.astype(np.float32),
+            {
+                "turb_u": self.turb_vel[:, 0].copy(),
+                "turb_v": self.turb_vel[:, 1].copy(),
+                "turb_w": self.turb_vel[:, 2].copy(),
+                "temperature": self.temperature.copy(),
+                "age": self.age.copy(),
+            },
+        )
+
+    def rank_data(self, nranks: int) -> RankData:
+        """Decompose over a 3D grid refit to the occupied bounds each call
+        (the Uintah behaviour the paper describes)."""
+        batch = self.particles()
+        if len(batch) == 0:
+            bounds = grid_decompose(self.domain, nranks, ndims=3)
+            return RankData(
+                bounds=bounds,
+                counts=np.zeros(nranks, dtype=np.int64),
+                batches=[ParticleBatch.empty() for _ in range(nranks)],
+            )
+        data_box = batch.bounds
+        bounds = grid_decompose(data_box, nranks, ndims=3)
+        dims = grid_dims(nranks, 3, data_box.extents)
+        cells = rank_cell_index(batch.positions, data_box, dims)
+        counts = np.zeros(nranks, dtype=np.int64)
+        batches = []
+        for r in range(nranks):
+            sel = cells == r
+            counts[r] = int(sel.sum())
+            batches.append(batch.select(sel))
+        return RankData(bounds=bounds, counts=counts, batches=batches)
+
+    def restore(self, batch: ParticleBatch, step_count: int) -> None:
+        """Rebuild state from a checkpoint written by :meth:`particles`."""
+        required = {"turb_u", "turb_v", "turb_w", "temperature", "age"}
+        if not required <= set(batch.attributes):
+            raise ValueError(f"checkpoint missing attributes {required - set(batch.attributes)}")
+        self.pos = batch.positions.astype(np.float64).copy()
+        self.turb_vel = np.column_stack(
+            [batch.attributes["turb_u"], batch.attributes["turb_v"], batch.attributes["turb_w"]]
+        ).astype(np.float64)
+        self.temperature = batch.attributes["temperature"].astype(np.float64).copy()
+        self.age = batch.attributes["age"].astype(np.float64).copy()
+        self.step_count = step_count

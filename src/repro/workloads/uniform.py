@@ -1,0 +1,62 @@
+"""The fixed uniform distribution of the weak-scaling study (§VI-A1).
+
+"To represent a moderately sized simulation, we generate 32k particles on
+each rank. Each particle stores three single precision spatial coordinates
+and 14 double precision attributes, corresponding to 4.06 MB per rank."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rankdata import RankData
+from ..types import Box, ParticleBatch
+from .decomposition import grid_decompose
+
+__all__ = [
+    "PARTICLES_PER_RANK",
+    "N_ATTRIBUTES",
+    "BYTES_PER_PARTICLE",
+    "uniform_rank_data",
+]
+
+PARTICLES_PER_RANK = 32_768
+N_ATTRIBUTES = 14
+#: 3 float32 coordinates + 14 float64 attributes = 124 B (4.06 MB per rank)
+BYTES_PER_PARTICLE = 3 * 4 + N_ATTRIBUTES * 8
+
+
+def uniform_rank_data(
+    nranks: int,
+    particles_per_rank: int = PARTICLES_PER_RANK,
+    n_attributes: int = N_ATTRIBUTES,
+    domain: Box | None = None,
+    materialize: bool = False,
+    seed: int = 0,
+) -> RankData:
+    """Uniformly distributed particles on a 3D rank grid.
+
+    Timing-only by default (counts and bounds carry the whole weak-scaling
+    study); ``materialize=True`` generates real particles for functional
+    runs at small rank counts.
+    """
+    if nranks <= 0 or particles_per_rank < 0:
+        raise ValueError("nranks must be positive and particles_per_rank >= 0")
+    domain = domain or Box((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+    bounds = grid_decompose(domain, nranks, ndims=3)
+    counts = np.full(nranks, particles_per_rank, dtype=np.int64)
+    bpp = 3 * 4 + n_attributes * 8
+
+    if not materialize:
+        return RankData(bounds=bounds, counts=counts, bytes_per_particle=float(bpp))
+
+    rng = np.random.default_rng(seed)
+    batches = []
+    for r in range(nranks):
+        lo, hi = bounds[r]
+        pos = lo + rng.random((particles_per_rank, 3)) * (hi - lo)
+        attrs = {
+            f"attr{a:02d}": rng.random(particles_per_rank) for a in range(n_attributes)
+        }
+        batches.append(ParticleBatch(pos.astype(np.float32), attrs))
+    return RankData(bounds=bounds, counts=counts, batches=batches)

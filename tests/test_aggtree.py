@@ -1,0 +1,228 @@
+"""Tests for the adaptive Aggregation Tree (the paper's core contribution)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggtree import (
+    AggInner,
+    AggLeaf,
+    AggTreeConfig,
+    build_aggregation_tree,
+    split_cost,
+)
+from repro.types import Box
+
+
+def grid_ranks(nx, ny, nz=1, counts=None):
+    """Regular rank grid with given per-rank counts."""
+    bounds = []
+    for i in range(nx):
+        for j in range(ny):
+            for k in range(nz):
+                bounds.append([[i, j, k], [i + 1, j + 1, k + 1]])
+    bounds = np.array(bounds, dtype=np.float64)
+    n = len(bounds)
+    if counts is None:
+        counts = np.full(n, 1000, dtype=np.int64)
+    return bounds, np.asarray(counts, dtype=np.int64)
+
+
+class TestSplitCost:
+    def test_balanced_is_zero(self):
+        assert split_cost(100, 100) == 0.0
+
+    def test_fully_imbalanced_is_half(self):
+        assert split_cost(100, 0) == 0.5
+
+    def test_empty_is_worst(self):
+        assert split_cost(0, 0) == 0.5
+
+    @given(st.integers(0, 10**9), st.integers(0, 10**9))
+    def test_bounded_and_symmetric(self, a, b):
+        c = split_cost(a, b)
+        assert 0.0 <= c <= 0.5
+        assert c == pytest.approx(split_cost(b, a))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AggTreeConfig(target_size=0)
+        with pytest.raises(ValueError):
+            AggTreeConfig(overfull_factor=0.5)
+        with pytest.raises(ValueError):
+            AggTreeConfig(overfull_cost_ratio=0.5)
+
+
+class TestBuild:
+    def test_empty_input(self):
+        tree = build_aggregation_tree(np.zeros((4, 2, 3)), np.zeros(4), 100.0)
+        assert tree.n_leaves == 0
+        assert tree.nodes == []
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            build_aggregation_tree(np.zeros((3, 2, 3)), np.zeros(4), 100.0)
+
+    def test_single_rank(self):
+        bounds = np.array([[[0, 0, 0], [1, 1, 1]]], dtype=np.float64)
+        tree = build_aggregation_tree(bounds, np.array([500]), 100.0)
+        assert tree.n_leaves == 1
+        assert tree.leaves[0].count == 500
+
+    def test_everything_fits_one_leaf(self):
+        bounds, counts = grid_ranks(4, 4)
+        tree = build_aggregation_tree(bounds, counts, 10.0, AggTreeConfig(target_size=10**9))
+        assert tree.n_leaves == 1
+        assert tree.leaves[0].count == counts.sum()
+
+    def test_uniform_grid_balanced_leaves(self):
+        bounds, counts = grid_ranks(8, 8)
+        tree = build_aggregation_tree(
+            bounds, counts, 100.0, AggTreeConfig(target_size=400_000)
+        )
+        # 6.4 MB total / 0.4 MB target -> 16 leaves of 4 ranks each
+        assert tree.n_leaves == 16
+        leaf_counts = [l.count for l in tree.leaves]
+        assert max(leaf_counts) == min(leaf_counts) == 4000
+        assert tree.imbalance() == pytest.approx(1.0)
+
+    def test_leaves_partition_active_ranks(self):
+        bounds, counts = grid_ranks(6, 5)
+        counts[::7] = 0  # some empty ranks
+        tree = build_aggregation_tree(bounds, counts, 100.0, AggTreeConfig(target_size=100_000))
+        seen = np.concatenate([l.rank_ids for l in tree.leaves])
+        active = np.nonzero(counts > 0)[0]
+        assert sorted(seen.tolist()) == sorted(active.tolist())
+        assert len(seen) == len(set(seen.tolist()))
+
+    def test_empty_ranks_excluded(self):
+        bounds, counts = grid_ranks(4, 4)
+        counts[:] = 0
+        counts[5] = 100
+        tree = build_aggregation_tree(bounds, counts, 100.0, AggTreeConfig(target_size=1000))
+        assert tree.n_leaves == 1
+        assert list(tree.leaves[0].rank_ids) == [5]
+
+    def test_rank_never_split(self):
+        """A single huge rank exceeds the target but stays in one leaf."""
+        bounds, counts = grid_ranks(4, 1)
+        counts[2] = 10**6
+        tree = build_aggregation_tree(bounds, counts, 100.0, AggTreeConfig(target_size=10_000))
+        leaf_of = tree.leaf_of_rank()
+        assert leaf_of[2] >= 0
+        heavy = tree.leaves[leaf_of[2]]
+        assert list(heavy.rank_ids) == [2]
+        assert heavy.nbytes > 10_000  # exceeds target, allowed
+
+    def test_nonuniform_isolates_dense_region(self):
+        bounds, counts = grid_ranks(8, 8)
+        counts[:] = 10
+        counts[0] = 50_000  # dense corner
+        tree = build_aggregation_tree(bounds, counts, 100.0, AggTreeConfig(target_size=200_000))
+        leaf_of = tree.leaf_of_rank()
+        dense_leaf = tree.leaves[leaf_of[0]]
+        # the dense rank is not grouped with many sparse ranks
+        assert len(dense_leaf.rank_ids) <= 8
+        assert tree.imbalance() < 8.0
+
+    def test_split_positions_on_rank_boundaries(self):
+        bounds, counts = grid_ranks(8, 8)
+        tree = build_aggregation_tree(bounds, counts, 100.0, AggTreeConfig(target_size=400_000))
+        edges = set()
+        for r in range(len(bounds)):
+            for ax in range(3):
+                edges.add((ax, bounds[r, 1, ax]))
+        for node in tree.nodes:
+            if isinstance(node, AggInner):
+                assert (node.axis, node.position) in edges
+
+    def test_leaf_bounds_cover_member_ranks(self):
+        bounds, counts = grid_ranks(6, 6)
+        counts = np.random.default_rng(0).integers(0, 5000, len(counts))
+        tree = build_aggregation_tree(bounds, counts, 100.0, AggTreeConfig(target_size=300_000))
+        for leaf in tree.leaves:
+            for r in leaf.rank_ids:
+                assert leaf.bounds.contains_box(Box.from_array(bounds[r]))
+
+    def test_query_box_matches_linear_scan(self):
+        bounds, counts = grid_ranks(8, 8)
+        counts = np.random.default_rng(1).integers(1, 5000, len(counts))
+        tree = build_aggregation_tree(bounds, counts, 100.0, AggTreeConfig(target_size=300_000))
+        for qb in (Box((0, 0, 0), (3, 3, 1)), Box((5.5, 2.5, 0), (7, 4, 1)), Box((20, 20, 20), (21, 21, 21))):
+            via_tree = tree.query_box(qb)
+            linear = sorted(l.leaf_index for l in tree.leaves if l.bounds.intersects(qb))
+            assert via_tree == linear
+
+    def test_overfull_leaf_avoids_bad_split(self):
+        # 3 ranks in a row: two tiny, one heavy; splitting the heavy off is
+        # maximally imbalanced, so the overfull rule keeps them together
+        # when within the factor.
+        bounds = np.array(
+            [[[0, 0, 0], [1, 1, 1]], [[1, 0, 0], [2, 1, 1]], [[2, 0, 0], [3, 1, 1]]],
+            dtype=np.float64,
+        )
+        counts = np.array([50, 50, 1000])
+        cfg = AggTreeConfig(target_size=80_000, overfull_cost_ratio=4.0, overfull_factor=1.5)
+        tree = build_aggregation_tree(bounds, counts, 100.0, cfg)
+        assert tree.n_leaves == 1
+        assert tree.leaves[0].overfull
+
+    def test_overfull_disabled_by_default(self):
+        bounds = np.array(
+            [[[0, 0, 0], [1, 1, 1]], [[1, 0, 0], [2, 1, 1]], [[2, 0, 0], [3, 1, 1]]],
+            dtype=np.float64,
+        )
+        counts = np.array([50, 50, 1000])
+        cfg = AggTreeConfig(target_size=80_000)
+        tree = build_aggregation_tree(bounds, counts, 100.0, cfg)
+        assert tree.n_leaves > 1
+
+    def test_overfull_respects_size_factor(self):
+        """Too large for the overfull factor -> must split despite the cost."""
+        bounds = np.array(
+            [[[0, 0, 0], [1, 1, 1]], [[1, 0, 0], [2, 1, 1]]], dtype=np.float64
+        )
+        counts = np.array([50, 10_000])
+        cfg = AggTreeConfig(target_size=100_000, overfull_cost_ratio=4.0, overfull_factor=1.5)
+        tree = build_aggregation_tree(bounds, counts, 100.0, cfg)
+        assert tree.n_leaves == 2
+
+    def test_split_all_axes_not_worse(self):
+        bounds, counts = grid_ranks(8, 2)
+        counts = np.random.default_rng(2).integers(1, 5000, len(counts))
+        base = build_aggregation_tree(bounds, counts, 100.0, AggTreeConfig(target_size=200_000))
+        allax = build_aggregation_tree(
+            bounds, counts, 100.0, AggTreeConfig(target_size=200_000, split_all_axes=True)
+        )
+        assert allax.imbalance() <= base.imbalance() * 1.25
+
+    def test_identical_bounds_fallback(self):
+        """Fully overlapping rank bounds still split (degenerate input)."""
+        bounds = np.tile(np.array([[[0, 0, 0], [1, 1, 1]]], dtype=np.float64), (6, 1, 1))
+        counts = np.full(6, 1000)
+        tree = build_aggregation_tree(bounds, counts, 100.0, AggTreeConfig(target_size=150_000))
+        assert tree.n_leaves >= 4
+        seen = sorted(np.concatenate([l.rank_ids for l in tree.leaves]).tolist())
+        assert seen == list(range(6))
+
+    def test_depth_first_leaf_order_is_spatially_coherent(self):
+        bounds, counts = grid_ranks(8, 8)
+        tree = build_aggregation_tree(bounds, counts, 100.0, AggTreeConfig(target_size=400_000))
+        centers = [leaf.bounds.center for leaf in tree.leaves]
+        hops = [np.linalg.norm(b - a) for a, b in zip(centers, centers[1:])]
+        # consecutive leaves are nearby on average (DFS order is spatial)
+        assert np.mean(hops) < 5.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 10), st.integers(2, 10), st.integers(0, 2**31))
+    def test_any_grid_valid_partition(self, nx, ny, seed):
+        bounds, _ = grid_ranks(nx, ny)
+        counts = np.random.default_rng(seed).integers(0, 10_000, nx * ny)
+        tree = build_aggregation_tree(bounds, counts, 64.0, AggTreeConfig(target_size=10**6))
+        seen = np.concatenate([l.rank_ids for l in tree.leaves]) if tree.leaves else []
+        active = np.nonzero(counts > 0)[0]
+        assert sorted(np.asarray(seen).tolist()) == sorted(active.tolist())
+        assert sum(l.count for l in tree.leaves) == counts.sum()

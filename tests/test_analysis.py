@@ -1,0 +1,145 @@
+"""Tests for streaming analysis queries (histograms, region stats)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import RegionStats, attribute_histogram, attribute_summary, region_stats
+from repro.bat import AttributeFilter, build_bat
+from repro.types import Box, ParticleBatch
+
+N = 30_000
+
+
+@pytest.fixture(scope="module")
+def source(tmp_path_factory):
+    rng = np.random.default_rng(33)
+    pos = rng.random((N, 3)).astype(np.float32)
+    attrs = {
+        "temp": rng.normal(300.0, 25.0, N),
+        "rho": rng.random(N),
+    }
+    built = build_bat(ParticleBatch(pos, attrs))
+    return built.open(), pos, attrs
+
+
+class TestRegionStatsAccumulator:
+    def test_single_batch_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        vals = rng.normal(5, 2, 1000)
+        s = RegionStats()
+        s.update(vals)
+        assert s.count == 1000
+        assert s.mean == pytest.approx(vals.mean())
+        assert s.std == pytest.approx(vals.std(), rel=1e-6)
+        assert s.min == vals.min() and s.max == vals.max()
+
+    def test_chunked_equals_whole(self):
+        rng = np.random.default_rng(1)
+        vals = rng.normal(0, 3, 5000)
+        whole = RegionStats()
+        whole.update(vals)
+        chunked = RegionStats()
+        for part in np.array_split(vals, 13):
+            chunked.update(part)
+        assert chunked.count == whole.count
+        assert chunked.mean == pytest.approx(whole.mean)
+        assert chunked.std == pytest.approx(whole.std, rel=1e-9)
+
+    def test_empty_update_noop(self):
+        s = RegionStats()
+        s.update(np.array([]))
+        assert s.count == 0
+        assert s.variance == 0.0
+
+
+class TestAttributeHistogram:
+    def test_full_histogram_matches_numpy(self, source):
+        f, _, attrs = source
+        counts, edges = attribute_histogram(f, "temp", bins=50)
+        ref, ref_edges = np.histogram(attrs["temp"], bins=edges)
+        np.testing.assert_array_equal(counts, ref)
+        assert counts.sum() <= N  # numpy drops out-of-range values identically
+
+    def test_boxed_histogram(self, source):
+        f, pos, attrs = source
+        box = Box((0.0, 0.0, 0.0), (0.5, 1.0, 1.0))
+        counts, edges = attribute_histogram(f, "rho", bins=10, box=box)
+        mask = box.contains_points(pos)
+        ref, _ = np.histogram(attrs["rho"][mask], bins=edges)
+        np.testing.assert_array_equal(counts, ref)
+
+    def test_filtered_histogram(self, source):
+        f, _, attrs = source
+        filt = AttributeFilter("temp", 300.0, 1e9)
+        counts, edges = attribute_histogram(f, "rho", bins=8, filters=[filt])
+        ref, _ = np.histogram(attrs["rho"][attrs["temp"] >= 300.0], bins=edges)
+        np.testing.assert_array_equal(counts, ref)
+
+    def test_explicit_range(self, source):
+        f, _, _ = source
+        counts, edges = attribute_histogram(f, "rho", bins=4, value_range=(0.0, 1.0))
+        assert edges[0] == 0.0 and edges[-1] == 1.0
+        assert counts.sum() == N
+
+    def test_lod_histogram_approximates(self, source):
+        f, _, attrs = source
+        full, edges = attribute_histogram(f, "temp", bins=16)
+        coarse, _ = attribute_histogram(f, "temp", bins=16, value_range=(edges[0], edges[-1]), quality=0.3)
+        # the LOD histogram has the same shape: normalized L1 distance small
+        pf = full / full.sum()
+        pc = coarse / max(coarse.sum(), 1)
+        assert np.abs(pf - pc).sum() < 0.15
+
+    def test_validation(self, source):
+        f, _, _ = source
+        with pytest.raises(ValueError):
+            attribute_histogram(f, "temp", bins=0)
+        with pytest.raises(KeyError):
+            attribute_histogram(f, "nope")
+
+
+class TestRegionStatsQuery:
+    def test_matches_direct_computation(self, source):
+        f, pos, attrs = source
+        box = Box((0.25, 0.25, 0.25), (0.75, 0.75, 0.75))
+        stats = region_stats(f, ["temp", "rho"], box=box)
+        mask = box.contains_points(pos)
+        for name in ("temp", "rho"):
+            ref = attrs[name][mask]
+            assert stats[name].count == mask.sum()
+            assert stats[name].mean == pytest.approx(ref.mean())
+            assert stats[name].min == pytest.approx(ref.min())
+            assert stats[name].max == pytest.approx(ref.max())
+            assert stats[name].std == pytest.approx(ref.std(), rel=1e-6)
+
+    def test_unknown_attr_validated_before_scan(self, source):
+        f, _, _ = source
+        with pytest.raises(KeyError):
+            region_stats(f, ["temp", "missing"])
+
+    def test_summary_covers_all_attrs(self, source):
+        f, _, attrs = source
+        summary = attribute_summary(f)
+        assert set(summary) == set(attrs)
+        assert all(s.count == N for s in summary.values())
+
+
+class TestDatasetSource:
+    def test_works_on_datasets(self, tmp_path):
+        from repro.core import TwoPhaseWriter
+        from repro.core.dataset import BATDataset
+        from repro.machines import testing_machine
+        from tests.test_pipeline import make_rank_data
+
+        data = make_rank_data(nranks=8, seed=44)
+        rep = TwoPhaseWriter(testing_machine(), target_size=128 * 1024).write(
+            data, out_dir=tmp_path, name="an"
+        )
+        alltemp = np.concatenate([b.attributes["temp"] for b in data.batches])
+        with BATDataset(rep.metadata_path) as ds:
+            counts, edges = attribute_histogram(ds, "temp", bins=20)
+            ref, _ = np.histogram(alltemp, bins=edges)
+            np.testing.assert_array_equal(counts, ref)
+            stats = region_stats(ds, ["temp"])
+            assert stats["temp"].count == len(alltemp)
+            assert stats["temp"].mean == pytest.approx(alltemp.mean())

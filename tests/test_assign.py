@@ -1,0 +1,82 @@
+"""Tests for write/read aggregator assignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.assign import assign_read_aggregators, assign_write_aggregators
+
+
+class TestWriteAggregators:
+    def test_empty(self):
+        assert len(assign_write_aggregators(0, 16)) == 0
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            assign_write_aggregators(4, 0)
+
+    def test_fewer_leaves_than_ranks_distinct(self):
+        a = assign_write_aggregators(8, 64)
+        assert len(set(a.tolist())) == 8
+
+    def test_spread_through_rank_space(self):
+        a = assign_write_aggregators(4, 64)
+        np.testing.assert_array_equal(a, [0, 16, 32, 48])
+
+    def test_adjacent_leaves_far_apart(self):
+        """The anti-oversubscription property: consecutive (spatially
+        adjacent) leaves land on well-separated ranks."""
+        a = assign_write_aggregators(16, 1024)
+        gaps = np.diff(a)
+        assert (gaps == 64).all()
+
+    def test_more_leaves_than_ranks_wraps(self):
+        a = assign_write_aggregators(10, 4)
+        assert a.max() < 4
+        counts = np.bincount(a, minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    @given(st.integers(1, 500), st.integers(1, 500))
+    def test_valid_ranks_and_balance(self, n_leaves, nranks):
+        a = assign_write_aggregators(n_leaves, nranks)
+        assert len(a) == n_leaves
+        assert (a >= 0).all() and (a < nranks).all()
+        counts = np.bincount(a, minlength=nranks)
+        assert counts.max() <= int(np.ceil(n_leaves / nranks)) + 1
+
+
+class TestReadAggregators:
+    def test_empty(self):
+        assert len(assign_read_aggregators(0, 8)) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            assign_read_aggregators(4, -1)
+
+    def test_more_ranks_than_files(self):
+        a = assign_read_aggregators(4, 64)
+        assert len(set(a.tolist())) == 4  # one rank per file
+        np.testing.assert_array_equal(a, [0, 16, 32, 48])
+
+    def test_fewer_ranks_than_files_even_deal(self):
+        a = assign_read_aggregators(100, 8)
+        counts = np.bincount(a, minlength=8)
+        assert counts.max() - counts.min() <= 1
+        assert counts.sum() == 100
+
+    def test_equal_ranks_and_files(self):
+        a = assign_read_aggregators(16, 16)
+        assert sorted(a.tolist()) == list(range(16))
+
+    def test_deterministic_without_communication(self):
+        """All ranks must derive the same map locally."""
+        a = assign_read_aggregators(37, 12)
+        b = assign_read_aggregators(37, 12)
+        np.testing.assert_array_equal(a, b)
+
+    @given(st.integers(1, 1000), st.integers(1, 1000))
+    def test_every_file_owned(self, n_files, nranks):
+        a = assign_read_aggregators(n_files, nranks)
+        assert len(a) == n_files
+        assert (a >= 0).all() and (a < nranks).all()

@@ -1,0 +1,99 @@
+"""Tests for automatic target-size selection (§VII extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import TwoPhaseWriter
+from repro.core.autotune import (
+    MAX_TARGET_SIZE,
+    MIN_TARGET_SIZE,
+    recommend_aggregation_factor,
+    recommend_target_size,
+)
+from repro.machines import testing_machine as make_test_machine
+from repro.workloads import uniform_rank_data
+
+MB = 1 << 20
+
+
+class TestRecommendFactor:
+    def test_small_scale_near_one(self):
+        assert recommend_aggregation_factor(96) == 1.0
+        assert recommend_aggregation_factor(384) == 1.0
+
+    def test_moderate_scale(self):
+        assert recommend_aggregation_factor(1536) == 4.0
+
+    def test_large_scale_at_least_16(self):
+        # paper: "At larger scales, the target size should be increased to
+        # 16:1 or higher"
+        assert recommend_aggregation_factor(6144) >= 16.0
+        assert recommend_aggregation_factor(24576) >= 16.0
+
+    def test_growth_factor_scales_up(self):
+        base = recommend_aggregation_factor(6144)
+        grown = recommend_aggregation_factor(6144, growth_factor=4.0)
+        assert grown == pytest.approx(4 * base)
+
+    def test_capped(self):
+        assert recommend_aggregation_factor(10**6, growth_factor=100) == 256.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend_aggregation_factor(0)
+        with pytest.raises(ValueError):
+            recommend_aggregation_factor(8, growth_factor=0.5)
+
+    @given(st.integers(1, 10**6))
+    def test_monotone_in_scale(self, nranks):
+        assert recommend_aggregation_factor(nranks * 2) >= recommend_aggregation_factor(nranks)
+
+
+class TestRecommendTargetSize:
+    def test_clamped_to_bounds(self):
+        assert recommend_target_size(0, 64) == MIN_TARGET_SIZE
+        assert recommend_target_size(1e18, 64) == MAX_TARGET_SIZE
+
+    def test_whole_megabytes(self):
+        t = recommend_target_size(1536 * 4.06e6, 1536)
+        assert t % MB == 0
+
+    def test_paper_operating_points(self):
+        # 1536 ranks x 4.06 MB -> ~4:1 -> ~16 MB target
+        t = recommend_target_size(1536 * 4.06e6, 1536)
+        assert 8 * MB <= t <= 32 * MB
+        # 24k ranks -> >=16:1 -> >=64 MB
+        t = recommend_target_size(24576 * 4.06e6, 24576)
+        assert t >= 64 * MB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommend_target_size(-1, 64)
+
+
+class TestAutoWriter:
+    def test_auto_resolves_per_write(self):
+        m = make_test_machine()
+        writer = TwoPhaseWriter(m, target_size="auto")
+        small = uniform_rank_data(16, particles_per_rank=2000)
+        rep = writer.write(small)
+        assert rep.n_files >= 1
+
+    def test_auto_adapts_to_data_size(self):
+        m = make_test_machine()
+        writer = TwoPhaseWriter(m, target_size="auto")
+        a = writer.write(uniform_rank_data(64, particles_per_rank=1000))
+        b = writer.write(uniform_rank_data(64, particles_per_rank=64_000))
+        # larger timestep -> larger files, not proportionally more files
+        assert b.file_sizes.max() > a.file_sizes.max()
+
+    def test_auto_rejects_agg_config(self):
+        from repro.core import AggTreeConfig
+
+        with pytest.raises(ValueError, match="auto"):
+            TwoPhaseWriter(
+                make_test_machine(), target_size="auto",
+                agg_config=AggTreeConfig(target_size=MB),
+            )

@@ -1,0 +1,183 @@
+"""Tests for the baseline strategies: AUG, FPP, shared file, IOR."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FilePerProcessReader,
+    FilePerProcessWriter,
+    SharedFileReader,
+    SharedFileWriter,
+    build_aug_plan,
+    ior_benchmark,
+)
+from repro.machines import stampede2
+from repro.machines import testing_machine as make_test_machine
+from repro.types import Box
+from tests.test_pipeline import make_rank_data
+
+
+def grid_ranks(nx, ny, counts):
+    bounds = []
+    for i in range(nx):
+        for j in range(ny):
+            bounds.append([[i, j, 0], [i + 1, j + 1, 1]])
+    return np.array(bounds, dtype=np.float64), np.asarray(counts, dtype=np.int64)
+
+
+class TestAUG:
+    def test_empty(self):
+        plan = build_aug_plan(np.zeros((4, 2, 3)), np.zeros(4), 100.0, 1 << 20)
+        assert plan.n_leaves == 0
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            build_aug_plan(np.zeros((1, 2, 3)), np.ones(1), 1.0, 0)
+
+    def test_uniform_data_near_target_cells(self):
+        bounds, counts = grid_ranks(8, 8, np.full(64, 1000))
+        plan = build_aug_plan(bounds, counts, 100.0, 400_000)
+        # 6.4 MB / 0.4 MB -> ~16 cells
+        assert 12 <= plan.n_leaves <= 20
+        assert plan.imbalance() < 1.5
+
+    def test_partition_complete(self):
+        bounds, counts = grid_ranks(6, 6, np.random.default_rng(0).integers(0, 5000, 36))
+        plan = build_aug_plan(bounds, counts, 100.0, 200_000)
+        seen = np.concatenate([l.rank_ids for l in plan.leaves])
+        active = np.nonzero(counts > 0)[0]
+        assert sorted(seen.tolist()) == sorted(active.tolist())
+        assert sum(l.count for l in plan.leaves) == counts.sum()
+
+    def test_empty_cells_discarded(self):
+        counts = np.zeros(64, dtype=np.int64)
+        counts[:8] = 10_000  # one dense stripe
+        bounds, counts = grid_ranks(8, 8, counts)
+        plan = build_aug_plan(bounds, counts, 100.0, 200_000)
+        for leaf in plan.leaves:
+            assert leaf.count > 0
+
+    def test_uniform_density_assumption_hurts_clusters(self):
+        """AUG's defining weakness: clustered data -> imbalanced cells."""
+        counts = np.full(64, 10, dtype=np.int64)
+        counts[0] = 100_000
+        bounds, counts2 = grid_ranks(8, 8, counts)
+        aug = build_aug_plan(bounds, counts2, 100.0, 500_000)
+        from repro.core import AggTreeConfig, build_aggregation_tree
+
+        adaptive = build_aggregation_tree(
+            bounds, counts2, 100.0, AggTreeConfig(target_size=500_000)
+        )
+        assert adaptive.imbalance() <= aug.imbalance()
+
+    def test_grid_fits_data_bounds(self):
+        counts = np.zeros(64, dtype=np.int64)
+        counts[:16] = 1000  # data only in the first two columns
+        bounds, counts2 = grid_ranks(8, 8, counts)
+        plan = build_aug_plan(bounds, counts2, 100.0, 100_000)
+        assert plan.data_bounds.upper[0] <= 2.0 + 1e-9
+
+    def test_query_box(self):
+        bounds, counts = grid_ranks(4, 4, np.full(16, 1000))
+        plan = build_aug_plan(bounds, counts, 100.0, 400_000)
+        hits = plan.query_box(Box((0, 0, 0), (1.5, 1.5, 1)))
+        assert hits
+        for i in hits:
+            assert plan.leaves[i].bounds.intersects(Box((0, 0, 0), (1.5, 1.5, 1)))
+
+
+class TestFPP:
+    def test_write_read_roundtrip(self, tmp_path):
+        m = make_test_machine()
+        data = make_rank_data(nranks=8, seed=1)
+        w = FilePerProcessWriter(m)
+        rep = w.write(data, out_dir=tmp_path, name="fpp")
+        assert rep.n_files == 8
+        assert rep.bandwidth > 0
+        r = FilePerProcessReader(m)
+        sizes = data.counts * data.bytes_per_particle
+        rrep, batches = r.read(8, sizes, in_dir=tmp_path, name="fpp", shift=3)
+        assert rrep.bandwidth > 0
+        # rank r got writer (r+3)%8's particles
+        for rank in range(8):
+            src = (rank + 3) % 8
+            assert len(batches[rank]) == data.counts[src]
+            np.testing.assert_array_equal(
+                batches[rank].positions, data.batches[src].positions
+            )
+
+    def test_empty_rank_skipped(self, tmp_path):
+        m = make_test_machine()
+        data = make_rank_data(nranks=4, seed=2)
+        data.batches[1] = data.batches[1].select(np.zeros(0, dtype=np.int64))
+        data.counts[1] = 0
+        w = FilePerProcessWriter(m)
+        rep = w.write(data, out_dir=tmp_path, name="gap")
+        assert rep.n_files == 3
+        r = FilePerProcessReader(m)
+        _, batches = r.read(4, data.counts * 28.0, in_dir=tmp_path, name="gap")
+        assert len(batches[1]) == 0
+
+    def test_reader_size_mismatch(self):
+        m = make_test_machine()
+        with pytest.raises(ValueError, match="one size per"):
+            FilePerProcessReader(m).read(4, np.ones(3))
+
+
+class TestSharedFile:
+    def test_write_read_roundtrip(self, tmp_path):
+        m = make_test_machine()
+        data = make_rank_data(nranks=6, seed=3)
+        w = SharedFileWriter(m)
+        path = tmp_path / "shared.npz"
+        rep = w.write(data, out_path=path)
+        assert rep.bandwidth > 0
+        r = SharedFileReader(m)
+        rrep, batches = r.read(6, data.total_bytes, in_path=path, shift=1)
+        for rank in range(6):
+            src = (rank + 1) % 6
+            assert len(batches[rank]) == data.counts[src]
+
+    def test_hdf5_mode_slower(self):
+        m = make_test_machine()
+        data = make_rank_data(nranks=64, seed=4, min_n=100, max_n=200)
+        plain = SharedFileWriter(m).write(data)
+        hdf5 = SharedFileWriter(m, hdf5=True).write(data)
+        assert hdf5.elapsed > plain.elapsed
+
+
+class TestIOR:
+    def test_modes(self):
+        m = stampede2()
+        for mode in ("fpp", "shared", "hdf5"):
+            r = ior_benchmark(m, 256, 4.06e6, mode)
+            assert r.write_bandwidth > 0
+            assert r.read_bandwidth > 0
+
+    def test_invalid(self):
+        m = stampede2()
+        with pytest.raises(ValueError):
+            ior_benchmark(m, 256, 4e6, "nope")
+        with pytest.raises(ValueError):
+            ior_benchmark(m, 0, 4e6, "fpp")
+
+    def test_fpp_beats_shared_at_small_scale(self):
+        m = stampede2()
+        fpp = ior_benchmark(m, 96, 4.06e6, "fpp")
+        shared = ior_benchmark(m, 96, 4.06e6, "shared")
+        assert fpp.write_bandwidth > shared.write_bandwidth
+
+    def test_fpp_flattens_at_scale(self):
+        """The weak-scaling signature of Fig 5: FPP bandwidth stops growing."""
+        m = stampede2()
+        bw = [ior_benchmark(m, p, 4.06e6, "fpp").write_bandwidth for p in (384, 1536, 6144, 24576)]
+        growth_early = bw[1] / bw[0]
+        growth_late = bw[3] / bw[2]
+        assert growth_late < growth_early
+        assert growth_late < 1.3
+
+    def test_hdf5_slowest_shared_mode(self):
+        m = stampede2()
+        shared = ior_benchmark(m, 1536, 4.06e6, "shared")
+        hdf5 = ior_benchmark(m, 1536, 4.06e6, "hdf5")
+        assert hdf5.write_bandwidth < shared.write_bandwidth

@@ -1,0 +1,194 @@
+"""Tests for the §VII BAT extensions: quantization, compression,
+equi-depth binning, and in-memory (in-transit) access."""
+
+import numpy as np
+import pytest
+
+from repro.bat import AttributeFilter, BATBuildConfig, BATFile, build_bat
+from repro.bat.query import query_file
+from repro.types import Box, ParticleBatch
+
+N = 40_000
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(21)
+    pos = (rng.random((N, 3)) * np.array([3.0, 2.0, 1.0])).astype(np.float32)
+    return ParticleBatch(
+        pos,
+        {
+            "skew": np.exp(rng.normal(0.0, 2.0, N)),  # log-normal
+            "u": rng.random(N),
+        },
+    )
+
+
+def roundtrip(batch, cfg, tmp_path, name):
+    built = build_bat(batch, cfg)
+    p = tmp_path / f"{name}.bat"
+    built.write(p)
+    return built, BATFile(p)
+
+
+class TestQuantizedPositions:
+    def test_flag_recorded(self, batch, tmp_path):
+        built, f = roundtrip(batch, BATBuildConfig(quantize_positions=True), tmp_path, "q")
+        with f:
+            assert f.quantized and not f.compressed
+            assert built.flags == 1
+
+    def test_smaller_file(self, batch, tmp_path):
+        plain = build_bat(batch)
+        quant = build_bat(batch, BATBuildConfig(quantize_positions=True))
+        # positions shrink from 12 to 6 bytes/particle
+        assert plain.nbytes - quant.nbytes > 5 * N
+
+    def test_positions_accurate_to_quantum(self, batch, tmp_path):
+        _, f = roundtrip(batch, BATBuildConfig(quantize_positions=True), tmp_path, "qa")
+        with f:
+            res, _ = query_file(f)
+            assert len(res) == N
+            # worst case error: one treelet extent / 65535; treelets cover a
+            # small fraction of the domain, so 1e-4 absolute is generous
+            a = np.sort(res.positions, axis=0)
+            b = np.sort(batch.positions, axis=0)
+            assert np.abs(a - b).max() < 1e-4
+
+    def test_attributes_lossless(self, batch, tmp_path):
+        _, f = roundtrip(batch, BATBuildConfig(quantize_positions=True), tmp_path, "ql")
+        with f:
+            res, _ = query_file(f)
+            np.testing.assert_array_equal(
+                np.sort(res.attributes["skew"]), np.sort(batch.attributes["skew"])
+            )
+
+    def test_spatial_query_consistent_with_decoded_positions(self, batch, tmp_path):
+        _, f = roundtrip(batch, BATBuildConfig(quantize_positions=True), tmp_path, "qs")
+        with f:
+            full, _ = query_file(f)
+            box = Box((0.5, 0.5, 0.2), (2.0, 1.5, 0.8))
+            res, _ = query_file(f, box=box)
+            assert len(res) == box.contains_points(full.positions).sum()
+            assert box.contains_points(res.positions).all()
+
+
+class TestCompressedTreelets:
+    def test_flag_and_roundtrip(self, batch, tmp_path):
+        built, f = roundtrip(batch, BATBuildConfig(compress=True), tmp_path, "c")
+        with f:
+            assert f.compressed and not f.quantized
+            res, _ = query_file(f)
+            assert len(res) == N
+            np.testing.assert_array_equal(
+                np.sort(res.positions[:, 0]), np.sort(batch.positions[:, 0])
+            )
+
+    def test_compression_shrinks_file(self, batch):
+        plain = build_bat(batch)
+        comp = build_bat(batch, BATBuildConfig(compress=True))
+        assert comp.nbytes < plain.nbytes
+
+    def test_queries_on_compressed(self, batch, tmp_path):
+        _, f = roundtrip(batch, BATBuildConfig(compress=True), tmp_path, "cq")
+        with f:
+            res, _ = query_file(f, filters=[AttributeFilter("u", 0.25, 0.5)])
+            u = batch.attributes["u"]
+            assert len(res) == ((u >= 0.25) & (u <= 0.5)).sum()
+
+    def test_combined_with_quantization(self, batch, tmp_path):
+        cfg = BATBuildConfig(quantize_positions=True, compress=True)
+        built, f = roundtrip(batch, cfg, tmp_path, "qc")
+        with f:
+            assert f.quantized and f.compressed
+            res, _ = query_file(f)
+            assert len(res) == N
+        # the combination gives the smallest file
+        assert built.nbytes < build_bat(batch, BATBuildConfig(compress=True)).nbytes
+
+    def test_corrupted_compressed_treelet_detected(self, batch, tmp_path):
+        built, f = roundtrip(batch, BATBuildConfig(compress=True), tmp_path, "cc")
+        f.close()
+        # truncate a compressed payload in-place: decompression must fail
+        # loudly rather than return garbage
+        import zlib
+
+        data = bytearray(built.data)
+        with BATFile.from_bytes(bytes(data)) as ref:
+            off = int(ref.shallow_leaves[0]["treelet_offset"])
+        data[off + 16 + 10] ^= 0xFF
+        with BATFile.from_bytes(bytes(data)) as bad:
+            with pytest.raises((ValueError, zlib.error)):
+                bad.treelet(0)
+
+
+class TestEquiDepthBitmaps:
+    def test_binning_recorded(self, batch, tmp_path):
+        cfg = BATBuildConfig(attribute_binning="equidepth")
+        _, f = roundtrip(batch, cfg, tmp_path, "ed")
+        with f:
+            from repro.binning import EquiDepthBinning
+
+            assert isinstance(f.binnings["skew"], EquiDepthBinning)
+
+    def test_invalid_binning_name(self):
+        with pytest.raises(ValueError):
+            BATBuildConfig(attribute_binning="magic")
+
+    def test_filters_exact(self, batch, tmp_path):
+        cfg = BATBuildConfig(attribute_binning="equidepth")
+        _, f = roundtrip(batch, cfg, tmp_path, "edf")
+        with f:
+            s = batch.attributes["skew"]
+            for lo, hi in ((0.0, 1.0), (50.0, 1e9), (0.5, 2.0)):
+                res, _ = query_file(f, filters=[AttributeFilter("skew", lo, hi)])
+                assert len(res) == ((s >= lo) & (s <= hi)).sum()
+
+    def test_better_pruning_on_skewed_tail_query(self, tmp_path):
+        """A top-of-distribution query on a spatially correlated, skewed
+        attribute prunes far better with quantile bins."""
+        rng = np.random.default_rng(5)
+        pos = rng.random((N, 3)).astype(np.float32)
+        skew = np.exp(6.0 * pos[:, 0].astype(np.float64))  # correlated + skewed
+        batch = ParticleBatch(pos, {"s": skew})
+        # bottom decile: a single equi-width bin swallows ~40% of the
+        # values here, while quantile bins stay selective
+        cut = float(np.quantile(skew, 0.10))
+        tested = {}
+        for label, cfg in (
+            ("equiwidth", BATBuildConfig()),
+            ("equidepth", BATBuildConfig(attribute_binning="equidepth")),
+        ):
+            built = build_bat(batch, cfg)
+            p = tmp_path / f"{label}.bat"
+            built.write(p)
+            with BATFile(p) as f:
+                res, st = query_file(f, filters=[AttributeFilter("s", 0.0, cut)])
+                assert len(res) == (skew <= cut).sum()
+                tested[label] = st.points_tested
+        assert tested["equidepth"] < 0.7 * tested["equiwidth"]
+
+
+class TestInMemoryBAT:
+    def test_open_without_disk(self, batch):
+        built = build_bat(batch)
+        with built.open() as f:
+            assert f.path == "<memory>"
+            res, _ = query_file(f, quality=0.3)
+            assert 0 < len(res) < N
+
+    def test_from_bytes_equals_disk(self, batch, tmp_path):
+        built = build_bat(batch)
+        p = tmp_path / "disk.bat"
+        built.write(p)
+        box = Box((0.2, 0.2, 0.2), (1.5, 1.0, 0.8))
+        with BATFile(p) as on_disk, BATFile.from_bytes(built.data) as in_mem:
+            a, _ = query_file(on_disk, box=box)
+            b, _ = query_file(in_mem, box=box)
+            np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_close_is_safe(self, batch):
+        f = build_bat(batch).open()
+        res, _ = query_file(f)
+        f.close()
+        f.close()  # idempotent

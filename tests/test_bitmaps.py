@@ -1,0 +1,179 @@
+"""Tests for 32-bit binned bitmap indexing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitmaps import (
+    BITMAP_BITS,
+    FULL_BITMAP,
+    BitmapDictionary,
+    bitmap_bins,
+    bitmap_of_values,
+    bitmaps_by_group,
+    query_bitmap,
+    remap_bitmap,
+    value_bins,
+)
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestValueBins:
+    def test_endpoints(self):
+        bins = value_bins(np.array([0.0, 1.0]), 0.0, 1.0)
+        assert bins[0] == 0
+        assert bins[1] == BITMAP_BITS - 1
+
+    def test_out_of_range_clamps(self):
+        bins = value_bins(np.array([-5.0, 5.0]), 0.0, 1.0)
+        assert bins[0] == 0
+        assert bins[1] == BITMAP_BITS - 1
+
+    def test_degenerate_range(self):
+        bins = value_bins(np.array([1.0, 2.0, 3.0]), 2.0, 2.0)
+        assert (bins == 0).all()
+
+    def test_uniform_coverage(self):
+        vals = np.linspace(0, 1, 3200)
+        bins = value_bins(vals, 0.0, 1.0)
+        assert set(bins) == set(range(BITMAP_BITS))
+
+
+class TestBitmapOfValues:
+    def test_empty(self):
+        assert bitmap_of_values(np.array([]), 0, 1) == 0
+
+    def test_single_value(self):
+        bm = bitmap_of_values(np.array([0.5]), 0.0, 1.0)
+        assert bin(int(bm)).count("1") == 1
+        assert bitmap_bins(bm) == [16]
+
+    def test_full_span(self):
+        vals = np.linspace(0, 1, 1000)
+        assert bitmap_of_values(vals, 0.0, 1.0) == FULL_BITMAP
+
+
+class TestBitmapsByGroup:
+    def test_matches_per_group_computation(self):
+        rng = np.random.default_rng(0)
+        vals = rng.random(500)
+        gids = rng.integers(0, 7, 500)
+        grouped = bitmaps_by_group(vals, gids, 7, 0.0, 1.0)
+        for g in range(7):
+            expected = bitmap_of_values(vals[gids == g], 0.0, 1.0)
+            assert grouped[g] == expected
+
+    def test_empty_group_zero(self):
+        vals = np.array([0.5])
+        grouped = bitmaps_by_group(vals, np.array([2]), 4, 0.0, 1.0)
+        assert grouped[0] == 0 and grouped[1] == 0 and grouped[3] == 0
+        assert grouped[2] != 0
+
+    def test_no_values(self):
+        assert (bitmaps_by_group(np.array([]), np.array([], dtype=int), 3, 0, 1) == 0).all()
+
+
+class TestQueryBitmap:
+    def test_inverted_query_empty(self):
+        assert query_bitmap(2.0, 1.0, 0.0, 10.0) == 0
+
+    def test_disjoint_query_empty(self):
+        assert query_bitmap(20.0, 30.0, 0.0, 10.0) == 0
+
+    def test_full_overlap(self):
+        assert query_bitmap(-1.0, 11.0, 0.0, 10.0) == FULL_BITMAP
+
+    def test_degenerate_range_full(self):
+        assert query_bitmap(0.0, 0.5, 1.0, 1.0) == FULL_BITMAP
+
+    def test_no_false_negatives_exhaustive(self):
+        """Any value inside the query must hit a set query-bitmap bit."""
+        lo, hi = 0.0, 10.0
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            a, b = sorted(rng.uniform(lo - 2, hi + 2, 2))
+            q = query_bitmap(a, b, lo, hi)
+            vals = rng.uniform(max(a, lo), min(b, hi), 100) if a <= hi and b >= lo else []
+            for v in np.atleast_1d(vals):
+                vb = bitmap_of_values(np.array([v]), lo, hi)
+                assert int(q) & int(vb), f"value {v} in [{a},{b}] missed"
+
+    @given(finite, finite, finite, finite)
+    def test_query_and_value_consistency(self, a, b, v, w):
+        lo, hi = sorted((v, w))
+        qlo, qhi = sorted((a, b))
+        q = query_bitmap(qlo, qhi, lo, hi)
+        # any in-range value inside the query interval must overlap q
+        mid = (max(qlo, lo) + min(qhi, hi)) / 2
+        if qlo <= mid <= qhi and lo <= mid <= hi:
+            vb = bitmap_of_values(np.array([mid]), lo, hi)
+            assert int(q) & int(vb)
+
+
+class TestRemapBitmap:
+    def test_zero_stays_zero(self):
+        assert remap_bitmap(0, 0, 1, 0, 10) == 0
+
+    def test_identity_remap_covers(self):
+        bm = bitmap_of_values(np.array([0.3, 0.7]), 0.0, 1.0)
+        remapped = remap_bitmap(bm, 0.0, 1.0, 0.0, 1.0)
+        assert int(remapped) & int(bm) == int(bm)
+
+    def test_local_to_global_no_false_negatives(self):
+        """Values indexed against a local range must still match globally."""
+        rng = np.random.default_rng(2)
+        glo, ghi = 0.0, 100.0
+        llo, lhi = 30.0, 40.0
+        vals = rng.uniform(llo, lhi, 200)
+        local = bitmap_of_values(vals, llo, lhi)
+        remapped = remap_bitmap(local, llo, lhi, glo, ghi)
+        global_direct = bitmap_of_values(vals, glo, ghi)
+        assert int(remapped) & int(global_direct) == int(global_direct)
+
+    def test_degenerate_local_range(self):
+        bm = bitmap_of_values(np.array([5.0]), 5.0, 5.0)
+        remapped = remap_bitmap(bm, 5.0, 5.0, 0.0, 10.0)
+        direct = bitmap_of_values(np.array([5.0]), 0.0, 10.0)
+        assert int(remapped) & int(direct)
+
+
+class TestBitmapDictionary:
+    def test_dedup(self):
+        d = BitmapDictionary()
+        assert d.add(0b1010) == 0
+        assert d.add(0b1111) == 1
+        assert d.add(0b1010) == 0
+        assert len(d) == 2
+        assert d[1] == 0b1111
+
+    def test_add_many_roundtrip(self):
+        d = BitmapDictionary()
+        bitmaps = np.array([3, 7, 3, 9, 7], dtype=np.uint32)
+        ids = d.add_many(bitmaps)
+        assert ids.dtype == np.uint16
+        recovered = np.array([d[i] for i in ids], dtype=np.uint32)
+        np.testing.assert_array_equal(recovered, bitmaps)
+
+    def test_array_roundtrip(self):
+        d = BitmapDictionary()
+        d.add(1)
+        d.add(2)
+        d2 = BitmapDictionary.from_array(d.as_array())
+        assert len(d2) == 2
+        assert d2[0] == 1 and d2[1] == 2
+
+    def test_overflow(self):
+        d = BitmapDictionary()
+        d._bitmaps = list(range(BitmapDictionary.MAX_ENTRIES))
+        d._ids = {v: v for v in d._bitmaps}
+        with pytest.raises(OverflowError):
+            d.add(BitmapDictionary.MAX_ENTRIES + 7)
+
+    @given(st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=200))
+    def test_ids_recover_bitmaps(self, bms):
+        d = BitmapDictionary()
+        ids = [d.add(b) for b in bms]
+        assert all(d[i] == b for i, b in zip(ids, bms))
+        assert len(d) == len(set(bms))

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import TwoPhaseWriter
+from repro.machines import testing_machine as make_test_machine
+from tests.test_pipeline import make_rank_data
+
+
+@pytest.fixture(scope="module")
+def written(tmp_path_factory):
+    data = make_rank_data(nranks=8, seed=77)
+    out = tmp_path_factory.mktemp("cli")
+    rep = TwoPhaseWriter(make_test_machine(), target_size=256 * 1024).write(
+        data, out_dir=out, name="cli0"
+    )
+    return data, rep
+
+
+class TestParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_box(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "x.json", "--box", "1,2,3"])
+
+    def test_bad_filter(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "x.json", "--filter", "temp"])
+
+    def test_bad_machine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "weak-scaling", "--machine", "frontier"])
+
+
+class TestInfo:
+    def test_dataset_info(self, written, capsys):
+        _, rep = written
+        assert main(["info", rep.metadata_path]) == 0
+        out = capsys.readouterr().out
+        assert "leaf files" in out
+        assert "mass" in out and "temp" in out
+
+    def test_bat_file_info(self, written, capsys):
+        _, rep = written
+        from pathlib import Path
+
+        bat = sorted(Path(rep.metadata_path).parent.glob("*.bat"))[0]
+        assert main(["info", str(bat)]) == 0
+        out = capsys.readouterr().out
+        assert "treelets" in out
+        assert "EquiWidthBinning" in out
+
+
+class TestQuery:
+    def test_plain_query(self, written, capsys):
+        data, rep = written
+        assert main(["query", rep.metadata_path]) == 0
+        out = capsys.readouterr().out
+        assert f"{data.total_particles:,}" in out
+
+    def test_filtered_query_with_stats(self, written, capsys):
+        _, rep = written
+        assert main(
+            ["query", rep.metadata_path, "--filter", "mass:0.5:1.0", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mass: mean" in out
+
+    def test_boxed_query(self, written, capsys):
+        data, rep = written
+        assert main(["query", rep.metadata_path, "--box", "0,0,0,1,1,1"]) == 0
+        out = capsys.readouterr().out
+        matched = int(out.split("matched ")[1].split(" ")[0].replace(",", ""))
+        allpos = np.concatenate([b.positions for b in data.batches])
+        from repro.types import Box
+
+        assert matched == Box((0, 0, 0), (1, 1, 1)).contains_points(allpos).sum()
+
+    def test_query_output_npz(self, written, tmp_path, capsys):
+        _, rep = written
+        dest = tmp_path / "result.npz"
+        assert main(["query", rep.metadata_path, "--quality", "0.2", "--output", str(dest)]) == 0
+        with np.load(dest) as z:
+            assert "positions" in z.files
+            assert len(z["positions"]) > 0
+
+
+class TestBench:
+    def test_weak_scaling_smoke(self, capsys):
+        assert main(["bench", "weak-scaling", "--machine", "testing_machine", "--ranks", "8,16"]) == 0
+        out = capsys.readouterr().out
+        assert "write bandwidth" in out
+        assert "ior-fpp" in out

@@ -1,0 +1,124 @@
+"""Tests for whole-dataset visualization reads (BATDataset)."""
+
+import numpy as np
+import pytest
+
+from repro.bat import AttributeFilter
+from repro.core import TwoPhaseWriter
+from repro.core.dataset import BATDataset
+from repro.machines import testing_machine as make_test_machine
+from repro.types import Box
+from tests.test_pipeline import make_rank_data
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    data = make_rank_data(nranks=16, seed=7)
+    out = tmp_path_factory.mktemp("ds")
+    writer = TwoPhaseWriter(make_test_machine(), target_size=128 * 1024)
+    report = writer.write(data, out_dir=out, name="vis")
+    ds = BATDataset(report.metadata_path)
+    allpos = np.concatenate([b.positions for b in data.batches])
+    allmass = np.concatenate([b.attributes["mass"] for b in data.batches])
+    alltemp = np.concatenate([b.attributes["temp"] for b in data.batches])
+    yield ds, allpos, allmass, alltemp
+    ds.close()
+
+
+class TestStructure:
+    def test_counts(self, dataset):
+        ds, allpos, _, _ = dataset
+        assert ds.total_particles == len(allpos)
+        assert ds.n_files > 1
+
+    def test_global_ranges(self, dataset):
+        ds, _, allmass, alltemp = dataset
+        lo, hi = ds.attr_ranges["mass"]
+        assert lo <= allmass.min() and hi >= allmass.max()
+        lo, hi = ds.attr_ranges["temp"]
+        assert lo == pytest.approx(alltemp.min())
+        assert hi == pytest.approx(alltemp.max())
+
+    def test_files_cached(self, dataset):
+        ds = dataset[0]
+        assert ds.file(0) is ds.file(0)
+
+
+class TestQueries:
+    def test_full_query(self, dataset):
+        ds, allpos, _, _ = dataset
+        batch, stats = ds.query()
+        assert len(batch) == len(allpos)
+        assert stats.points_returned == len(allpos)
+
+    def test_spatial_across_files(self, dataset):
+        ds, allpos, _, _ = dataset
+        box = Box((0.5, 0.5, 0.0), (2.5, 3.5, 1.0))
+        batch, _ = ds.query(box=box)
+        assert len(batch) == box.contains_points(allpos).sum()
+        assert box.contains_points(batch.positions).all()
+
+    def test_metadata_prunes_files(self, dataset):
+        ds, _, _, _ = dataset
+        # a tiny corner box should touch few leaf files
+        box = Box((0.0, 0.0, 0.0), (0.3, 0.3, 0.3))
+        candidates = ds._candidate_leaves(box, ())
+        assert len(candidates) < ds.n_files
+
+    def test_attribute_filter_global(self, dataset):
+        ds, _, allmass, _ = dataset
+        batch, _ = ds.query(filters=[AttributeFilter("mass", 0.8, 1.0)])
+        assert len(batch) == (allmass >= 0.8).sum()
+        assert (batch.attributes["mass"] >= 0.8).all()
+
+    def test_filter_pruning_via_global_bitmaps(self, dataset):
+        ds, _, _, alltemp = dataset
+        # temperatures are ~N(300, 30); a far-out range matches nothing and
+        # should prune every leaf without opening files
+        hits = ds._candidate_leaves(None, (AttributeFilter("temp", 10_000.0, 20_000.0),))
+        assert hits == []
+        batch, stats = ds.query(filters=[AttributeFilter("temp", 10_000.0, 20_000.0)])
+        assert len(batch) == 0
+
+    def test_progressive_partition(self, dataset):
+        ds, allpos, _, _ = dataset
+        total, prev = 0, 0.0
+        for q in (0.25, 0.5, 0.75, 1.0):
+            batch, _ = ds.query(quality=q, prev_quality=prev)
+            total += len(batch)
+            prev = q
+        assert total == len(allpos)
+
+    def test_coarse_query_spans_domain(self, dataset):
+        ds, allpos, _, _ = dataset
+        batch, _ = ds.query(quality=0.1)
+        assert 0 < len(batch) < len(allpos)
+        ext = batch.positions.max(axis=0) - batch.positions.min(axis=0)
+        full = allpos.max(axis=0) - allpos.min(axis=0)
+        assert (ext > 0.6 * full).all()
+
+    def test_callback_mode(self, dataset):
+        ds, allpos, _, _ = dataset
+        got = []
+        out, stats = ds.query(callback=lambda p, a: got.append(len(p)))
+        assert out is None
+        assert sum(got) == len(allpos)
+
+    def test_combined_query(self, dataset):
+        ds, allpos, allmass, _ = dataset
+        box = Box((1.0, 1.0, 0.0), (3.0, 3.0, 1.0))
+        batch, _ = ds.query(box=box, filters=[AttributeFilter("mass", 0.0, 0.5)])
+        mask = box.contains_points(allpos) & (allmass <= 0.5)
+        assert len(batch) == mask.sum()
+
+    def test_empty_result_keeps_specs(self, dataset):
+        ds, _, _, _ = dataset
+        batch, _ = ds.query(box=Box((50, 50, 50), (51, 51, 51)))
+        assert len(batch) == 0
+        assert set(batch.attributes) == {"mass", "temp"}
+
+    def test_context_manager(self, dataset, tmp_path):
+        ds = dataset[0]
+        with BATDataset(ds.metadata_path) as d2:
+            b, _ = d2.query(quality=0.2)
+            assert len(b) > 0

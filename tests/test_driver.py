@@ -1,0 +1,104 @@
+"""Tests for the simulation + I/O driver (checkpoint/restart loop)."""
+
+import numpy as np
+import pytest
+
+from repro.driver import IODriver, restart_latest
+from repro.machines import testing_machine as make_test_machine
+from repro.workloads import InjectionSim, ShallowWaterSim
+
+
+class TestIODriver:
+    def test_validation(self, tmp_path):
+        m = make_test_machine()
+        with pytest.raises(ValueError):
+            IODriver(m, tmp_path, nranks=8, io_every=0)
+        with pytest.raises(ValueError):
+            IODriver(m, tmp_path, nranks=0)
+        drv = IODriver(m, tmp_path, nranks=8)
+        with pytest.raises(ValueError):
+            drv.run(ShallowWaterSim(n_particles=10), -1)
+
+    def test_cadence(self, tmp_path):
+        sim = ShallowWaterSim(n_particles=1500)
+        drv = IODriver(make_test_machine(), tmp_path, nranks=4, io_every=25,
+                       target_size=128 * 1024)
+        log = drv.run(sim, 100)
+        assert log.steps_written == [0, 25, 50, 75, 100]
+        assert len(log.write_seconds) == 5
+        assert log.total_io_seconds > 0
+
+    def test_final_step_always_written(self, tmp_path):
+        sim = ShallowWaterSim(n_particles=1000)
+        drv = IODriver(make_test_machine(), tmp_path, nranks=4, io_every=30,
+                       target_size=128 * 1024)
+        log = drv.run(sim, 70)  # 70 is off-cadence
+        assert log.steps_written == [0, 30, 60, 70]
+
+    def test_no_initial_write(self, tmp_path):
+        sim = ShallowWaterSim(n_particles=1000)
+        drv = IODriver(make_test_machine(), tmp_path, nranks=4, io_every=10,
+                       target_size=128 * 1024)
+        log = drv.run(sim, 20, write_initial=False)
+        assert log.steps_written == [10, 20]
+
+    def test_growing_population_recorded(self, tmp_path):
+        sim = InjectionSim(injection_rate=100)
+        drv = IODriver(make_test_machine(), tmp_path, nranks=4, io_every=20,
+                       target_size=128 * 1024)
+        log = drv.run(sim, 60, write_initial=False)
+        assert log.particles_written == [2000, 4000, 6000]
+
+
+class TestRestart:
+    def test_restart_latest_continues_trajectory(self, tmp_path):
+        m = make_test_machine()
+        sim = ShallowWaterSim(n_particles=2500)
+        drv = IODriver(m, tmp_path, nranks=6, io_every=20, target_size=128 * 1024)
+        drv.run(sim, 60)
+
+        fresh = ShallowWaterSim(n_particles=2500)
+        step = restart_latest(fresh, tmp_path)
+        assert step == 60
+        assert fresh.n_particles == 2500
+        # the restarted run tracks the original within checkpoint precision
+        sim.step(40)
+        fresh.step(40)
+        assert abs(sim.front_position() - fresh.front_position()) < 1e-3
+
+    def test_restart_injection_sim(self, tmp_path):
+        m = make_test_machine()
+        sim = InjectionSim(injection_rate=80, seed=9)
+        drv = IODriver(m, tmp_path, nranks=4, io_every=15, target_size=128 * 1024)
+        drv.run(sim, 45, write_initial=False)
+
+        fresh = InjectionSim(injection_rate=80, seed=9)
+        step = restart_latest(fresh, tmp_path)
+        assert step == 45
+        assert fresh.n_particles == sim.n_particles
+        np.testing.assert_allclose(
+            np.sort(fresh.age), np.sort(sim.age), atol=1e-6
+        )
+
+    def test_restart_empty_dir(self, tmp_path):
+        drv = IODriver(make_test_machine(), tmp_path, nranks=2)
+        with pytest.raises(ValueError, match="no checkpoints"):
+            restart_latest(ShallowWaterSim(n_particles=10), tmp_path)
+
+    def test_resumed_run_extends_series(self, tmp_path):
+        """Kill-and-resume: a second driver continues the same catalog."""
+        m = make_test_machine()
+        sim = ShallowWaterSim(n_particles=1200)
+        drv = IODriver(m, tmp_path, nranks=4, io_every=20, target_size=128 * 1024)
+        drv.run(sim, 40)
+
+        # "crash"; new process restores and continues
+        sim2 = ShallowWaterSim(n_particles=1200)
+        restart_latest(sim2, tmp_path)
+        drv2 = IODriver(m, tmp_path, nranks=4, io_every=20, target_size=128 * 1024)
+        drv2.run(sim2, 40, write_initial=False)
+
+        from repro.core.timeseries import TimeSeriesDataset
+
+        with TimeSeriesDataset(tmp_path) as ts:
+            assert ts.steps == [0, 20, 40, 60, 80]

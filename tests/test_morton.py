@@ -1,0 +1,151 @@
+"""Tests for vectorized Morton encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.morton import (
+    MAX_BITS,
+    decode_grid,
+    encode_grid,
+    encode_positions,
+    morton_cell_box,
+)
+from repro.types import Box
+
+coords21 = st.lists(st.integers(0, 2**21 - 1), min_size=1, max_size=100)
+
+
+def reference_encode(x: int, y: int, z: int, bits: int) -> int:
+    """Bit-by-bit interleave, the slow obviously-correct way."""
+    code = 0
+    for i in range(bits):
+        code |= ((x >> i) & 1) << (3 * i)
+        code |= ((y >> i) & 1) << (3 * i + 1)
+        code |= ((z >> i) & 1) << (3 * i + 2)
+    return code
+
+
+class TestEncodeGrid:
+    def test_origin(self):
+        assert encode_grid([0], [0], [0])[0] == 0
+
+    def test_axes_bit_positions(self):
+        assert encode_grid([1], [0], [0])[0] == 1
+        assert encode_grid([0], [1], [0])[0] == 2
+        assert encode_grid([0], [0], [1])[0] == 4
+
+    def test_against_reference(self):
+        rng = np.random.default_rng(1)
+        xs = rng.integers(0, 2**21, 200)
+        ys = rng.integers(0, 2**21, 200)
+        zs = rng.integers(0, 2**21, 200)
+        codes = encode_grid(xs, ys, zs)
+        for x, y, z, c in zip(xs, ys, zs, codes):
+            assert int(c) == reference_encode(int(x), int(y), int(z), MAX_BITS)
+
+    def test_bits_range_check(self):
+        with pytest.raises(ValueError):
+            encode_grid([0], [0], [0], bits=22)
+        with pytest.raises(ValueError):
+            encode_grid([0], [0], [0], bits=0)
+
+    @given(coords21, coords21, coords21)
+    def test_roundtrip(self, xs, ys, zs):
+        n = min(len(xs), len(ys), len(zs))
+        xs, ys, zs = xs[:n], ys[:n], zs[:n]
+        codes = encode_grid(xs, ys, zs)
+        dx, dy, dz = decode_grid(codes)
+        np.testing.assert_array_equal(dx, xs)
+        np.testing.assert_array_equal(dy, ys)
+        np.testing.assert_array_equal(dz, zs)
+
+
+class TestEncodePositions:
+    def test_empty(self):
+        box = Box((0, 0, 0), (1, 1, 1))
+        assert len(encode_positions(np.empty((0, 3)), box)) == 0
+
+    def test_empty_bounds_raises(self):
+        with pytest.raises(ValueError):
+            encode_positions(np.zeros((1, 3)), Box.empty())
+
+    def test_corners(self):
+        box = Box((0, 0, 0), (1, 1, 1))
+        codes = encode_positions(np.array([[0, 0, 0], [1, 1, 1]]), box)
+        assert codes[0] == 0
+        # upper corner clamps into the last cell => all-ones code
+        assert codes[1] == (1 << (3 * MAX_BITS)) - 1
+
+    def test_monotone_along_axis(self):
+        box = Box((0, 0, 0), (1, 1, 1))
+        xs = np.linspace(0, 1, 100)
+        pts = np.column_stack([xs, np.zeros(100), np.zeros(100)])
+        codes = encode_positions(pts, box)
+        assert (np.diff(codes.astype(np.int64)) >= 0).all()
+
+    def test_degenerate_axis(self):
+        box = Box((0, 0, 0), (1, 0, 1))  # zero extent in y
+        pts = np.array([[0.5, 0.0, 0.5]])
+        codes = encode_positions(pts, box)
+        _, iy, _ = decode_grid(codes)
+        assert iy[0] == 0
+
+    def test_spatial_locality(self):
+        """Sorting by Morton code must group nearby points."""
+        rng = np.random.default_rng(2)
+        # two well-separated clusters
+        a = rng.normal([0.1, 0.1, 0.1], 0.01, (50, 3))
+        b = rng.normal([0.9, 0.9, 0.9], 0.01, (50, 3))
+        pts = np.vstack([a, b])
+        box = Box((0, 0, 0), (1, 1, 1))
+        order = np.argsort(encode_positions(pts, box))
+        labels = (order >= 50).astype(int)
+        # after sorting, each cluster occupies a contiguous run
+        assert (np.diff(labels) != 0).sum() == 1
+
+
+class TestMortonCellBox:
+    def test_full_prefix_zero_levels(self):
+        box = Box((0, 0, 0), (2, 4, 8))
+        cell = morton_cell_box(0, 0, box)
+        assert cell == box
+
+    def test_one_level_octants(self):
+        box = Box((0, 0, 0), (1, 1, 1))
+        # prefix 0b000 = lower octant, 0b111 = upper octant
+        lower = morton_cell_box(0, 3, box)
+        upper = morton_cell_box(7, 3, box)
+        assert lower.lower == (0, 0, 0)
+        assert lower.upper == (0.5, 0.5, 0.5)
+        assert upper.lower == (0.5, 0.5, 0.5)
+        assert upper.upper == (1, 1, 1)
+
+    def test_prefix_bits_multiple_of_3(self):
+        with pytest.raises(ValueError):
+            morton_cell_box(0, 4, Box((0, 0, 0), (1, 1, 1)))
+
+    @given(st.integers(0, 7), st.integers(1, 4))
+    def test_cells_within_bounds(self, child, levels):
+        box = Box((-1, 0, 2), (3, 5, 9))
+        prefix = child << (3 * (levels - 1))
+        cell = morton_cell_box(prefix, 3 * levels, box)
+        assert box.contains_box(cell)
+
+    def test_points_fall_in_their_cell(self):
+        rng = np.random.default_rng(3)
+        box = Box((0, 0, 0), (10, 10, 10))
+        pts = rng.random((200, 3)) * 10
+        from repro.morton import encode_positions as enc
+
+        codes = enc(pts, box)
+        prefix_bits = 12
+        prefixes = codes >> np.uint64(3 * MAX_BITS - prefix_bits)
+        for p in np.unique(prefixes):
+            cell = morton_cell_box(int(p), prefix_bits, box)
+            inside = pts[prefixes == p]
+            # tolerance for float quantization at cell edges
+            lo = np.asarray(cell.lower) - 1e-9
+            hi = np.asarray(cell.upper) + 1e-9
+            assert ((inside >= lo) & (inside <= hi)).all()

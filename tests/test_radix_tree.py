@@ -1,0 +1,128 @@
+"""Tests for the Karras radix-tree / shallow-tree build."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bat.build import build_radix_tree, shallow_tree_leaves
+from repro.morton import MAX_BITS
+
+
+def leaf_ranges(tree):
+    """Recover, for each inner node, the leaf range it covers."""
+    ranges = {}
+
+    def visit(node):
+        lo = hi = None
+        for child, is_leaf in (
+            (int(tree.left[node]), tree.left_is_leaf[node]),
+            (int(tree.right[node]), tree.right_is_leaf[node]),
+        ):
+            clo, chi = (child, child) if is_leaf else visit(child)
+            lo = clo if lo is None else min(lo, clo)
+            hi = chi if hi is None else max(hi, chi)
+        ranges[node] = (lo, hi)
+        return lo, hi
+
+    if tree.root >= 0:
+        visit(tree.root)
+    return ranges
+
+
+class TestBuildRadixTree:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            build_radix_tree(np.array([], dtype=np.uint64), 12)
+
+    def test_single_code(self):
+        t = build_radix_tree(np.array([5], dtype=np.uint64), 12)
+        assert t.n_leaves == 1
+        assert t.n_inner == 0
+        assert t.root == -1
+
+    def test_two_codes(self):
+        t = build_radix_tree(np.array([1, 2], dtype=np.uint64), 12)
+        assert t.n_inner == 1
+        assert t.left_is_leaf[0] and t.right_is_leaf[0]
+        assert t.left[0] == 0 and t.right[0] == 1
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            build_radix_tree(np.array([2, 1], dtype=np.uint64), 12)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            build_radix_tree(np.array([1, 1], dtype=np.uint64), 12)
+
+    def test_covers_all_leaves_exactly_once(self):
+        rng = np.random.default_rng(0)
+        codes = np.unique(rng.integers(0, 2**12, 200).astype(np.uint64))
+        t = build_radix_tree(codes, 12)
+        ranges = leaf_ranges(t)
+        assert ranges[t.root] == (0, t.n_leaves - 1)
+        # children of each inner node tile its range without overlap
+        for node, (lo, hi) in ranges.items():
+            lchild, lleaf = int(t.left[node]), t.left_is_leaf[node]
+            rchild, rleaf = int(t.right[node]), t.right_is_leaf[node]
+            llo, lhi = (lchild, lchild) if lleaf else ranges[lchild]
+            rlo, rhi = (rchild, rchild) if rleaf else ranges[rchild]
+            assert (llo, rhi) == (lo, hi)
+            assert lhi + 1 == rlo
+
+    def test_hierarchy_respects_prefixes(self):
+        """Left subtree codes < right subtree codes at every inner node."""
+        codes = np.array([0b000001, 0b000100, 0b100000, 0b100011, 0b111111], dtype=np.uint64)
+        t = build_radix_tree(codes, 6)
+        ranges = leaf_ranges(t)
+        # root must split between the 0b0… and 0b1… groups
+        root_left = int(t.left[t.root])
+        lhi = root_left if t.left_is_leaf[t.root] else ranges[root_left][1]
+        assert lhi == 1
+
+    @settings(max_examples=50)
+    @given(st.sets(st.integers(0, 2**15 - 1), min_size=1, max_size=100))
+    def test_structure_valid_for_any_code_set(self, codeset):
+        codes = np.array(sorted(codeset), dtype=np.uint64)
+        t = build_radix_tree(codes, 15)
+        if t.n_leaves == 1:
+            assert t.n_inner == 0
+            return
+        assert t.n_inner == t.n_leaves - 1
+        ranges = leaf_ranges(t)
+        assert len(ranges) == t.n_inner
+        assert ranges[t.root] == (0, t.n_leaves - 1)
+
+    def test_parents_consistent(self):
+        codes = np.unique(np.random.default_rng(3).integers(0, 4096, 50)).astype(np.uint64)
+        t = build_radix_tree(codes, 12)
+        ip, lp = t.parents()
+        assert (lp >= 0).all()  # every leaf has a parent (n>1)
+        assert (ip == -1).sum() == 1  # exactly one root
+
+
+class TestShallowTreeLeaves:
+    def test_merging_groups_particles(self):
+        # full codes differing only below the subprefix collapse together
+        bits = MAX_BITS
+        shift = 3 * bits - 6
+        full = np.array(
+            [(1 << shift) + 5, (1 << shift) + 9, (2 << shift) + 1], dtype=np.uint64
+        )
+        uniq, starts = shallow_tree_leaves(full, subprefix_bits=6)
+        np.testing.assert_array_equal(uniq, [1, 2])
+        np.testing.assert_array_equal(starts, [0, 2, 3])
+
+    def test_slices_cover_input(self):
+        rng = np.random.default_rng(1)
+        codes = np.sort(rng.integers(0, 2**63 - 1, 500).astype(np.uint64))
+        uniq, starts = shallow_tree_leaves(codes, 12)
+        assert starts[0] == 0 and starts[-1] == 500
+        assert (np.diff(starts) > 0).all()
+        assert len(uniq) == len(starts) - 1
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            shallow_tree_leaves(np.array([1], dtype=np.uint64), 2)
+        with pytest.raises(ValueError):
+            shallow_tree_leaves(np.array([1], dtype=np.uint64), 3 * MAX_BITS + 3)

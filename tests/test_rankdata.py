@@ -1,0 +1,66 @@
+"""Tests for the RankData container."""
+
+import numpy as np
+import pytest
+
+from repro.core import RankData
+from repro.types import ParticleBatch
+
+
+def batches_of(counts, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for c in counts:
+        out.append(ParticleBatch(rng.random((c, 3)), {"a": rng.random(c)}))
+    return out
+
+
+class TestRankData:
+    def test_timing_only(self):
+        rd = RankData(bounds=np.zeros((4, 2, 3)), counts=[10, 20, 0, 5], bytes_per_particle=64.0)
+        assert rd.nranks == 4
+        assert rd.total_particles == 35
+        assert rd.total_bytes == 35 * 64.0
+        assert not rd.materialized
+        assert rd.attribute_specs() == []
+
+    def test_requires_bpp_without_batches(self):
+        with pytest.raises(ValueError, match="bytes_per_particle"):
+            RankData(bounds=np.zeros((2, 2, 3)), counts=[1, 2])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            RankData(bounds=np.zeros((3, 2, 3)), counts=[1, 2], bytes_per_particle=1.0)
+
+    def test_batches_length_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            RankData(
+                bounds=np.zeros((2, 2, 3)), counts=[5, 5], batches=batches_of([5])
+            )
+
+    def test_count_consistency_enforced(self):
+        with pytest.raises(ValueError, match="count says"):
+            RankData(
+                bounds=np.zeros((2, 2, 3)), counts=[5, 7], batches=batches_of([5, 6])
+            )
+
+    def test_bpp_derived_from_batches(self):
+        rd = RankData(
+            bounds=np.zeros((2, 2, 3)), counts=[5, 10], batches=batches_of([5, 10])
+        )
+        assert rd.materialized
+        assert rd.bytes_per_particle == pytest.approx(12 + 8)  # 3 f32 + 1 f64
+
+    def test_attribute_specs_from_first_nonempty(self):
+        b = batches_of([0, 7])
+        rd = RankData(bounds=np.zeros((2, 2, 3)), counts=[0, 7], batches=b)
+        specs = rd.attribute_specs()
+        assert [s.name for s in specs] == ["a"]
+
+    def test_from_batches(self):
+        b = batches_of([5, 0, 12])
+        rd = RankData.from_batches(b)
+        assert rd.nranks == 3
+        np.testing.assert_array_equal(rd.counts, [5, 0, 12])
+        # nonempty ranks get tight data bounds
+        assert (rd.bounds[0, 1] >= rd.bounds[0, 0]).all()

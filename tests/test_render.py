@@ -1,0 +1,117 @@
+"""Tests for density projections and LOD shape preservation."""
+
+import numpy as np
+import pytest
+
+from repro.types import Box
+from repro.viz import ascii_render, density_projection, projection_similarity
+
+
+class TestDensityProjection:
+    def test_counts_conserved(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((5000, 3))
+        g = density_projection(pts, axis=2, shape=(32, 16))
+        assert g.shape == (16, 32)
+        assert g.sum() == 5000
+
+    def test_axis_validation(self):
+        with pytest.raises(ValueError):
+            density_projection(np.zeros((1, 3)), axis=3)
+        with pytest.raises(ValueError):
+            density_projection(np.zeros((1, 3)), shape=(0, 4))
+
+    def test_empty_input(self):
+        g = density_projection(np.empty((0, 3)), shape=(8, 8))
+        assert g.sum() == 0
+
+    def test_localized_mass_lands_in_right_cell(self):
+        pts = np.full((100, 3), 0.9)
+        box = Box((0, 0, 0), (1, 1, 1))
+        g = density_projection(pts, axis=1, shape=(10, 10), bounds=box)
+        # x=0.9 -> col 9; z=0.9 -> row 9
+        assert g[9, 9] == 100
+        assert g.sum() == 100
+
+    def test_weights(self):
+        pts = np.array([[0.1, 0.5, 0.1], [0.9, 0.5, 0.9]])
+        g = density_projection(pts, axis=1, shape=(4, 4), weights=np.array([2.0, 5.0]),
+                               bounds=Box((0, 0, 0), (1, 1, 1)))
+        assert g.sum() == 7.0
+        assert g[0, 0] == 2.0
+        assert g[3, 3] == 5.0
+
+    def test_explicit_bounds_clip(self):
+        pts = np.array([[2.0, 0.5, 0.5]])  # outside the box
+        box = Box((0, 0, 0), (1, 1, 1))
+        g = density_projection(pts, axis=1, shape=(4, 4), bounds=box)
+        assert g.sum() == 1  # clamped to the edge cell, not dropped
+        assert g[2, 3] == 1  # z=0.5 -> row 2 of 4
+
+
+class TestAsciiRender:
+    def test_shape_and_charset(self):
+        g = np.zeros((3, 5))
+        g[1, 2] = 10
+        art = ascii_render(g)
+        lines = art.splitlines()
+        assert len(lines) == 3
+        assert all(len(l) == 5 for l in lines)
+        assert "@" in art
+
+    def test_empty_grid_blank(self):
+        art = ascii_render(np.zeros((2, 4)))
+        assert set(art) <= {" ", "\n"}
+
+    def test_ndim_validation(self):
+        with pytest.raises(ValueError):
+            ascii_render(np.zeros(5))
+
+    def test_top_row_is_high_coordinate(self):
+        g = np.zeros((4, 4))
+        g[3, 0] = 100  # highest row index = highest coordinate
+        art = ascii_render(g)
+        assert art.splitlines()[0][0] == "@"
+
+
+class TestProjectionSimilarity:
+    def test_identical(self):
+        g = np.random.default_rng(1).random((8, 8))
+        assert projection_similarity(g, g) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        a = np.zeros((4, 4))
+        b = np.zeros((4, 4))
+        a[0, 0] = 1
+        b[3, 3] = 1
+        assert projection_similarity(a, b) == pytest.approx(0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            projection_similarity(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_empty_is_zero(self):
+        assert projection_similarity(np.zeros((2, 2)), np.ones((2, 2))) == 0.0
+
+    def test_lod_preserves_shape(self, tmp_path):
+        """Fig 13's claim, quantified: the coarse LOD projection is close
+        to the full data's projection."""
+        from repro.bat import build_bat
+        from repro.bat.query import query_file
+        from repro.workloads import CoalBoiler
+
+        batch = CoalBoiler().sample(3001, 80_000)
+        built = build_bat(batch)
+        with built.open() as f:
+            full, _ = query_file(f, quality=1.0)
+            coarse, _ = query_file(f, quality=0.2)
+        box = Box.of_points(full.positions)
+        g_full = density_projection(full.positions, axis=1, shape=(24, 12), bounds=box)
+        g_coarse = density_projection(coarse.positions, axis=1, shape=(24, 12), bounds=box)
+        sim = projection_similarity(g_full, g_coarse)
+        assert sim > 0.75
+        # and a random corner blob of the same size is much worse
+        rng = np.random.default_rng(0)
+        blob = np.asarray(box.lower) + 0.1 * box.extents * rng.random((len(coarse), 3))
+        g_blob = density_projection(blob, axis=1, shape=(24, 12), bounds=box)
+        assert projection_similarity(g_full, g_blob) < sim - 0.3

@@ -1,0 +1,178 @@
+"""Tests for the virtual-MPI substrate: network, collectives, timeline, cluster."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machines import testing_machine as make_test_machine
+from repro.simmpi import Message, NetworkSpec, Timeline, VirtualCluster, transfer_phase
+from repro.simmpi.collectives import (
+    barrier_time,
+    bcast_time,
+    gather_time,
+    scatter_time,
+)
+
+SPEC = NetworkSpec(node_bw=1e9, latency=1e-6, ranks_per_node=4)
+
+
+class TestTransferPhase:
+    def test_no_messages_keeps_clocks(self):
+        clocks = np.array([1.0, 2.0, 3.0])
+        out = transfer_phase([], clocks, SPEC)
+        np.testing.assert_array_equal(out, clocks)
+
+    def test_single_message_time(self):
+        clocks = np.zeros(8)
+        out = transfer_phase([Message(0, 4, 1e9)], clocks, SPEC)
+        # 1 GB at 1 GB/s node bw (sole user of both NICs) ~ 1 s + latency
+        assert out[0] == pytest.approx(1.0, rel=0.01)
+        assert out[4] == pytest.approx(1.0, rel=0.01)
+        # uninvolved ranks unchanged
+        assert out[1] == 0.0
+
+    def test_incast_shares_receiver_nic(self):
+        clocks = np.zeros(16)
+        # 8 senders on distinct nodes -> one receiver: receiver NIC is the
+        # bottleneck, so time ~ total bytes / node_bw.
+        msgs = [Message(4 * i, 3, 1e8) for i in range(1, 4)]
+        out = transfer_phase(msgs, clocks, SPEC)
+        assert out[3] == pytest.approx(3e8 / 1e9, rel=0.05)
+
+    def test_node_sharing_slows_senders(self):
+        clocks = np.zeros(8)
+        # ranks 0..3 share a node; all send 1e8 to distinct remote ranks
+        msgs = [Message(i, 4 + i, 1e8) for i in range(4)]
+        out = transfer_phase(msgs, clocks, SPEC)
+        # node NIC carries 4e8 bytes -> 0.4 s for each sender
+        assert out[0] == pytest.approx(0.4, rel=0.05)
+
+    def test_self_message_is_memcpy(self):
+        clocks = np.zeros(4)
+        out = transfer_phase([Message(2, 2, 1e9)], clocks, SPEC)
+        assert out[2] == pytest.approx(1.0, rel=0.01)
+
+    def test_starts_after_latest_participant(self):
+        clocks = np.array([5.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0])
+        out = transfer_phase([Message(0, 4, 1e9)], clocks, SPEC)
+        assert out[4] >= 6.0
+
+    def test_bisection_floor(self):
+        spec = NetworkSpec(node_bw=1e9, latency=1e-6, ranks_per_node=1, bisection_bw=1e8)
+        clocks = np.zeros(4)
+        out = transfer_phase([Message(0, 1, 1e8), Message(2, 3, 1e8)], clocks, spec)
+        assert out[1] >= 2e8 / 1e8  # total/bisection
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15), st.integers(1, 10**7)), max_size=20))
+    def test_clocks_never_regress(self, triples):
+        msgs = [Message(s, d, b) for s, d, b in triples]
+        clocks = np.linspace(0, 1, 16)
+        out = transfer_phase(msgs, clocks, SPEC)
+        assert (out >= clocks - 1e-12).all()
+
+
+class TestCollectives:
+    def test_gather_scales_with_total_bytes(self):
+        t1 = gather_time(64, 1000, SPEC)
+        t2 = gather_time(64, 2000, SPEC)
+        assert t2 > t1
+        assert t2 == pytest.approx(2 * t1, rel=0.3)
+
+    def test_single_rank_free(self):
+        assert gather_time(1, 1000, SPEC) == pytest.approx(1000 / SPEC.node_bw)
+        assert barrier_time(1, SPEC) == 0.0
+
+    def test_scatter_symmetric_to_gather(self):
+        assert scatter_time(128, 64, SPEC) == gather_time(128, 64, SPEC)
+
+    def test_bcast_log_scaling(self):
+        t64 = bcast_time(64, 1e6, SPEC)
+        t4096 = bcast_time(4096, 1e6, SPEC)
+        assert t4096 == pytest.approx(2 * t64, rel=0.01)
+
+    def test_barrier_log_rounds(self):
+        assert barrier_time(1024, SPEC) == pytest.approx(10 * SPEC.latency)
+
+
+class TestTimeline:
+    def test_elapsed_tracks_max(self):
+        tl = Timeline(4)
+        tl.add_per_rank("a", np.array([1.0, 2.0, 0.0, 0.5]))
+        assert tl.elapsed == 2.0
+
+    def test_backwards_clock_rejected(self):
+        tl = Timeline(2)
+        tl.add_uniform("a", 1.0)
+        with pytest.raises(ValueError, match="backwards"):
+            tl.record("bad", np.array([0.5, 0.5]))
+
+    def test_negative_duration_rejected(self):
+        tl = Timeline(2)
+        with pytest.raises(ValueError):
+            tl.add_uniform("a", -1.0)
+        with pytest.raises(ValueError):
+            tl.add_per_rank("b", np.array([1.0, -0.1]))
+
+    def test_root_compute_synchronizes(self):
+        tl = Timeline(4)
+        tl.add_root("tree", 2.0)
+        assert (tl.clocks == 2.0).all()
+
+    def test_breakdown_merges_phases(self):
+        tl = Timeline(2)
+        tl.add_uniform("io", 1.0)
+        tl.add_uniform("net", 0.5)
+        tl.add_uniform("io", 0.25)
+        bd = tl.breakdown()
+        assert bd["io"] == pytest.approx(1.25)
+        assert bd["net"] == pytest.approx(0.5)
+
+    def test_breakdown_sums_to_elapsed(self):
+        tl = Timeline(8)
+        rng = np.random.default_rng(0)
+        for i in range(5):
+            tl.add_per_rank(f"p{i}", rng.random(8))
+        assert sum(tl.breakdown().values()) == pytest.approx(tl.elapsed)
+
+    def test_synchronize_not_logged(self):
+        tl = Timeline(3)
+        tl.add_per_rank("a", np.array([1.0, 0.0, 0.0]))
+        tl.synchronize()
+        assert len(tl.phases) == 1
+        assert (tl.clocks == 1.0).all()
+
+
+class TestVirtualCluster:
+    def test_pipeline_phases_accumulate(self):
+        vc = VirtualCluster(8, make_test_machine())
+        vc.gather_to_root("gather", 56)
+        vc.root_compute("tree", 0.01)
+        vc.scatter_from_root("scatter", 16)
+        vc.p2p("transfer", [Message(i, 0, 10**6) for i in range(1, 8)])
+        vc.compute("bat", np.full(8, 0.005))
+        vc.write_independent("write", np.array([8e6] + [0.0] * 7))
+        vc.root_small_write("metadata", 4096)
+        assert vc.elapsed > 0
+        names = [p.name for p in vc.phases]
+        assert names == ["gather", "tree", "scatter", "transfer", "bat", "write", "metadata"]
+        assert sum(vc.breakdown().values()) == pytest.approx(vc.elapsed)
+
+    def test_invalid_nranks(self):
+        with pytest.raises(ValueError):
+            VirtualCluster(0, make_test_machine())
+
+    def test_shared_write_slower_with_more_writers(self):
+        t = []
+        for n in (16, 256):
+            vc = VirtualCluster(n, make_test_machine())
+            vc.write_shared("w", 1e9)
+            t.append(vc.elapsed)
+        assert t[1] > t[0]
+
+    def test_independent_write_metadata_storm(self):
+        """With many writers, create cost dominates small writes."""
+        m = make_test_machine(create_rate=100.0)
+        vc = VirtualCluster(512, m)
+        vc.write_independent("w", np.full(512, 1e4))
+        assert vc.elapsed > 512 / 100.0 * 0.99

@@ -1,0 +1,178 @@
+"""Tests for the time-stepped mini-app simulations (SWE dam break,
+particle injection) — the substrates whose I/O the paper's library serves."""
+
+import numpy as np
+import pytest
+
+from repro.types import Box
+from repro.workloads import InjectionSim, ShallowWaterSim
+
+
+class TestShallowWaterSim:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        s = ShallowWaterSim(n_particles=4000)
+        s.step(100)
+        return s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShallowWaterSim(n_particles=0)
+
+    def test_volume_conserved(self, sim):
+        fresh = ShallowWaterSim(n_particles=4000)
+        assert sim.total_volume() == pytest.approx(fresh.total_volume())
+        # height field integrates to the total volume
+        h = sim.height_field()
+        cell_area = np.prod(sim._cell)
+        assert (h.sum() * cell_area) == pytest.approx(sim.total_volume(), rel=1e-6)
+
+    def test_particles_stay_in_domain(self, sim):
+        b = sim.particles()
+        assert sim.domain.contains_points(b.positions).all()
+
+    def test_front_advances(self):
+        s = ShallowWaterSim(n_particles=3000)
+        fronts = [s.front_position()]
+        for _ in range(5):
+            s.step(30)
+            fronts.append(s.front_position())
+        assert fronts[-1] > fronts[0] + 0.5
+        assert all(b >= a - 1e-6 for a, b in zip(fronts, fronts[1:]))
+
+    def test_front_speed_near_ritter(self):
+        """The surge front speed should be of order 2*sqrt(g*h0)."""
+        s = ShallowWaterSim(n_particles=6000, friction=0.0)
+        s.step(50)
+        x0, t0 = s.front_position(), s.step_count * s.dt
+        s.step(100)
+        x1, t1 = s.front_position(), s.step_count * s.dt
+        speed = (x1 - x0) / (t1 - t0)
+        ritter = 2.0 * np.sqrt(9.81 * s.column_height)
+        assert 0.3 * ritter < speed < 1.3 * ritter
+
+    def test_column_height_drops(self):
+        s = ShallowWaterSim(n_particles=4000)
+        h0 = s.height_field()[: s.nx // 4].max()
+        s.step(300)
+        h1 = s.height_field()[: s.nx // 4].max()
+        assert h1 < h0
+
+    def test_deterministic(self):
+        a = ShallowWaterSim(n_particles=1000)
+        b = ShallowWaterSim(n_particles=1000)
+        a.step(50)
+        b.step(50)
+        np.testing.assert_array_equal(a.xy, b.xy)
+
+    def test_checkpoint_restore_exact_state(self):
+        s = ShallowWaterSim(n_particles=2000)
+        s.step(40)
+        ckpt = s.particles()
+        s2 = ShallowWaterSim(n_particles=2000)
+        s2.restore(ckpt, s.step_count)
+        assert s2.step_count == 40
+        np.testing.assert_allclose(s2.xy, s.xy, atol=1e-6)
+        np.testing.assert_allclose(s2.vel, s.vel, atol=1e-12)
+
+    def test_restore_trajectory_continues(self):
+        s = ShallowWaterSim(n_particles=2000)
+        s.step(40)
+        s2 = ShallowWaterSim(n_particles=2000)
+        s2.restore(s.particles(), 40)
+        s.step(40)
+        s2.step(40)
+        # float32 checkpoint positions -> small divergence allowed
+        assert abs(s.front_position() - s2.front_position()) < 1e-3
+
+    def test_restore_missing_attrs(self):
+        from repro.types import ParticleBatch
+
+        s = ShallowWaterSim(n_particles=10)
+        with pytest.raises(ValueError, match="missing attributes"):
+            s.restore(ParticleBatch(np.zeros((5, 3))), 0)
+
+    def test_rank_data_partition(self):
+        s = ShallowWaterSim(n_particles=3000)
+        s.step(50)
+        rd = s.rank_data(12)
+        assert rd.total_particles == 3000
+        for r in range(12):
+            box = Box.from_array(rd.bounds[r])
+            if len(rd.batches[r]):
+                assert box.contains_points(rd.batches[r].positions).all()
+
+    def test_early_imbalance_decays(self):
+        s = ShallowWaterSim(n_particles=5000)
+        early = s.rank_data(16)
+        s.step(400)
+        late = s.rank_data(16)
+
+        def imb(rd):
+            return rd.counts.max() / max(rd.counts.mean(), 1)
+
+        assert imb(late) < imb(early)
+
+
+class TestInjectionSim:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InjectionSim(injection_rate=-1)
+
+    def test_population_grows_linearly(self):
+        s = InjectionSim(injection_rate=100)
+        assert s.n_particles == 0
+        s.step(10)
+        assert s.n_particles == 1000
+        s.step(10)
+        assert s.n_particles == 2000
+
+    def test_particles_inside_domain(self):
+        s = InjectionSim(injection_rate=200)
+        s.step(100)
+        b = s.particles()
+        assert s.domain.contains_points(b.positions).all()
+
+    def test_plume_rises(self):
+        s = InjectionSim(injection_rate=100)
+        s.step(20)
+        z_early = s.pos[:, 2].mean()
+        s.step(200)
+        # the oldest particles have risen well above the inlets
+        oldest = s.pos[s.age > 150]
+        assert oldest[:, 2].mean() > z_early + 1.0
+
+    def test_temperature_cools_with_age(self):
+        s = InjectionSim(injection_rate=100)
+        s.step(300)
+        young = s.temperature[s.age < 10]
+        old = s.temperature[s.age > 250]
+        assert old.mean() < young.mean()
+
+    def test_checkpoint_restore(self):
+        s = InjectionSim(injection_rate=50, seed=3)
+        s.step(60)
+        s2 = InjectionSim(injection_rate=50, seed=3)
+        s2.restore(s.particles(), s.step_count)
+        assert s2.n_particles == s.n_particles
+        np.testing.assert_allclose(s2.pos, s.pos, atol=1e-5)
+        np.testing.assert_allclose(s2.age, s.age)
+
+    def test_rank_data_refits_bounds(self):
+        s = InjectionSim(injection_rate=200)
+        s.step(30)
+        early_box = Box.from_array(s.rank_data(8).bounds[0]).union(
+            Box.from_array(s.rank_data(8).bounds[7])
+        )
+        s.step(300)
+        late = s.rank_data(8)
+        late_box = Box.from_array(late.bounds[0]).union(Box.from_array(late.bounds[7]))
+        # the fitted grid grows as the plume fills the chamber
+        assert late_box.extents[2] > early_box.extents[2]
+        assert late.total_particles == s.n_particles
+
+    def test_rank_data_empty_sim(self):
+        s = InjectionSim(injection_rate=0)
+        rd = s.rank_data(4)
+        assert rd.total_particles == 0
+        assert rd.nranks == 4

@@ -1,0 +1,158 @@
+"""Unit and property tests for repro.types (Box, ParticleBatch)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.types import AttributeSpec, Box, ParticleBatch
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+def pts_strategy(min_n=1, max_n=50):
+    return arrays(
+        np.float64,
+        st.tuples(st.integers(min_n, max_n), st.just(3)),
+        elements=finite,
+    )
+
+
+class TestBox:
+    def test_empty(self):
+        b = Box.empty()
+        assert b.is_empty
+        assert not b.intersects(b)
+        assert np.all(b.extents == 0)
+
+    def test_of_points(self):
+        pts = np.array([[0, 0, 0], [1, 2, 3], [0.5, 0.5, 0.5]])
+        b = Box.of_points(pts)
+        assert b.lower == (0, 0, 0)
+        assert b.upper == (1, 2, 3)
+        assert b.longest_axis() == 2
+
+    def test_of_no_points(self):
+        assert Box.of_points(np.empty((0, 3))).is_empty
+
+    def test_union(self):
+        a = Box((0, 0, 0), (1, 1, 1))
+        b = Box((2, -1, 0.5), (3, 0.5, 2))
+        u = a.union(b)
+        assert u.lower == (0, -1, 0)
+        assert u.upper == (3, 1, 2)
+
+    def test_union_with_empty(self):
+        a = Box((0, 0, 0), (1, 1, 1))
+        assert a.union(Box.empty()) == a
+        assert Box.empty().union(a) == a
+
+    def test_intersects(self):
+        a = Box((0, 0, 0), (1, 1, 1))
+        assert a.intersects(Box((0.5, 0.5, 0.5), (2, 2, 2)))
+        assert not a.intersects(Box((1.5, 0, 0), (2, 1, 1)))
+        # touching faces count as intersecting
+        assert a.intersects(Box((1, 0, 0), (2, 1, 1)))
+
+    def test_contains_box(self):
+        a = Box((0, 0, 0), (2, 2, 2))
+        assert a.contains_box(Box((0.5, 0.5, 0.5), (1, 1, 1)))
+        assert not a.contains_box(Box((0.5, 0.5, 0.5), (3, 1, 1)))
+        assert a.contains_box(Box.empty())
+
+    def test_contains_points(self):
+        a = Box((0, 0, 0), (1, 1, 1))
+        pts = np.array([[0.5, 0.5, 0.5], [1.5, 0.5, 0.5], [1.0, 1.0, 1.0]])
+        np.testing.assert_array_equal(a.contains_points(pts), [True, False, True])
+
+    def test_split(self):
+        a = Box((0, 0, 0), (2, 2, 2))
+        left, right = a.split(0, 1.0)
+        assert left.upper[0] == 1.0
+        assert right.lower[0] == 1.0
+        assert left.union(right) == a
+
+    def test_roundtrip_array(self):
+        a = Box((0, -1, 2), (3, 4, 5))
+        assert Box.from_array(a.as_array()) == a
+
+    @given(pts_strategy())
+    def test_of_points_contains_all(self, pts):
+        b = Box.of_points(pts)
+        assert b.contains_points(pts).all()
+
+    @given(pts_strategy(), pts_strategy())
+    def test_union_contains_both(self, p1, p2):
+        u = Box.of_points(p1).union(Box.of_points(p2))
+        assert u.contains_box(Box.of_points(p1))
+        assert u.contains_box(Box.of_points(p2))
+
+
+class TestAttributeSpec:
+    def test_dtype_normalized(self):
+        s = AttributeSpec("x", "f4")
+        assert s.dtype == np.dtype(np.float32)
+        assert s.itemsize == 4
+
+
+class TestParticleBatch:
+    def _batch(self, n=10):
+        rng = np.random.default_rng(0)
+        return ParticleBatch(
+            rng.random((n, 3)),
+            {"mass": rng.random(n), "temp": rng.random(n)},
+        )
+
+    def test_basic(self):
+        b = self._batch(10)
+        assert len(b) == 10
+        assert b.count == 10
+        assert b.positions.dtype == np.float32
+        assert b.nbytes == 10 * 3 * 4 + 2 * 10 * 8
+
+    def test_attribute_shape_check(self):
+        with pytest.raises(ValueError, match="shape"):
+            ParticleBatch(np.zeros((5, 3)), {"bad": np.zeros(4)})
+
+    def test_select(self):
+        b = self._batch(10)
+        s = b.select(np.array([1, 3, 5]))
+        assert len(s) == 3
+        np.testing.assert_array_equal(s.positions, b.positions[[1, 3, 5]])
+        np.testing.assert_array_equal(s.attributes["mass"], b.attributes["mass"][[1, 3, 5]])
+
+    def test_select_mask(self):
+        b = self._batch(10)
+        mask = b.attributes["mass"] > 0.5
+        s = b.select(mask)
+        assert len(s) == mask.sum()
+
+    def test_concatenate(self):
+        b1, b2 = self._batch(4), self._batch(6)
+        c = ParticleBatch.concatenate([b1, b2])
+        assert len(c) == 10
+        np.testing.assert_array_equal(c.positions[:4], b1.positions)
+        np.testing.assert_array_equal(c.attributes["temp"][4:], b2.attributes["temp"])
+
+    def test_concatenate_empty_list(self):
+        assert len(ParticleBatch.concatenate([])) == 0
+
+    def test_concatenate_mismatched_attrs(self):
+        b1 = ParticleBatch(np.zeros((2, 3)), {"a": np.zeros(2)})
+        b2 = ParticleBatch(np.zeros((2, 3)), {"b": np.zeros(2)})
+        with pytest.raises(ValueError, match="mismatched"):
+            ParticleBatch.concatenate([b1, b2])
+
+    def test_empty_with_specs(self):
+        b = ParticleBatch.empty([AttributeSpec("m", np.float64)])
+        assert len(b) == 0
+        assert b.attributes["m"].dtype == np.float64
+
+    def test_bounds(self):
+        b = self._batch(10)
+        assert b.bounds.contains_points(b.positions).all()
+
+    def test_attribute_specs(self):
+        specs = self._batch().attribute_specs()
+        assert [s.name for s in specs] == ["mass", "temp"]

@@ -1,0 +1,174 @@
+"""Tests for BAT integrity validation, including corruption injection."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.bat import BATBuildConfig, build_bat
+from repro.bat.validate import validate_dataset, validate_file
+from repro.core import TwoPhaseWriter
+from repro.machines import testing_machine as make_test_machine
+from repro.types import ParticleBatch
+from tests.test_pipeline import make_rank_data
+
+
+@pytest.fixture(scope="module")
+def good_file(tmp_path_factory):
+    rng = np.random.default_rng(88)
+    batch = ParticleBatch(
+        rng.random((30_000, 3)).astype(np.float32),
+        {"a": rng.random(30_000), "b": rng.normal(0, 1, 30_000)},
+    )
+    built = build_bat(batch)
+    p = tmp_path_factory.mktemp("val") / "good.bat"
+    built.write(p)
+    return p, built
+
+
+class TestValidFiles:
+    def test_good_file_passes(self, good_file):
+        p, _ = good_file
+        report = validate_file(p)
+        assert report.ok, report.summary()
+        assert report.checks > 100
+
+    def test_shallow_only_mode(self, good_file):
+        p, _ = good_file
+        shallow = validate_file(p, deep=False)
+        deep = validate_file(p, deep=True)
+        assert shallow.ok
+        assert shallow.checks < deep.checks
+
+    def test_quantized_compressed_pass(self, tmp_path):
+        rng = np.random.default_rng(89)
+        batch = ParticleBatch(
+            rng.random((10_000, 3)).astype(np.float32), {"x": rng.random(10_000)}
+        )
+        built = build_bat(batch, BATBuildConfig(quantize_positions=True, compress=True))
+        p = tmp_path / "qc.bat"
+        built.write(p)
+        assert validate_file(p).ok
+
+    def test_summary_format(self, good_file):
+        p, _ = good_file
+        s = validate_file(p).summary()
+        assert "OK" in s and "checks" in s
+
+
+def corrupt(data: bytes, offset: int, new: bytes) -> bytes:
+    out = bytearray(data)
+    out[offset : offset + len(new)] = new
+    return bytes(out)
+
+
+class TestCorruptionDetection:
+    def test_bad_magic(self, good_file, tmp_path):
+        p, built = good_file
+        bad = tmp_path / "magic.bat"
+        bad.write_bytes(corrupt(built.data, 0, b"EVIL"))
+        report = validate_file(bad)
+        assert not report.ok
+        assert "cannot open" in report.errors[0]
+
+    def test_truncated_file(self, good_file, tmp_path):
+        p, built = good_file
+        bad = tmp_path / "trunc.bat"
+        bad.write_bytes(built.data[: len(built.data) // 2])
+        assert not validate_file(bad).ok
+
+    def test_corrupt_point_count(self, good_file, tmp_path):
+        p, built = good_file
+        # n_points lives at offset 8 in the header
+        bad = tmp_path / "count.bat"
+        bad.write_bytes(corrupt(built.data, 8, struct.pack("<Q", 999)))
+        report = validate_file(bad)
+        assert not report.ok
+        assert any("point counts" in e or "zero particles" in e for e in report.errors)
+
+    def test_corrupt_treelet_child_pointer(self, good_file, tmp_path):
+        p, built = good_file
+        from repro.bat.file import BATFile
+
+        with BATFile(p) as f:
+            # find a treelet with an inner node and smash its left pointer
+            target = None
+            for k in range(f.n_treelets):
+                tv = f.treelet(k)
+                inner = np.nonzero(tv.nodes["axis"] >= 0)[0]
+                if len(inner):
+                    off = int(f.shallow_leaves[k]["treelet_offset"])
+                    node_dt = tv.nodes.dtype
+                    node_off = off + 16 + int(inner[0]) * node_dt.itemsize
+                    left_field_off = node_dt.fields["left"][1]
+                    target = node_off + left_field_off
+                    break
+        assert target is not None
+        bad = tmp_path / "child.bat"
+        bad.write_bytes(corrupt(built.data, target, struct.pack("<i", -7)))
+        report = validate_file(bad)
+        assert not report.ok
+        assert any("children" in e for e in report.errors)
+
+    def test_corrupt_positions_detected(self, good_file, tmp_path):
+        p, built = good_file
+        from repro.bat.file import BATFile
+
+        with BATFile(p) as f:
+            off = int(f.shallow_leaves[0]["treelet_offset"])
+            tv = f.treelet(0)
+            pos_off = off + 16 + tv.nodes.nbytes
+        bad = tmp_path / "pos.bat"
+        bad.write_bytes(corrupt(built.data, pos_off, struct.pack("<f", 1e9)))
+        report = validate_file(bad)
+        assert not report.ok
+        assert any("outside leaf bounds" in e for e in report.errors)
+
+
+class TestDatasetValidation:
+    @pytest.fixture(scope="class")
+    def dataset(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("ds_val")
+        data = make_rank_data(nranks=8, seed=90)
+        rep = TwoPhaseWriter(make_test_machine(), target_size=256 * 1024).write(
+            data, out_dir=out, name="v0"
+        )
+        return out, rep
+
+    def test_good_dataset(self, dataset):
+        out, rep = dataset
+        report = validate_dataset(rep.metadata_path, deep=True)
+        assert report.ok, report.summary()
+
+    def test_missing_leaf_file(self, dataset, tmp_path):
+        import shutil
+
+        out, rep = dataset
+        clone = tmp_path / "clone"
+        shutil.copytree(out, clone)
+        victim = next(clone.glob("*.bat"))
+        victim.unlink()
+        report = validate_dataset(clone / "v0.meta.json")
+        assert not report.ok
+        assert any("missing leaf file" in e for e in report.errors)
+
+    def test_manifest_count_mismatch(self, dataset, tmp_path):
+        import json
+        import shutil
+
+        out, rep = dataset
+        clone = tmp_path / "clone2"
+        shutil.copytree(out, clone)
+        meta = json.loads((clone / "v0.meta.json").read_text())
+        meta["leaves"][0]["count"] += 5
+        (clone / "v0.meta.json").write_text(json.dumps(meta))
+        report = validate_dataset(clone / "v0.meta.json")
+        assert not report.ok
+        assert any("manifest says" in e for e in report.errors)
+
+    def test_cli_validate(self, dataset, capsys):
+        from repro.cli import main
+
+        out, rep = dataset
+        assert main(["validate", rep.metadata_path]) == 0
+        assert "OK" in capsys.readouterr().out

@@ -1,0 +1,212 @@
+"""Tests for decompositions and the synthetic evaluation workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.types import Box
+from repro.workloads import CoalBoiler, DamBreak, grid_decompose, grid_dims, uniform_rank_data
+from repro.workloads.decomposition import rank_cell_index
+from repro.workloads.uniform import BYTES_PER_PARTICLE, PARTICLES_PER_RANK
+
+
+class TestGridDims:
+    def test_exact_product(self):
+        for n in (1, 2, 6, 48, 96, 1536, 6144):
+            assert int(np.prod(grid_dims(n, 3))) == n
+            assert int(np.prod(grid_dims(n, 2))) == n
+
+    def test_near_cubic(self):
+        d = grid_dims(64, 3)
+        assert sorted(d) == [4, 4, 4]
+
+    def test_follows_extents(self):
+        d = grid_dims(16, 3, extents=(8.0, 1.0, 1.0))
+        assert d[0] == max(d)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_dims(0)
+        with pytest.raises(ValueError):
+            grid_dims(4, 0)
+
+    @given(st.integers(1, 2000))
+    def test_product_always_exact(self, n):
+        assert int(np.prod(grid_dims(n, 3))) == n
+
+
+class TestGridDecompose:
+    def test_tiles_domain(self):
+        domain = Box((0, 0, 0), (4, 2, 1))
+        b = grid_decompose(domain, 8, ndims=3)
+        assert b.shape == (8, 2, 3)
+        # cells tile: total volume preserved
+        vols = np.prod(b[:, 1] - b[:, 0], axis=1)
+        assert vols.sum() == pytest.approx(8.0)
+        assert (b[:, 0] >= np.asarray(domain.lower) - 1e-12).all()
+        assert (b[:, 1] <= np.asarray(domain.upper) + 1e-12).all()
+
+    def test_2d_spans_full_z(self):
+        domain = Box((0, 0, 0), (4, 1, 1))
+        b = grid_decompose(domain, 8, ndims=2)
+        assert (b[:, 0, 2] == 0.0).all()
+        assert (b[:, 1, 2] == 1.0).all()
+
+    def test_empty_domain(self):
+        with pytest.raises(ValueError):
+            grid_decompose(Box.empty(), 4)
+
+    def test_cell_index_consistent_with_bounds(self):
+        domain = Box((0, 0, 0), (4, 2, 1))
+        nranks = 16
+        b = grid_decompose(domain, nranks, ndims=3)
+        dims = grid_dims(nranks, 3, domain.extents)
+        rng = np.random.default_rng(0)
+        pts = np.asarray(domain.lower) + rng.random((500, 3)) * domain.extents
+        cells = rank_cell_index(pts, domain, dims)
+        for r in range(nranks):
+            sel = pts[cells == r]
+            box = Box.from_array(b[r])
+            assert box.contains_points(sel).all()
+
+
+class TestUniform:
+    def test_paper_parameters(self):
+        rd = uniform_rank_data(64)
+        assert rd.total_particles == 64 * PARTICLES_PER_RANK
+        assert rd.bytes_per_particle == BYTES_PER_PARTICLE
+        # "4.06 MB per rank"
+        assert rd.total_bytes / 64 == pytest.approx(4.06e6, rel=0.01)
+        assert not rd.materialized
+
+    def test_materialized(self):
+        rd = uniform_rank_data(4, particles_per_rank=500, materialize=True)
+        assert rd.materialized
+        assert rd.total_particles == 2000
+        for r in range(4):
+            box = Box.from_array(rd.bounds[r])
+            assert box.contains_points(rd.batches[r].positions).all()
+        assert len(rd.batches[0].attributes) == 14
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            uniform_rank_data(0)
+
+
+class TestCoalBoiler:
+    def test_published_totals(self):
+        cb = CoalBoiler()
+        assert cb.total_particles(501) == 4_600_000
+        assert cb.total_particles(4501) == 41_500_000
+        mid = cb.total_particles(2501)
+        assert 4_600_000 < mid < 41_500_000
+
+    def test_timestep_validation(self):
+        with pytest.raises(ValueError):
+            CoalBoiler().total_particles(100)
+
+    def test_growth_monotone(self):
+        cb = CoalBoiler()
+        totals = [cb.total_particles(t) for t in range(501, 4502, 500)]
+        assert totals == sorted(totals)
+
+    def test_sample_inside_domain(self):
+        cb = CoalBoiler()
+        b = cb.sample(2501, 5000)
+        assert cb.domain.contains_points(b.positions).all()
+        assert set(b.attributes) == {
+            "temperature", "vel_u", "vel_v", "vel_w", "char_mass", "moisture", "diameter",
+        }
+
+    def test_deterministic(self):
+        cb = CoalBoiler()
+        a = cb.sample(1501, 1000)
+        b = cb.sample(1501, 1000)
+        np.testing.assert_array_equal(a.positions, b.positions)
+
+    def test_distribution_rises_over_time(self):
+        cb = CoalBoiler()
+        early = cb.sample(601, 5000).positions[:, 2].mean()
+        late = cb.sample(4501, 5000).positions[:, 2].mean()
+        assert late > early
+
+    def test_rank_data_counts(self):
+        cb = CoalBoiler()
+        rd = cb.rank_data(2501, 96, sample_size=50_000)
+        assert rd.nranks == 96
+        assert rd.total_particles == pytest.approx(cb.total_particles(2501), rel=0.01)
+        assert rd.bytes_per_particle == 3 * 4 + 7 * 8  # 68 B, as in the paper
+
+    def test_rank_data_nonuniform(self):
+        cb = CoalBoiler()
+        rd = cb.rank_data(501, 256, sample_size=50_000)
+        nz = rd.counts[rd.counts > 0]
+        assert len(nz) < 256  # early injection: most ranks empty
+        assert nz.max() > 3 * nz.mean()  # clustered
+
+    def test_materialized_scaled(self):
+        cb = CoalBoiler()
+        rd = cb.rank_data(501, 16, scale=1e-3, materialize=True)
+        assert rd.materialized
+        assert rd.total_particles == pytest.approx(4600, rel=0.05)
+        for r in range(16):
+            box = Box.from_array(rd.bounds[r])
+            if len(rd.batches[r]):
+                assert box.contains_points(rd.batches[r].positions).all()
+
+
+class TestDamBreak:
+    def test_height_profile_initial_column(self):
+        db = DamBreak()
+        x = np.linspace(0, 4, 100)
+        h = db.height_profile(0, x)
+        assert (h[x <= 1.0] == db.column_height).all()
+        assert (h[x > 1.01] == 0.0).all()
+
+    def test_mass_spreads_over_time(self):
+        db = DamBreak()
+        x = np.linspace(0, 4, 400)
+        early = db.height_profile(200, x)
+        late = db.height_profile(4001, x)
+        # occupied length grows
+        assert (late > 1e-3).sum() > (early > 1e-3).sum()
+
+    def test_settles_to_uniform_layer(self):
+        db = DamBreak()
+        x = np.linspace(0.1, 3.9, 100)
+        h = db.height_profile(100_000, x)
+        expected = db.column_height * db.dam_x / 4.0
+        np.testing.assert_allclose(h, expected, rtol=0.05)
+
+    def test_sample_under_surface(self):
+        db = DamBreak()
+        b = db.sample(1001, 5000)
+        assert db.domain.contains_points(b.positions).all()
+        x = b.positions[:, 0].astype(np.float64)
+        z = b.positions[:, 2].astype(np.float64)
+        h = db.height_profile(1001, x)
+        assert (z <= h + 1e-3).all()
+
+    def test_fixed_particle_count(self):
+        db = DamBreak(total=100_000)
+        for ts in (0, 1001, 4001):
+            rd = db.rank_data(ts, 64, sample_size=20_000)
+            assert rd.total_particles == pytest.approx(100_000, rel=0.01)
+
+    def test_imbalance_decreases_as_water_spreads(self):
+        db = DamBreak()
+        imb = []
+        for ts in (0, 1001, 4001):
+            rd = db.rank_data(ts, 96, sample_size=50_000)
+            nz = rd.counts[rd.counts > 0]
+            imb.append(rd.counts.max() / rd.counts.mean())
+        assert imb[0] > imb[-1]
+
+    def test_2d_decomposition(self):
+        db = DamBreak()
+        rd = db.rank_data(0, 32, sample_size=10_000)
+        # every rank spans full z
+        assert (rd.bounds[:, 0, 2] == 0.0).all()
+        assert (rd.bounds[:, 1, 2] == db.domain.upper[2]).all()
+        assert rd.bytes_per_particle == 3 * 4 + 4 * 8  # 44 B, as in the paper
