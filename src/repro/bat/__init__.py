@@ -15,12 +15,14 @@ A BAT (§III-C) is built on each aggregator over the particles it received:
 
 from .builder import BATBuildConfig, build_bat
 from .file import BATFile
+from .filecache import BATFileCache
 from .query import AttributeFilter, QueryStats
 
 __all__ = [
     "BATBuildConfig",
     "build_bat",
     "BATFile",
+    "BATFileCache",
     "AttributeFilter",
     "QueryStats",
 ]

@@ -35,7 +35,7 @@ from .format import (
     treelet_header_dtype,
     treelet_node_dtype,
 )
-from .treelet import Treelet, build_treelet, treelet_node_bitmaps
+from .treelet import Treelet, build_treelet, propagate_bitmaps_bottom_up
 
 __all__ = ["BATBuildConfig", "BuiltBAT", "build_bat"]
 
@@ -240,26 +240,67 @@ def build_bat(batch: ParticleBatch, config: BATBuildConfig | None = None) -> Bui
         }
 
     # Per-treelet bitmaps -> dictionary IDs (ID 0 reserved for the empty
-    # bitmap so absent attributes prune immediately).
+    # bitmap so absent attributes prune immediately). The whole forest is
+    # processed in level-order numpy passes: global node ids are
+    # treelet-major, one group-bitmap pass per attribute covers every
+    # node's own slots at once, and one bottom-up propagation covers every
+    # treelet's OR sweep.
     dictionary = BitmapDictionary()
     dictionary.add(0)
     bm_cols = max(n_attrs, 1)
-    leaf_root_bitmaps = np.zeros((n_leaves, bm_cols), dtype=np.uint32)
+
+    n_nodes_per = np.array([t.n_nodes for t in treelets], dtype=np.int64)
+    node_starts = np.concatenate([[0], np.cumsum(n_nodes_per)])
+    total_nodes = int(node_starts[-1])
+    pts_per = np.array([t.n_points for t in treelets], dtype=np.int64)
+    pt_starts = np.concatenate([[0], np.cumsum(pts_per)])
+
     leaf_boxes = np.zeros((n_leaves, 6), dtype=np.float32)
-    treelet_bitmap_ids: list[np.ndarray] = []
-    pos_cursor = 0
-    for k, t in enumerate(treelets):
-        ids = np.zeros((t.n_nodes, bm_cols), dtype=np.uint16)
-        seg_pos = positions_no[pos_cursor : pos_cursor + t.n_points]
-        leaf_boxes[k, :3] = seg_pos.min(axis=0)
-        leaf_boxes[k, 3:] = seg_pos.max(axis=0)
-        for a, name in enumerate(attr_names):
-            vals = attrs_no[name][pos_cursor : pos_cursor + t.n_points]
-            bms = treelet_node_bitmaps(t, vals, binning=attr_binnings[name])
-            ids[:, a] = dictionary.add_many(bms)
-            leaf_root_bitmaps[k, a] = bms[0]
-        treelet_bitmap_ids.append(ids)
-        pos_cursor += t.n_points
+    leaf_boxes[:, :3] = np.minimum.reduceat(positions_no, pt_starts[:-1], axis=0)
+    leaf_boxes[:, 3:] = np.maximum.reduceat(positions_no, pt_starts[:-1], axis=0)
+
+    forest_axis = np.concatenate([t.axis for t in treelets])
+    forest_depth = np.concatenate([t.depth for t in treelets])
+    forest_count = np.concatenate([t.count for t in treelets]).astype(np.int64)
+    forest_left = np.concatenate(
+        [np.where(t.axis >= 0, t.left + node_starts[k], -1) for k, t in enumerate(treelets)]
+    )
+    forest_right = np.concatenate(
+        [np.where(t.axis >= 0, t.right + node_starts[k], -1) for k, t in enumerate(treelets)]
+    )
+    # own-slot slices are contiguous/ascending/tiling within each treelet,
+    # so the global slot->node map is one repeat
+    owner = np.repeat(np.arange(total_nodes, dtype=np.int64), forest_count)
+
+    node_bitmaps = np.zeros((total_nodes, bm_cols), dtype=np.uint32)
+    for a, name in enumerate(attr_names):
+        node_bitmaps[:, a] = attr_binnings[name].group_bitmaps(
+            attrs_no[name], owner, total_nodes
+        )
+    propagate_bitmaps_bottom_up(
+        forest_axis, forest_depth, forest_left, forest_right, node_bitmaps
+    )
+    # each treelet's root is its local node 0
+    leaf_root_bitmaps = node_bitmaps[node_starts[:-1], :].copy()
+
+    # Intern in the same order the per-node build would (treelet-major,
+    # attribute-major within a treelet) so dictionary IDs — and therefore
+    # file bytes — are independent of the vectorization.
+    treelet_bitmap_ids = np.zeros((total_nodes, bm_cols), dtype=np.uint16)
+    if n_attrs:
+        ordered = np.concatenate(
+            [
+                node_bitmaps[node_starts[k] : node_starts[k + 1], :n_attrs].T.ravel()
+                for k in range(n_leaves)
+            ]
+        )
+        ordered_ids = dictionary.add_many(ordered)
+        cur = 0
+        for k in range(n_leaves):
+            nk = int(n_nodes_per[k])
+            chunk = ordered_ids[cur : cur + nk * n_attrs].reshape(n_attrs, nk).T
+            treelet_bitmap_ids[node_starts[k] : node_starts[k + 1], :n_attrs] = chunk
+            cur += nk * n_attrs
 
     inner_bm, inner_box = _shallow_bitmaps_and_boxes(radix, leaf_root_bitmaps, leaf_boxes)
 
@@ -273,14 +314,18 @@ def build_bat(batch: ParticleBatch, config: BATBuildConfig | None = None) -> Bui
     inner_dt = shallow_inner_dtype(n_attrs)
     leaf_dt = shallow_leaf_dtype(n_attrs)
     inner_rec = np.zeros(radix.n_inner, dtype=inner_dt)
-    for i in range(radix.n_inner):
-        l = np.uint32(radix.left[i]) | (LEAF_FLAG if radix.left_is_leaf[i] else np.uint32(0))
-        r = np.uint32(radix.right[i]) | (LEAF_FLAG if radix.right_is_leaf[i] else np.uint32(0))
-        inner_rec[i]["left"] = l
-        inner_rec[i]["right"] = r
-        inner_rec[i]["bbox"] = inner_box[i]
-        for a in range(n_attrs):
-            inner_rec[i]["bitmap_ids"][a] = dictionary.add(int(inner_bm[i, a]))
+    if radix.n_inner:
+        inner_rec["left"] = radix.left.astype(np.uint32) | np.where(
+            radix.left_is_leaf, LEAF_FLAG, np.uint32(0)
+        )
+        inner_rec["right"] = radix.right.astype(np.uint32) | np.where(
+            radix.right_is_leaf, LEAF_FLAG, np.uint32(0)
+        )
+        inner_rec["bbox"] = inner_box
+        if n_attrs:
+            inner_rec["bitmap_ids"] = dictionary.add_many(
+                inner_bm[:, :n_attrs]
+            ).reshape(radix.n_inner, n_attrs)
 
     leaf_rec = np.zeros(n_leaves, dtype=leaf_dt)
     node_dt = treelet_node_dtype(n_attrs)
@@ -290,15 +335,11 @@ def build_bat(batch: ParticleBatch, config: BATBuildConfig | None = None) -> Bui
     shallow_inner_offset = attr_table_offset + atab.nbytes
     shallow_leaf_offset = shallow_inner_offset + inner_rec.nbytes
     dict_offset = shallow_leaf_offset + leaf_rec.nbytes
-    # dictionary can still grow while filling leaf records, so fill leaf
-    # bitmap IDs first
-    pos_cursor = 0
-    for k, t in enumerate(treelets):
-        leaf_rec[k]["n_points"] = t.n_points
-        leaf_rec[k]["bbox"] = leaf_boxes[k]
-        for a in range(n_attrs):
-            leaf_rec[k]["bitmap_ids"][a] = treelet_bitmap_ids[k][0, a]
-        pos_cursor += t.n_points
+    leaf_rec["n_points"] = pts_per
+    leaf_rec["bbox"] = leaf_boxes
+    if n_attrs:
+        # each treelet's root ID row, already interned above
+        leaf_rec["bitmap_ids"] = treelet_bitmap_ids[node_starts[:-1], :n_attrs]
 
     dict_arr = dictionary.as_array()
     binning_offset = dict_offset + dict_arr.nbytes
@@ -316,36 +357,45 @@ def build_bat(batch: ParticleBatch, config: BATBuildConfig | None = None) -> Bui
     if config.compress:
         flags |= FLAG_COMPRESSED_TREELETS
 
+    # All node records in one structured array (treelet-major, so each
+    # blob is a contiguous slice), and all quantization math in one
+    # vectorized pass; the remaining loop only assembles bytes.
+    all_nodes = np.zeros(total_nodes, dtype=node_dt)
+    all_nodes["axis"] = forest_axis
+    all_nodes["depth"] = forest_depth
+    all_nodes["split"] = np.concatenate([t.split for t in treelets])
+    all_nodes["left"] = np.concatenate([t.left for t in treelets])
+    all_nodes["right"] = np.concatenate([t.right for t in treelets])
+    all_nodes["begin"] = np.concatenate([t.begin for t in treelets])
+    all_nodes["count"] = forest_count
+    all_nodes["subtree_end"] = np.concatenate([t.subtree_end for t in treelets])
+    if n_attrs:
+        all_nodes["bitmap_ids"] = treelet_bitmap_ids[:, :n_attrs]
+
+    quantized_all = None
+    if config.quantize_positions:
+        lo_pp = np.repeat(leaf_boxes[:, :3].astype(np.float64), pts_per, axis=0)
+        ext_pp = np.maximum(
+            np.repeat(leaf_boxes[:, 3:].astype(np.float64), pts_per, axis=0) - lo_pp, 0.0
+        )
+        scale_pp = np.where(ext_pp > 0, 65535.0 / np.where(ext_pp > 0, ext_pp, 1.0), 0.0)
+        q = np.round((positions_no.astype(np.float64) - lo_pp) * scale_pp)
+        quantized_all = np.clip(q, 0, 65535).astype("<u2")
+
     # Treelet blobs with page alignment.
     blobs: list[bytes] = []
     offsets: list[int] = []
     cursor = treelets_offset
-    pos_cursor = 0
     max_depth = 0
     for k, t in enumerate(treelets):
-        nodes = np.zeros(t.n_nodes, dtype=node_dt)
-        nodes["axis"] = t.axis
-        nodes["depth"] = t.depth
-        nodes["split"] = t.split
-        nodes["left"] = t.left
-        nodes["right"] = t.right
-        nodes["begin"] = t.begin
-        nodes["count"] = t.count
-        nodes["subtree_end"] = t.subtree_end
-        if n_attrs:
-            nodes["bitmap_ids"] = treelet_bitmap_ids[k][:, :n_attrs]
+        nodes = all_nodes[node_starts[k] : node_starts[k + 1]]
         max_depth = max(max_depth, t.max_depth)
-        seg = slice(pos_cursor, pos_cursor + t.n_points)
+        seg = slice(int(pt_starts[k]), int(pt_starts[k + 1]))
 
-        seg_pos = positions_no[seg]
-        if config.quantize_positions:
-            lo = leaf_boxes[k, :3].astype(np.float64)
-            ext = np.maximum(leaf_boxes[k, 3:].astype(np.float64) - lo, 0.0)
-            scale = np.where(ext > 0, 65535.0 / np.where(ext > 0, ext, 1.0), 0.0)
-            q = np.round((seg_pos.astype(np.float64) - lo) * scale)
-            pos_bytes = np.clip(q, 0, 65535).astype("<u2").tobytes()
+        if quantized_all is not None:
+            pos_bytes = quantized_all[seg].tobytes()
         else:
-            pos_bytes = np.ascontiguousarray(seg_pos).tobytes()
+            pos_bytes = np.ascontiguousarray(positions_no[seg]).tobytes()
 
         payload_parts = [nodes.tobytes(), pos_bytes]
         for name in attr_names:
@@ -367,7 +417,6 @@ def build_bat(batch: ParticleBatch, config: BATBuildConfig | None = None) -> Bui
         leaf_rec[k]["treelet_nbytes"] = len(blob)
         cursor = aligned + len(blob)
         blobs.append(blob)
-        pos_cursor += t.n_points
 
     file_size = cursor
     header = Header(

@@ -1,0 +1,89 @@
+"""Bounded LRU cache of open :class:`BATFile` handles.
+
+Repeated dataset and time-series queries touch the same leaf files over
+and over; re-opening them per query costs an ``open``/``mmap``/header
+parse each time, and keeping every handle open forever runs a long
+time-series session into the file-descriptor limit. The cache bounds the
+number of simultaneously open files and closes the least-recently-used
+handle on eviction (safe even with outstanding numpy views — see
+:meth:`BATFile.close`).
+
+One cache can back several :class:`~repro.core.dataset.BATDataset`
+instances (a :class:`~repro.core.timeseries.TimeSeriesDataset` shares one
+across all its steps), so the bound applies to the session, not to each
+timestep separately.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from pathlib import Path
+
+from .file import BATFile
+
+__all__ = ["BATFileCache", "DEFAULT_CAPACITY"]
+
+#: default maximum number of simultaneously open leaf files
+DEFAULT_CAPACITY = 64
+
+
+class BATFileCache:
+    """LRU-bounded pool of open, memory-mapped BAT files.
+
+    Not thread-safe by design: parallel query paths open their own
+    handles inside worker tasks (see :mod:`repro.core.dataset`), the
+    cache serves the serial paths.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._open: OrderedDict[str, BATFile] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._open)
+
+    def get(self, path) -> BATFile:
+        """Return an open handle for ``path``, opening and caching on miss."""
+        key = str(Path(path))
+        f = self._open.get(key)
+        if f is not None:
+            self.hits += 1
+            self._open.move_to_end(key)
+            return f
+        self.misses += 1
+        f = BATFile(key)
+        self._open[key] = f
+        while len(self._open) > self.capacity:
+            _, victim = self._open.popitem(last=False)
+            victim.close()
+            self.evictions += 1
+        return f
+
+    def drop(self, path) -> None:
+        """Close and forget one path, if cached."""
+        f = self._open.pop(str(Path(path)), None)
+        if f is not None:
+            f.close()
+
+    def close(self) -> None:
+        """Close every cached handle."""
+        for f in self._open.values():
+            f.close()
+        self._open.clear()
+
+    def __enter__(self) -> "BATFileCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BATFileCache(open={len(self._open)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )

@@ -114,18 +114,19 @@ def _validate_open_file(bat: BATFile, report: ValidationReport, deep: bool) -> N
         f"unreachable shallow leaves: {sorted(set(range(h.n_shallow_leaves)) - seen_leaves)[:5]}",
     )
 
-    # leaf records
-    total_points = 0
-    for k in range(h.n_shallow_leaves):
-        rec = bat.shallow_leaves[k]
-        report.check(
-            int(rec["treelet_offset"]) % PAGE_SIZE == 0, f"treelet {k} not page aligned"
-        )
-        report.check(
-            int(rec["treelet_offset"]) + int(rec["treelet_nbytes"]) <= h.file_size,
-            f"treelet {k} extends past end of file",
-        )
-        total_points += int(rec["n_points"])
+    # leaf records (vectorized across all leaves; failures name the first)
+    offs = bat.shallow_leaves["treelet_offset"].astype(np.int64)
+    nbs = bat.shallow_leaves["treelet_nbytes"].astype(np.int64)
+    misaligned = np.nonzero(offs % PAGE_SIZE != 0)[0]
+    report.check(
+        len(misaligned) == 0, f"treelet {misaligned[0] if len(misaligned) else 0} not page aligned"
+    )
+    past_end = np.nonzero(offs + nbs > h.file_size)[0]
+    report.check(
+        len(past_end) == 0,
+        f"treelet {past_end[0] if len(past_end) else 0} extends past end of file",
+    )
+    total_points = int(bat.shallow_leaves["n_points"].astype(np.int64).sum())
     report.check(
         total_points == h.n_points,
         f"leaf point counts sum to {total_points}, header says {h.n_points}",
@@ -160,37 +161,65 @@ def _validate_treelet(bat: BATFile, leaf: int, report: ValidationReport) -> None
     if not report.check(tv.n_points == int(rec["n_points"]), f"treelet {leaf}: point count mismatch"):
         return
 
-    slots = np.zeros(tv.n_points, dtype=np.int64)
-    for i in range(n):
-        b, c, e = int(nodes[i]["begin"]), int(nodes[i]["count"]), int(nodes[i]["subtree_end"])
+    # every per-node invariant below is one vectorized comparison over the
+    # whole treelet; error messages name the first offending node
+    b = nodes["begin"].astype(np.int64)
+    c = nodes["count"].astype(np.int64)
+    e = nodes["subtree_end"].astype(np.int64)
+    bad = np.nonzero(~((b + c <= e) & (e <= tv.n_points)))[0]
+    if not report.check(
+        len(bad) == 0,
+        f"treelet {leaf} node {bad[0] if len(bad) else 0}: bad slice"
+        + (f" [{b[bad[0]]},{b[bad[0]] + c[bad[0]]},{e[bad[0]]})" if len(bad) else ""),
+    ):
+        return
+    inner = np.nonzero(nodes["axis"] >= 0)[0]
+    if len(inner):
+        l = nodes["left"][inner].astype(np.int64)
+        r = nodes["right"][inner].astype(np.int64)
+        bad = np.nonzero(~((inner < l) & (l < n) & (inner < r) & (r < n)))[0]
         if not report.check(
-            b + c <= e <= tv.n_points, f"treelet {leaf} node {i}: bad slice [{b},{b + c},{e})"
+            len(bad) == 0, f"treelet {leaf} node {inner[bad[0]] if len(bad) else 0}: bad children"
         ):
             return
-        slots[b : b + c] += 1
-        if nodes[i]["axis"] >= 0:
-            l, r = int(nodes[i]["left"]), int(nodes[i]["right"])
-            if not report.check(i < l < n and i < r < n, f"treelet {leaf} node {i}: bad children"):
-                return
-            report.check(
-                int(nodes[l]["begin"]) == b + c and int(nodes[r]["subtree_end"]) == e,
-                f"treelet {leaf} node {i}: children do not tile subtree",
-            )
-            report.check(
-                int(nodes[l]["depth"]) == int(nodes[i]["depth"]) + 1,
-                f"treelet {leaf} node {i}: child depth not parent+1",
-            )
-            # bitmap containment: parent covers children
-            for a in range(h.n_attrs):
-                pb = bat.bitmap(int(nodes[i]["bitmap_ids"][a]))
-                for child in (l, r):
-                    cb = bat.bitmap(int(nodes[child]["bitmap_ids"][a]))
-                    report.check(
-                        pb & cb == cb,
-                        f"treelet {leaf} node {i} attr {a}: child bitmap not contained",
+        bad = np.nonzero((b[l] != b[inner] + c[inner]) | (e[r] != e[inner]))[0]
+        report.check(
+            len(bad) == 0,
+            f"treelet {leaf} node {inner[bad[0]] if len(bad) else 0}: children do not tile subtree",
+        )
+        d = nodes["depth"].astype(np.int64)
+        bad = np.nonzero(d[l] != d[inner] + 1)[0]
+        report.check(
+            len(bad) == 0,
+            f"treelet {leaf} node {inner[bad[0]] if len(bad) else 0}: child depth not parent+1",
+        )
+        if h.n_attrs:
+            # bitmap containment: parent covers children, all attrs at once
+            dict_arr = np.asarray(bat.dictionary, dtype=np.uint32)
+            pb = dict_arr[nodes["bitmap_ids"][inner]]
+            ok = True
+            for child in (l, r):
+                cb = dict_arr[nodes["bitmap_ids"][child]]
+                contained = (pb & cb) == cb
+                if not contained.all():
+                    i_bad, a_bad = np.nonzero(~contained)
+                    ok = report.check(
+                        False,
+                        f"treelet {leaf} node {inner[i_bad[0]]} attr {a_bad[0]}: "
+                        "child bitmap not contained",
                     )
+                else:
+                    report.checks += 1
+            if not ok:
+                return
+    # coverage multiplicity via a difference array (+1 at begin, -1 at
+    # begin+count): prefix sums are all 1 iff the slices partition
+    cover = np.zeros(tv.n_points + 1, dtype=np.int64)
+    np.add.at(cover, b, 1)
+    np.add.at(cover, b + c, -1)
     report.check(
-        bool((slots == 1).all()), f"treelet {leaf}: node slices do not partition particles"
+        bool((np.cumsum(cover[:-1]) == 1).all()),
+        f"treelet {leaf}: node slices do not partition particles",
     )
 
     # particles inside leaf bbox (pad for float32 rounding / quantization)

@@ -16,7 +16,9 @@ from .calibration import (
 from .harness import (
     coal_boiler_series,
     dam_break_series,
+    parallel_write_query_benchmark,
     progressive_read_benchmark,
+    record_benchmark,
     timing_breakdown,
     two_phase_read_point,
     two_phase_write_point,
@@ -25,6 +27,8 @@ from .harness import (
 from .report import format_series, format_table
 
 __all__ = [
+    "parallel_write_query_benchmark",
+    "record_benchmark",
     "weak_scaling",
     "two_phase_write_point",
     "two_phase_read_point",

@@ -1,0 +1,87 @@
+"""Benchmark entry point recording BENCH_*.json perf data points.
+
+Usage::
+
+    python -m repro.bench --record BENCH_ci.json
+    python -m repro.bench --executors serial,process:4 --ranks 64 \
+        --particles 50000 --record BENCH_pr1.json
+
+Runs the real wall-clock multi-aggregator write+query benchmark once per
+executor, cross-checks that every executor produced byte-identical files
+and identical query answers, prints a small table, and (with ``--record``)
+writes the JSON data point every PR is expected to leave behind.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+
+from .harness import parallel_write_query_benchmark, record_benchmark
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(
+        prog="repro.bench",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument(
+        "--executors",
+        default="serial,thread,process",
+        help="comma-separated executor specs (see repro.parallel)",
+    )
+    p.add_argument("--ranks", type=int, default=32, help="writing ranks")
+    p.add_argument("--particles", type=int, default=20_000, help="particles per rank")
+    p.add_argument("--attributes", type=int, default=4, help="attributes per particle")
+    p.add_argument(
+        "--target-kb", type=int, default=256, help="aggregation target size (KiB)"
+    )
+    p.add_argument("--out-dir", default=None, help="keep written files here (default: temp)")
+    p.add_argument("--record", default=None, help="write the BENCH_<tag>.json data point here")
+    args = p.parse_args(argv)
+
+    executors = [s.strip() for s in args.executors.split(",") if s.strip()]
+
+    def run(out_dir):
+        return parallel_write_query_benchmark(
+            out_dir,
+            executors=executors,
+            nranks=args.ranks,
+            particles_per_rank=args.particles,
+            n_attributes=args.attributes,
+            target_size=args.target_kb * 1024,
+        )
+
+    if args.out_dir is not None:
+        payload = run(args.out_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            payload = run(tmp)
+
+    rows = payload["results"]
+    print(
+        f"parallel write+query: {args.ranks} ranks x {args.particles} particles, "
+        f"{rows[0]['n_files']} files"
+    )
+    for r in rows:
+        print(
+            f"  {r['executor']:<12} write {r['write_seconds']:7.3f}s "
+            f"({r['write_speedup_vs_serial']:4.2f}x)   "
+            f"query {r['query_seconds']:7.3f}s ({r['query_speedup_vs_serial']:4.2f}x)"
+        )
+    print("  all executors byte-identical: ok")
+
+    if args.record:
+        doc = record_benchmark(args.record, payload)
+        print(f"recorded {args.record} (cores={doc['environment']['cpu_count']})")
+    else:
+        json.dump(payload, sys.stdout, indent=1)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,13 @@ paper's single-threaded desktop methodology.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import platform
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -28,6 +33,8 @@ __all__ = [
     "coal_boiler_series",
     "dam_break_series",
     "progressive_read_benchmark",
+    "parallel_write_query_benchmark",
+    "record_benchmark",
 ]
 
 MB = 1 << 20
@@ -206,6 +213,130 @@ def dam_break_series(
         target_sizes,
         strategies,
     )
+
+
+def parallel_write_query_benchmark(
+    out_dir,
+    executors=("serial", "thread", "process"),
+    nranks: int = 32,
+    particles_per_rank: int = 20_000,
+    n_attributes: int = 4,
+    target_size: int = 256 * 1024,
+    machine: MachineSpec | None = None,
+    seed: int = 0,
+) -> dict:
+    """Real wall-clock multi-aggregator write+query, one row per executor.
+
+    One materialized workload is written through the two-phase pipeline
+    and then queried (full read, box read, filtered read) once per
+    executor spec. Besides the timings, every run's file hashes and query
+    results are compared against the serial run — the benchmark fails
+    loudly if an executor is fast but wrong. This backs the BENCH_*.json
+    perf trajectory: every PR records a point via ``--record``.
+    """
+    from ..machines import stampede2
+    from ..bat.query import AttributeFilter
+    from ..types import Box
+
+    executors = [str(s) for s in executors]
+    if not executors:
+        raise ValueError("at least one executor spec is required")
+    machine = machine or stampede2()
+    out_dir = Path(out_dir)
+    data = uniform_rank_data(
+        nranks, particles_per_rank, n_attributes=n_attributes,
+        materialize=True, seed=seed,
+    )
+    filt = AttributeFilter("attr00", 0.25, 0.5)
+    box = Box((0.1, 0.1, 0.1), (0.6, 0.6, 0.6))
+
+    rows = []
+    reference: dict | None = None
+    for spec in executors:
+        run_dir = out_dir / str(spec).replace(":", "_")
+        run_dir.mkdir(parents=True, exist_ok=True)
+        writer = TwoPhaseWriter(
+            machine, target_size=target_size,
+            agg_config=paper_agg_config(target_size), executor=spec,
+        )
+        t0 = time.perf_counter()
+        report = writer.write(data, out_dir=run_dir, name="bench")
+        write_seconds = time.perf_counter() - t0
+        writer.executor.close()
+
+        hashes = {
+            p.name: hashlib.sha256(p.read_bytes()).hexdigest()
+            for p in sorted(run_dir.glob("bench.*.bat"))
+        }
+
+        with BATDataset(report.metadata_path, executor=spec) as ds:
+            t0 = time.perf_counter()
+            full, _ = ds.query(quality=1.0)
+            boxed, _ = ds.query(quality=1.0, box=box)
+            filtered, _ = ds.query(quality=1.0, filters=[filt])
+            query_seconds = time.perf_counter() - t0
+            ds.executor.close()
+        answers = (len(full), len(boxed), len(filtered))
+
+        if reference is None:
+            reference = {"hashes": hashes, "answers": answers}
+        else:
+            if hashes != reference["hashes"]:
+                raise AssertionError(f"executor {spec!r} wrote different file bytes")
+            if answers != reference["answers"]:
+                raise AssertionError(f"executor {spec!r} returned different query results")
+
+        rows.append(
+            {
+                "executor": str(spec),
+                "write_seconds": write_seconds,
+                "query_seconds": query_seconds,
+                "n_files": report.n_files,
+                "total_bytes": float(report.total_bytes),
+                "points": (
+                    {"full": answers[0], "box": answers[1], "filtered": answers[2]}
+                ),
+            }
+        )
+
+    serial = next((r for r in rows if r["executor"].startswith("serial")), rows[0])
+    for r in rows:
+        r["write_speedup_vs_serial"] = (
+            serial["write_seconds"] / r["write_seconds"] if r["write_seconds"] else 0.0
+        )
+        r["query_speedup_vs_serial"] = (
+            serial["query_seconds"] / r["query_seconds"] if r["query_seconds"] else 0.0
+        )
+    return {
+        "benchmark": "parallel-write-query",
+        "nranks": nranks,
+        "particles_per_rank": particles_per_rank,
+        "n_attributes": n_attributes,
+        "target_size": target_size,
+        "results": rows,
+    }
+
+
+def record_benchmark(path, payload: dict) -> dict:
+    """Write one BENCH_*.json perf data point with environment context.
+
+    The JSON is self-describing (core count, versions, platform) so later
+    PRs can compare points across machines honestly.
+    """
+    doc = {
+        "schema": "repro-bench/1",
+        "recorded_unix": time.time(),
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        **payload,
+    }
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=1) + "\n")
+    return doc
 
 
 def progressive_read_benchmark(

@@ -164,8 +164,21 @@ class BitmapDictionary:
         return idx
 
     def add_many(self, bitmaps: np.ndarray) -> np.ndarray:
-        """Intern an array of bitmaps, returning uint16 IDs."""
-        return np.array([self.add(int(b)) for b in np.asarray(bitmaps).ravel()], dtype=np.uint16)
+        """Intern an array of bitmaps, returning uint16 IDs.
+
+        Equivalent to calling :meth:`add` element by element (IDs are
+        assigned in first-occurrence order, so files stay byte-identical),
+        but dedups through one vectorized ``np.unique`` pass so only the
+        handful of distinct bitmaps touch the Python dict.
+        """
+        flat = np.asarray(bitmaps).ravel()
+        if flat.size == 0:
+            return np.empty(0, dtype=np.uint16)
+        vals, first, inv = np.unique(flat, return_index=True, return_inverse=True)
+        ids = np.empty(len(vals), dtype=np.uint16)
+        for j in np.argsort(first, kind="stable"):
+            ids[j] = self.add(int(vals[j]))
+        return ids[inv]
 
     def __len__(self) -> int:
         return len(self._bitmaps)

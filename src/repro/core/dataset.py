@@ -10,21 +10,48 @@ prune attribute-filtered queries before any file is opened.
 
 from __future__ import annotations
 
+from functools import partial
 from pathlib import Path
 
 from ..bat.file import BATFile
+from ..bat.filecache import BATFileCache
 from ..bat.query import AttributeFilter, QueryStats, query_file
 from ..bitmaps import query_bitmap
+from ..parallel import get_executor
 from ..types import Box, ParticleBatch
 from .metadata import DatasetMetadata
 
 __all__ = ["BATDataset"]
 
 
-class BATDataset:
-    """Read-side facade over one written timestep."""
+def _query_leaf(directory: str, kwargs: dict, item):
+    """Run one file's query in an executor worker.
 
-    def __init__(self, metadata_path):
+    ``item`` is ``(leaf_index, file_name)``. Workers open their own handle
+    (mmaps don't cross process boundaries and per-task handles keep
+    threads independent); the serial path uses the dataset's LRU cache
+    instead.
+    """
+    leaf_index, file_name = item
+    f = BATFile(Path(directory) / file_name)
+    try:
+        batch, stats = query_file(f, **kwargs)
+    finally:
+        f.close()
+    return leaf_index, batch, stats
+
+
+class BATDataset:
+    """Read-side facade over one written timestep.
+
+    ``executor`` selects the execution layer for multi-file queries (a
+    spec string like ``"process:4"``, an :class:`~repro.parallel.Executor`
+    instance, or ``None`` for the serial default); ``file_cache`` bounds
+    how many leaf files stay open between queries and may be shared with
+    other datasets (e.g. across the steps of a time series).
+    """
+
+    def __init__(self, metadata_path, executor=None, file_cache: BATFileCache | None = None):
         self.metadata_path = Path(metadata_path)
         self.metadata = DatasetMetadata.load(self.metadata_path)
         if self.metadata.layout != "bat":
@@ -33,14 +60,19 @@ class BATDataset:
                 "only reads 'bat' files (see repro.layouts for the reader)"
             )
         self.directory = self.metadata_path.parent
-        self._files: dict[int, BATFile] = {}
+        self.executor = get_executor(executor)
+        self._cache = file_cache if file_cache is not None else BATFileCache()
+        self._owns_cache = file_cache is None
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        for f in self._files.values():
-            f.close()
-        self._files.clear()
+        if self._owns_cache:
+            self._cache.close()
+        else:
+            # shared cache: only drop this dataset's entries
+            for leaf in self.metadata.leaves:
+                self._cache.drop(self.directory / leaf.file_name)
 
     def __enter__(self) -> "BATDataset":
         return self
@@ -68,13 +100,9 @@ class BATDataset:
         return self.metadata.attr_ranges
 
     def file(self, leaf_index: int) -> BATFile:
-        """Open (and cache) the BAT file of one leaf."""
-        f = self._files.get(leaf_index)
-        if f is None:
-            leaf = self.metadata.leaves[leaf_index]
-            f = BATFile(self.directory / leaf.file_name)
-            self._files[leaf_index] = f
-        return f
+        """Open the BAT file of one leaf through the LRU handle cache."""
+        leaf = self.metadata.leaves[leaf_index]
+        return self._cache.get(self.directory / leaf.file_name)
 
     # -- queries ----------------------------------------------------------------
 
@@ -112,25 +140,37 @@ class BATDataset:
         """Run one (progressive) query across the whole data set.
 
         Same semantics as :func:`repro.bat.query.query_file`, with the
-        metadata pruning which leaf files get touched at all.
+        metadata pruning which leaf files get touched at all. Candidate
+        files fan out across the dataset's executor (callback queries stay
+        serial so the callback observes file order); results and stats are
+        merged in file order, so every executor returns identical output.
         """
         filters = tuple(filters)
-        stats = QueryStats()
-        parts: list[ParticleBatch] = []
-        for idx in self._candidate_leaves(box, filters):
-            f = self.file(idx)
-            res, s = query_file(
-                f,
-                quality=quality,
-                prev_quality=prev_quality,
-                box=box,
-                filters=filters,
-                callback=callback,
-                attributes=attributes,
+        candidates = self._candidate_leaves(box, filters)
+        kwargs = dict(
+            quality=quality,
+            prev_quality=prev_quality,
+            box=box,
+            filters=filters,
+            attributes=attributes,
+        )
+        if callback is None and self.executor.kind != "serial" and len(candidates) > 1:
+            tasks = self.executor.map(
+                partial(_query_leaf, str(self.directory), kwargs),
+                [(idx, self.metadata.leaves[idx].file_name) for idx in candidates],
             )
-            stats.merge(s)
-            if res is not None and len(res):
-                parts.append(res)
+            ordered = sorted(tasks, key=lambda t: t[0])
+            stats = QueryStats.merge_ordered([(i, s) for i, _, s in ordered])
+            parts = [res for _, res, _ in ordered if res is not None and len(res)]
+        else:
+            indexed_stats: list[tuple[int, QueryStats]] = []
+            parts = []
+            for idx in candidates:
+                res, s = query_file(self.file(idx), callback=callback, **kwargs)
+                indexed_stats.append((idx, s))
+                if res is not None and len(res):
+                    parts.append(res)
+            stats = QueryStats.merge_ordered(indexed_stats)
         if callback is not None:
             return None, stats
         if not parts:

@@ -16,7 +16,10 @@ from pathlib import Path
 
 import numpy as np
 
+from functools import partial
+
 from ..machines import MachineSpec
+from ..parallel import get_executor
 from ..simmpi import Message, VirtualCluster
 from ..types import Box, ParticleBatch
 from .assign import assign_read_aggregators
@@ -49,12 +52,33 @@ class ReadReport:
         return self.total_bytes / self.elapsed if self.elapsed > 0 else 0.0
 
 
+def _read_leaf(layout_name: str, data_dir: str, item):
+    """Serve every request against one leaf file (one executor task).
+
+    ``item`` is ``(leaf_index, file_name, [(rank, (2,3) bounds), ...])``;
+    returns ``(leaf_index, [(rank, batch), ...])``. Each task owns its file
+    handle, so tasks are independent across threads and processes.
+    """
+    from ..layouts import get_layout
+
+    leaf_idx, file_name, reqs = item
+    f = get_layout(layout_name).open(Path(data_dir) / file_name)
+    try:
+        return leaf_idx, [
+            (r, f.query_box(Box.from_array(bounds))) for r, bounds in reqs
+        ]
+    finally:
+        f.close()
+
+
 class TwoPhaseReader:
     """Parallel reads of a BAT data set at an arbitrary rank count."""
 
-    def __init__(self, machine: MachineSpec, network_model: str = "phase"):
+    def __init__(self, machine: MachineSpec, network_model: str = "phase", executor=None):
         self.machine = machine
         self.network_model = network_model
+        #: execution layer for per-file restart reads (see repro.parallel)
+        self.executor = get_executor(executor)
 
     def read(
         self,
@@ -83,7 +107,6 @@ class TwoPhaseReader:
         # 3. requests: which leaves does each rank overlap? Vectorized over
         # (rank, leaf) pairs in rank chunks — a 43k-rank restart against
         # hundreds of leaves is millions of box tests.
-        boxes = [Box.from_array(b) for b in read_bounds]
         leaf_lo, leaf_hi = metadata.leaf_bounds_arrays()
         requests: list[tuple[int, int]] = []  # (reading rank, leaf index)
         chunk = max(1, min(nranks, (8 << 20) // max(n_files, 1)))
@@ -128,26 +151,30 @@ class TwoPhaseReader:
         batches: list[ParticleBatch] | None = None
         actual_bytes: dict[tuple[int, int], float] = {}
         if data_dir is not None:
-            from ..layouts import get_layout
-
-            opener = get_layout(metadata.layout).open
-            data_dir = Path(data_dir)
-            open_files: dict[int, object] = {}
-            try:
-                per_rank: list[list[ParticleBatch]] = [[] for _ in range(nranks)]
-                for r, leaf_idx in requests:
-                    leaf = metadata.leaves[leaf_idx]
-                    f = open_files.get(leaf_idx)
-                    if f is None:
-                        f = opener(data_dir / leaf.file_name)
-                        open_files[leaf_idx] = f
-                    res = f.query_box(boxes[r])
-                    per_rank[r].append(res)
+            # Group requests per leaf file and fan the files out across the
+            # executor — one open/query/close per file, mirroring the read
+            # aggregators that each serve the files they own. Results are
+            # keyed by (rank, leaf) and re-assembled in the original
+            # request order, so completion order cannot change the output.
+            by_leaf: dict[int, list[tuple[int, np.ndarray]]] = {}
+            for r, leaf_idx in requests:
+                by_leaf.setdefault(leaf_idx, []).append((r, read_bounds[r]))
+            tasks = [
+                (leaf_idx, metadata.leaves[leaf_idx].file_name, reqs)
+                for leaf_idx, reqs in sorted(by_leaf.items())
+            ]
+            results = self.executor.map(
+                partial(_read_leaf, metadata.layout, str(data_dir)), tasks
+            )
+            answered: dict[tuple[int, int], ParticleBatch] = {}
+            for leaf_idx, served in results:
+                for r, res in served:
+                    answered[(r, leaf_idx)] = res
                     actual_bytes[(r, leaf_idx)] = float(res.nbytes)
-                batches = [ParticleBatch.concatenate(parts) for parts in per_rank]
-            finally:
-                for f in open_files.values():
-                    f.close()
+            per_rank: list[list[ParticleBatch]] = [[] for _ in range(nranks)]
+            for r, leaf_idx in requests:
+                per_rank[r].append(answered[(r, leaf_idx)])
+            batches = [ParticleBatch.concatenate(parts) for parts in per_rank]
 
         # 5. transfer query results to the requesting ranks. Without real
         # files, per-request bytes are estimated from the volume fraction of

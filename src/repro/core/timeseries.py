@@ -130,19 +130,29 @@ def _load_catalog(path: Path) -> list[StepRecord]:
 
 
 class TimeSeriesDataset:
-    """Read-side view over a written time series."""
+    """Read-side view over a written time series.
 
-    def __init__(self, directory):
+    All steps share one bounded LRU cache of open leaf-file handles, so
+    scrubbing back and forth through a long series re-uses mmaps without
+    ever holding more than ``max_open_files`` descriptors. ``executor``
+    is forwarded to each step's :class:`BATDataset` (see
+    :mod:`repro.parallel`).
+    """
+
+    def __init__(self, directory, executor=None, max_open_files: int | None = None):
+        from ..bat.filecache import DEFAULT_CAPACITY, BATFileCache
+
         self.directory = Path(directory)
         self.records = {r.step: r for r in _load_catalog(self.directory / CATALOG_NAME)}
         self._open: dict[int, BATDataset] = {}
+        self._executor = executor
+        self._cache = BATFileCache(max_open_files or DEFAULT_CAPACITY)
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        for ds in self._open.values():
-            ds.close()
         self._open.clear()
+        self._cache.close()
 
     def __enter__(self) -> "TimeSeriesDataset":
         return self
@@ -167,7 +177,11 @@ class TimeSeriesDataset:
         ds = self._open.get(step)
         if ds is None:
             rec = self.records[step]
-            ds = BATDataset(self.directory / rec.metadata_file)
+            ds = BATDataset(
+                self.directory / rec.metadata_file,
+                executor=self._executor,
+                file_cache=self._cache,
+            )
             self._open[step] = ds
         return ds
 

@@ -26,8 +26,11 @@ from pathlib import Path
 
 import numpy as np
 
+from functools import partial
+
 from ..machines import MachineSpec
 from ..bat.builder import BATBuildConfig
+from ..parallel import get_executor
 from ..simmpi import Message, VirtualCluster
 from ..types import ParticleBatch
 from .aggtree import AggTreeConfig, build_aggregation_tree
@@ -51,6 +54,41 @@ PHASE_NAMES = (
 #: BAT structure overhead assumed for counts-only runs (paper §VI-B: ~0.9%,
 #: plus page-alignment padding)
 ESTIMATED_BAT_OVERHEAD = 1.02
+
+
+@dataclass(frozen=True)
+class _LeafSummary:
+    """What rank 0 needs from one aggregator's build (§III-D).
+
+    The serialized bytes stay in the worker — written straight to disk
+    there when materializing — so a process pool never ships file images
+    back through pickling.
+    """
+
+    attr_ranges: dict
+    root_bitmaps: dict
+    attr_binnings: dict
+    nbytes: int
+
+
+def _build_leaf(layout_name: str, cfg, item) -> _LeafSummary:
+    """Build (and optionally write) one aggregation leaf.
+
+    Module-level and driven only by picklable arguments so every executor
+    kind can run it. ``item`` is ``(batch, out_path | None)``.
+    """
+    from ..layouts import get_layout
+
+    batch, out_path = item
+    built = get_layout(layout_name).build(batch, cfg)
+    if out_path is not None:
+        built.write(out_path)
+    return _LeafSummary(
+        attr_ranges=built.attr_ranges,
+        root_bitmaps=built.root_bitmaps,
+        attr_binnings=built.attr_binnings,
+        nbytes=built.nbytes,
+    )
 
 
 @dataclass
@@ -90,12 +128,18 @@ class TwoPhaseWriter:
         bat_config: BATBuildConfig | None = None,
         layout: str = "bat",
         network_model: str = "phase",
+        executor=None,
     ):
         from ..layouts import get_layout
 
         self.machine = machine
         self.strategy = strategy
         self.network_model = network_model
+        #: execution layer for per-aggregator builds and file writes; a
+        #: spec string ("serial", "thread:8", "process:4"), an Executor
+        #: instance to share a pool across writes, or None for the
+        #: REPRO_EXECUTOR/serial default (see repro.parallel)
+        self.executor = get_executor(executor)
         self.layout = get_layout(layout)
         if layout != "bat" and bat_config is not None:
             raise ValueError("bat_config only applies to the 'bat' layout")
@@ -212,7 +256,16 @@ class TwoPhaseWriter:
         file_sizes = np.zeros(n_leaves)
         if leaf_batches is not None:
             cfg = self.bat_config if self.layout.name == "bat" else None
-            built = [self.layout.build(b, cfg) for b in leaf_batches]
+            # One task per aggregation leaf: every BuiltBAT is independent,
+            # so builds and file writes fan out across the executor; the
+            # rank-0 metadata assembly below is the only barrier. Results
+            # come back in leaf order, so parallel runs are bit-identical
+            # to serial ones.
+            tasks = [
+                (b, str(out_dir / file_names[i]) if materialize else None)
+                for i, b in enumerate(leaf_batches)
+            ]
+            built = self.executor.map(partial(_build_leaf, self.layout.name, cfg), tasks)
             leaf_binnings = []
             for i, (leaf, bb) in enumerate(zip(leaves, built)):
                 leaf_ranges.append(bb.attr_ranges)
@@ -220,8 +273,6 @@ class TwoPhaseWriter:
                 leaf_binnings.append(bb.attr_binnings)
                 write_sizes[leaf.aggregator] += bb.nbytes
                 file_sizes[i] = bb.nbytes
-                if materialize:
-                    bb.write(out_dir / file_names[i])
         else:
             for i, leaf in enumerate(leaves):
                 leaf_ranges.append({})

@@ -1,0 +1,261 @@
+"""Tests for the pluggable execution layer (repro.parallel).
+
+The load-bearing property: every executor is an implementation detail of
+*how fast* the pipeline runs, never of *what* it produces. Serial, thread,
+and process backends must emit byte-identical BAT files and identical
+query results on randomized workloads.
+"""
+
+import hashlib
+import os
+
+import numpy as np
+import pytest
+
+from repro.bat import AttributeFilter, BATFileCache
+from repro.bat.query import QueryStats, query_file
+from repro.core import TwoPhaseReader, TwoPhaseWriter
+from repro.core.dataset import BATDataset
+from repro.machines import testing_machine as make_test_machine
+from repro.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    parse_executor_spec,
+)
+from repro.types import Box
+from tests.test_pipeline import make_rank_data
+
+# keep pools tiny: CI and the dev container may have a single core, and
+# correctness (ordering, byte-identity) is what these tests pin down
+EXECUTOR_SPECS = ["serial", "thread:2", "process:2"]
+
+
+def _square(x):
+    return x * x
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("spec", EXECUTOR_SPECS)
+    def test_map_preserves_input_order(self, spec):
+        with get_executor(spec) as ex:
+            assert ex.map(_square, list(range(20))) == [i * i for i in range(20)]
+
+    @pytest.mark.parametrize("spec", EXECUTOR_SPECS)
+    def test_map_empty_and_single(self, spec):
+        with get_executor(spec) as ex:
+            assert ex.map(_square, []) == []
+            assert ex.map(_square, [7]) == [49]
+
+    def test_parse_spec(self):
+        assert parse_executor_spec("serial") == ("serial", None)
+        assert parse_executor_spec("thread") == ("thread", None)
+        assert parse_executor_spec("process:4") == ("process", 4)
+        with pytest.raises(ValueError):
+            parse_executor_spec("gpu")
+        with pytest.raises(ValueError):
+            parse_executor_spec("thread:0")
+
+    def test_get_executor_kinds(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("thread:2"), ThreadExecutor)
+        assert isinstance(get_executor("process:2"), ProcessExecutor)
+        ex = SerialExecutor()
+        assert get_executor(ex) is ex
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "thread:3")
+        ex = get_executor()
+        assert ex.kind == "thread" and ex.workers == 3
+        monkeypatch.delenv("REPRO_EXECUTOR")
+        assert get_executor().kind == "serial"
+
+    def test_pool_close_is_idempotent(self):
+        ex = get_executor("thread:2")
+        ex.map(_square, [1, 2, 3])
+        ex.close()
+        ex.close()
+
+
+def _hash_files(directory):
+    return {
+        p.name: hashlib.sha256(p.read_bytes()).hexdigest()
+        for p in sorted(directory.glob("*.bat"))
+    }
+
+
+@pytest.fixture(scope="module")
+def random_workloads():
+    # randomized workloads per the issue: different rank counts, particle
+    # counts, and seeds, so byte-identity isn't a fluke of one layout
+    return [
+        make_rank_data(nranks=8, seed=11, min_n=100, max_n=900),
+        make_rank_data(nranks=16, seed=42, min_n=50, max_n=2000),
+    ]
+
+
+class TestByteIdenticalOutputs:
+    """Property: serial/thread/process write the same bytes, answer the same."""
+
+    @pytest.fixture(scope="class")
+    def written(self, random_workloads, tmp_path_factory):
+        machine = make_test_machine()
+        runs = []
+        for w, data in enumerate(random_workloads):
+            per_spec = {}
+            for spec in EXECUTOR_SPECS:
+                out = tmp_path_factory.mktemp(f"w{w}-{spec.replace(':', '_')}")
+                writer = TwoPhaseWriter(machine, target_size=64 * 1024, executor=spec)
+                report = writer.write(data, out_dir=out, name="prop")
+                writer.executor.close()
+                per_spec[spec] = (out, report)
+            runs.append((data, per_spec))
+        return runs
+
+    def test_file_bytes_identical(self, written):
+        for _, per_spec in written:
+            ref = _hash_files(per_spec["serial"][0])
+            assert len(ref) > 1  # multiple aggregators, or the test is vacuous
+            for spec in EXECUTOR_SPECS[1:]:
+                assert _hash_files(per_spec[spec][0]) == ref, spec
+
+    def test_metadata_identical(self, written):
+        for _, per_spec in written:
+            texts = {
+                spec: (out / "prop.meta.json").read_text()
+                for spec, (out, _) in per_spec.items()
+            }
+            assert texts["thread:2"] == texts["serial"]
+            assert texts["process:2"] == texts["serial"]
+
+    def test_query_file_results_identical(self, written):
+        from repro.bat.file import BATFile
+
+        box = Box((0.5, 0.5, 0.0), (3.0, 3.0, 1.0))
+        for _, per_spec in written:
+            ref = None
+            for spec, (out, _) in per_spec.items():
+                parts = []
+                for p in sorted(out.glob("*.bat")):
+                    with BATFile(p) as f:
+                        batch, _ = query_file(f, quality=0.7, box=box)
+                        parts.append(batch.positions)
+                got = np.concatenate(parts) if parts else np.empty((0, 3))
+                if ref is None:
+                    ref = got
+                else:
+                    np.testing.assert_array_equal(got, ref, err_msg=spec)
+
+    def test_dataset_query_identical(self, written):
+        filt = AttributeFilter("mass", 0.2, 0.7)
+        for _, per_spec in written:
+            ref = None
+            for spec, (_, report) in per_spec.items():
+                with BATDataset(report.metadata_path, executor=spec) as ds:
+                    batch, stats = ds.query(quality=1.0, filters=[filt])
+                    ds.executor.close()
+                got = (batch.positions, batch.attributes["mass"])
+                if ref is None:
+                    ref = got
+                    assert stats.points_tested > 0
+                else:
+                    np.testing.assert_array_equal(got[0], ref[0], err_msg=spec)
+                    np.testing.assert_array_equal(got[1], ref[1], err_msg=spec)
+
+    def test_reader_parallel_matches_serial(self, written):
+        machine = make_test_machine()
+        for data, per_spec in written:
+            out, report = per_spec["serial"]
+            bounds = np.roll(data.bounds, -1, axis=0)
+            serial = TwoPhaseReader(machine).read(report.metadata, bounds, data_dir=out)
+            threaded = TwoPhaseReader(machine, executor="thread:2").read(
+                report.metadata, bounds, data_dir=out
+            )
+            assert serial.batches is not None
+            for got, want in zip(threaded.batches, serial.batches):
+                np.testing.assert_array_equal(got.positions, want.positions)
+
+
+class TestDeterministicStats:
+    def test_merge_ordered_sorts_by_index(self):
+        def stats(tested, pruned):
+            s = QueryStats()
+            s.points_tested = tested
+            s.pruned_spatial = pruned
+            s.treelets_visited = 1
+            return s
+
+        shuffled = [(2, stats(30, 3)), (0, stats(10, 1)), (1, stats(20, 2))]
+        merged = QueryStats.merge_ordered(shuffled)
+        in_order = QueryStats.merge_ordered(sorted(shuffled, key=lambda p: p[0]))
+        assert merged.points_tested == in_order.points_tested == 60
+        assert merged.pruned_spatial == 6
+        assert merged.treelets_visited == 3
+
+    def test_dataset_stats_identical_across_executors(self, random_workloads, tmp_path):
+        data = random_workloads[0]
+        writer = TwoPhaseWriter(make_test_machine(), target_size=64 * 1024)
+        report = writer.write(data, out_dir=tmp_path, name="det")
+        collected = []
+        for spec in EXECUTOR_SPECS:
+            with BATDataset(report.metadata_path, executor=spec) as ds:
+                _, stats = ds.query(quality=0.5, box=Box((0, 0, 0), (2, 2, 1)))
+                ds.executor.close()
+            collected.append(
+                (stats.points_tested, stats.pruned_spatial, stats.pruned_bitmap,
+                 stats.nodes_visited, stats.treelets_visited)
+            )
+        assert collected[1] == collected[0]
+        assert collected[2] == collected[0]
+
+
+class TestFileCache:
+    @pytest.fixture()
+    def files(self, random_workloads, tmp_path):
+        data = random_workloads[0]
+        writer = TwoPhaseWriter(make_test_machine(), target_size=32 * 1024)
+        report = writer.write(data, out_dir=tmp_path, name="lru")
+        return sorted(tmp_path.glob("*.bat"))
+
+    def test_hit_returns_same_handle(self, files):
+        with BATFileCache(capacity=4) as cache:
+            a = cache.get(files[0])
+            assert cache.get(files[0]) is a
+            assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_is_lru_and_closes(self, files):
+        assert len(files) >= 3
+        with BATFileCache(capacity=2) as cache:
+            a = cache.get(files[0])
+            cache.get(files[1])
+            cache.get(files[0])  # refresh 0 so 1 is now least-recent
+            cache.get(files[2])  # evicts 1
+            assert cache.evictions == 1
+            assert a.n_points > 0  # handle 0 survived
+            again = cache.get(files[1])  # reopened, fresh handle
+            assert again.n_points > 0
+
+    def test_close_empties_cache(self, files):
+        cache = BATFileCache(capacity=4)
+        cache.get(files[0])
+        cache.get(files[1])
+        cache.close()
+        assert len(cache) == 0
+
+    def test_shared_cache_across_datasets(self, random_workloads, tmp_path):
+        data = random_workloads[0]
+        writer = TwoPhaseWriter(make_test_machine(), target_size=64 * 1024)
+        r1 = writer.write(data, out_dir=tmp_path / "a", name="s1")
+        r2 = writer.write(data, out_dir=tmp_path / "b", name="s2")
+        cache = BATFileCache(capacity=8)
+        ds1 = BATDataset(r1.metadata_path, file_cache=cache)
+        ds2 = BATDataset(r2.metadata_path, file_cache=cache)
+        ds1.query(quality=0.3)
+        ds2.query(quality=0.3)
+        assert cache.misses > 0
+        ds1.close()  # drops only ds1's handles
+        ds2.query(quality=0.5)  # ds2 still usable through the shared cache
+        ds2.close()
+        cache.close()
+        assert len(cache) == 0
