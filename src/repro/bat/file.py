@@ -123,6 +123,7 @@ class BATFile:
                 lo, hi = self.attr_ranges[name]
                 self.binnings[name] = make_binning(kinds[a], lo, hi, edge_tables[a])
         self._treelet_cache: dict[int, TreeletView] = {}
+        self._visit_rank: np.ndarray | None = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -185,6 +186,32 @@ class BATFile:
     def bitmap(self, bitmap_id: int) -> int:
         """Resolve a 16-bit dictionary ID to its 32-bit bitmap."""
         return int(self.dictionary[bitmap_id])
+
+    def bitmaps_many(self, bitmap_ids: np.ndarray) -> np.ndarray:
+        """Resolve an array of dictionary IDs to their uint32 bitmaps."""
+        return self.dictionary[np.asarray(bitmap_ids, dtype=np.int64)]
+
+    def shallow_leaf_visit_rank(self) -> np.ndarray:
+        """Rank of each shallow leaf in stack-DFS visit order, cached.
+
+        The recursive traversal pops a LIFO stack, so the *right* child of
+        every inner node is visited first. Pruning removes subtrees but
+        never reorders survivors, which makes this full-tree rank the
+        canonical emission order for any query's surviving leaves.
+        """
+        if self._visit_rank is None:
+            rank = np.empty(self.header.n_shallow_leaves, dtype=np.int64)
+            n = 0
+            stack = [self.root()]
+            while stack:
+                idx, is_leaf = stack.pop()
+                if is_leaf:
+                    rank[idx] = n
+                    n += 1
+                else:
+                    stack.extend(self.children(idx))
+            self._visit_rank = rank
+        return self._visit_rank
 
     def leaf_box(self, leaf: int) -> Box:
         b = self.shallow_leaves[leaf]["bbox"]

@@ -64,6 +64,15 @@ class BATFileCache:
             self.evictions += 1
         return f
 
+    def peek(self, path) -> BATFile | None:
+        """Return the cached handle for ``path`` without opening on miss.
+
+        Does not count as a hit or miss and does not touch LRU order —
+        used by callers that merely want metadata from an already-open
+        file and must not fault planner-skipped files into the cache.
+        """
+        return self._open.get(str(Path(path)))
+
     def drop(self, path) -> None:
         """Close and forget one path, if cached."""
         f = self._open.pop(str(Path(path)), None)

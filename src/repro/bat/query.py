@@ -12,6 +12,23 @@ the number of LOD particles doubles per level, so the remap
 ``e(q) = log2(1 + q·(2^(D+1) − 1))`` makes perceived quality progress
 smoothly. A node at depth *d* is processed fully when ``d < floor(e)`` and
 fractionally (a prefix of its particles) when ``d == floor(e)``.
+
+Two traversal engines implement the same query semantics:
+
+- ``"frontier"`` (default) — an iterative walk that batches every node at
+  one depth into numpy arrays: box-overlap tests, bitmap dictionary
+  lookups, and the quality-depth cutoff are evaluated array-wise, and each
+  treelet's surviving particle ranges are gathered and emitted once. It
+  also stops descending below ``floor(e_new)``, where no node can
+  contribute particles.
+- ``"recursive"`` — the original per-node stack walk, kept as the
+  reference implementation; property tests pin the frontier engine's
+  output to it byte for byte.
+
+Both engines return identical batches and identical ``points_tested`` /
+``points_returned`` / ``treelets_visited`` counters; ``nodes_visited`` and
+the per-subtree prune counters can be lower for the frontier engine
+because of its depth cutoff.
 """
 
 from __future__ import annotations
@@ -24,8 +41,18 @@ import numpy as np
 from ..bitmaps import query_bitmap
 from ..types import Box, ParticleBatch
 from .file import BATFile
+from .format import LEAF_FLAG
 
-__all__ = ["AttributeFilter", "QueryStats", "quality_to_depth", "query_file"]
+__all__ = [
+    "AttributeFilter",
+    "QueryStats",
+    "ENGINES",
+    "quality_to_depth",
+    "query_file",
+]
+
+#: available traversal engines, in preference order
+ENGINES = ("frontier", "recursive")
 
 
 @dataclass(frozen=True)
@@ -51,6 +78,10 @@ class QueryStats:
     points_returned: int = 0
     pruned_spatial: int = 0
     pruned_bitmap: int = 0
+    #: leaf files the query planner skipped without opening them
+    pruned_files: int = 0
+    #: leaf files actually opened and traversed
+    files_opened: int = 0
 
     def merge(self, other: "QueryStats") -> None:
         self.treelets_visited += other.treelets_visited
@@ -59,6 +90,8 @@ class QueryStats:
         self.points_returned += other.points_returned
         self.pruned_spatial += other.pruned_spatial
         self.pruned_bitmap += other.pruned_bitmap
+        self.pruned_files += other.pruned_files
+        self.files_opened += other.files_opened
 
     @staticmethod
     def merge_ordered(indexed) -> "QueryStats":
@@ -135,12 +168,15 @@ def query_file(
     filters: tuple[AttributeFilter, ...] | list[AttributeFilter] = (),
     callback=None,
     attributes: list[str] | None = None,
+    engine: str = "frontier",
 ) -> tuple[ParticleBatch | None, QueryStats]:
     """Run one (progressive) visualization read against a BAT file.
 
     Returns ``(batch, stats)``; ``batch`` is ``None`` when a ``callback`` is
     given (the paper's API invokes a user callback for each point; here the
-    callback receives chunked arrays for vectorization).
+    callback receives chunked arrays for vectorization — the chunk
+    granularity is an engine detail, per node for ``"recursive"`` and per
+    treelet for ``"frontier"``).
 
     ``attributes`` restricts which attribute arrays are materialized in the
     result — the array-per-attribute storage model means unrequested
@@ -149,6 +185,8 @@ def query_file(
     """
     if prev_quality > quality:
         raise ValueError("prev_quality must be <= quality")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown traversal engine {engine!r} (choose from {ENGINES})")
     if attributes is not None:
         for name in attributes:
             bat.attr_index(name)  # raises KeyError for unknown names
@@ -172,11 +210,15 @@ def query_file(
         callback=callback,
         attributes=tuple(attributes) if attributes is not None else None,
     )
+    ctx.stats.files_opened = 1
 
     empty_filter = any(q == 0 for q in qbitmaps.values())
     root_prunes = box is not None and not bat.bounds.intersects(box)
     if not (empty_filter or root_prunes or ctx.e_new == 0.0):
-        _traverse_shallow(bat, ctx)
+        if engine == "recursive":
+            _traverse_shallow(bat, ctx)
+        else:
+            _frontier_shallow(bat, ctx)
 
     if callback is not None:
         return None, ctx.stats
@@ -188,6 +230,9 @@ def query_file(
     positions = np.concatenate(ctx.chunks_pos, axis=0)
     attrs = {name: np.concatenate(parts) for name, parts in ctx.chunks_attr.items()}
     return ParticleBatch(positions, attrs), ctx.stats
+
+
+# -- recursive engine (reference implementation) -----------------------------
 
 
 def _bitmaps_prune(bat: BATFile, bitmap_ids, ctx: _QueryContext) -> bool:
@@ -222,14 +267,20 @@ def _traverse_shallow(bat: BATFile, ctx: _QueryContext) -> None:
             stack.extend(bat.children(idx))
 
 
+def _full_speed(tv, leaf_box: Box, ctx: _QueryContext) -> bool:
+    """Whole treelet requested at full quality: one contiguous emit."""
+    return (
+        (ctx.box is None or ctx.box.contains_box(leaf_box))
+        and not ctx.filters
+        and ctx.e_prev == 0.0
+        and ctx.e_new >= tv.max_depth + 1
+    )
+
+
 def _traverse_treelet(bat: BATFile, leaf: int, leaf_box: Box, ctx: _QueryContext) -> None:
     tv = bat.treelet(leaf)
     nodes = tv.nodes
-    full_speed = (
-        ctx.box is None or ctx.box.contains_box(leaf_box)
-    ) and not ctx.filters and ctx.e_prev == 0.0 and ctx.e_new >= tv.max_depth + 1
-    if full_speed:
-        # Whole treelet requested at full quality: one contiguous emit.
+    if _full_speed(tv, leaf_box, ctx):
         ctx.stats.nodes_visited += 1
         ctx.emit(tv.positions, ctx.select_attrs(tv.attributes))
         return
@@ -286,3 +337,211 @@ def _emit_points(tv, lo_slot: int, hi_slot: int, ctx: _QueryContext) -> None:
             pos[mask],
             {n: a[lo_slot:hi_slot][mask] for n, a in wanted.items()},
         )
+
+
+# -- frontier engine (vectorized) --------------------------------------------
+
+
+def _frontier_keep(bat: BATFile, recs: np.ndarray, ctx: _QueryContext) -> np.ndarray:
+    """Survivor mask for one frontier of shallow records (spatial + bitmap).
+
+    Mirrors the recursive order of checks so the prune counters agree:
+    spatial pruning is counted first, bitmap pruning only among the
+    spatial survivors.
+    """
+    n = len(recs)
+    keep = np.ones(n, dtype=bool)
+    if ctx.box is not None:
+        bb = recs["bbox"]
+        lo, hi = bb[:, :3], bb[:, 3:]
+        qlo = np.asarray(ctx.box.lower)
+        qhi = np.asarray(ctx.box.upper)
+        keep = np.all((lo <= qhi) & (hi >= qlo) & (lo <= hi), axis=1)
+        ctx.stats.pruned_spatial += int(n - keep.sum())
+    if ctx.filters:
+        ok = np.ones(n, dtype=bool)
+        ids = recs["bitmap_ids"]
+        for f in ctx.filters:
+            a = bat.attr_index(f.name)
+            bms = bat.bitmaps_many(ids[:, a])
+            ok &= (bms & np.uint32(ctx.qbitmaps[f.name])) != 0
+        ctx.stats.pruned_bitmap += int((keep & ~ok).sum())
+        keep &= ok
+    return keep
+
+
+def _frontier_shallow(bat: BATFile, ctx: _QueryContext) -> None:
+    """Level-by-level walk of the shallow tree, one numpy pass per depth.
+
+    Children sit exactly one level below their parents, so each frontier
+    holds all surviving nodes of one depth. Surviving leaves are collected
+    and re-ordered by the stack-DFS visit rank before their treelets are
+    traversed — pruning removes subtrees but never reorders the rest, so
+    the emission order (and therefore the result bytes) matches the
+    recursive engine exactly.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    root, root_is_leaf = bat.root()
+    inner = empty if root_is_leaf else np.array([root], dtype=np.int64)
+    leaves = np.array([root], dtype=np.int64) if root_is_leaf else empty
+    found: list[np.ndarray] = []
+    while inner.size or leaves.size:
+        if leaves.size:
+            ctx.stats.nodes_visited += len(leaves)
+            keep = _frontier_keep(bat, bat.shallow_leaves[leaves], ctx)
+            if keep.any():
+                found.append(leaves[keep])
+        if inner.size:
+            ctx.stats.nodes_visited += len(inner)
+            recs = bat.shallow_inner[inner]
+            keep = _frontier_keep(bat, recs, ctx)
+            srecs = recs[keep]
+            raw = np.concatenate([srecs["left"], srecs["right"]]).astype(np.uint32)
+            is_leaf = (raw & LEAF_FLAG) != 0
+            child = (raw & ~LEAF_FLAG).astype(np.int64)
+            inner, leaves = child[~is_leaf], child[is_leaf]
+        else:
+            inner = leaves = empty
+    if not found:
+        return
+    hits = np.concatenate(found)
+    rank = bat.shallow_leaf_visit_rank()
+    for leaf in hits[np.argsort(rank[hits])]:
+        ctx.stats.treelets_visited += 1
+        _frontier_treelet(bat, int(leaf), bat.leaf_box(int(leaf)), ctx)
+
+
+def _frontier_treelet(bat: BATFile, leaf: int, leaf_box: Box, ctx: _QueryContext) -> None:
+    """Frontier walk of one treelet; surviving ranges gathered in one emit.
+
+    Node boxes are carried alongside the frontier as (n, 3) float64 arrays
+    and split vectorized; every node of a treelet level shares one depth,
+    so the quality fractions are scalars per level. Descent stops below
+    ``floor(e_new)`` — no deeper node can contribute particles.
+    """
+    tv = bat.treelet(leaf)
+    nodes = tv.nodes
+    if _full_speed(tv, leaf_box, ctx):
+        ctx.stats.nodes_visited += 1
+        ctx.emit(tv.positions, ctx.select_attrs(tv.attributes))
+        return
+
+    fl_new = math.floor(ctx.e_new)
+    qlo = qhi = None
+    if ctx.box is not None:
+        qlo = np.asarray(ctx.box.lower)
+        qhi = np.asarray(ctx.box.upper)
+    ids = np.zeros(1, dtype=np.int64)
+    lo = np.asarray(leaf_box.lower, dtype=np.float64).reshape(1, 3)
+    hi = np.asarray(leaf_box.upper, dtype=np.float64).reshape(1, 3)
+    emit_ids: list[np.ndarray] = []
+    emit_lo: list[np.ndarray] = []
+    emit_hi: list[np.ndarray] = []
+    depth = 0
+    while ids.size:
+        ctx.stats.nodes_visited += len(ids)
+        recs = nodes[ids]
+        keep = np.ones(len(ids), dtype=bool)
+        if qlo is not None:
+            keep = np.all((lo <= qhi) & (hi >= qlo) & (lo <= hi), axis=1)
+            ctx.stats.pruned_spatial += int(len(ids) - keep.sum())
+        if ctx.filters:
+            ok = np.ones(len(ids), dtype=bool)
+            for f in ctx.filters:
+                a = bat.attr_index(f.name)
+                bms = bat.bitmaps_many(recs["bitmap_ids"][:, a])
+                ok &= (bms & np.uint32(ctx.qbitmaps[f.name])) != 0
+            ctx.stats.pruned_bitmap += int((keep & ~ok).sum())
+            keep &= ok
+
+        f0 = _depth_fraction(depth, ctx.e_prev)
+        f1 = _depth_fraction(depth, ctx.e_new)
+        if f1 > f0 and keep.any():
+            beg = recs["begin"][keep].astype(np.int64)
+            cnt = recs["count"][keep].astype(np.int64)
+            # Same rounding as the recursive engine: truncation of
+            # f*count + 0.5 (values are non-negative).
+            lo_slot = beg + (f0 * cnt + 0.5).astype(np.int64)
+            hi_slot = beg + (f1 * cnt + 0.5).astype(np.int64)
+            nz = hi_slot > lo_slot
+            if nz.any():
+                emit_ids.append(ids[keep][nz])
+                emit_lo.append(lo_slot[nz])
+                emit_hi.append(hi_slot[nz])
+
+        if depth + 1 > fl_new:
+            break
+        desc = keep & (recs["axis"] >= 0)
+        if not desc.any():
+            break
+        drecs = recs[desc]
+        plo, phi = lo[desc], hi[desc]
+        ax = drecs["axis"].astype(np.int64)
+        sp = drecs["split"].astype(np.float64)
+        rows = np.arange(len(drecs))
+        lhi = phi.copy()
+        lhi[rows, ax] = sp
+        rlo = plo.copy()
+        rlo[rows, ax] = sp
+        ids = np.concatenate(
+            [drecs["left"].astype(np.int64), drecs["right"].astype(np.int64)]
+        )
+        lo = np.concatenate([plo, rlo])
+        hi = np.concatenate([lhi, phi])
+        depth += 1
+
+    if not emit_ids:
+        return
+    all_ids = np.concatenate(emit_ids)
+    all_lo = np.concatenate(emit_lo)
+    all_hi = np.concatenate(emit_hi)
+    # Node ids are assigned in pre-order, which is exactly the recursive
+    # engine's emission order (and ascending slot order, by construction
+    # of the node-order particle layout).
+    order = np.argsort(all_ids)
+    _emit_ranges(tv, all_lo[order], all_hi[order], ctx)
+
+
+def _concat_ranges(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Concatenate ``[lo[i], hi[i])`` ranges into one index array, no loop."""
+    lens = hi - lo
+    nz = lens > 0
+    if not nz.all():
+        lo, hi, lens = lo[nz], hi[nz], lens[nz]
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    steps = np.ones(total, dtype=np.int64)
+    steps[0] = lo[0]
+    ends = np.cumsum(lens)[:-1]
+    steps[ends] = lo[1:] - hi[:-1] + 1
+    return np.cumsum(steps)
+
+
+def _emit_ranges(tv, lo_slot: np.ndarray, hi_slot: np.ndarray, ctx: _QueryContext) -> None:
+    """Gather the surviving slot ranges of one treelet and emit them once.
+
+    A single contiguous run (the common case for full-quality reads of a
+    whole subtree) stays a zero-copy slice of the mapped file; fragmented
+    ranges gather through one fancy-index pass.
+    """
+    if (lo_slot[1:] == hi_slot[:-1]).all():
+        sel: slice | np.ndarray = slice(int(lo_slot[0]), int(hi_slot[-1]))
+    else:
+        sel = _concat_ranges(lo_slot, hi_slot)
+    pos = tv.positions[sel]
+    ctx.stats.points_tested += len(pos)
+    mask = None
+    if ctx.box is not None:
+        mask = ctx.box.contains_points(pos)
+    for f in ctx.filters:
+        vals = tv.attributes[f.name][sel]
+        fmask = (vals >= f.lo) & (vals <= f.hi)
+        mask = fmask if mask is None else (mask & fmask)
+    wanted = tv.attributes if ctx.attributes is None else {
+        n: a for n, a in tv.attributes.items() if n in ctx.attributes
+    }
+    if mask is None:
+        ctx.emit(pos, {n: a[sel] for n, a in wanted.items()})
+    elif mask.any():
+        ctx.emit(pos[mask], {n: a[sel][mask] for n, a in wanted.items()})

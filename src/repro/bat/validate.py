@@ -24,7 +24,6 @@ from pathlib import Path
 
 import numpy as np
 
-from ..types import Box
 from .file import BATFile
 from .format import PAGE_SIZE
 

@@ -18,6 +18,7 @@ from .harness import (
     dam_break_series,
     parallel_write_query_benchmark,
     progressive_read_benchmark,
+    read_path_benchmark,
     record_benchmark,
     timing_breakdown,
     two_phase_read_point,
@@ -28,6 +29,7 @@ from .report import format_series, format_table
 
 __all__ = [
     "parallel_write_query_benchmark",
+    "read_path_benchmark",
     "record_benchmark",
     "weak_scaling",
     "two_phase_write_point",

@@ -5,11 +5,16 @@ Usage::
     python -m repro.bench --record BENCH_ci.json
     python -m repro.bench --executors serial,process:4 --ranks 64 \
         --particles 50000 --record BENCH_pr1.json
+    python -m repro.bench --suite read --record BENCH_pr2.json
 
-Runs the real wall-clock multi-aggregator write+query benchmark once per
-executor, cross-checks that every executor produced byte-identical files
-and identical query answers, prints a small table, and (with ``--record``)
-writes the JSON data point every PR is expected to leave behind.
+``--suite write`` (default) runs the real wall-clock multi-aggregator
+write+query benchmark once per executor, cross-checking that every
+executor produced byte-identical files and identical query answers.
+``--suite read`` runs the read-path benchmark: the same workload queried
+through each traversal engine (recursive reference vs vectorized
+frontier) behind the metadata query planner, cross-checking that every
+engine returns identical results. Either way, ``--record`` writes the
+JSON data point every PR is expected to leave behind.
 """
 
 from __future__ import annotations
@@ -19,30 +24,14 @@ import json
 import sys
 import tempfile
 
-from .harness import parallel_write_query_benchmark, record_benchmark
+from .harness import (
+    parallel_write_query_benchmark,
+    read_path_benchmark,
+    record_benchmark,
+)
 
 
-def main(argv=None) -> int:
-    p = argparse.ArgumentParser(
-        prog="repro.bench",
-        description=__doc__,
-        formatter_class=argparse.RawDescriptionHelpFormatter,
-    )
-    p.add_argument(
-        "--executors",
-        default="serial,thread,process",
-        help="comma-separated executor specs (see repro.parallel)",
-    )
-    p.add_argument("--ranks", type=int, default=32, help="writing ranks")
-    p.add_argument("--particles", type=int, default=20_000, help="particles per rank")
-    p.add_argument("--attributes", type=int, default=4, help="attributes per particle")
-    p.add_argument(
-        "--target-kb", type=int, default=256, help="aggregation target size (KiB)"
-    )
-    p.add_argument("--out-dir", default=None, help="keep written files here (default: temp)")
-    p.add_argument("--record", default=None, help="write the BENCH_<tag>.json data point here")
-    args = p.parse_args(argv)
-
+def _run_write(args) -> dict:
     executors = [s.strip() for s in args.executors.split(",") if s.strip()]
 
     def run(out_dir):
@@ -73,6 +62,74 @@ def main(argv=None) -> int:
             f"query {r['query_seconds']:7.3f}s ({r['query_speedup_vs_serial']:4.2f}x)"
         )
     print("  all executors byte-identical: ok")
+    return payload
+
+
+def _run_read(args) -> dict:
+    def run(out_dir):
+        return read_path_benchmark(
+            out_dir,
+            nranks=args.ranks,
+            particles_per_rank=args.particles,
+            n_attributes=args.attributes,
+            target_size=args.target_kb * 1024,
+            repeats=args.repeats,
+        )
+
+    if args.out_dir is not None:
+        payload = run(args.out_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            payload = run(tmp)
+
+    print(
+        f"read path: {args.ranks} ranks x {args.particles} particles, "
+        f"{payload['n_files']} files"
+    )
+    for r in payload["results"]:
+        print(f"  engine {r['engine']}")
+        for case, c in r["cases"].items():
+            speed = r["speedup_vs_recursive"][case]
+            print(
+                f"    {case:<22} {1e3 * c['seconds']:8.2f} ms ({speed:4.2f}x)  "
+                f"points {c['points']:>8}  pruned_files {c['pruned_files']:>3}  "
+                f"opened {c['files_opened']:>3}"
+            )
+    print("  all engines identical results: ok")
+    return payload
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(
+        prog="repro.bench",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument(
+        "--suite",
+        choices=("write", "read"),
+        default="write",
+        help="write: multi-executor write+query; read: planner + engine comparison",
+    )
+    p.add_argument(
+        "--executors",
+        default="serial,thread,process",
+        help="comma-separated executor specs (see repro.parallel; write suite)",
+    )
+    p.add_argument("--ranks", type=int, default=32, help="writing ranks")
+    p.add_argument("--particles", type=int, default=20_000, help="particles per rank")
+    p.add_argument("--attributes", type=int, default=4, help="attributes per particle")
+    p.add_argument(
+        "--target-kb", type=int, default=256, help="aggregation target size (KiB)"
+    )
+    p.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats, best-of (read suite)"
+    )
+    p.add_argument("--out-dir", default=None, help="keep written files here (default: temp)")
+    p.add_argument("--record", default=None, help="write the BENCH_<tag>.json data point here")
+    args = p.parse_args(argv)
+
+    payload = _run_read(args) if args.suite == "read" else _run_write(args)
 
     if args.record:
         doc = record_benchmark(args.record, payload)

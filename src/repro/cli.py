@@ -21,7 +21,7 @@ import numpy as np
 
 from . import machines
 from .bat.file import BATFile
-from .bat.query import AttributeFilter
+from .bat.query import ENGINES, AttributeFilter
 from .core.dataset import BATDataset
 from .core.metadata import DatasetMetadata
 from .types import Box
@@ -88,10 +88,13 @@ def _cmd_query(args) -> int:
             quality=args.quality,
             box=args.box,
             filters=args.filter or (),
+            engine=args.engine,
         )
         print(f"matched {len(batch):,} of {ds.total_particles:,} particles "
               f"(tested {stats.points_tested:,}, "
               f"pruned {stats.pruned_spatial} spatial / {stats.pruned_bitmap} bitmap subtrees)")
+        print(f"files: {stats.files_opened} opened, "
+              f"{stats.pruned_files} skipped by the planner")
         if args.stats and len(batch):
             for name, arr in batch.attributes.items():
                 print(f"  {name}: mean {arr.mean():g}  min {arr.min():g}  max {arr.max():g}")
@@ -170,6 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--executor", default=None,
                        help="execution backend: serial, thread[:N], process[:N] "
                             "(default: $REPRO_EXECUTOR or serial)")
+    query.add_argument("--engine", choices=ENGINES, default="frontier",
+                       help="traversal engine (frontier: vectorized, default; "
+                            "recursive: reference)")
     query.set_defaults(func=_cmd_query)
 
     bench = sub.add_parser("bench", help="run a benchmark experiment")

@@ -3,9 +3,11 @@
 A :class:`BATDataset` opens a written timestep through its top-level
 metadata and serves spatial, attribute, and progressive multiresolution
 queries across all leaf files as if the data set were a single file. Leaf
-files are opened lazily and memory-mapped; the Aggregation Tree prunes
-which leaves a query touches, and the global-range bitmaps in the metadata
-prune attribute-filtered queries before any file is opened.
+files are opened lazily and memory-mapped; before any file is opened, the
+query planner (:mod:`repro.core.planner`) intersects the query box with
+the Aggregation Tree leaf bounds and tests attribute filters against the
+per-leaf root bitmaps, so pruned files are never touched — not even to be
+faulted into the file-handle cache.
 """
 
 from __future__ import annotations
@@ -15,11 +17,11 @@ from pathlib import Path
 
 from ..bat.file import BATFile
 from ..bat.filecache import BATFileCache
-from ..bat.query import AttributeFilter, QueryStats, query_file
-from ..bitmaps import query_bitmap
+from ..bat.query import QueryStats, query_file
 from ..parallel import get_executor
 from ..types import Box, ParticleBatch
 from .metadata import DatasetMetadata
+from .planner import PlanCache, QueryPlan
 
 __all__ = ["BATDataset"]
 
@@ -27,15 +29,16 @@ __all__ = ["BATDataset"]
 def _query_leaf(directory: str, kwargs: dict, item):
     """Run one file's query in an executor worker.
 
-    ``item`` is ``(leaf_index, file_name)``. Workers open their own handle
-    (mmaps don't cross process boundaries and per-task handles keep
-    threads independent); the serial path uses the dataset's LRU cache
-    instead.
+    ``item`` is ``(leaf_index, file_name, box)`` — the box comes from the
+    file's plan entry (``None`` when the query box contains the whole
+    leaf). Workers open their own handle (mmaps don't cross process
+    boundaries and per-task handles keep threads independent); the serial
+    path uses the dataset's LRU cache instead.
     """
-    leaf_index, file_name = item
+    leaf_index, file_name, box = item
     f = BATFile(Path(directory) / file_name)
     try:
-        batch, stats = query_file(f, **kwargs)
+        batch, stats = query_file(f, box=box, **kwargs)
     finally:
         f.close()
     return leaf_index, batch, stats
@@ -63,10 +66,12 @@ class BATDataset:
         self.executor = get_executor(executor)
         self._cache = file_cache if file_cache is not None else BATFileCache()
         self._owns_cache = file_cache is None
+        self._plan_cache = PlanCache()
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
+        self._plan_cache.clear()
         if self._owns_cache:
             self._cache.close()
         else:
@@ -104,29 +109,36 @@ class BATDataset:
         leaf = self.metadata.leaves[leaf_index]
         return self._cache.get(self.directory / leaf.file_name)
 
+    def attribute_specs(self) -> list:
+        """Attribute specs without faulting new files into the cache.
+
+        Prefers the manifest's ``attr_dtypes``; older manifests fall back
+        to an already-cached handle, then to a transient (uncached) open
+        of the first leaf — a planner-skipped file must never enter the
+        LRU cache as a side effect of an empty result.
+        """
+        specs = self.metadata.attribute_specs()
+        if specs is not None:
+            return specs
+        if not self.metadata.leaves:
+            return []
+        for leaf in self.metadata.leaves:
+            cached = self._cache.peek(self.directory / leaf.file_name)
+            if cached is not None:
+                return cached.attribute_specs()
+        first = self.metadata.leaves[0]
+        with BATFile(self.directory / first.file_name) as f:
+            return f.attribute_specs()
+
     # -- queries ----------------------------------------------------------------
 
+    def plan(self, box: Box | None = None, filters=()) -> QueryPlan:
+        """The (memoized) per-file plan for one query shape."""
+        return self._plan_cache.get_or_build(self.metadata, box, tuple(filters))
+
     def _candidate_leaves(self, box, filters) -> list[int]:
-        leaves = (
-            self.metadata.query_box(box)
-            if box is not None
-            else [l.leaf_index for l in self.metadata.leaves]
-        )
-        if not filters:
-            return leaves
-        out = []
-        for idx in leaves:
-            leaf = self.metadata.leaves[idx]
-            keep = True
-            for f in filters:
-                glo, ghi = self.metadata.attr_ranges[f.name]
-                q = int(query_bitmap(f.lo, f.hi, glo, ghi))
-                if leaf.global_bitmaps.get(f.name, 0xFFFFFFFF) & q == 0:
-                    keep = False
-                    break
-            if keep:
-                out.append(idx)
-        return out
+        """Leaf indices the planner keeps (kept for compatibility/tests)."""
+        return [fp.leaf_index for fp in self.plan(box, tuple(filters)).files]
 
     def query(
         self,
@@ -136,28 +148,35 @@ class BATDataset:
         filters=(),
         callback=None,
         attributes: list[str] | None = None,
+        engine: str = "frontier",
+        plan: QueryPlan | None = None,
     ) -> tuple[ParticleBatch | None, QueryStats]:
         """Run one (progressive) query across the whole data set.
 
         Same semantics as :func:`repro.bat.query.query_file`, with the
-        metadata pruning which leaf files get touched at all. Candidate
-        files fan out across the dataset's executor (callback queries stay
-        serial so the callback observes file order); results and stats are
-        merged in file order, so every executor returns identical output.
+        planner pruning which leaf files get touched at all (``plan`` may
+        pass a precomputed plan, e.g. a streaming session's; it must match
+        ``box``/``filters``). Candidate files fan out across the dataset's
+        executor (callback queries stay serial so the callback observes
+        file order); results and stats are merged in file order, so every
+        executor returns identical output.
         """
         filters = tuple(filters)
-        candidates = self._candidate_leaves(box, filters)
+        if plan is None:
+            plan = self.plan(box, filters)
+        elif plan.box != box or plan.filters != filters:
+            raise ValueError("plan was built for a different box/filters shape")
         kwargs = dict(
             quality=quality,
             prev_quality=prev_quality,
-            box=box,
             filters=filters,
             attributes=attributes,
+            engine=engine,
         )
-        if callback is None and self.executor.kind != "serial" and len(candidates) > 1:
+        if callback is None and self.executor.kind != "serial" and len(plan.files) > 1:
             tasks = self.executor.map(
                 partial(_query_leaf, str(self.directory), kwargs),
-                [(idx, self.metadata.leaves[idx].file_name) for idx in candidates],
+                [(fp.leaf_index, fp.file_name, fp.box) for fp in plan.files],
             )
             ordered = sorted(tasks, key=lambda t: t[0])
             stats = QueryStats.merge_ordered([(i, s) for i, _, s in ordered])
@@ -165,21 +184,21 @@ class BATDataset:
         else:
             indexed_stats: list[tuple[int, QueryStats]] = []
             parts = []
-            for idx in candidates:
-                res, s = query_file(self.file(idx), callback=callback, **kwargs)
-                indexed_stats.append((idx, s))
+            for fp in plan.files:
+                res, s = query_file(
+                    self.file(fp.leaf_index), box=fp.box, callback=callback, **kwargs
+                )
+                indexed_stats.append((fp.leaf_index, s))
                 if res is not None and len(res):
                     parts.append(res)
             stats = QueryStats.merge_ordered(indexed_stats)
+        stats.pruned_files += plan.pruned_files
         if callback is not None:
             return None, stats
         if not parts:
-            specs = []
-            if self.metadata.leaves:
-                with_file = self.file(self.metadata.leaves[0].leaf_index)
-                specs = with_file.attribute_specs()
-                if attributes is not None:
-                    specs = [sp for sp in specs if sp.name in attributes]
+            specs = self.attribute_specs()
+            if attributes is not None:
+                specs = [sp for sp in specs if sp.name in attributes]
             return ParticleBatch.empty(specs), stats
         return ParticleBatch.concatenate(parts), stats
 

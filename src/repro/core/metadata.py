@@ -20,7 +20,7 @@ from pathlib import Path
 import numpy as np
 
 from ..bitmaps import remap_bitmap
-from ..types import Box
+from ..types import AttributeSpec, Box
 from .aggtree import AggInner, AggLeaf, AggregationTree
 
 __all__ = ["LeafMetadata", "DatasetMetadata", "build_metadata"]
@@ -60,6 +60,9 @@ class DatasetMetadata:
     inner_bitmaps: list[dict[str, int]] = field(default_factory=list)
     #: name of the leaf-file layout (see :mod:`repro.layouts`)
     layout: str = "bat"
+    #: per-attribute numpy dtype strings (empty for manifests written
+    #: before this field existed; readers then fall back to a leaf file)
+    attr_dtypes: dict[str, str] = field(default_factory=dict)
 
     @property
     def n_files(self) -> int:
@@ -83,6 +86,32 @@ class DatasetMetadata:
             cached = (lo, hi)
             object.__setattr__(self, "_leaf_bounds", cached)
         return cached
+
+    def leaf_bitmaps_array(self, name: str) -> np.ndarray:
+        """(L,) uint32 global-range root bitmap of every leaf (cached).
+
+        Leaves without a stored bitmap for ``name`` get the full bitmap —
+        "may contain anything" — matching the conservative per-leaf
+        lookups this replaces.
+        """
+        cached = getattr(self, "_leaf_bitmaps", None)
+        if cached is None:
+            cached = {}
+            object.__setattr__(self, "_leaf_bitmaps", cached)
+        arr = cached.get(name)
+        if arr is None:
+            arr = np.array(
+                [l.global_bitmaps.get(name, 0xFFFFFFFF) for l in self.leaves],
+                dtype=np.uint32,
+            )
+            cached[name] = arr
+        return arr
+
+    def attribute_specs(self) -> list[AttributeSpec] | None:
+        """Attribute specs from the manifest, or ``None`` if not recorded."""
+        if not self.attr_dtypes:
+            return None
+        return [AttributeSpec(n, np.dtype(dt)) for n, dt in self.attr_dtypes.items()]
 
     @property
     def total_particles(self) -> int:
@@ -135,6 +164,7 @@ class DatasetMetadata:
             "nranks": self.nranks,
             "bounds": [list(self.bounds.lower), list(self.bounds.upper)],
             "attr_ranges": {k: list(v) for k, v in self.attr_ranges.items()},
+            "attr_dtypes": dict(self.attr_dtypes),
             "tree_nodes": self.tree_nodes,
             "inner_bitmaps": [
                 {k: int(v) for k, v in bm.items()} for bm in self.inner_bitmaps
@@ -191,6 +221,7 @@ class DatasetMetadata:
             tree_nodes=doc["tree_nodes"],
             inner_bitmaps=[{k: int(v) for k, v in bm.items()} for bm in doc["inner_bitmaps"]],
             layout=doc.get("layout", "bat"),
+            attr_dtypes=dict(doc.get("attr_dtypes", {})),
         )
 
 
@@ -202,6 +233,7 @@ def build_metadata(
     leaf_root_bitmaps: list[dict[str, int]],
     leaf_binnings: list[dict] | None = None,
     layout: str = "bat",
+    attr_dtypes: dict[str, str] | None = None,
 ) -> DatasetMetadata:
     """Populate the top-level metadata from an aggregation plan.
 
@@ -296,4 +328,5 @@ def build_metadata(
         tree_nodes=tree_nodes,
         inner_bitmaps=inner_bitmaps,
         layout=layout,
+        attr_dtypes=dict(attr_dtypes) if attr_dtypes else {},
     )

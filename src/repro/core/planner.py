@@ -1,0 +1,192 @@
+"""Metadata-driven query planning (paper §V).
+
+The top-level metadata holds everything needed to decide which leaf files
+a query must touch *before any file is opened*: the Aggregation Tree leaf
+bounds for spatial pruning and the per-leaf root bitmaps (remapped to the
+global attribute ranges) for attribute pruning. :func:`plan_query` runs
+both tests vectorized over every leaf at once and produces one
+:class:`FilePlan` per surviving file — including a per-file residual box
+(``None`` when the query box fully contains the leaf, so the traversal
+can skip every per-node and per-point box test).
+
+Plans depend only on ``(box, filters)`` — not on quality — so repeated
+interactions with the same view (progressive refinement, time scrubbing)
+reuse a memoized plan from :class:`PlanCache`, the planning analogue of
+the file-handle :class:`~repro.bat.filecache.BATFileCache`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bitmaps import query_bitmap
+from ..types import Box
+from .metadata import DatasetMetadata
+
+__all__ = ["FilePlan", "QueryPlan", "plan_query", "PlanCache", "leaves_for_boxes"]
+
+
+@dataclass(frozen=True)
+class FilePlan:
+    """One leaf file a query must visit."""
+
+    leaf_index: int
+    file_name: str
+    #: ``"full"`` — no per-node tests needed inside this file;
+    #: ``"filtered"`` — traverse with the residual box and/or filters
+    action: str
+    #: residual query box for this file (``None`` when the query box
+    #: contains the whole leaf, making per-node spatial tests a no-op)
+    box: Box | None
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The per-file execution plan for one ``(box, filters)`` query shape."""
+
+    box: Box | None
+    filters: tuple
+    #: total leaf files in the data set
+    n_files: int
+    files: tuple[FilePlan, ...]
+    pruned_spatial_files: int
+    pruned_bitmap_files: int
+
+    @property
+    def pruned_files(self) -> int:
+        """Files the planner proved irrelevant without opening them."""
+        return self.pruned_spatial_files + self.pruned_bitmap_files
+
+
+def plan_query(
+    metadata: DatasetMetadata, box: Box | None = None, filters=()
+) -> QueryPlan:
+    """Intersect a query shape with the top-level metadata, vectorized.
+
+    Spatial pruning is exact (leaf bounds are exact); bitmap pruning is
+    conservative (bin-level), matching the in-file traversal's contract —
+    a planned file can still return zero particles, but a skipped file can
+    never contain a match. Unknown filter attributes raise ``KeyError``,
+    like the in-file query path.
+    """
+    filters = tuple(filters)
+    n = metadata.n_files
+    lo, hi = metadata.leaf_bounds_arrays()
+    keep = np.ones(n, dtype=bool)
+    contained = np.zeros(n, dtype=bool)
+
+    if box is not None and n:
+        qlo = np.asarray(box.lower, dtype=np.float64)
+        qhi = np.asarray(box.upper, dtype=np.float64)
+        if np.any(qlo > qhi):  # empty query box intersects nothing
+            keep[:] = False
+        else:
+            keep = np.all((lo <= qhi) & (hi >= qlo) & (lo <= hi), axis=1)
+            contained = keep & np.all((qlo <= lo) & (qhi >= hi), axis=1)
+    elif box is None:
+        contained[:] = True
+    pruned_spatial = int(n - keep.sum())
+
+    pruned_bitmap = 0
+    if filters and n:
+        ok = np.ones(n, dtype=bool)
+        for f in filters:
+            glo, ghi = metadata.attr_ranges[f.name]
+            q = np.uint32(query_bitmap(f.lo, f.hi, glo, ghi))
+            ok &= (metadata.leaf_bitmaps_array(f.name) & q) != 0
+        pruned_bitmap = int((keep & ~ok).sum())
+        keep &= ok
+
+    files = []
+    for idx in np.flatnonzero(keep):
+        leaf = metadata.leaves[int(idx)]
+        file_box = None if contained[idx] else box
+        action = "full" if file_box is None and not filters else "filtered"
+        files.append(
+            FilePlan(
+                leaf_index=leaf.leaf_index,
+                file_name=leaf.file_name,
+                action=action,
+                box=file_box,
+            )
+        )
+    return QueryPlan(
+        box=box,
+        filters=filters,
+        n_files=n,
+        files=tuple(files),
+        pruned_spatial_files=pruned_spatial,
+        pruned_bitmap_files=pruned_bitmap,
+    )
+
+
+class PlanCache:
+    """Small LRU memo of query plans, keyed by ``(box, filters)``.
+
+    Quality is deliberately absent from the key: plans are
+    quality-independent, so a progressive refinement sequence hits the
+    same entry at every step. Both key components are frozen dataclasses,
+    hence hashable.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._plans: OrderedDict[tuple, QueryPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get_or_build(
+        self, metadata: DatasetMetadata, box: Box | None, filters
+    ) -> QueryPlan:
+        key = (box, tuple(filters))
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            self._plans.move_to_end(key)
+            return plan
+        self.misses += 1
+        plan = plan_query(metadata, box, tuple(filters))
+        self._plans[key] = plan
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+        return plan
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+
+def leaves_for_boxes(
+    metadata: DatasetMetadata, bounds: np.ndarray, chunk: int | None = None
+) -> list[np.ndarray]:
+    """Leaf files overlapping each of ``bounds`` (R, 2, 3) query boxes.
+
+    The restart-read path asks this question for every reading rank at
+    once; evaluating the (ranks × leaves) overlap matrix in bounded chunks
+    keeps the temporary below ~8 MB regardless of scale. Returns one array
+    of leaf list positions per rank, in ascending order.
+    """
+    rb = np.asarray(bounds, dtype=np.float64)
+    nranks = len(rb)
+    leaf_lo, leaf_hi = metadata.leaf_bounds_arrays()
+    n_files = len(leaf_lo)
+    if chunk is None:
+        chunk = max(1, min(nranks, (8 << 20) // max(n_files, 1)))
+    out: list[np.ndarray] = []
+    for start in range(0, nranks, chunk):
+        blk = rb[start : start + chunk]
+        hit = np.all(
+            (blk[:, 0, None, :] <= leaf_hi[None, :, :])
+            & (blk[:, 1, None, :] >= leaf_lo[None, :, :]),
+            axis=2,
+        )
+        for row in hit:
+            out.append(np.flatnonzero(row))
+    return out

@@ -24,6 +24,7 @@ from ..simmpi import Message, VirtualCluster
 from ..types import Box, ParticleBatch
 from .assign import assign_read_aggregators
 from .metadata import DatasetMetadata
+from .planner import leaves_for_boxes
 
 __all__ = ["TwoPhaseReader", "ReadReport", "READ_PHASE_NAMES"]
 
@@ -104,20 +105,14 @@ class TwoPhaseReader:
         # 2. local read-aggregator assignment
         read_aggs = assign_read_aggregators(n_files, nranks)
 
-        # 3. requests: which leaves does each rank overlap? Vectorized over
-        # (rank, leaf) pairs in rank chunks — a 43k-rank restart against
-        # hundreds of leaves is millions of box tests.
+        # 3. requests: which leaves does each rank overlap? The planner
+        # helper evaluates all (rank, leaf) pairs vectorized in rank
+        # chunks — a 43k-rank restart against hundreds of leaves is
+        # millions of box tests.
         leaf_lo, leaf_hi = metadata.leaf_bounds_arrays()
         requests: list[tuple[int, int]] = []  # (reading rank, leaf index)
-        chunk = max(1, min(nranks, (8 << 20) // max(n_files, 1)))
-        for start in range(0, nranks, chunk):
-            rb = read_bounds[start : start + chunk]
-            hit = np.all(
-                (rb[:, 0, None, :] <= leaf_hi[None]) & (rb[:, 1, None, :] >= leaf_lo[None]),
-                axis=2,
-            )
-            for r_off, leaf_idx in zip(*np.nonzero(hit)):
-                requests.append((start + int(r_off), int(leaf_idx)))
+        for r, leaf_hits in enumerate(leaves_for_boxes(metadata, read_bounds)):
+            requests.extend((r, int(leaf_idx)) for leaf_idx in leaf_hits)
 
         # aggregators read the leaf files they own that anyone asked for
         needed = sorted({leaf for _, leaf in requests})

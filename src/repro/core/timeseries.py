@@ -13,7 +13,7 @@ particle count, data bounds, and global attribute ranges over time.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 from ..machines import MachineSpec

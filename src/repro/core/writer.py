@@ -21,7 +21,7 @@ so scaling studies can also run counts-only (DESIGN.md §5).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -293,9 +293,14 @@ class TwoPhaseWriter:
         # writes the manifest.
         n_attrs = max(len(leaf_ranges[0]) if leaf_ranges else 0, 1)
         cluster.gather_to_root("gather leaf summaries", 20.0 * n_attrs)
+        attr_dtypes = None
+        if leaf_batches is not None and leaf_batches:
+            attr_dtypes = {
+                n: a.dtype.str for n, a in leaf_batches[0].attributes.items()
+            }
         metadata = build_metadata(
             plan, nranks, file_names, leaf_ranges, leaf_bitmaps, leaf_binnings,
-            layout=self.layout.name,
+            layout=self.layout.name, attr_dtypes=attr_dtypes,
         )
         meta_bytes = metadata.json_size
         cluster.root_small_write(PHASE_NAMES[6], meta_bytes)

@@ -18,12 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
-import numpy as np
 
 from .core.dataset import BATDataset
 from .core.timeseries import TimeSeriesDataset, TimeSeriesWriter
 from .machines import MachineSpec
-from .types import ParticleBatch
 
 __all__ = ["IODriver", "RunLog", "restart_latest"]
 

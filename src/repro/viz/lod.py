@@ -9,7 +9,6 @@ volume: if a fraction *f* of particles is shown, each is drawn with radius
 
 from __future__ import annotations
 
-import numpy as np
 
 __all__ = ["lod_radius", "quality_progression"]
 

@@ -10,10 +10,11 @@ increment — exactly the progressive-read contract of the layout.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..bat.query import AttributeFilter
 from ..core.dataset import BATDataset
+from ..core.planner import QueryPlan
 from ..types import Box, ParticleBatch
 
 __all__ = ["StreamSession", "ProgressiveStreamServer"]
@@ -33,6 +34,9 @@ class StreamSession:
     delivered_quality: float = 0.0
     bytes_sent: int = 0
     requests: int = 0
+    #: memoized file plan for the current view (plans are
+    #: quality-independent, so one plan serves the whole progression)
+    plan: QueryPlan | None = None
 
     def matches(self, box, filters) -> bool:
         return self.box == box and self.filters == tuple(filters)
@@ -94,21 +98,20 @@ class ProgressiveStreamServer:
             sess.box = box
             sess.filters = filters
             sess.delivered_quality = 0.0
+            sess.plan = None
+        if sess.plan is None:
+            sess.plan = self.dataset.plan(box, filters)
         sess.requests += 1
 
         if quality <= sess.delivered_quality:
-            specs = []
-            if self.dataset.metadata.leaves:
-                specs = self.dataset.file(
-                    self.dataset.metadata.leaves[0].leaf_index
-                ).attribute_specs()
-            return ParticleBatch.empty(specs)
+            return ParticleBatch.empty(self.dataset.attribute_specs())
 
         batch, _ = self.dataset.query(
             quality=quality,
             prev_quality=sess.delivered_quality,
             box=box,
             filters=filters,
+            plan=sess.plan,
         )
         sess.delivered_quality = quality
         sess.bytes_sent += batch.nbytes

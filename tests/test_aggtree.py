@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.core.aggtree import (
     AggInner,
-    AggLeaf,
     AggTreeConfig,
     build_aggregation_tree,
     split_cost,

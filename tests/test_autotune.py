@@ -1,6 +1,5 @@
 """Tests for automatic target-size selection (§VII extension)."""
 
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

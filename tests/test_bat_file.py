@@ -5,7 +5,7 @@ import pytest
 
 from repro.bat import BATBuildConfig, BATFile, build_bat
 from repro.bat.format import PAGE_SIZE, Header
-from repro.types import Box, ParticleBatch
+from repro.types import ParticleBatch
 
 
 @pytest.fixture(scope="module")

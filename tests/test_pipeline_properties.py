@@ -6,7 +6,6 @@ invariants: no particle is ever lost, duplicated, or misrouted.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

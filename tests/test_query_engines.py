@@ -1,0 +1,202 @@
+"""Frontier vs recursive traversal: byte-identity on randomized workloads.
+
+The vectorized frontier engine must be indistinguishable from the
+recursive reference — same bytes, same result-facing stats — for any
+combination of box, filters, and (progressive) quality levels. Hypothesis
+drives the combinations; the dataset-level tests add the query planner on
+top and check the progressive-read contract q1 → q2 == direct q2.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bat import AttributeFilter, BATFile, build_bat
+from repro.bat.builder import BATBuildConfig
+from repro.bat.query import ENGINES, query_file
+from repro.core import TwoPhaseWriter
+from repro.core.dataset import BATDataset
+from repro.machines import testing_machine as make_test_machine
+from repro.types import Box, ParticleBatch
+from tests.test_pipeline import make_rank_data
+
+N = 40_000
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    rng = np.random.default_rng(11)
+    pos = rng.random((N, 3)).astype(np.float32)
+    pos[: N // 4] = rng.normal([0.7, 0.3, 0.5], 0.04, (N // 4, 3)).astype(np.float32)
+    return ParticleBatch(pos, {"density": rng.random(N), "vel": rng.normal(0, 5, N)})
+
+
+@pytest.fixture(scope="module")
+def bat(batch, tmp_path_factory):
+    path = tmp_path_factory.mktemp("eng") / "plain.bat"
+    build_bat(batch).write(path)
+    with BATFile(path) as f:
+        yield f
+
+
+@pytest.fixture(scope="module")
+def bat_qz(batch, tmp_path_factory):
+    """Quantized + compressed variant: exercises the decode path."""
+    path = tmp_path_factory.mktemp("engqz") / "qz.bat"
+    cfg = BATBuildConfig(quantize_positions=True, compress=True)
+    build_bat(batch, cfg).write(path)
+    with BATFile(path) as f:
+        yield f
+
+
+def boxes():
+    coords = st.floats(0.0, 1.0, allow_nan=False, width=32)
+    corner = st.tuples(coords, coords, coords)
+    return st.one_of(
+        st.none(),
+        st.builds(
+            lambda a, b: Box(tuple(map(min, a, b)), tuple(map(max, a, b))), corner, corner
+        ),
+    )
+
+
+def filter_sets():
+    lohi = st.tuples(st.floats(0.0, 1.0, width=32), st.floats(0.0, 1.0, width=32))
+    density = lohi.map(lambda t: AttributeFilter("density", min(t), max(t)))
+    vel = lohi.map(lambda t: AttributeFilter("vel", min(t) * 20 - 10, max(t) * 20 - 10))
+    return st.lists(st.one_of(density, vel), max_size=2).map(tuple)
+
+
+def quality_pairs():
+    pair = st.tuples(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    return pair.map(lambda t: (min(t), max(t)))
+
+
+def assert_same_result(r1, s1, r2, s2):
+    assert r1.positions.tobytes() == r2.positions.tobytes()
+    assert list(r1.attributes) == list(r2.attributes)
+    for name in r1.attributes:
+        assert r1.attributes[name].tobytes() == r2.attributes[name].tobytes()
+    assert s1.points_returned == s2.points_returned
+    assert s1.points_tested == s2.points_tested
+    assert s1.treelets_visited == s2.treelets_visited
+
+
+def run_both(f, **kw):
+    r1, s1 = query_file(f, engine="recursive", **kw)
+    r2, s2 = query_file(f, engine="frontier", **kw)
+    assert_same_result(r1, s1, r2, s2)
+    return r2, s2
+
+
+class TestEngineEquality:
+    @SETTINGS
+    @given(box=boxes(), filters=filter_sets(), qs=quality_pairs())
+    def test_file_level_byte_identity(self, bat, box, filters, qs):
+        q0, q1 = qs
+        run_both(bat, quality=q1, prev_quality=q0, box=box, filters=filters)
+
+    @SETTINGS
+    @given(box=boxes(), filters=filter_sets(), qs=quality_pairs())
+    def test_quantized_compressed_byte_identity(self, bat_qz, box, filters, qs):
+        q0, q1 = qs
+        run_both(bat_qz, quality=q1, prev_quality=q0, box=box, filters=filters)
+
+    def test_full_read(self, bat):
+        res, stats = run_both(bat)
+        assert len(res) == N
+        assert stats.points_returned == N
+
+    def test_attribute_subset(self, bat):
+        res, _ = run_both(bat, attributes=["vel"], box=Box((0, 0, 0), (0.5, 1, 1)))
+        assert list(res.attributes) == ["vel"]
+
+    def test_callback_chunks_reassemble_identically(self, bat):
+        box = Box((0.2, 0.1, 0.0), (0.9, 0.8, 0.7))
+        out = {}
+        for engine in ENGINES:
+            chunks = []
+            query_file(
+                bat, quality=0.8, box=box,
+                filters=(AttributeFilter("density", 0.1, 0.7),),
+                callback=lambda p, a: chunks.append((p, a)), engine=engine,
+            )
+            pos = np.concatenate([p for p, _ in chunks]) if chunks else np.empty((0, 3))
+            den = np.concatenate([a["density"] for _, a in chunks]) if chunks else np.empty(0)
+            out[engine] = (pos.tobytes(), den.tobytes())
+        assert out["frontier"] == out["recursive"]
+
+    def test_unknown_engine_rejected(self, bat):
+        with pytest.raises(ValueError, match="engine"):
+            query_file(bat, engine="warp")
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    data = make_rank_data(nranks=16, seed=3)
+    out = tmp_path_factory.mktemp("engds")
+    writer = TwoPhaseWriter(make_test_machine(), target_size=128 * 1024)
+    report = writer.write(data, out_dir=out, name="eng")
+    with BATDataset(report.metadata_path) as ds:
+        yield ds
+
+
+def dataset_boxes():
+    xy = st.floats(0.0, 4.0, width=32)
+    z = st.floats(0.0, 1.0, width=32)
+    corner = st.tuples(xy, xy, z)
+    return st.one_of(
+        st.none(),
+        st.builds(
+            lambda a, b: Box(tuple(map(min, a, b)), tuple(map(max, a, b))), corner, corner
+        ),
+    )
+
+
+def dataset_filters():
+    lohi = st.tuples(st.floats(0.0, 1.0, width=32), st.floats(0.0, 1.0, width=32))
+    return st.lists(
+        lohi.map(lambda t: AttributeFilter("mass", min(t), max(t))), max_size=1
+    ).map(tuple)
+
+
+def canonical(batch):
+    """Multiset key of a batch: rows sorted by every column."""
+    cols = [batch.positions[:, i] for i in range(3)]
+    cols += [batch.attributes[k] for k in sorted(batch.attributes)]
+    order = np.lexsort(cols)
+    return tuple(np.ascontiguousarray(c[order]).tobytes() for c in cols)
+
+
+class TestDatasetLevel:
+    @SETTINGS
+    @given(box=dataset_boxes(), filters=dataset_filters(), qs=quality_pairs())
+    def test_planned_query_matches_recursive(self, dataset, box, filters, qs):
+        q0, q1 = qs
+        b1, s1 = dataset.query(
+            quality=q1, prev_quality=q0, box=box, filters=filters, engine="recursive"
+        )
+        b2, s2 = dataset.query(
+            quality=q1, prev_quality=q0, box=box, filters=filters, engine="frontier"
+        )
+        assert_same_result(b1, s1, b2, s2)
+        assert s1.pruned_files == s2.pruned_files
+
+    @SETTINGS
+    @given(box=dataset_boxes(), filters=dataset_filters(), qs=quality_pairs())
+    def test_progressive_equals_direct(self, dataset, box, filters, qs):
+        """Satellite: q1 then the q1→q2 increment == a direct q2 query."""
+        q1, q2 = qs
+        first, _ = dataset.query(quality=q1, box=box, filters=filters)
+        inc, _ = dataset.query(quality=q2, prev_quality=q1, box=box, filters=filters)
+        direct, _ = dataset.query(quality=q2, box=box, filters=filters)
+        assert len(first) + len(inc) == len(direct)
+        combined = ParticleBatch.concatenate([first, inc]) if len(first) + len(inc) else first
+        assert canonical(combined) == canonical(direct)

@@ -1,6 +1,5 @@
 """Tests for LOD presentation and the progressive streaming server."""
 
-import numpy as np
 import pytest
 
 from repro.bat import AttributeFilter
