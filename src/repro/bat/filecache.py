@@ -16,6 +16,7 @@ timestep separately.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from pathlib import Path
 
@@ -30,39 +31,49 @@ DEFAULT_CAPACITY = 64
 class BATFileCache:
     """LRU-bounded pool of open, memory-mapped BAT files.
 
-    Not thread-safe by design: parallel query paths open their own
-    handles inside worker tasks (see :mod:`repro.core.dataset`), the
-    cache serves the serial paths.
+    Thread-safe: the serve layer's scheduler workers share one cache
+    across every session, so lookup, insert, and eviction are guarded by
+    a lock (process-parallel query paths still open their own handles
+    inside worker tasks — see :mod:`repro.core.dataset` — the cache
+    serves the serial and threaded paths). Eviction may close a handle
+    another thread is still reading through an outstanding numpy view;
+    that is safe — see :meth:`BATFile.close`.
+
+    The hit/miss/eviction counters feed the serve metrics surface
+    (:meth:`stats`), so they must stay exact under concurrency.
     """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = int(capacity)
+        self._lock = threading.RLock()
         self._open: OrderedDict[str, BATFile] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._open)
+        with self._lock:
+            return len(self._open)
 
     def get(self, path) -> BATFile:
         """Return an open handle for ``path``, opening and caching on miss."""
         key = str(Path(path))
-        f = self._open.get(key)
-        if f is not None:
-            self.hits += 1
-            self._open.move_to_end(key)
+        with self._lock:
+            f = self._open.get(key)
+            if f is not None:
+                self.hits += 1
+                self._open.move_to_end(key)
+                return f
+            self.misses += 1
+            f = BATFile(key)
+            self._open[key] = f
+            while len(self._open) > self.capacity:
+                _, victim = self._open.popitem(last=False)
+                victim.close()
+                self.evictions += 1
             return f
-        self.misses += 1
-        f = BATFile(key)
-        self._open[key] = f
-        while len(self._open) > self.capacity:
-            _, victim = self._open.popitem(last=False)
-            victim.close()
-            self.evictions += 1
-        return f
 
     def peek(self, path) -> BATFile | None:
         """Return the cached handle for ``path`` without opening on miss.
@@ -71,19 +82,36 @@ class BATFileCache:
         used by callers that merely want metadata from an already-open
         file and must not fault planner-skipped files into the cache.
         """
-        return self._open.get(str(Path(path)))
+        with self._lock:
+            return self._open.get(str(Path(path)))
 
     def drop(self, path) -> None:
         """Close and forget one path, if cached."""
-        f = self._open.pop(str(Path(path)), None)
+        with self._lock:
+            f = self._open.pop(str(Path(path)), None)
         if f is not None:
             f.close()
 
+    def stats(self) -> dict:
+        """Counter snapshot for the serve metrics surface."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "open": len(self._open),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / total if total else 0.0,
+            }
+
     def close(self) -> None:
         """Close every cached handle."""
-        for f in self._open.values():
+        with self._lock:
+            victims = list(self._open.values())
+            self._open.clear()
+        for f in victims:
             f.close()
-        self._open.clear()
 
     def __enter__(self) -> "BATFileCache":
         return self

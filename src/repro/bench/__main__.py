@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench --executors serial,process:4 --ranks 64 \
         --particles 50000 --record BENCH_pr1.json
     python -m repro.bench --suite read --record BENCH_pr2.json
+    python -m repro.bench --suite serve --capacity 2 --record BENCH_pr3.json
 
 ``--suite write`` (default) runs the real wall-clock multi-aggregator
 write+query benchmark once per executor, cross-checking that every
@@ -13,8 +14,13 @@ executor produced byte-identical files and identical query answers.
 ``--suite read`` runs the read-path benchmark: the same workload queried
 through each traversal engine (recursive reference vs vectorized
 frontier) behind the metadata query planner, cross-checking that every
-engine returns identical results. Either way, ``--record`` writes the
-JSON data point every PR is expected to leave behind.
+engine returns identical results. ``--suite serve`` replays concurrent
+zoom/pan/filter session traces through the admission-controlled query
+service at 2× capacity (by default), reporting throughput, p50/p99
+latency, queue depth, degradation activity, and cache hit rates, with a
+sample of served responses byte-checked against direct dataset queries.
+Either way, ``--record`` writes the JSON data point every PR is expected
+to leave behind.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from .harness import (
     parallel_write_query_benchmark,
     read_path_benchmark,
     record_benchmark,
+    serve_benchmark,
 )
 
 
@@ -99,6 +106,57 @@ def _run_read(args) -> dict:
     return payload
 
 
+def _run_serve(args) -> dict:
+    def run(out_dir):
+        return serve_benchmark(
+            out_dir,
+            nranks=args.ranks,
+            particles_per_rank=args.particles,
+            n_attributes=args.attributes,
+            target_size=args.target_kb * 1024,
+            capacity=args.capacity,
+            concurrency=args.concurrency,
+            sessions=args.sessions,
+            ops_per_session=args.ops,
+        )
+
+    if args.out_dir is not None:
+        payload = run(args.out_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            payload = run(tmp)
+
+    r = payload["results"]
+    sched = r["service"]["scheduler"]
+    degr = r["service"]["degradation"]
+    caches = r["service"]["caches"]
+    print(
+        f"serve: {payload['sessions']} sessions x {payload['ops_per_session']} ops, "
+        f"{payload['concurrency']} clients over capacity {payload['capacity']} "
+        f"({payload['n_files']} files)"
+    )
+    print(
+        f"  throughput {r['throughput_rps']:7.1f} req/s   "
+        f"p50 {r['latency_ms']['p50']:7.2f} ms   p99 {r['latency_ms']['p99']:7.2f} ms"
+    )
+    print(
+        f"  queue depth max {sched['max_queue_depth']} (bound {sched['max_queued']})   "
+        f"rejected {r['rejected']}   in-flight cap {sched['capacity']}"
+    )
+    print(
+        f"  degradation: {degr['downgrades']} downgrades, "
+        f"{degr['engagements']} engagements, {degr['releases']} releases "
+        f"(cap now {degr['cap']:.2f})"
+    )
+    print(
+        f"  caches: results {caches['results']['hit_rate']:.0%} hit, "
+        f"plans {caches['plans']['hits']}/{caches['plans']['hits'] + caches['plans']['misses']} hit, "
+        f"files {caches['files']['hit_rate']:.0%} hit"
+    )
+    print(f"  identity samples byte-checked vs direct queries: {r['identity_samples_checked']} ok")
+    return payload
+
+
 def main(argv=None) -> int:
     p = argparse.ArgumentParser(
         prog="repro.bench",
@@ -107,9 +165,10 @@ def main(argv=None) -> int:
     )
     p.add_argument(
         "--suite",
-        choices=("write", "read"),
+        choices=("write", "read", "serve"),
         default="write",
-        help="write: multi-executor write+query; read: planner + engine comparison",
+        help="write: multi-executor write+query; read: planner + engine "
+             "comparison; serve: concurrent service under load",
     )
     p.add_argument(
         "--executors",
@@ -125,11 +184,30 @@ def main(argv=None) -> int:
     p.add_argument(
         "--repeats", type=int, default=3, help="timing repeats, best-of (read suite)"
     )
+    p.add_argument(
+        "--capacity", type=int, default=2,
+        help="serve suite: concurrent in-flight query limit (worker threads)",
+    )
+    p.add_argument(
+        "--concurrency", type=int, default=None,
+        help="serve suite: load-generator client threads (default 2x capacity)",
+    )
+    p.add_argument(
+        "--sessions", type=int, default=12, help="serve suite: session traces to replay"
+    )
+    p.add_argument(
+        "--ops", type=int, default=6, help="serve suite: requests per session trace"
+    )
     p.add_argument("--out-dir", default=None, help="keep written files here (default: temp)")
     p.add_argument("--record", default=None, help="write the BENCH_<tag>.json data point here")
     args = p.parse_args(argv)
 
-    payload = _run_read(args) if args.suite == "read" else _run_write(args)
+    if args.suite == "read":
+        payload = _run_read(args)
+    elif args.suite == "serve":
+        payload = _run_serve(args)
+    else:
+        payload = _run_write(args)
 
     if args.record:
         doc = record_benchmark(args.record, payload)

@@ -35,6 +35,7 @@ __all__ = [
     "progressive_read_benchmark",
     "parallel_write_query_benchmark",
     "read_path_benchmark",
+    "serve_benchmark",
     "record_benchmark",
 ]
 
@@ -424,6 +425,113 @@ def read_path_benchmark(
         "target_size": target_size,
         "n_files": report.n_files,
         "results": rows,
+    }
+
+
+def serve_benchmark(
+    out_dir,
+    nranks: int = 32,
+    particles_per_rank: int = 10_000,
+    n_attributes: int = 4,
+    target_size: int = 256 * 1024,
+    machine: MachineSpec | None = None,
+    seed: int = 0,
+    capacity: int = 2,
+    concurrency: int | None = None,
+    sessions: int = 12,
+    ops_per_session: int = 6,
+    max_queued: int = 64,
+) -> dict:
+    """Concurrent serving benchmark: load generator vs the query service.
+
+    Writes one materialized workload, then replays deterministic
+    zoom/pan/filter session traces through a
+    :class:`~repro.serve.service.QueryService` at ``concurrency`` client
+    threads (default **2× the admission capacity**, so the scheduler
+    queue actually builds and adaptive degradation engages). Records
+    throughput, p50/p99 latency, queue-depth high-water mark, downgrade
+    and engage/release counts, and every cache layer's hit rates. A
+    sample of served responses is replayed against a direct
+    :class:`BATDataset` and must match byte for byte — a fast-but-wrong
+    serving layer fails the benchmark.
+    """
+    from ..serve import (
+        DegradationConfig,
+        QueryService,
+        ServeConfig,
+        make_traces,
+        run_load,
+        verify_identity_samples,
+    )
+    from ..machines import stampede2
+
+    machine = machine or stampede2()
+    if concurrency is None:
+        concurrency = 2 * capacity
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    data = uniform_rank_data(
+        nranks, particles_per_rank, n_attributes=n_attributes,
+        materialize=True, seed=seed,
+    )
+    writer = TwoPhaseWriter(
+        machine, target_size=target_size, agg_config=paper_agg_config(target_size)
+    )
+    report = writer.write(data, out_dir=out_dir, name="servebench")
+
+    config = ServeConfig(
+        capacity=capacity,
+        max_queued=max_queued,
+        degradation=DegradationConfig(),
+    )
+    with QueryService(report.metadata_path, config) as service:
+        ds = service.dataset(0)
+        traces = make_traces(
+            sessions, ds.bounds, ds.attr_ranges,
+            ops_per_session=ops_per_session, seed=seed,
+        )
+        load = run_load(service, traces, concurrency=concurrency)
+        # cool-down: a few sequential requests at trivial load let the
+        # degradation policy observe the drain and restore full quality
+        sid = service.open_session()
+        for q in (0.2, 0.4, 0.6):
+            service.request(sid, q)
+        service.close_session(sid)
+        snapshot = service.snapshot()
+        identity_checked = verify_identity_samples(ds, load.identity_samples)
+
+    lat_sorted = sorted(load.latencies)
+    from ..serve.metrics import percentile
+
+    results = {
+        "requests": load.requests,
+        "rejected": load.rejected,
+        "degraded": load.degraded,
+        "cache_hits": load.cache_hits,
+        "points_served": load.points,
+        "bytes_served": load.nbytes,
+        "elapsed_seconds": load.elapsed_seconds,
+        "throughput_rps": load.throughput_rps,
+        "latency_ms": {
+            "p50": 1e3 * percentile(lat_sorted, 50),
+            "p99": 1e3 * percentile(lat_sorted, 99),
+            "max": 1e3 * max(lat_sorted) if lat_sorted else 0.0,
+        },
+        "identity_samples_checked": identity_checked,
+        "service": snapshot,
+    }
+    return {
+        "benchmark": "serve",
+        "nranks": nranks,
+        "particles_per_rank": particles_per_rank,
+        "n_attributes": n_attributes,
+        "target_size": target_size,
+        "n_files": report.n_files,
+        "capacity": capacity,
+        "concurrency": concurrency,
+        "sessions": sessions,
+        "ops_per_session": ops_per_session,
+        "results": results,
     }
 
 

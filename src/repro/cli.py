@@ -6,6 +6,7 @@ Usage::
     python -m repro info out/ts0000.00003.bat        # one leaf file
     python -m repro query out/ts0000.meta.json --quality 0.2 \
         --box 0,0,0,1,1,1 --filter temperature:300:400 --stats
+    python -m repro serve out/ts0000.meta.json --capacity 4 --concurrency 8
     python -m repro bench weak-scaling --machine stampede2 --ranks 96,384,1536
 
 Every subcommand prints plain text; nothing is modified on disk.
@@ -104,6 +105,49 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Replay load-generator traces through the concurrent query service."""
+    import json
+
+    from .serve import (
+        DegradationConfig,
+        QueryService,
+        ServeConfig,
+        make_traces,
+        run_load,
+        verify_identity_samples,
+    )
+
+    config = ServeConfig(
+        capacity=args.capacity,
+        max_queued=args.max_queued,
+        executor=args.executor,
+        degradation=DegradationConfig(enabled=not args.no_degradation),
+    )
+    concurrency = args.concurrency or 2 * args.capacity
+    with QueryService(args.source, config) as service:
+        step = service.steps[0]
+        ds = service.dataset(step)
+        traces = make_traces(
+            args.sessions, ds.bounds, ds.attr_ranges,
+            ops_per_session=args.ops, seed=args.seed,
+        )
+        load = run_load(service, traces, concurrency=concurrency, step=step)
+        checked = verify_identity_samples(ds, load.identity_samples)
+        snapshot = service.snapshot()
+    lat = snapshot["latency_ms"]
+    print(
+        f"served {load.requests} requests from {args.sessions} sessions "
+        f"({concurrency} clients, capacity {args.capacity}): "
+        f"{load.throughput_rps:.1f} req/s, p50 {lat['p50']:.2f} ms, "
+        f"p99 {lat['p99']:.2f} ms, {load.rejected} rejected, "
+        f"{load.degraded} degraded, {checked} responses byte-verified"
+    )
+    if args.json:
+        print(json.dumps(snapshot, indent=1, sort_keys=True))
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from .bench import format_series, weak_scaling
 
@@ -177,6 +221,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="traversal engine (frontier: vectorized, default; "
                             "recursive: reference)")
     query.set_defaults(func=_cmd_query)
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay concurrent client traces through the query service",
+    )
+    serve.add_argument("source", help=".meta.json manifest or time-series directory")
+    serve.add_argument("--capacity", type=int, default=4,
+                       help="concurrent in-flight query limit (worker threads)")
+    serve.add_argument("--concurrency", type=int, default=None,
+                       help="load-generator client threads (default 2x capacity)")
+    serve.add_argument("--sessions", type=int, default=12,
+                       help="session traces to replay")
+    serve.add_argument("--ops", type=int, default=6,
+                       help="requests per session trace")
+    serve.add_argument("--max-queued", type=int, default=64,
+                       help="admission bound on the global queue")
+    serve.add_argument("--seed", type=int, default=0, help="trace generator seed")
+    serve.add_argument("--no-degradation", action="store_true",
+                       help="disable adaptive quality degradation under load")
+    serve.add_argument("--executor", default=None,
+                       help="per-query fan-out backend (see repro.parallel)")
+    serve.add_argument("--json", action="store_true",
+                       help="also print the full metrics surface as JSON")
+    serve.set_defaults(func=_cmd_serve)
 
     bench = sub.add_parser("bench", help="run a benchmark experiment")
     bench.add_argument("experiment", choices=["weak-scaling", "parallel-smoke"])

@@ -54,7 +54,13 @@ class BATDataset:
     other datasets (e.g. across the steps of a time series).
     """
 
-    def __init__(self, metadata_path, executor=None, file_cache: BATFileCache | None = None):
+    def __init__(
+        self,
+        metadata_path,
+        executor=None,
+        file_cache: BATFileCache | None = None,
+        plan_cache: PlanCache | None = None,
+    ):
         self.metadata_path = Path(metadata_path)
         self.metadata = DatasetMetadata.load(self.metadata_path)
         if self.metadata.layout != "bat":
@@ -66,12 +72,17 @@ class BATDataset:
         self.executor = get_executor(executor)
         self._cache = file_cache if file_cache is not None else BATFileCache()
         self._owns_cache = file_cache is None
-        self._plan_cache = PlanCache()
+        # the serve layer injects a plan cache it also reads stats from;
+        # note plans are keyed by (box, filters) only, so a shared cache
+        # must never span datasets with different metadata
+        self._plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self._owns_plan_cache = plan_cache is None
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        self._plan_cache.clear()
+        if self._owns_plan_cache:
+            self._plan_cache.clear()
         if self._owns_cache:
             self._cache.close()
         else:
@@ -90,6 +101,16 @@ class BATDataset:
     @property
     def bounds(self) -> Box:
         return self.metadata.bounds
+
+    @property
+    def file_cache(self) -> BATFileCache:
+        """The (possibly shared) LRU of open leaf-file handles."""
+        return self._cache
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The (possibly shared) memo of query plans."""
+        return self._plan_cache
 
     @property
     def n_files(self) -> int:

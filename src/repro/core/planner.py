@@ -17,6 +17,7 @@ the file-handle :class:`~repro.bat.filecache.BATFileCache`.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -129,38 +130,60 @@ class PlanCache:
     Quality is deliberately absent from the key: plans are
     quality-independent, so a progressive refinement sequence hits the
     same entry at every step. Both key components are frozen dataclasses,
-    hence hashable.
+    hence hashable. Thread-safe: the serve layer plans concurrent
+    sessions' queries against one shared cache per timestep (two threads
+    racing on the same cold key may both build the plan — plans are
+    immutable and identical, so last-write-wins is harmless, and the
+    hit/miss counters stay exact for the metrics surface).
     """
 
     def __init__(self, capacity: int = 128):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        self._lock = threading.Lock()
         self._plans: OrderedDict[tuple, QueryPlan] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def get_or_build(
         self, metadata: DatasetMetadata, box: Box | None, filters
     ) -> QueryPlan:
         key = (box, tuple(filters))
-        plan = self._plans.get(key)
-        if plan is not None:
-            self.hits += 1
-            self._plans.move_to_end(key)
-            return plan
-        self.misses += 1
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                self._plans.move_to_end(key)
+                return plan
+            self.misses += 1
         plan = plan_query(metadata, box, tuple(filters))
-        self._plans[key] = plan
-        while len(self._plans) > self.capacity:
-            self._plans.popitem(last=False)
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
         return plan
 
+    def stats(self) -> dict:
+        """Counter snapshot for the serve metrics surface."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._plans),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+            }
+
     def clear(self) -> None:
-        self._plans.clear()
+        with self._lock:
+            self._plans.clear()
 
 
 def leaves_for_boxes(

@@ -20,7 +20,9 @@ Executors are selected by *spec string* — ``"serial"``, ``"thread"``,
 ``"process:4"``) — via config parameters, the CLI ``--executor`` flag, or
 the ``REPRO_EXECUTOR`` environment variable. Everything downstream accepts
 either a spec string or an :class:`Executor` instance, so a pool can be
-built once and shared across many writes/queries.
+built once and shared across many writes/queries — including across
+threads: lazy pool construction and shutdown are lock-protected, so the
+serve layer's scheduler workers can all fan out through one executor.
 
 Parallel output is required to be *bit-identical* to serial output: tasks
 are pure functions of their inputs and the merge points re-impose input
@@ -32,6 +34,7 @@ this property.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 __all__ = [
@@ -110,14 +113,20 @@ class _PoolExecutor(Executor):
         if self._workers < 1:
             raise ValueError("executor worker count must be >= 1")
         self._pool = None
+        self._pool_lock = threading.Lock()
 
     @property
     def workers(self) -> int:
         return self._workers
 
     def _ensure_pool(self):
+        # one executor may be shared by many serve-scheduler workers;
+        # without the lock, racing first calls would each build a pool
+        # and all but one would leak
         if self._pool is None:
-            self._pool = self._pool_cls(max_workers=self._workers)
+            with self._pool_lock:
+                if self._pool is None:
+                    self._pool = self._pool_cls(max_workers=self._workers)
         return self._pool
 
     def map(self, fn, items) -> list:
@@ -130,9 +139,10 @@ class _PoolExecutor(Executor):
         return list(self._ensure_pool().map(fn, items))
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
 
 class ThreadExecutor(_PoolExecutor):

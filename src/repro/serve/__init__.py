@@ -1,0 +1,56 @@
+"""Concurrent query serving over BAT datasets (the read side at scale).
+
+The paper's read path (§V–VI) is built to answer *something useful at any
+budget*; this package supplies the machinery that makes that promise hold
+for many simultaneous clients instead of one: a bounded priority
+scheduler with admission control (:mod:`~repro.serve.scheduler`),
+adaptive quality degradation under load (:mod:`~repro.serve.degrade`), a
+shared TTL+LRU result cache above the plan cache
+(:mod:`~repro.serve.cache`), a JSON metrics surface
+(:mod:`~repro.serve.metrics`), and a deterministic load generator
+(:mod:`~repro.serve.loadgen`). :class:`~repro.serve.service.QueryService`
+ties them together; the viz-layer
+:class:`~repro.viz.server.ProgressiveStreamServer` is a thin wrapper over
+it.
+"""
+
+from .cache import ResultCache, result_key
+from .degrade import DegradationConfig, DegradationPolicy
+from .loadgen import LoadReport, TraceOp, make_traces, run_load, verify_identity_samples
+from .metrics import RequestSpan, ServeMetrics, percentile
+from .scheduler import (
+    PRIORITY_BULK,
+    PRIORITY_INTERACTIVE,
+    AdmissionRejected,
+    RequestScheduler,
+    SchedulerClosed,
+    SchedulerConfig,
+    Ticket,
+)
+from .service import QueryService, ServeConfig, ServeResponse, ServeSession
+
+__all__ = [
+    "AdmissionRejected",
+    "DegradationConfig",
+    "DegradationPolicy",
+    "LoadReport",
+    "PRIORITY_BULK",
+    "PRIORITY_INTERACTIVE",
+    "QueryService",
+    "RequestScheduler",
+    "RequestSpan",
+    "ResultCache",
+    "SchedulerClosed",
+    "SchedulerConfig",
+    "ServeConfig",
+    "ServeMetrics",
+    "ServeResponse",
+    "ServeSession",
+    "Ticket",
+    "TraceOp",
+    "make_traces",
+    "percentile",
+    "result_key",
+    "run_load",
+    "verify_identity_samples",
+]

@@ -1,0 +1,119 @@
+"""Shared TTL + LRU cache of query *results*, above the plan cache.
+
+The serving cache hierarchy has three layers, cheapest miss first:
+
+- **result cache** (this module) — whole :class:`~repro.types.ParticleBatch`
+  responses keyed by ``(step, box, filters, prev_quality, quality)``. A hit
+  skips planning and traversal entirely. Entries expire after ``ttl``
+  seconds (time-series data may be rewritten in place by a restarted
+  simulation) and the least-recently-used entry is evicted past
+  ``capacity``.
+- **plan cache** (:class:`~repro.core.planner.PlanCache`) — per-file skip
+  lists keyed by ``(box, filters)``; quality-independent.
+- **file-handle cache** (:class:`~repro.bat.filecache.BATFileCache`) —
+  open mmapped leaf files.
+
+Because many interactive sessions look at the same hot views (a shared
+dashboard, a default camera), one client's query pays the traversal and
+every later identical request is served from memory — byte-identical by
+construction, since the cached object *is* the batch a direct dataset
+query returned. Batches are treated as immutable once cached; callers
+must not write to a served batch's arrays.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+from ..types import ParticleBatch
+
+__all__ = ["ResultCache", "result_key"]
+
+
+def result_key(step, box, filters, prev_quality: float, quality: float) -> tuple:
+    """The full identity of one progressive-increment response.
+
+    ``prev_quality`` is part of the key: the increment ``0.3 → 0.7`` and
+    the direct ``0 → 0.7`` read are different byte streams.
+    """
+    return (step, box, tuple(filters), float(prev_quality), float(quality))
+
+
+class ResultCache:
+    """Thread-safe bounded LRU of query responses with TTL expiry."""
+
+    def __init__(self, capacity: int = 256, ttl: float | None = 30.0, clock=time.monotonic):
+        if capacity < 1:
+            raise ValueError("result cache capacity must be >= 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None to disable expiry)")
+        self.capacity = int(capacity)
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, tuple[ParticleBatch, float]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: tuple) -> ParticleBatch | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            batch, stored_at = entry
+            if self.ttl is not None and self._clock() - stored_at > self.ttl:
+                del self._entries[key]
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return batch
+
+    def put(self, key: tuple, batch: ParticleBatch) -> None:
+        with self._lock:
+            self._entries[key] = (batch, self._clock())
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes currently held (positions + attributes)."""
+        with self._lock:
+            return sum(b.nbytes for b, _ in self._entries.values())
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "ttl_seconds": self.ttl,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "hit_rate": self.hits / total if total else 0.0,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        s = self.stats()
+        return (
+            f"ResultCache(entries={s['entries']}/{self.capacity}, "
+            f"hits={s['hits']}, misses={s['misses']})"
+        )

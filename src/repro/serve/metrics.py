@@ -1,0 +1,184 @@
+"""Per-request spans and the aggregated serving metrics surface.
+
+Every request the service admits carries a :class:`RequestSpan` through
+its lifetime — enqueue, scheduling wait, planning, traversal, gather —
+and drops it into a :class:`ServeMetrics` collector on completion. The
+collector is the single JSON-able source of truth the CLI, the load
+generator, and the bench suite print: latency percentiles, per-phase time
+totals, queue-depth high-water marks, admission rejections, degradation
+engage/release transitions, and the hit rates of every cache layer
+(result → plan → file handle).
+
+Wall-clock reads go through an injectable ``clock`` so tests can drive
+TTL and latency accounting deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["RequestSpan", "ServeMetrics", "percentile"]
+
+
+def percentile(values, p: float) -> float:
+    """Nearest-rank percentile of an unsorted sequence (0 for empty)."""
+    if not values:
+        return 0.0
+    vals = sorted(values)
+    if len(vals) == 1:
+        return float(vals[0])
+    rank = max(1, int(round(p / 100.0 * len(vals) + 0.5)))
+    return float(vals[min(rank, len(vals)) - 1])
+
+
+@dataclass
+class RequestSpan:
+    """Timing and outcome record of one request through the service."""
+
+    session_id: int
+    seq: int
+    requested_quality: float
+    prev_quality: float = 0.0
+    served_quality: float = 0.0
+    priority: int = 0
+    #: queue depth observed at admission time (this request included)
+    queue_depth: int = 0
+    degraded: bool = False
+    cache_hit: bool = False
+    rejected: bool = False
+    wait_seconds: float = 0.0
+    plan_seconds: float = 0.0
+    traverse_seconds: float = 0.0
+    gather_seconds: float = 0.0
+    total_seconds: float = 0.0
+    points: int = 0
+    nbytes: int = 0
+
+    def to_doc(self) -> dict:
+        return {
+            "session": self.session_id,
+            "seq": self.seq,
+            "requested_quality": self.requested_quality,
+            "served_quality": self.served_quality,
+            "prev_quality": self.prev_quality,
+            "priority": self.priority,
+            "queue_depth": self.queue_depth,
+            "degraded": self.degraded,
+            "cache_hit": self.cache_hit,
+            "rejected": self.rejected,
+            "wait_seconds": self.wait_seconds,
+            "plan_seconds": self.plan_seconds,
+            "traverse_seconds": self.traverse_seconds,
+            "gather_seconds": self.gather_seconds,
+            "total_seconds": self.total_seconds,
+            "points": self.points,
+            "nbytes": self.nbytes,
+        }
+
+
+@dataclass
+class _PhaseTotals:
+    wait: float = 0.0
+    plan: float = 0.0
+    traverse: float = 0.0
+    gather: float = 0.0
+
+    def add(self, span: RequestSpan) -> None:
+        self.wait += span.wait_seconds
+        self.plan += span.plan_seconds
+        self.traverse += span.traverse_seconds
+        self.gather += span.gather_seconds
+
+
+class ServeMetrics:
+    """Thread-safe aggregation of request spans and scheduler samples."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._started = clock()
+        self._latencies: list[float] = []
+        self._phases = _PhaseTotals()
+        self.completed = 0
+        self.rejected = 0
+        self.degraded = 0
+        self.cache_hits = 0
+        self.empty_increments = 0
+        self.points_served = 0
+        self.bytes_served = 0
+        self.max_queue_depth = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, span: RequestSpan) -> None:
+        with self._lock:
+            if span.rejected:
+                self.rejected += 1
+                self.max_queue_depth = max(self.max_queue_depth, span.queue_depth)
+                return
+            self.completed += 1
+            self._latencies.append(span.total_seconds)
+            self._phases.add(span)
+            if span.degraded:
+                self.degraded += 1
+            if span.cache_hit:
+                self.cache_hits += 1
+            if span.points == 0:
+                self.empty_increments += 1
+            self.points_served += span.points
+            self.bytes_served += span.nbytes
+            self.max_queue_depth = max(self.max_queue_depth, span.queue_depth)
+
+    def sample_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self.max_queue_depth = max(self.max_queue_depth, depth)
+
+    # -- export ----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The JSON-able metrics surface (latencies in milliseconds)."""
+        with self._lock:
+            lat = list(self._latencies)
+            elapsed = max(self._clock() - self._started, 1e-9)
+            n = max(self.completed, 1)
+            return {
+                "requests": {
+                    "completed": self.completed,
+                    "rejected": self.rejected,
+                    "degraded": self.degraded,
+                    "cache_hits": self.cache_hits,
+                    "empty_increments": self.empty_increments,
+                    "points_served": self.points_served,
+                    "bytes_served": self.bytes_served,
+                    "throughput_rps": self.completed / elapsed,
+                },
+                "latency_ms": {
+                    "p50": 1e3 * percentile(lat, 50),
+                    "p99": 1e3 * percentile(lat, 99),
+                    "mean": 1e3 * sum(lat) / len(lat) if lat else 0.0,
+                    "max": 1e3 * max(lat) if lat else 0.0,
+                },
+                "phase_seconds": {
+                    "wait": self._phases.wait,
+                    "plan": self._phases.plan,
+                    "traverse": self._phases.traverse,
+                    "gather": self._phases.gather,
+                    "wait_mean": self._phases.wait / n,
+                },
+                "queue": {"max_depth": self.max_queue_depth},
+            }
+
+    def to_json(self, **extra) -> str:
+        doc = self.snapshot()
+        doc.update(extra)
+        return json.dumps(doc, indent=1, sort_keys=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ServeMetrics(completed={self.completed}, rejected={self.rejected}, "
+            f"degraded={self.degraded})"
+        )
+

@@ -1,0 +1,273 @@
+"""Bounded priority scheduler with admission control.
+
+Many sessions share one dataset, one plan cache, and one file-handle
+cache; letting every request run the moment it arrives would thrash all
+three (and the page cache under them). The scheduler instead bounds the
+number of *executing* requests to ``capacity`` worker threads and parks
+the overflow in a priority queue:
+
+- **priority** — interactive refinements (a session adding quality to a
+  view it already holds, or a cheap first paint below the interactive
+  quality threshold) run before cold full-quality scans, so a heavy
+  analytics client cannot starve the viewers;
+- **admission control** — the global queue is bounded by ``max_queued``
+  and each session may hold at most ``max_session_queue`` outstanding
+  requests; past either bound, :meth:`submit` raises
+  :class:`AdmissionRejected` immediately instead of letting latency grow
+  without bound. Rejection is cheap and explicit — clients back off and
+  retry, which is the behaviour the adaptive degradation layer needs to
+  see load actually drain.
+
+Within a priority class, requests run in strict FIFO (a monotone sequence
+number breaks ties), so two equal-priority requests from one session
+execute in submission order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass
+
+__all__ = [
+    "AdmissionRejected",
+    "SchedulerClosed",
+    "SchedulerConfig",
+    "Ticket",
+    "RequestScheduler",
+    "PRIORITY_INTERACTIVE",
+    "PRIORITY_BULK",
+]
+
+#: runs first: refinements of an existing view / cheap first paints
+PRIORITY_INTERACTIVE = 0
+#: runs after: cold full-quality scans
+PRIORITY_BULK = 1
+
+
+class AdmissionRejected(RuntimeError):
+    """The scheduler refused a request at its admission bound."""
+
+    def __init__(self, reason: str, queue_depth: int):
+        super().__init__(reason)
+        self.reason = reason
+        self.queue_depth = queue_depth
+
+
+class SchedulerClosed(RuntimeError):
+    """The scheduler was shut down while this request was pending."""
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Admission-control bounds."""
+
+    #: maximum concurrently executing requests (worker thread count)
+    capacity: int = 4
+    #: maximum requests waiting in the global queue
+    max_queued: int = 64
+    #: maximum outstanding (queued + running) requests per session
+    max_session_queue: int = 8
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if self.max_queued < 0:
+            raise ValueError("max_queued must be >= 0")
+        if self.max_session_queue < 1:
+            raise ValueError("max_session_queue must be >= 1")
+
+
+class Ticket:
+    """Completion handle for one admitted request."""
+
+    __slots__ = (
+        "priority", "seq", "session_id", "fn",
+        "enqueued_at", "started_at", "wait_seconds",
+        "_done", "_result", "_error",
+    )
+
+    def __init__(self, priority: int, seq: int, session_id: int, fn):
+        self.priority = priority
+        self.seq = seq
+        self.session_id = session_id
+        self.fn = fn
+        self.enqueued_at = 0.0
+        self.started_at = 0.0
+        self.wait_seconds = 0.0
+        self._done = threading.Event()
+        self._result = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None):
+        """Block until the request ran; re-raise its exception if it failed."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("request still pending")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _finish(self, result=None, error: BaseException | None = None) -> None:
+        self._result = result
+        self._error = error
+        self._done.set()
+
+    def __lt__(self, other: "Ticket") -> bool:
+        return (self.priority, self.seq) < (other.priority, other.seq)
+
+
+class RequestScheduler:
+    """Priority queue + bounded worker pool fronting the query engine."""
+
+    def __init__(self, config: SchedulerConfig | None = None, clock=time.perf_counter):
+        self.config = config or SchedulerConfig()
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._heap: list[Ticket] = []
+        self._per_session: Counter = Counter()
+        self._seq = 0
+        self._in_flight = 0
+        self._closed = False
+        self.admitted = 0
+        self.rejected_queue_full = 0
+        self.rejected_session_full = 0
+        self.executed = 0
+        self.max_queue_depth = 0
+        self._workers = [
+            threading.Thread(target=self._worker, name=f"serve-worker-{i}", daemon=True)
+            for i in range(self.config.capacity)
+        ]
+        for w in self._workers:
+            w.start()
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, fn, session_id: int = 0, priority: int = PRIORITY_BULK) -> Ticket:
+        """Admit ``fn`` for execution or raise :class:`AdmissionRejected`.
+
+        ``fn`` is called on a worker thread with the ticket as its only
+        argument (so the work can read its own queue-wait time); its
+        return value / exception surfaces through the returned ticket.
+        """
+        with self._cond:
+            if self._closed:
+                raise SchedulerClosed("scheduler is closed")
+            depth = len(self._heap)
+            if depth >= self.config.max_queued:
+                self.rejected_queue_full += 1
+                raise AdmissionRejected("global queue full", depth)
+            if self._per_session[session_id] >= self.config.max_session_queue:
+                self.rejected_session_full += 1
+                raise AdmissionRejected(f"session {session_id} queue full", depth)
+            self._seq += 1
+            ticket = Ticket(priority, self._seq, session_id, fn)
+            ticket.enqueued_at = self._clock()
+            heapq.heappush(self._heap, ticket)
+            self._per_session[session_id] += 1
+            self.admitted += 1
+            self.max_queue_depth = max(self.max_queue_depth, len(self._heap))
+            self._cond.notify()
+            return ticket
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    @property
+    def in_flight(self) -> int:
+        with self._cond:
+            return self._in_flight
+
+    def load_factor(self) -> float:
+        """Backlog relative to capacity; > 1.0 means requests are waiting."""
+        with self._cond:
+            return (len(self._heap) + self._in_flight) / self.config.capacity
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "capacity": self.config.capacity,
+                "max_queued": self.config.max_queued,
+                "max_session_queue": self.config.max_session_queue,
+                "queued": len(self._heap),
+                "in_flight": self._in_flight,
+                "admitted": self.admitted,
+                "executed": self.executed,
+                "rejected_queue_full": self.rejected_queue_full,
+                "rejected_session_full": self.rejected_session_full,
+                "max_queue_depth": self.max_queue_depth,
+            }
+
+    # -- execution -----------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._heap and not self._closed:
+                    self._cond.wait()
+                if self._closed and not self._heap:
+                    return
+                ticket = heapq.heappop(self._heap)
+                self._in_flight += 1
+            ticket.started_at = self._clock()
+            ticket.wait_seconds = ticket.started_at - ticket.enqueued_at
+            try:
+                result = ticket.fn(ticket)
+            except BaseException as exc:  # surface through the ticket
+                ticket._finish(error=exc)
+            else:
+                ticket._finish(result=result)
+            with self._cond:
+                self._in_flight -= 1
+                self._per_session[ticket.session_id] -= 1
+                if self._per_session[ticket.session_id] <= 0:
+                    del self._per_session[ticket.session_id]
+                self.executed += 1
+                self._cond.notify_all()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until the queue is empty and nothing is executing."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._heap or self._in_flight:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work; pending tickets fail with SchedulerClosed."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            if not wait:
+                pending, self._heap = self._heap, []
+                for t in pending:
+                    self._per_session[t.session_id] -= 1
+                    t._finish(error=SchedulerClosed("scheduler closed"))
+            self._cond.notify_all()
+        for w in self._workers:
+            w.join()
+
+    def __enter__(self) -> "RequestScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        s = self.stats()
+        return (
+            f"RequestScheduler(capacity={s['capacity']}, queued={s['queued']}, "
+            f"in_flight={s['in_flight']})"
+        )

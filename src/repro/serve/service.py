@@ -1,0 +1,384 @@
+"""The concurrent query service fronting one dataset or time series.
+
+:class:`QueryService` multiplexes many client sessions over one set of
+shared resources — one file-handle cache, one plan cache per timestep,
+one result cache, one executor — where previously every
+:class:`~repro.viz.server.ProgressiveStreamServer` session family owned
+its own. A request travels::
+
+    request() ── admission ──▶ RequestScheduler (priority queue,
+        │ rejected past bounds      capacity worker threads)
+        │                               │
+        │                               ▼ per-session lock
+        │                    DegradationPolicy.observe(load)
+        │                               │ quality ceiling
+        │                               ▼
+        │                    ResultCache.get ── hit ──▶ response
+        │                               │ miss
+        │                               ▼
+        │                    Dataset.plan (PlanCache) ─▶ Dataset.query
+        │                               │                (BATFileCache)
+        │                               ▼
+        └──────────◀─────────  cache put + session accounting
+
+Every response is byte-identical to a direct
+:meth:`~repro.core.dataset.BATDataset.query` at the same effective
+``(prev_quality, quality)`` — the scheduler and the caches reorder and
+deduplicate work, they never alter results. Degradation only lowers the
+quality ceiling of *new* increments, so a degraded session refining after
+load drains converges to exactly the full-quality data set.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..bat.filecache import DEFAULT_CAPACITY, BATFileCache
+from ..core.dataset import BATDataset
+from ..types import Box, ParticleBatch
+from .cache import ResultCache, result_key
+from .degrade import DegradationConfig, DegradationPolicy
+from .metrics import RequestSpan, ServeMetrics
+from .scheduler import (
+    PRIORITY_BULK,
+    PRIORITY_INTERACTIVE,
+    RequestScheduler,
+    SchedulerConfig,
+    Ticket,
+)
+
+__all__ = ["ServeConfig", "ServeSession", "ServeResponse", "QueryService"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """All tuning knobs of the service in one place."""
+
+    #: maximum concurrently executing queries (scheduler worker threads)
+    capacity: int = 4
+    #: global queue bound; submissions past it are rejected
+    max_queued: int = 64
+    #: outstanding requests allowed per session
+    max_session_queue: int = 8
+    #: requests at or below this quality count as interactive first paints
+    interactive_quality: float = 0.35
+    #: result-cache entry bound and TTL (seconds; None disables expiry)
+    result_cache_entries: int = 256
+    result_ttl: float | None = 30.0
+    #: degradation policy knobs (see :mod:`repro.serve.degrade`)
+    degradation: DegradationConfig = field(default_factory=DegradationConfig)
+    #: executor spec for per-file fan-out inside one query (see
+    #: :mod:`repro.parallel`); serial by default — the scheduler already
+    #: provides cross-request concurrency
+    executor: str | None = None
+    #: bound on simultaneously open leaf files, shared by all sessions
+    max_open_files: int = DEFAULT_CAPACITY
+
+
+@dataclass
+class ServeSession:
+    """One client's progressive view, owned by the service."""
+
+    session_id: int
+    step: int = 0
+    box: Box | None = None
+    filters: tuple = ()
+    delivered_quality: float = 0.0
+    bytes_sent: int = 0
+    requests: int = 0
+    downgrades: int = 0
+    #: serializes this session's requests across scheduler workers
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def matches(self, step, box, filters) -> bool:
+        return self.step == step and self.box == box and self.filters == tuple(filters)
+
+
+@dataclass
+class ServeResponse:
+    """What one admitted request returns."""
+
+    batch: ParticleBatch
+    requested_quality: float
+    served_quality: float
+    prev_quality: float
+    degraded: bool
+    cache_hit: bool
+    span: RequestSpan
+
+    def __len__(self) -> int:
+        return len(self.batch)
+
+
+class QueryService:
+    """Concurrent, admission-controlled front end over BAT datasets.
+
+    ``source`` is either a ``*.meta.json`` manifest (one timestep, served
+    as step 0) or a time-series directory containing ``series.json``.
+    """
+
+    def __init__(self, source, config: ServeConfig | None = None, clock=time.perf_counter):
+        self.config = config or ServeConfig()
+        self._clock = clock
+        self._file_cache = BATFileCache(self.config.max_open_files)
+        self._datasets: dict[int, BATDataset] = {}
+        self._dataset_lock = threading.Lock()
+        source = Path(source)
+        if source.suffix == ".json" and source.is_file():
+            self._directory = source.parent
+            self._step_manifests = {0: source}
+        else:
+            from ..core.timeseries import TimeSeriesDataset
+
+            series = TimeSeriesDataset(source)
+            try:
+                self._directory = series.directory
+                self._step_manifests = {
+                    s: series.directory / series.record(s).metadata_file
+                    for s in series.steps
+                }
+            finally:
+                series.close()
+            if not self._step_manifests:
+                raise ValueError(f"time series at {source} has no written steps")
+        self.scheduler = RequestScheduler(
+            SchedulerConfig(
+                capacity=self.config.capacity,
+                max_queued=self.config.max_queued,
+                max_session_queue=self.config.max_session_queue,
+            ),
+            clock=clock,
+        )
+        self.degradation = DegradationPolicy(self.config.degradation)
+        self.results = ResultCache(
+            capacity=self.config.result_cache_entries, ttl=self.config.result_ttl
+        )
+        self.metrics = ServeMetrics(clock=clock)
+        self._sessions: dict[int, ServeSession] = {}
+        self._session_lock = threading.Lock()
+        self._next_session = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain queued work, then release every shared resource."""
+        self.scheduler.close(wait=True)
+        with self._dataset_lock:
+            for ds in self._datasets.values():
+                ds.close()
+            self._datasets.clear()
+        self.results.clear()
+        self._file_cache.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def steps(self) -> list[int]:
+        return sorted(self._step_manifests)
+
+    def dataset(self, step: int = 0) -> BATDataset:
+        """The (lazily opened) dataset behind one step; shared handles."""
+        with self._dataset_lock:
+            ds = self._datasets.get(step)
+            if ds is None:
+                manifest = self._step_manifests.get(step)
+                if manifest is None:
+                    raise KeyError(f"no step {step}; have {self.steps}")
+                ds = BATDataset(
+                    manifest,
+                    executor=self.config.executor,
+                    file_cache=self._file_cache,
+                )
+                self._datasets[step] = ds
+            return ds
+
+    # -- sessions ----------------------------------------------------------------
+
+    def open_session(self, step: int = 0) -> int:
+        if step not in self._step_manifests:
+            raise KeyError(f"no step {step}; have {self.steps}")
+        with self._session_lock:
+            sid = self._next_session
+            self._next_session += 1
+            self._sessions[sid] = ServeSession(session_id=sid, step=step)
+            return sid
+
+    def close_session(self, session_id: int) -> ServeSession:
+        with self._session_lock:
+            return self._sessions.pop(session_id)
+
+    def session(self, session_id: int) -> ServeSession:
+        with self._session_lock:
+            return self._sessions[session_id]
+
+    @property
+    def n_sessions(self) -> int:
+        with self._session_lock:
+            return len(self._sessions)
+
+    # -- requests ----------------------------------------------------------------
+
+    def _priority(self, sess: ServeSession, quality, step, box, filters) -> int:
+        """Refinements of a held view and cheap first paints go first."""
+        if quality <= self.config.interactive_quality:
+            return PRIORITY_INTERACTIVE
+        if sess.matches(step, box, filters) and sess.delivered_quality > 0.0:
+            return PRIORITY_INTERACTIVE
+        return PRIORITY_BULK
+
+    def submit(
+        self,
+        session_id: int,
+        quality: float,
+        box: Box | None = None,
+        filters=(),
+        step: int | None = None,
+    ) -> Ticket:
+        """Admit one progressive request; the ticket resolves to a
+        :class:`ServeResponse`. Raises
+        :class:`~repro.serve.scheduler.AdmissionRejected` past the bounds
+        (the rejection is recorded on the metrics surface).
+        """
+        sess = self.session(session_id)
+        filters = tuple(filters)
+        step = sess.step if step is None else step
+        span = RequestSpan(
+            session_id=session_id, seq=0, requested_quality=quality,
+        )
+        priority = self._priority(sess, quality, step, box, filters)
+        span.priority = priority
+
+        def fn(ticket):
+            return self._execute(ticket, sess, span, quality, step, box, filters)
+
+        try:
+            ticket = self.scheduler.submit(fn, session_id=session_id, priority=priority)
+        except Exception as exc:
+            span.rejected = True
+            span.queue_depth = getattr(exc, "queue_depth", 0)
+            self.metrics.record(span)
+            raise
+        span.seq = ticket.seq
+        return ticket
+
+    def request(
+        self,
+        session_id: int,
+        quality: float,
+        box: Box | None = None,
+        filters=(),
+        step: int | None = None,
+        timeout: float | None = None,
+    ) -> ServeResponse:
+        """Synchronous :meth:`submit` — blocks until the response is ready."""
+        return self.submit(session_id, quality, box=box, filters=filters, step=step).result(
+            timeout
+        )
+
+    # -- the worker-side hot path ----------------------------------------------
+
+    def _execute(self, ticket, sess: ServeSession, span, quality, step, box, filters):
+        t_start = self._clock()
+        span.wait_seconds = ticket.wait_seconds
+        sched = self.scheduler
+        with sess.lock:
+            span.queue_depth = sched.queue_depth + sched.in_flight
+            # a view change restarts the progression before degradation
+            # is even consulted — the old increments are for another view
+            if not sess.matches(step, box, filters):
+                sess.step = step
+                sess.box = box
+                sess.filters = filters
+                sess.delivered_quality = 0.0
+            prev = sess.delivered_quality
+            span.prev_quality = prev
+
+            self.degradation.observe(sched.load_factor())
+            effective, degraded = self.degradation.apply(quality)
+            span.degraded = degraded
+            if degraded:
+                sess.downgrades += 1
+
+            ds = self.dataset(step)
+            if effective <= prev:
+                # nothing new to send at this ceiling (already-delivered
+                # data is never re-sent, degraded or not)
+                batch = ParticleBatch.empty(ds.attribute_specs())
+                served = prev
+                cache_hit = False
+            else:
+                key = result_key(step, box, filters, prev, effective)
+                batch = self.results.get(key)
+                cache_hit = batch is not None
+                if batch is None:
+                    t0 = self._clock()
+                    plan = ds.plan(box, filters)
+                    span.plan_seconds = self._clock() - t0
+                    t0 = self._clock()
+                    batch, _ = ds.query(
+                        quality=effective,
+                        prev_quality=prev,
+                        box=box,
+                        filters=filters,
+                        plan=plan,
+                    )
+                    span.traverse_seconds = self._clock() - t0
+                    t0 = self._clock()
+                    self.results.put(key, batch)
+                    span.gather_seconds = self._clock() - t0
+                served = effective
+                sess.delivered_quality = effective
+            sess.requests += 1
+            sess.bytes_sent += batch.nbytes
+        span.served_quality = served
+        span.cache_hit = cache_hit
+        span.points = len(batch)
+        span.nbytes = batch.nbytes
+        span.total_seconds = span.wait_seconds + (self._clock() - t_start)
+        self.metrics.record(span)
+        return ServeResponse(
+            batch=batch,
+            requested_quality=quality,
+            served_quality=served,
+            prev_quality=span.prev_quality,
+            degraded=span.degraded,
+            cache_hit=cache_hit,
+            span=span,
+        )
+
+    # -- metrics ----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The full JSON metrics surface: requests, scheduler, caches."""
+        with self._dataset_lock:
+            plans = {
+                "hits": sum(ds.plan_cache.hits for ds in self._datasets.values()),
+                "misses": sum(ds.plan_cache.misses for ds in self._datasets.values()),
+                "entries": sum(len(ds.plan_cache) for ds in self._datasets.values()),
+            }
+        doc = self.metrics.snapshot()
+        doc["scheduler"] = self.scheduler.stats()
+        doc["degradation"] = self.degradation.stats()
+        doc["caches"] = {
+            "results": self.results.stats(),
+            "plans": plans,
+            "files": self._file_cache.stats(),
+        }
+        doc["sessions"] = self.n_sessions
+        doc["steps"] = len(self._step_manifests)
+        return doc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"QueryService(steps={len(self._step_manifests)}, "
+            f"sessions={self.n_sessions}, capacity={self.config.capacity})"
+        )

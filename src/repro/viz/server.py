@@ -2,56 +2,53 @@
 
 The paper demonstrates a web viewer whose server uses the BAT layout to
 progressively load and send data to clients, with spatial and attribute
-filtering applied server-side. This module reproduces that architecture as
-an in-process server: clients open sessions, each session tracks the
-quality level already delivered, and every request returns only the
-increment — exactly the progressive-read contract of the layout.
+filtering applied server-side. This module reproduces that architecture
+as a thin, synchronous wrapper over the serve subsystem
+(:class:`~repro.serve.service.QueryService`): clients open sessions, each
+session tracks the quality level already delivered, and every request
+returns only the increment — exactly the progressive-read contract of the
+layout.
+
+Sessions used to each pin their own query plan; routing through the
+service means *all* sessions now share one plan cache, one file-handle
+cache, one result cache, and one scheduler — two viewers looking at the
+same region cost one traversal, not two. Adaptive degradation is
+disabled by default here (an in-process viewer wants deterministic
+full-quality increments); pass a :class:`~repro.serve.service.ServeConfig`
+to turn it on.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from ..bat.query import AttributeFilter
-from ..core.dataset import BATDataset
-from ..core.planner import QueryPlan
+from ..serve.degrade import DegradationConfig
+from ..serve.service import QueryService, ServeConfig, ServeSession
 from ..types import Box, ParticleBatch
 
 __all__ = ["StreamSession", "ProgressiveStreamServer"]
 
-
-@dataclass
-class StreamSession:
-    """One client's progressive view of the data set.
-
-    Changing the spatial box or filters resets the progression (the server
-    must re-stream matching data from the coarsest level).
-    """
-
-    session_id: int
-    box: Box | None = None
-    filters: tuple[AttributeFilter, ...] = ()
-    delivered_quality: float = 0.0
-    bytes_sent: int = 0
-    requests: int = 0
-    #: memoized file plan for the current view (plans are
-    #: quality-independent, so one plan serves the whole progression)
-    plan: QueryPlan | None = None
-
-    def matches(self, box, filters) -> bool:
-        return self.box == box and self.filters == tuple(filters)
+#: sessions are owned by the serve layer now; the old per-session plan
+#: pinning is gone (plans live in the shared per-dataset PlanCache)
+StreamSession = ServeSession
 
 
 class ProgressiveStreamServer:
     """Serves progressive increments of one BAT timestep to many clients."""
 
-    def __init__(self, metadata_path):
-        self.dataset = BATDataset(metadata_path)
-        self._sessions: dict[int, StreamSession] = {}
-        self._next_id = 0
+    def __init__(self, metadata_path, config: ServeConfig | None = None):
+        if config is None:
+            config = ServeConfig(
+                capacity=2,
+                degradation=DegradationConfig(enabled=False),
+                result_ttl=None,
+            )
+        self.service = QueryService(metadata_path, config)
+
+    @property
+    def dataset(self):
+        return self.service.dataset(0)
 
     def close(self) -> None:
-        self.dataset.close()
+        self.service.close()
 
     def __enter__(self) -> "ProgressiveStreamServer":
         return self
@@ -62,20 +59,17 @@ class ProgressiveStreamServer:
     # -- session management ---------------------------------------------------
 
     def open_session(self) -> int:
-        sid = self._next_id
-        self._next_id += 1
-        self._sessions[sid] = StreamSession(session_id=sid)
-        return sid
+        return self.service.open_session()
 
     def close_session(self, session_id: int) -> StreamSession:
-        return self._sessions.pop(session_id)
+        return self.service.close_session(session_id)
 
     def session(self, session_id: int) -> StreamSession:
-        return self._sessions[session_id]
+        return self.service.session(session_id)
 
     @property
     def n_sessions(self) -> int:
-        return len(self._sessions)
+        return self.service.n_sessions
 
     # -- streaming ----------------------------------------------------------------
 
@@ -92,27 +86,8 @@ class ProgressiveStreamServer:
         progression restarts from zero. If ``quality`` is at or below what
         was already delivered for the same view, the increment is empty.
         """
-        sess = self._sessions[session_id]
-        filters = tuple(filters)
-        if not sess.matches(box, filters):
-            sess.box = box
-            sess.filters = filters
-            sess.delivered_quality = 0.0
-            sess.plan = None
-        if sess.plan is None:
-            sess.plan = self.dataset.plan(box, filters)
-        sess.requests += 1
+        return self.service.request(session_id, quality, box=box, filters=filters).batch
 
-        if quality <= sess.delivered_quality:
-            return ParticleBatch.empty(self.dataset.attribute_specs())
-
-        batch, _ = self.dataset.query(
-            quality=quality,
-            prev_quality=sess.delivered_quality,
-            box=box,
-            filters=filters,
-            plan=sess.plan,
-        )
-        sess.delivered_quality = quality
-        sess.bytes_sent += batch.nbytes
-        return batch
+    def stats(self) -> dict:
+        """The serve-layer metrics surface for this server."""
+        return self.service.snapshot()

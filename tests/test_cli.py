@@ -90,6 +90,38 @@ class TestQuery:
             assert len(z["positions"]) > 0
 
 
+class TestServe:
+    def test_serve_replays_traces(self, written, capsys):
+        _, rep = written
+        assert main(
+            [
+                "serve", rep.metadata_path,
+                "--capacity", "2", "--sessions", "3", "--ops", "3", "--seed", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "served 9 requests from 3 sessions" in out
+        assert "byte-verified" in out
+        assert "p99" in out
+
+    def test_serve_json_snapshot(self, written, capsys):
+        import json
+
+        _, rep = written
+        assert main(
+            [
+                "serve", rep.metadata_path,
+                "--sessions", "2", "--ops", "2", "--no-degradation", "--json",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out[out.index("{"):])
+        assert doc["requests"]["completed"] == 4
+        assert doc["requests"]["rejected"] == 0
+        assert not doc["degradation"]["enabled"]
+        assert set(doc["caches"]) == {"results", "plans", "files"}
+
+
 class TestBench:
     def test_weak_scaling_smoke(self, capsys):
         assert main(["bench", "weak-scaling", "--machine", "testing_machine", "--ranks", "8,16"]) == 0

@@ -84,6 +84,24 @@ class TestPlanQuery:
         with pytest.raises(KeyError):
             plan_query(dataset.metadata, filters=(AttributeFilter("nope", 0, 1),))
 
+    def test_degenerate_point_box(self, dataset):
+        """A zero-volume box is a valid query, not a crash."""
+        point = (1.0, 1.0, 0.5)
+        box = Box(point, point)
+        plan = plan_query(dataset.metadata, box=box)
+        assert len(plan.files) + plan.pruned_files == dataset.n_files
+        batch, _ = dataset.query(box=box)
+        full, _ = dataset.query()
+        assert len(batch) == box.contains_points(full.positions).sum()
+
+    def test_zero_leaf_overlap_box(self, dataset):
+        """A well-formed box beyond every leaf prunes the whole plan."""
+        upper = dataset.metadata.bounds.upper
+        box = Box(tuple(u + 1.0 for u in upper), tuple(u + 2.0 for u in upper))
+        plan = plan_query(dataset.metadata, box=box)
+        assert not plan.files
+        assert plan.pruned_spatial_files == dataset.n_files
+
     def test_planner_agrees_with_query_results(self, dataset):
         """No pruned file could have contributed: planned == unplanned."""
         box = Box((0.0, 0.0, 0.0), (1.0, 4.0, 1.0))
@@ -169,6 +187,49 @@ class TestCacheHygiene:
             batch, _ = ds.query(box=Box((50.0,) * 3, (51.0,) * 3))
             assert sorted(batch.attributes) == ["mass", "temp"]
             assert len(ds._cache) == 0
+
+    def test_all_pruned_filter_opens_no_handle(self, dataset):
+        """An impossible filter must never touch the file-handle cache."""
+        _, hi = dataset.attr_ranges["mass"]
+        batch, stats = dataset.query(filters=(AttributeFilter("mass", hi + 5.0, hi + 6.0),))
+        assert len(batch) == 0
+        assert stats.files_opened == 0
+        s = dataset.file_cache.stats()
+        assert s["open"] == 0
+        assert s["misses"] == 0  # not even a miss: the planner never asked
+
+    def test_peek_does_not_perturb_counters(self, written):
+        """peek() is pure introspection: no hit/miss/eviction accounting."""
+        report, _ = written
+        meta_path = Path(report.metadata_path)
+        leaves = DatasetMetadata.load(meta_path).leaves[:3]
+        paths = [meta_path.parent / leaf.file_name for leaf in leaves]
+        with BATFileCache(capacity=2) as cache:
+            fa = cache.get(paths[0])
+            cache.get(paths[1])
+            before = cache.stats()
+            assert cache.peek(paths[0]) is fa
+            assert cache.peek(paths[2]) is None  # absent: must not open it
+            after = cache.stats()
+            counters = ("hits", "misses", "evictions", "open", "hit_rate")
+            assert {k: after[k] for k in counters} == {k: before[k] for k in counters}
+            # and LRU order was left alone: a third insert evicts paths[0]
+            cache.get(paths[2])
+            assert cache.peek(paths[0]) is None
+            assert cache.peek(paths[1]) is not None
+
+    def test_filecache_stats_accounting(self, written):
+        report, _ = written
+        meta_path = Path(report.metadata_path)
+        leaf = DatasetMetadata.load(meta_path).leaves[0]
+        with BATFileCache(capacity=2) as cache:
+            cache.get(meta_path.parent / leaf.file_name)
+            cache.get(meta_path.parent / leaf.file_name)
+            s = cache.stats()
+        assert s["hits"] == 1
+        assert s["misses"] == 1
+        assert s["evictions"] == 0
+        assert s["hit_rate"] == pytest.approx(0.5)
 
     def test_eviction_order_regression(self, written):
         """peek() must not refresh LRU order; get() must."""
