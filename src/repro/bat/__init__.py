@@ -13,9 +13,11 @@ A BAT (§III-C) is built on each aggregator over the particles it received:
    (:mod:`repro.bat.file`, :mod:`repro.bat.query`).
 """
 
+from ..errors import IntegrityError
 from .builder import BATBuildConfig, build_bat
 from .file import BATFile
 from .filecache import BATFileCache
+from .integrity import scrub_dataset, scrub_file
 from .query import AttributeFilter, QueryStats
 
 __all__ = [
@@ -24,5 +26,8 @@ __all__ = [
     "BATFile",
     "BATFileCache",
     "AttributeFilter",
+    "IntegrityError",
     "QueryStats",
+    "scrub_file",
+    "scrub_dataset",
 ]

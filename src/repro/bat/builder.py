@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..atomic import atomic_write_bytes
 from ..binning import EquiDepthBinning, EquiWidthBinning
 from ..bitmaps import BitmapDictionary
 from ..morton import MAX_BITS, encode_positions
@@ -25,10 +26,14 @@ from .format import (
     FLAG_QUANTIZED_POSITIONS,
     HEADER_SIZE,
     LEAF_FLAG,
+    LEGACY_VERSION,
     PAGE_SIZE,
+    VERSION,
     Header,
     attr_table_dtype,
+    footer_size,
     pack_binning_section,
+    pack_footer,
     pad_to,
     shallow_inner_dtype,
     shallow_leaf_dtype,
@@ -71,6 +76,11 @@ class BATBuildConfig:
     #: zlib-compress each treelet payload (§VII compression extension;
     #: treelets decompress on first access rather than mapping in place)
     compress: bool = False
+    #: emit the version-3 checksum footer (header CRC, per-section and
+    #: per-treelet CRC32s, whole-file digest). ``False`` produces a legacy
+    #: version-2 image, byte-identical to pre-checksum builds — used by the
+    #: backward-compatibility tests.
+    checksums: bool = True
 
     def __post_init__(self) -> None:
         if self.attribute_binning not in ("equiwidth", "equidepth"):
@@ -134,8 +144,8 @@ class BuiltBAT:
         return self.overhead_bytes / self.raw_bytes if self.raw_bytes else 0.0
 
     def write(self, path) -> None:
-        with open(path, "wb") as f:
-            f.write(self.data)
+        """Publish the image atomically (tmp file, fsync, rename)."""
+        atomic_write_bytes(path, self.data)
 
     def open(self):
         """Open the image in memory for in-transit analysis (§III-C3).
@@ -418,7 +428,8 @@ def build_bat(batch: ParticleBatch, config: BATBuildConfig | None = None) -> Bui
         cursor = aligned + len(blob)
         blobs.append(blob)
 
-    file_size = cursor
+    footer_offset = cursor
+    file_size = footer_offset + footer_size(n_leaves) if config.checksums else cursor
     header = Header(
         n_points=n,
         n_attrs=n_attrs,
@@ -439,6 +450,8 @@ def build_bat(batch: ParticleBatch, config: BATBuildConfig | None = None) -> Bui
         file_size=file_size,
         flags=flags,
         binning_offset=binning_offset if n_attrs else 0,
+        footer_offset=footer_offset if config.checksums else 0,
+        version=VERSION if config.checksums else LEGACY_VERSION,
     )
 
     out = bytearray(file_size)
@@ -450,6 +463,17 @@ def build_bat(batch: ParticleBatch, config: BATBuildConfig | None = None) -> Bui
     out[binning_offset : binning_offset + len(binning_bytes)] = binning_bytes
     for off, blob in zip(offsets, blobs):
         out[off : off + len(blob)] = blob
+
+    if config.checksums:
+        section_crcs = {
+            name: zlib.crc32(out[o : o + nb])
+            for name, (o, nb) in header.section_extents().items()
+        }
+        treelet_crcs = [
+            zlib.crc32(out[off : off + len(blob)]) for off, blob in zip(offsets, blobs)
+        ]
+        digest = zlib.crc32(out[:footer_offset])
+        out[footer_offset:file_size] = pack_footer(section_crcs, treelet_crcs, digest)
 
     raw = batch.nbytes
     root_bitmaps = {}

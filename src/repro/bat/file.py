@@ -15,11 +15,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..binning import make_binning
+from ..errors import IntegrityError
 from ..types import AttributeSpec, Box
 from .format import (
     FLAG_COMPRESSED_TREELETS,
     FLAG_QUANTIZED_POSITIONS,
+    HEADER_SIZE,
     LEAF_FLAG,
+    VERSION,
     Header,
     attr_table_dtype,
     shallow_inner_dtype,
@@ -27,6 +30,7 @@ from .format import (
     treelet_header_dtype,
     treelet_node_dtype,
     unpack_binning_section,
+    unpack_footer,
 )
 
 __all__ = ["BATFile", "TreeletView"]
@@ -59,9 +63,21 @@ class BATFile:
         try:
             self._mm = mmap.mmap(self._f.fileno(), 0, access=mmap.ACCESS_READ)
         except ValueError:
+            # an empty file cannot be mapped; report it like any other
+            # not-a-BAT-file input instead of leaking the mmap detail
             self._f.close()
+            self._f = None
+            raise IntegrityError(
+                f"not a BAT file (empty file): {self.path}",
+                section="header", path=self.path,
+            ) from None
+        try:
+            self._parse()
+        except BaseException:
+            # a failed parse must not leak the fd/mapping: close() may run
+            # never (caller has no object) so release here before re-raising
+            self.close()
             raise
-        self._parse()
 
     @classmethod
     def from_bytes(cls, data: bytes, name: str = "<memory>") -> "BATFile":
@@ -80,12 +96,44 @@ class BATFile:
         return self
 
     def _parse(self) -> None:
-        self.header = Header.unpack(self._mm[: 256])
+        try:
+            self.header = Header.unpack(self._mm[:HEADER_SIZE])
+        except IntegrityError as exc:
+            exc.path = self.path
+            raise
         h = self.header
         if h.file_size != len(self._mm):
-            raise ValueError(
-                f"BAT file size mismatch: header says {h.file_size}, file is {len(self._mm)}"
+            raise IntegrityError(
+                f"BAT file size mismatch: header says {h.file_size}, "
+                f"file is {len(self._mm)}",
+                section="header", path=self.path,
             )
+        # With the header validated (CRC-checked for v3), every section
+        # extent it implies must land inside the buffer before any
+        # np.frombuffer view is built over it.
+        for name, (off, nbytes) in h.section_extents().items():
+            if off < 0 or off + nbytes > len(self._mm):
+                raise IntegrityError(
+                    f"BAT section {name!r} out of bounds "
+                    f"(offset {off}, {nbytes} bytes, file is {len(self._mm)})",
+                    section=name, path=self.path,
+                )
+        self._footer = None
+        self._treelet_crcs = None
+        if h.version >= VERSION:
+            try:
+                self._footer = unpack_footer(self._mm, h.footer_offset, h.n_shallow_leaves)
+            except IntegrityError as exc:
+                exc.path = self.path
+                raise
+            self._treelet_crcs = self._footer.treelet_crcs
+            for name, (off, nbytes) in h.section_extents().items():
+                actual = zlib.crc32(self._mm[off : off + nbytes])
+                if actual != self._footer.section_crcs[name]:
+                    raise IntegrityError(
+                        f"BAT section {name!r} checksum mismatch in {self.path}",
+                        section=name, path=self.path,
+                    )
         self._inner_dt = shallow_inner_dtype(h.n_attrs)
         self._leaf_dt = shallow_leaf_dtype(h.n_attrs)
         self._node_dt = treelet_node_dtype(h.n_attrs)
@@ -134,8 +182,13 @@ class BATFile:
         cannot be unmapped yet; it is released when the last view dies
         (CPython keeps an mmap alive while exported buffers exist), so the
         views stay valid either way.
+
+        Safe to call on a partially constructed instance (a parse failure
+        releases its handles through here).
         """
-        self._treelet_cache.clear()
+        cache = getattr(self, "_treelet_cache", None)
+        if cache is not None:
+            cache.clear()
         self.shallow_inner = None
         self.shallow_leaves = None
         self.dictionary = None
@@ -245,19 +298,45 @@ class BATFile:
     def compressed(self) -> bool:
         return bool(self.header.flags & FLAG_COMPRESSED_TREELETS)
 
+    @property
+    def version(self) -> int:
+        return self.header.version
+
+    @property
+    def checksummed(self) -> bool:
+        """True when the file carries the version-3 checksum footer."""
+        return self._treelet_crcs is not None
+
     def treelet(self, leaf: int) -> TreeletView:
         """Map (or decompress/decode) the treelet of shallow leaf ``leaf``.
 
         Plain files hand back zero-copy views into the mapping; compressed
         treelets inflate on first access, and quantized positions decode to
         float32 against the leaf's bounding box. Either way the view is
-        cached, so repeated traversals pay once.
+        cached, so repeated traversals pay once — including the treelet's
+        CRC32 verification on checksummed files, which runs on first touch
+        so queries that prune a damaged treelet never pay for (or trip
+        over) it.
         """
         cached = self._treelet_cache.get(leaf)
         if cached is not None:
             return cached
         rec = self.shallow_leaves[leaf]
         off = int(rec["treelet_offset"])
+        nbytes = int(rec["treelet_nbytes"])
+        if off < 0 or off + nbytes > len(self._mm):
+            raise IntegrityError(
+                f"treelet {leaf} out of bounds (offset {off}, {nbytes} bytes) "
+                f"in {self.path}",
+                section=f"treelet {leaf}", path=self.path,
+            )
+        if self._treelet_crcs is not None:
+            actual = zlib.crc32(self._mm[off : off + nbytes])
+            if actual != int(self._treelet_crcs[leaf]):
+                raise IntegrityError(
+                    f"treelet {leaf} checksum mismatch in {self.path}",
+                    section=f"treelet {leaf}", path=self.path,
+                )
         th = np.frombuffer(self._mm, dtype=treelet_header_dtype(), count=1, offset=off)[0]
         n_nodes = int(th["n_nodes"])
         n_pts = int(th["n_points"])
@@ -267,7 +346,10 @@ class BATFile:
             comp = self._mm[off + head : off + int(rec["treelet_nbytes"])]
             payload = zlib.decompress(comp)
             if len(payload) != int(th["raw_nbytes"]):
-                raise ValueError(f"treelet {leaf}: decompressed size mismatch")
+                raise IntegrityError(
+                    f"treelet {leaf}: decompressed size mismatch in {self.path}",
+                    section=f"treelet {leaf}", path=self.path,
+                )
             buf, base = payload, 0
         else:
             buf, base = self._mm, off + head

@@ -52,6 +52,9 @@ class BATFileCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: opens that raised (missing or corrupt file) — nothing is cached
+        #: for a failed open, so retries re-attempt the open
+        self.open_errors = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -67,7 +70,11 @@ class BATFileCache:
                 self._open.move_to_end(key)
                 return f
             self.misses += 1
-            f = BATFile(key)
+            try:
+                f = BATFile(key)
+            except Exception:
+                self.open_errors += 1
+                raise
             self._open[key] = f
             while len(self._open) > self.capacity:
                 _, victim = self._open.popitem(last=False)
@@ -102,6 +109,7 @@ class BATFileCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "open_errors": self.open_errors,
                 "hit_rate": self.hits / total if total else 0.0,
             }
 

@@ -15,21 +15,44 @@ Layout, in file order::
 Everything frequently touched during traversal (tree + dictionary) sits at
 the start of the file; treelets are page-aligned for memory-mapped access.
 All integers are little-endian.
+
+Version 3 appends a checksum footer after the last treelet::
+
+    footer magic "BATC" | footer version | n_treelets
+    CRC32 per metadata section (header, attr table, shallow inner,
+        shallow leaves, dictionary, binning)
+    CRC32 per treelet block
+    whole-file digest (CRC32 of every byte before the footer)
+    footer CRC32
+
+and stores a self-contained header CRC32 in the header's last four bytes,
+so a flipped bit in the header itself is caught before any offset in it is
+trusted. Version-2 files (no checksums) remain readable.
 """
 
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, field
 
 import numpy as np
+
+from ..errors import IntegrityError
 
 __all__ = [
     "MAGIC",
     "VERSION",
+    "LEGACY_VERSION",
+    "SUPPORTED_VERSIONS",
     "HEADER_SIZE",
     "PAGE_SIZE",
     "Header",
+    "Footer",
+    "METADATA_SECTIONS",
+    "footer_size",
+    "pack_footer",
+    "unpack_footer",
     "attr_table_dtype",
     "shallow_inner_dtype",
     "shallow_leaf_dtype",
@@ -39,9 +62,16 @@ __all__ = [
 ]
 
 MAGIC = b"BATF"
-VERSION = 2
+#: current (checksummed) format version
+VERSION = 3
+#: last pre-checksum version; still readable, no integrity verification
+LEGACY_VERSION = 2
+SUPPORTED_VERSIONS = (LEGACY_VERSION, VERSION)
 HEADER_SIZE = 256
 PAGE_SIZE = 4096
+#: the header CRC32 covers bytes [0, HEADER_CRC_OFFSET) and is stored
+#: little-endian in the header's final four bytes (version >= 3)
+HEADER_CRC_OFFSET = HEADER_SIZE - 4
 
 #: High bit of a shallow inner node's child field: set when the child is a
 #: shallow *leaf* index rather than another inner node.
@@ -56,9 +86,9 @@ FLAG_QUANTIZED_POSITIONS = 0x1
 #: first access instead of mapping in place.
 FLAG_COMPRESSED_TREELETS = 0x2
 
-_HEADER_FMT = "<4sI Q IIIIII III 6d 8Q"
+_HEADER_FMT = "<4sI Q IIIIII III 6d 9Q"
 _HEADER_FIELDS = struct.calcsize(_HEADER_FMT)
-assert _HEADER_FIELDS <= HEADER_SIZE
+assert _HEADER_FIELDS <= HEADER_CRC_OFFSET
 
 
 @dataclass
@@ -87,13 +117,17 @@ class Header:
     #: offset of the binning section (per-attr kind bytes + edge tables);
     #: 0 when the file has no attributes
     binning_offset: int = 0
+    #: offset of the checksum footer; 0 in legacy (version-2) files
+    footer_offset: int = 0
+    #: on-disk format version this header was read from / will pack as
+    version: int = field(default=VERSION, compare=False)
 
     def pack(self) -> bytes:
         b = self.bounds.reshape(6)
         raw = struct.pack(
             _HEADER_FMT,
             MAGIC,
-            VERSION,
+            self.version,
             self.n_points,
             self.n_attrs,
             self.morton_bits,
@@ -113,19 +147,35 @@ class Header:
             self.file_size,
             self.flags,
             self.binning_offset,
+            self.footer_offset,
         )
-        return raw.ljust(HEADER_SIZE, b"\0")
+        out = bytearray(raw.ljust(HEADER_SIZE, b"\0"))
+        if self.version >= VERSION:
+            crc = zlib.crc32(bytes(out[:HEADER_CRC_OFFSET]))
+            out[HEADER_CRC_OFFSET:HEADER_SIZE] = struct.pack("<I", crc)
+        return bytes(out)
 
     @staticmethod
     def unpack(raw: bytes) -> "Header":
         if len(raw) < HEADER_SIZE:
-            raise ValueError("truncated BAT header")
+            raise IntegrityError("not a BAT file (truncated BAT header)", section="header")
         vals = struct.unpack(_HEADER_FMT, raw[:_HEADER_FIELDS])
         magic, version = vals[0], vals[1]
         if magic != MAGIC:
-            raise ValueError(f"not a BAT file (magic {magic!r})")
-        if version != VERSION:
-            raise ValueError(f"unsupported BAT version {version}")
+            raise IntegrityError(f"not a BAT file (magic {magic!r})", section="header")
+        if version not in SUPPORTED_VERSIONS:
+            raise IntegrityError(f"unsupported BAT version {version}", section="header")
+        if version >= VERSION:
+            # the header carries its own CRC so none of its offsets are
+            # trusted (e.g. to find the footer) if the header itself is bad
+            (stored,) = struct.unpack_from("<I", raw, HEADER_CRC_OFFSET)
+            actual = zlib.crc32(bytes(raw[:HEADER_CRC_OFFSET]))
+            if stored != actual:
+                raise IntegrityError(
+                    f"BAT header checksum mismatch "
+                    f"(stored {stored:#010x}, computed {actual:#010x})",
+                    section="header",
+                )
         bounds = np.array(vals[12:18], dtype=np.float64).reshape(2, 3)
         return Header(
             n_points=vals[2],
@@ -147,7 +197,34 @@ class Header:
             file_size=vals[23],
             flags=vals[24],
             binning_offset=vals[25],
+            footer_offset=vals[26],
+            version=version,
         )
+
+    def section_extents(self) -> dict[str, tuple[int, int]]:
+        """(offset, nbytes) of every metadata section, in file order.
+
+        Sizes are derived from the counts in the header, so the extents are
+        only meaningful once the header itself has been validated.
+        """
+        n_attrs = self.n_attrs
+        binning_nbytes = (
+            pad_to(max(n_attrs, 1), 8) + n_attrs * 33 * 8 if self.binning_offset else 0
+        )
+        return {
+            "header": (0, HEADER_SIZE),
+            "attr_table": (self.attr_table_offset, n_attrs * attr_table_dtype().itemsize),
+            "shallow_inner": (
+                self.shallow_inner_offset,
+                self.n_shallow_inner * shallow_inner_dtype(n_attrs).itemsize,
+            ),
+            "shallow_leaves": (
+                self.shallow_leaf_offset,
+                self.n_shallow_leaves * shallow_leaf_dtype(n_attrs).itemsize,
+            ),
+            "dictionary": (self.dict_offset, self.dict_entries * 4),
+            "binning": (self.binning_offset, binning_nbytes),
+        }
 
 
 def attr_table_dtype() -> np.dtype:
@@ -211,6 +288,81 @@ def treelet_header_dtype() -> np.dtype:
 def pad_to(offset: int, alignment: int) -> int:
     """Next multiple of ``alignment`` at or after ``offset``."""
     return (offset + alignment - 1) // alignment * alignment
+
+
+# -- checksum footer (version >= 3) ----------------------------------------
+
+FOOTER_MAGIC = b"BATC"
+FOOTER_VERSION = 1
+#: metadata sections covered by the footer's fixed CRC block, in order
+METADATA_SECTIONS = (
+    "header",
+    "attr_table",
+    "shallow_inner",
+    "shallow_leaves",
+    "dictionary",
+    "binning",
+)
+_FOOTER_FIXED = struct.calcsize("<4sII") + 4 * len(METADATA_SECTIONS)
+
+
+@dataclass
+class Footer:
+    """Parsed checksum footer of a version-3 file."""
+
+    section_crcs: dict[str, int]
+    treelet_crcs: np.ndarray  # (n_treelets,) uint32
+    #: CRC32 of every byte before the footer
+    file_digest: int
+
+
+def footer_size(n_treelets: int) -> int:
+    """On-disk footer size: fixed block + one CRC per treelet + digest + CRC."""
+    return _FOOTER_FIXED + 4 * n_treelets + 8
+
+
+def pack_footer(section_crcs: dict[str, int], treelet_crcs, file_digest: int) -> bytes:
+    crcs = np.ascontiguousarray(treelet_crcs, dtype="<u4")
+    body = struct.pack("<4sII", FOOTER_MAGIC, FOOTER_VERSION, len(crcs))
+    body += struct.pack(
+        f"<{len(METADATA_SECTIONS)}I", *(section_crcs[s] for s in METADATA_SECTIONS)
+    )
+    body += crcs.tobytes()
+    body += struct.pack("<I", file_digest)
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+def unpack_footer(buf, offset: int, n_treelets: int) -> Footer:
+    """Parse and self-verify the footer at ``offset``.
+
+    ``n_treelets`` comes from the (already CRC-verified) header; a mismatch
+    means the footer does not belong to this file.
+    """
+    size = footer_size(n_treelets)
+    if offset <= 0 or offset + size > len(buf):
+        raise IntegrityError(
+            f"BAT footer out of bounds (offset {offset}, need {size} bytes)",
+            section="footer",
+        )
+    raw = bytes(buf[offset : offset + size])
+    (stored,) = struct.unpack_from("<I", raw, size - 4)
+    if zlib.crc32(raw[: size - 4]) != stored:
+        raise IntegrityError("BAT footer checksum mismatch", section="footer")
+    magic, version, count = struct.unpack_from("<4sII", raw, 0)
+    if magic != FOOTER_MAGIC:
+        raise IntegrityError(f"bad BAT footer magic {magic!r}", section="footer")
+    if version != FOOTER_VERSION:
+        raise IntegrityError(f"unsupported BAT footer version {version}", section="footer")
+    if count != n_treelets:
+        raise IntegrityError(
+            f"BAT footer treelet count mismatch (footer {count}, header {n_treelets})",
+            section="footer",
+        )
+    fields = struct.unpack_from(f"<{len(METADATA_SECTIONS)}I", raw, struct.calcsize("<4sII"))
+    section_crcs = dict(zip(METADATA_SECTIONS, fields))
+    treelet_crcs = np.frombuffer(raw, dtype="<u4", count=n_treelets, offset=_FOOTER_FIXED)
+    (file_digest,) = struct.unpack_from("<I", raw, _FOOTER_FIXED + 4 * n_treelets)
+    return Footer(section_crcs=section_crcs, treelet_crcs=treelet_crcs, file_digest=file_digest)
 
 
 def pack_binning_section(kinds: list[int], edge_tables: np.ndarray) -> bytes:

@@ -82,6 +82,10 @@ class QueryStats:
     pruned_files: int = 0
     #: leaf files actually opened and traversed
     files_opened: int = 0
+    #: leaf files skipped because they were corrupt or missing (degraded
+    #: reads): both files quarantined during this query and files a prior
+    #: query quarantined that the plan excluded up front
+    quarantined_files: int = 0
 
     def merge(self, other: "QueryStats") -> None:
         self.treelets_visited += other.treelets_visited
@@ -92,6 +96,7 @@ class QueryStats:
         self.pruned_bitmap += other.pruned_bitmap
         self.pruned_files += other.pruned_files
         self.files_opened += other.files_opened
+        self.quarantined_files += other.quarantined_files
 
     @staticmethod
     def merge_ordered(indexed) -> "QueryStats":

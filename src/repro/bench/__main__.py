@@ -19,8 +19,13 @@ zoom/pan/filter session traces through the admission-controlled query
 service at 2× capacity (by default), reporting throughput, p50/p99
 latency, queue depth, degradation activity, and cache hit rates, with a
 sample of served responses byte-checked against direct dataset queries.
-Either way, ``--record`` writes the JSON data point every PR is expected
-to leave behind.
+``--suite faults`` repeats the write under injected faults (torn writes,
+bit flips, dropped/duplicated aggregator messages, aggregator death) and
+proves recovery: the faulted run must publish byte-identical files to a
+fault-free run, scrub clean, and — after a deliberate post-hoc
+corruption — localize the damage to the exact section and serve a
+degraded partial response. Either way, ``--record`` writes the JSON data
+point every PR is expected to leave behind.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ import sys
 import tempfile
 
 from .harness import (
+    fault_injection_benchmark,
     parallel_write_query_benchmark,
     read_path_benchmark,
     record_benchmark,
@@ -157,6 +163,48 @@ def _run_serve(args) -> dict:
     return payload
 
 
+def _run_faults(args) -> dict:
+    def run(out_dir):
+        return fault_injection_benchmark(
+            out_dir,
+            nranks=args.ranks,
+            particles_per_rank=args.particles,
+            n_attributes=args.attributes,
+            target_size=args.target_kb * 1024,
+            fault_seed=args.fault_seed,
+        )
+
+    if args.out_dir is not None:
+        payload = run(args.out_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            payload = run(tmp)
+
+    r = payload["results"]
+    inj = r["injected"]
+    print(
+        f"fault injection: {args.ranks} ranks x {args.particles} particles, "
+        f"{payload['n_files']} files"
+    )
+    print(
+        f"  injected: {inj['injected_torn']} torn, {inj['injected_bit_flips']} bit flips, "
+        f"{inj['dropped_messages']} dropped, {inj['duplicated_messages']} duplicated msgs, "
+        f"{len(inj['dead_aggregators'])} dead aggregators "
+        f"({inj['reassigned_leaves']} leaves reassigned)"
+    )
+    print(
+        f"  recovery: {inj['retried_writes']} writes retried "
+        f"({inj['write_attempts']} attempts total); files byte-identical to "
+        f"fault-free run: ok; scrub clean: ok"
+    )
+    print(
+        f"  deliberate corruption localized to section(s) {r['flagged_sections']}; "
+        f"service degraded to {r['degraded_response']['points']} points "
+        f"({r['degraded_response']['quarantined_files']} leaf quarantined)"
+    )
+    return payload
+
+
 def main(argv=None) -> int:
     p = argparse.ArgumentParser(
         prog="repro.bench",
@@ -165,10 +213,11 @@ def main(argv=None) -> int:
     )
     p.add_argument(
         "--suite",
-        choices=("write", "read", "serve"),
+        choices=("write", "read", "serve", "faults"),
         default="write",
         help="write: multi-executor write+query; read: planner + engine "
-             "comparison; serve: concurrent service under load",
+             "comparison; serve: concurrent service under load; faults: "
+             "write under injected faults, prove recovery + degraded reads",
     )
     p.add_argument(
         "--executors",
@@ -196,6 +245,10 @@ def main(argv=None) -> int:
         "--sessions", type=int, default=12, help="serve suite: session traces to replay"
     )
     p.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="faults suite: RNG seed of the injected fault plan",
+    )
+    p.add_argument(
         "--ops", type=int, default=6, help="serve suite: requests per session trace"
     )
     p.add_argument("--out-dir", default=None, help="keep written files here (default: temp)")
@@ -206,6 +259,8 @@ def main(argv=None) -> int:
         payload = _run_read(args)
     elif args.suite == "serve":
         payload = _run_serve(args)
+    elif args.suite == "faults":
+        payload = _run_faults(args)
     else:
         payload = _run_write(args)
 

@@ -8,6 +8,7 @@ Usage::
         --box 0,0,0,1,1,1 --filter temperature:300:400 --stats
     python -m repro serve out/ts0000.meta.json --capacity 4 --concurrency 8
     python -m repro bench weak-scaling --machine stampede2 --ranks 96,384,1536
+    python -m repro scrub out/ts0000.meta.json        # verify every checksum
 
 Every subcommand prints plain text; nothing is modified on disk.
 """
@@ -195,6 +196,24 @@ def _cmd_validate(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_scrub(args) -> int:
+    """Verify every checksum of a dataset (or one file), per-file status."""
+    import json
+
+    from .bat.integrity import scrub_dataset, scrub_file
+
+    path = Path(args.path)
+    if path.suffix == ".json":
+        report = scrub_dataset(path)
+    else:
+        report = scrub_file(path)
+    if args.json:
+        print(json.dumps(report.to_doc(), indent=1))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__,
                                 formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -261,6 +280,16 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--deep", action="store_true",
                           help="also walk every treelet of every leaf file")
     validate.set_defaults(func=_cmd_validate)
+
+    scrub = sub.add_parser(
+        "scrub",
+        help="verify every checksum in a dataset (or one .bat file), "
+             "reporting per-file status and the exact bad section",
+    )
+    scrub.add_argument("path", help=".meta.json manifest or a single .bat file")
+    scrub.add_argument("--json", action="store_true",
+                       help="emit the full report as JSON")
+    scrub.set_defaults(func=_cmd_scrub)
     return p
 
 

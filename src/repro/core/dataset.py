@@ -12,12 +12,14 @@ faulted into the file-handle cache.
 
 from __future__ import annotations
 
+import threading
 from functools import partial
 from pathlib import Path
 
 from ..bat.file import BATFile
 from ..bat.filecache import BATFileCache
 from ..bat.query import QueryStats, query_file
+from ..errors import IntegrityError, LeafUnavailableError
 from ..parallel import get_executor
 from ..types import Box, ParticleBatch
 from .metadata import DatasetMetadata
@@ -34,14 +36,27 @@ def _query_leaf(directory: str, kwargs: dict, item):
     leaf). Workers open their own handle (mmaps don't cross process
     boundaries and per-task handles keep threads independent); the serial
     path uses the dataset's LRU cache instead.
+
+    Returns ``(leaf_index, batch, stats, error)`` where ``error`` is
+    ``None`` on success or a picklable ``(kind, message)`` pair (``kind``
+    in ``"missing"``/``"corrupt"``) — exceptions with keyword-only
+    constructors don't round-trip through process pools, and the dataset
+    decides whether to quarantine or raise, not the worker.
     """
     leaf_index, file_name, box = item
-    f = BATFile(Path(directory) / file_name)
+    try:
+        f = BATFile(Path(directory) / file_name)
+    except FileNotFoundError as exc:
+        return leaf_index, None, None, ("missing", str(exc))
+    except IntegrityError as exc:
+        return leaf_index, None, None, ("corrupt", str(exc))
     try:
         batch, stats = query_file(f, box=box, **kwargs)
+    except IntegrityError as exc:
+        return leaf_index, None, None, ("corrupt", str(exc))
     finally:
         f.close()
-    return leaf_index, batch, stats
+    return leaf_index, batch, stats, None
 
 
 class BATDataset:
@@ -73,10 +88,14 @@ class BATDataset:
         self._cache = file_cache if file_cache is not None else BATFileCache()
         self._owns_cache = file_cache is None
         # the serve layer injects a plan cache it also reads stats from;
-        # note plans are keyed by (box, filters) only, so a shared cache
-        # must never span datasets with different metadata
+        # note plans are keyed by (box, filters, exclude) only, so a shared
+        # cache must never span datasets with different metadata
         self._plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self._owns_plan_cache = plan_cache is None
+        # leaf_index -> reason for every leaf proven corrupt or missing;
+        # quarantined leaves are excluded from all subsequent plans
+        self._quarantine_lock = threading.Lock()
+        self._quarantined: dict[int, str] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -151,11 +170,44 @@ class BATDataset:
         with BATFile(self.directory / first.file_name) as f:
             return f.attribute_specs()
 
+    # -- quarantine ------------------------------------------------------------
+
+    def quarantine_leaf(self, leaf_index: int, reason: str) -> None:
+        """Exclude one leaf file from all future plans (corrupt/missing).
+
+        Also drops any cached handle so a repaired file is re-opened and
+        re-verified after :meth:`clear_quarantine`.
+        """
+        leaf = self.metadata.leaves[leaf_index]
+        with self._quarantine_lock:
+            self._quarantined[leaf_index] = reason
+        self._cache.drop(self.directory / leaf.file_name)
+
+    def quarantined(self) -> dict[int, str]:
+        """Snapshot of quarantined leaves: ``{leaf_index: reason}``."""
+        with self._quarantine_lock:
+            return dict(self._quarantined)
+
+    def clear_quarantine(self) -> None:
+        """Forget all quarantined leaves (e.g. after repairing files)."""
+        with self._quarantine_lock:
+            self._quarantined.clear()
+
+    def _exclude(self) -> frozenset:
+        with self._quarantine_lock:
+            return frozenset(self._quarantined)
+
     # -- queries ----------------------------------------------------------------
 
     def plan(self, box: Box | None = None, filters=()) -> QueryPlan:
-        """The (memoized) per-file plan for one query shape."""
-        return self._plan_cache.get_or_build(self.metadata, box, tuple(filters))
+        """The (memoized) per-file plan for one query shape.
+
+        Quarantined leaves are excluded; the plan's ``excluded_files``
+        counts relevant files the query will not see.
+        """
+        return self._plan_cache.get_or_build(
+            self.metadata, box, tuple(filters), exclude=self._exclude()
+        )
 
     def _candidate_leaves(self, box, filters) -> list[int]:
         """Leaf indices the planner keeps (kept for compatibility/tests)."""
@@ -171,6 +223,7 @@ class BATDataset:
         attributes: list[str] | None = None,
         engine: str = "frontier",
         plan: QueryPlan | None = None,
+        on_error: str = "raise",
     ) -> tuple[ParticleBatch | None, QueryStats]:
         """Run one (progressive) query across the whole data set.
 
@@ -181,7 +234,19 @@ class BATDataset:
         executor (callback queries stay serial so the callback observes
         file order); results and stats are merged in file order, so every
         executor returns identical output.
+
+        ``on_error`` decides what a corrupt or missing leaf file does:
+        ``"raise"`` (default) surfaces a clear
+        :class:`~repro.errors.LeafUnavailableError` /
+        :class:`~repro.errors.IntegrityError` naming the leaf and dataset;
+        ``"degrade"`` quarantines the leaf and returns the partial result
+        from the surviving files, with ``stats.quarantined_files``
+        counting what the query did not see. Only corruption and absence
+        degrade — user errors (bad quality, unknown filter attribute)
+        always raise.
         """
+        if on_error not in ("raise", "degrade"):
+            raise ValueError("on_error must be 'raise' or 'degrade'")
         filters = tuple(filters)
         if plan is None:
             plan = self.plan(box, filters)
@@ -194,26 +259,41 @@ class BATDataset:
             attributes=attributes,
             engine=engine,
         )
+        newly_failed = 0
+        indexed_stats: list[tuple[int, QueryStats]] = []
+        parts = []
         if callback is None and self.executor.kind != "serial" and len(plan.files) > 1:
             tasks = self.executor.map(
                 partial(_query_leaf, str(self.directory), kwargs),
                 [(fp.leaf_index, fp.file_name, fp.box) for fp in plan.files],
             )
-            ordered = sorted(tasks, key=lambda t: t[0])
-            stats = QueryStats.merge_ordered([(i, s) for i, _, s in ordered])
-            parts = [res for _, res, _ in ordered if res is not None and len(res)]
+            for i, res, s, err in sorted(tasks, key=lambda t: t[0]):
+                if err is not None:
+                    self._leaf_failed(i, err[0], err[1], on_error)
+                    newly_failed += 1
+                    continue
+                indexed_stats.append((i, s))
+                if res is not None and len(res):
+                    parts.append(res)
         else:
-            indexed_stats: list[tuple[int, QueryStats]] = []
-            parts = []
             for fp in plan.files:
-                res, s = query_file(
-                    self.file(fp.leaf_index), box=fp.box, callback=callback, **kwargs
-                )
+                try:
+                    f = self.file(fp.leaf_index)
+                    res, s = query_file(f, box=fp.box, callback=callback, **kwargs)
+                except FileNotFoundError as exc:
+                    self._leaf_failed(fp.leaf_index, "missing", str(exc), on_error)
+                    newly_failed += 1
+                    continue
+                except IntegrityError as exc:
+                    self._leaf_failed(fp.leaf_index, "corrupt", str(exc), on_error)
+                    newly_failed += 1
+                    continue
                 indexed_stats.append((fp.leaf_index, s))
                 if res is not None and len(res):
                     parts.append(res)
-            stats = QueryStats.merge_ordered(indexed_stats)
+        stats = QueryStats.merge_ordered(indexed_stats)
         stats.pruned_files += plan.pruned_files
+        stats.quarantined_files += plan.excluded_files + newly_failed
         if callback is not None:
             return None, stats
         if not parts:
@@ -222,6 +302,29 @@ class BATDataset:
                 specs = [sp for sp in specs if sp.name in attributes]
             return ParticleBatch.empty(specs), stats
         return ParticleBatch.concatenate(parts), stats
+
+    def _leaf_failed(self, leaf_index: int, kind: str, message: str,
+                     on_error: str) -> None:
+        """One leaf file turned out corrupt/missing mid-query.
+
+        ``"degrade"`` quarantines it (future plans exclude it up front);
+        ``"raise"`` surfaces a clear error naming the leaf and dataset.
+        """
+        leaf = self.metadata.leaves[leaf_index]
+        path = str(self.directory / leaf.file_name)
+        if on_error == "degrade":
+            self.quarantine_leaf(leaf_index, message)
+            return
+        context = (
+            f"leaf file {leaf.file_name!r} (leaf {leaf_index}) of dataset "
+            f"{self.metadata_path.name!r}"
+        )
+        if kind == "missing":
+            raise LeafUnavailableError(
+                f"{context} is missing: {message}",
+                leaf_index=leaf_index, path=path,
+            )
+        raise IntegrityError(f"{context} is corrupt: {message}", path=path)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

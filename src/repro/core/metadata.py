@@ -19,6 +19,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..atomic import atomic_write_bytes
 from ..bitmaps import remap_bitmap
 from ..types import AttributeSpec, Box
 from .aggtree import AggInner, AggLeaf, AggregationTree
@@ -187,9 +188,14 @@ class DatasetMetadata:
         return json.dumps(doc, indent=1)
 
     def save(self, path) -> int:
-        """Write the metadata file; returns its size in bytes."""
+        """Publish the metadata file atomically; returns its size in bytes.
+
+        The manifest is what makes a dataset *visible*: publishing it via
+        tmp-file + fsync + rename means a crash mid-write can never leave a
+        half-written manifest pointing at the (already published) leaves.
+        """
         data = self.to_json().encode()
-        Path(path).write_bytes(data)
+        atomic_write_bytes(path, data)
         return len(data)
 
     @staticmethod

@@ -55,6 +55,9 @@ class QueryPlan:
     files: tuple[FilePlan, ...]
     pruned_spatial_files: int
     pruned_bitmap_files: int
+    #: relevant files dropped because they are quarantined (corrupt or
+    #: missing) — a plan with ``excluded_files > 0`` yields partial results
+    excluded_files: int = 0
 
     @property
     def pruned_files(self) -> int:
@@ -63,7 +66,8 @@ class QueryPlan:
 
 
 def plan_query(
-    metadata: DatasetMetadata, box: Box | None = None, filters=()
+    metadata: DatasetMetadata, box: Box | None = None, filters=(),
+    exclude=frozenset(),
 ) -> QueryPlan:
     """Intersect a query shape with the top-level metadata, vectorized.
 
@@ -72,8 +76,14 @@ def plan_query(
     a planned file can still return zero particles, but a skipped file can
     never contain a match. Unknown filter attributes raise ``KeyError``,
     like the in-file query path.
+
+    ``exclude`` holds leaf indices quarantined by the read side (corrupt
+    or missing files); relevant-but-excluded files are dropped from the
+    plan and counted in :attr:`QueryPlan.excluded_files`, which is how
+    degraded reads advertise that their result is partial.
     """
     filters = tuple(filters)
+    exclude = frozenset(exclude)
     n = metadata.n_files
     lo, hi = metadata.leaf_bounds_arrays()
     keep = np.ones(n, dtype=bool)
@@ -101,9 +111,13 @@ def plan_query(
         pruned_bitmap = int((keep & ~ok).sum())
         keep &= ok
 
+    excluded = 0
     files = []
     for idx in np.flatnonzero(keep):
         leaf = metadata.leaves[int(idx)]
+        if leaf.leaf_index in exclude:
+            excluded += 1
+            continue
         file_box = None if contained[idx] else box
         action = "full" if file_box is None and not filters else "filtered"
         files.append(
@@ -121,20 +135,23 @@ def plan_query(
         files=tuple(files),
         pruned_spatial_files=pruned_spatial,
         pruned_bitmap_files=pruned_bitmap,
+        excluded_files=excluded,
     )
 
 
 class PlanCache:
-    """Small LRU memo of query plans, keyed by ``(box, filters)``.
+    """Small LRU memo of query plans, keyed by ``(box, filters, exclude)``.
 
     Quality is deliberately absent from the key: plans are
     quality-independent, so a progressive refinement sequence hits the
-    same entry at every step. Both key components are frozen dataclasses,
-    hence hashable. Thread-safe: the serve layer plans concurrent
-    sessions' queries against one shared cache per timestep (two threads
-    racing on the same cold key may both build the plan — plans are
-    immutable and identical, so last-write-wins is harmless, and the
-    hit/miss counters stay exact for the metrics surface).
+    same entry at every step. The quarantine set *is* part of the key —
+    quarantining a corrupt leaf changes which files a plan may touch, so
+    pre-quarantine plans must not be served afterwards. All key
+    components are frozen/hashable. Thread-safe: the serve layer plans
+    concurrent sessions' queries against one shared cache per timestep
+    (two threads racing on the same cold key may both build the plan —
+    plans are immutable and identical, so last-write-wins is harmless,
+    and the hit/miss counters stay exact for the metrics surface).
     """
 
     def __init__(self, capacity: int = 128):
@@ -151,9 +168,11 @@ class PlanCache:
             return len(self._plans)
 
     def get_or_build(
-        self, metadata: DatasetMetadata, box: Box | None, filters
+        self, metadata: DatasetMetadata, box: Box | None, filters,
+        exclude=frozenset(),
     ) -> QueryPlan:
-        key = (box, tuple(filters))
+        exclude = frozenset(exclude)
+        key = (box, tuple(filters), exclude)
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
@@ -161,7 +180,7 @@ class PlanCache:
                 self._plans.move_to_end(key)
                 return plan
             self.misses += 1
-        plan = plan_query(metadata, box, tuple(filters))
+        plan = plan_query(metadata, box, tuple(filters), exclude=exclude)
         with self._lock:
             self._plans[key] = plan
             self._plans.move_to_end(key)

@@ -63,7 +63,16 @@ def _read_leaf(layout_name: str, data_dir: str, item):
     from ..layouts import get_layout
 
     leaf_idx, file_name, reqs = item
-    f = get_layout(layout_name).open(Path(data_dir) / file_name)
+    try:
+        f = get_layout(layout_name).open(Path(data_dir) / file_name)
+    except FileNotFoundError as exc:
+        from ..errors import LeafUnavailableError
+
+        raise LeafUnavailableError(
+            f"leaf file {file_name!r} (leaf {leaf_idx}) is missing from "
+            f"{data_dir!r}: {exc}",
+            leaf_index=leaf_idx, path=str(Path(data_dir) / file_name),
+        ) from exc
     try:
         return leaf_idx, [
             (r, f.query_box(Box.from_array(bounds))) for r, bounds in reqs

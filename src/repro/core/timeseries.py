@@ -16,6 +16,7 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..atomic import atomic_write_bytes
 from ..machines import MachineSpec
 from ..types import Box
 from .dataset import BATDataset
@@ -115,9 +116,9 @@ class TimeSeriesWriter:
             "version": CATALOG_VERSION,
             "steps": [self._steps[s].to_doc() for s in sorted(self._steps)],
         }
-        tmp = self.directory / (CATALOG_NAME + ".tmp")
-        tmp.write_text(json.dumps(doc, indent=1))
-        tmp.replace(self.directory / CATALOG_NAME)
+        atomic_write_bytes(
+            self.directory / CATALOG_NAME, json.dumps(doc, indent=1).encode()
+        )
 
 
 def _load_catalog(path: Path) -> list[StepRecord]:

@@ -28,8 +28,10 @@ import numpy as np
 
 from functools import partial
 
+from ..atomic import publish_bytes
 from ..machines import MachineSpec
 from ..bat.builder import BATBuildConfig
+from ..iosim.faults import FaultConfig, FaultInjector, FaultReport
 from ..parallel import get_executor
 from ..simmpi import Message, VirtualCluster
 from ..types import ParticleBatch
@@ -69,25 +71,40 @@ class _LeafSummary:
     root_bitmaps: dict
     attr_binnings: dict
     nbytes: int
+    #: publish attempts this leaf file needed (1 = first try verified clean)
+    attempts: int = 1
 
 
-def _build_leaf(layout_name: str, cfg, item) -> _LeafSummary:
-    """Build (and optionally write) one aggregation leaf.
+def _build_leaf(layout_name: str, cfg, publish_cfg, item) -> _LeafSummary:
+    """Build (and optionally publish) one aggregation leaf.
 
     Module-level and driven only by picklable arguments so every executor
-    kind can run it. ``item`` is ``(batch, out_path | None)``.
+    kind can run it. ``item`` is ``(batch, out_path | None, fault_plan)``;
+    the file lands through the verified atomic-publish protocol, with
+    ``fault_plan`` (precomputed on rank 0, see
+    :meth:`~repro.iosim.faults.FaultInjector.plan_leaf_write`) damaging
+    specific attempts.
     """
     from ..layouts import get_layout
 
-    batch, out_path = item
+    batch, out_path, fault_plan = item
+    max_attempts, backoff_s = publish_cfg
     built = get_layout(layout_name).build(batch, cfg)
+    attempts = 1
     if out_path is not None:
-        built.write(out_path)
+        attempts = publish_bytes(
+            out_path,
+            built.data,
+            fault_plan=fault_plan,
+            max_attempts=max_attempts,
+            backoff_s=backoff_s,
+        )
     return _LeafSummary(
         attr_ranges=built.attr_ranges,
         root_bitmaps=built.root_bitmaps,
         attr_binnings=built.attr_binnings,
         nbytes=built.nbytes,
+        attempts=attempts,
     )
 
 
@@ -104,6 +121,8 @@ class WriteReport:
     metadata: DatasetMetadata | None = None
     metadata_path: str | None = None
     plan: object = None
+    #: what was injected and recovered from, when fault injection is on
+    faults: FaultReport | None = None
 
     @property
     def bandwidth(self) -> float:
@@ -129,12 +148,16 @@ class TwoPhaseWriter:
         layout: str = "bat",
         network_model: str = "phase",
         executor=None,
+        faults: FaultConfig | None = None,
     ):
         from ..layouts import get_layout
 
         self.machine = machine
         self.strategy = strategy
         self.network_model = network_model
+        #: fault-injection config; None (or all-zero probabilities) leaves
+        #: the pipeline byte- and timing-identical to a fault-free run
+        self.faults = faults
         #: execution layer for per-aggregator builds and file writes; a
         #: spec string ("serial", "thread:8", "process:4"), an Executor
         #: instance to share a pool across writes, or None for the
@@ -201,6 +224,10 @@ class TwoPhaseWriter:
         cluster = VirtualCluster(nranks, self.machine, network_model=self.network_model)
         net = self.machine.network
 
+        faults = self.faults if (self.faults is not None and self.faults.any_enabled) else None
+        injector = FaultInjector(faults) if faults is not None else None
+        fault_report = FaultReport() if injector is not None else None
+
         # 1. gather rank info
         cluster.gather_to_root(PHASE_NAMES[0], self.machine.rank_meta_bytes)
 
@@ -229,7 +256,43 @@ class TwoPhaseWriter:
                 c = int(data.counts[r])
                 if c > 0:
                     messages.append(Message(int(r), leaf.aggregator, c * bpp))
-        cluster.p2p(PHASE_NAMES[3], messages)
+        if injector is not None:
+            # Dropped messages cost their lost transmission plus a
+            # retransmit phase; duplicates cost the wire twice. The
+            # functional data path below concatenates member batches
+            # directly, so only timing is perturbed.
+            timing, retransmits, dropped, duplicated = injector.perturb_messages(messages)
+            fault_report.dropped_messages = dropped
+            fault_report.duplicated_messages = duplicated
+            cluster.p2p(PHASE_NAMES[3], timing)
+            if retransmits:
+                cluster.p2p("retransmit dropped messages", retransmits)
+        else:
+            cluster.p2p(PHASE_NAMES[3], messages)
+
+        # Aggregator death: ranks that die after receiving particles but
+        # before building their files. Affected leaves are reassigned
+        # deterministically to surviving ranks and the members re-send.
+        if injector is not None and faults.aggregator_death > 0.0:
+            dead = injector.sample_dead_aggregators(aggregators)
+            if dead:
+                dead_set = set(dead)
+                alive = [r for r in range(nranks) if r not in dead_set]
+                retransfer = []
+                n_reassigned = 0
+                for i, leaf in enumerate(leaves):
+                    if leaf.aggregator in dead_set:
+                        leaf.aggregator = alive[i % len(alive)]
+                        n_reassigned += 1
+                        for r in leaf.rank_ids:
+                            c = int(data.counts[r])
+                            if c > 0:
+                                retransfer.append(Message(int(r), leaf.aggregator, c * bpp))
+                aggregators = np.array([l.aggregator for l in leaves], dtype=np.int64)
+                if retransfer:
+                    cluster.p2p("recover dead aggregators", retransfer)
+                fault_report.dead_aggregators = dead
+                fault_report.reassigned_leaves = n_reassigned
 
         # Functional aggregation: concatenate member batches per leaf.
         built = None
@@ -254,18 +317,38 @@ class TwoPhaseWriter:
         leaf_binnings: list[dict] | None = None
         write_sizes = np.zeros(nranks)
         file_sizes = np.zeros(n_leaves)
+        # Per-leaf fault plans are precomputed here (rank 0) as picklable
+        # tuples so any executor replays them identically; retry_sizes
+        # accumulates the extra bytes each aggregator re-publishes.
+        plans = (
+            [injector.plan_leaf_write(i) for i in range(n_leaves)]
+            if injector is not None
+            else None
+        )
+        retry_sizes = np.zeros(nranks)
         if leaf_batches is not None:
             cfg = self.bat_config if self.layout.name == "bat" else None
+            publish_cfg = (
+                (faults.max_write_attempts, faults.retry_backoff_s)
+                if faults is not None
+                else (1, 0.0)
+            )
             # One task per aggregation leaf: every BuiltBAT is independent,
             # so builds and file writes fan out across the executor; the
             # rank-0 metadata assembly below is the only barrier. Results
             # come back in leaf order, so parallel runs are bit-identical
             # to serial ones.
             tasks = [
-                (b, str(out_dir / file_names[i]) if materialize else None)
+                (
+                    b,
+                    str(out_dir / file_names[i]) if materialize else None,
+                    plans[i] if plans is not None else (),
+                )
                 for i, b in enumerate(leaf_batches)
             ]
-            built = self.executor.map(partial(_build_leaf, self.layout.name, cfg), tasks)
+            built = self.executor.map(
+                partial(_build_leaf, self.layout.name, cfg, publish_cfg), tasks
+            )
             leaf_binnings = []
             for i, (leaf, bb) in enumerate(zip(leaves, built)):
                 leaf_ranges.append(bb.attr_ranges)
@@ -273,6 +356,10 @@ class TwoPhaseWriter:
                 leaf_binnings.append(bb.attr_binnings)
                 write_sizes[leaf.aggregator] += bb.nbytes
                 file_sizes[i] = bb.nbytes
+                if fault_report is not None:
+                    self._tally_attempts(
+                        fault_report, plans[i], bb.attempts, leaf, bb.nbytes, retry_sizes
+                    )
         else:
             for i, leaf in enumerate(leaves):
                 leaf_ranges.append({})
@@ -280,6 +367,12 @@ class TwoPhaseWriter:
                 size = leaf.nbytes * ESTIMATED_BAT_OVERHEAD
                 write_sizes[leaf.aggregator] += size
                 file_sizes[i] = size
+                if fault_report is not None:
+                    # counts-only run: every damaged attempt in the plan
+                    # would have been consumed before the clean publish
+                    self._tally_attempts(
+                        fault_report, plans[i], len(plans[i]) + 1, leaf, size, retry_sizes
+                    )
 
         # 6. write aggregator files
         writers = write_sizes > 0
@@ -288,6 +381,8 @@ class TwoPhaseWriter:
         )
         avg_creates = float(creates[writers].mean()) if writers.any() else 1.0
         cluster.write_independent(PHASE_NAMES[5], write_sizes, creates=avg_creates)
+        if fault_report is not None and retry_sizes.any():
+            cluster.retry_writes("retry failed writes", retry_sizes)
 
         # 7. metadata: aggregators send ranges+bitmaps to rank 0, which
         # writes the manifest.
@@ -325,4 +420,21 @@ class TwoPhaseWriter:
             metadata=metadata,
             metadata_path=metadata_path,
             plan=plan,
+            faults=fault_report,
         )
+
+    @staticmethod
+    def _tally_attempts(
+        report: FaultReport, plan: tuple, attempts: int, leaf, nbytes: float,
+        retry_sizes: np.ndarray,
+    ) -> None:
+        """Fold one leaf's publish attempts into the fault report."""
+        report.write_attempts += attempts
+        if attempts > 1:
+            report.retried_writes += 1
+            retry_sizes[leaf.aggregator] += (attempts - 1) * nbytes
+        for kind, _frac in plan[: attempts - 1]:
+            if kind == "torn":
+                report.injected_torn += 1
+            elif kind == "bitflip":
+                report.injected_bit_flips += 1

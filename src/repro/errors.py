@@ -1,0 +1,51 @@
+"""Shared exception types for integrity and durability failures.
+
+These live at the package root because they cross layers: the format layer
+raises them, the dataset layer catches them to quarantine leaves, and the
+serve layer counts them in its metrics snapshot.
+"""
+
+from __future__ import annotations
+
+__all__ = ["IntegrityError", "LeafUnavailableError", "PublishError"]
+
+
+class IntegrityError(ValueError):
+    """A BAT file (or one of its sections) failed a structural or checksum test.
+
+    Subclasses :class:`ValueError` so callers written against the
+    pre-checksum format (``except ValueError``, ``pytest.raises(ValueError)``)
+    keep working unchanged.
+
+    ``section`` names what failed (``"header"``, ``"dictionary"``,
+    ``"treelet 3"``, ...) and ``path`` the offending file, when known.
+    """
+
+    def __init__(self, message: str, *, section: str | None = None, path: str | None = None):
+        super().__init__(message)
+        self.section = section
+        self.path = path
+
+
+class LeafUnavailableError(RuntimeError):
+    """A leaf file a query plan needs cannot be used (missing or corrupt).
+
+    Raised at the dataset boundary instead of letting a bare
+    ``FileNotFoundError`` or :class:`IntegrityError` escape from deep inside
+    the reader, so the message names the leaf file, its index, and — when
+    queried through a time series — the timestep.
+    """
+
+    def __init__(self, message: str, *, leaf_index: int | None = None,
+                 path: str | None = None):
+        super().__init__(message)
+        self.leaf_index = leaf_index
+        self.path = path
+
+
+class PublishError(OSError):
+    """Atomic publication of a file failed after every retry attempt.
+
+    The target path is left untouched: either the previous version is still
+    in place or the file never existed. No partially written file is visible.
+    """

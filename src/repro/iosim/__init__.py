@@ -15,6 +15,13 @@ the three first-order mechanisms their evaluation exercises:
 Machine presets live in :mod:`repro.machines`.
 """
 
+from .faults import FaultConfig, FaultInjector, FaultReport
 from .filesystem import FileSystemSpec, ParallelFileSystem
 
-__all__ = ["FileSystemSpec", "ParallelFileSystem"]
+__all__ = [
+    "FileSystemSpec",
+    "ParallelFileSystem",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultReport",
+]

@@ -96,6 +96,18 @@ class ParallelFileSystem:
         out[active] = spec.op_latency + meta_time + sizes[active] / per_writer_bw
         return out
 
+    def retry_write(self, extra_sizes: np.ndarray, attempts_per_writer: int = 1) -> np.ndarray:
+        """Durations for re-publishing files whose first attempt was damaged.
+
+        ``extra_sizes`` is the *additional* bytes each writer pushes across
+        all of its retry attempts. Every retry repeats the full publish
+        protocol — tmp-file create, data, read-back verify, rename — so a
+        retry costs another metadata op plus the payload at the same
+        per-writer bandwidth as the original write; ranks with no retries
+        take no time.
+        """
+        return self._independent(extra_sizes, max(int(attempts_per_writer), 1), write=True)
+
     # -- single shared file (MPI-IO / HDF5 style) -------------------------
 
     def shared_write(self, total_bytes: float, n_writers: int, meta_factor: float = 1.0) -> float:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..atomic import atomic_write_bytes
 from ..binning import EquiWidthBinning
 from ..bitmaps import bitmap_of_values
 from ..morton import MAX_BITS, encode_positions
@@ -54,8 +55,8 @@ class BuiltFlat:
         return self.nbytes - self.raw_bytes
 
     def write(self, path) -> None:
-        with open(path, "wb") as f:
-            f.write(self.data)
+        """Publish the image atomically (tmp file, fsync, rename)."""
+        atomic_write_bytes(path, self.data)
 
 
 def build_flat(batch: ParticleBatch, config=None) -> BuiltFlat:

@@ -49,6 +49,10 @@ class RequestSpan:
     degraded: bool = False
     cache_hit: bool = False
     rejected: bool = False
+    #: the result is missing data from quarantined (corrupt/missing) leaves
+    partial: bool = False
+    #: leaf files this request's query could not see
+    quarantined_files: int = 0
     wait_seconds: float = 0.0
     plan_seconds: float = 0.0
     traverse_seconds: float = 0.0
@@ -69,6 +73,8 @@ class RequestSpan:
             "degraded": self.degraded,
             "cache_hit": self.cache_hit,
             "rejected": self.rejected,
+            "partial": self.partial,
+            "quarantined_files": self.quarantined_files,
             "wait_seconds": self.wait_seconds,
             "plan_seconds": self.plan_seconds,
             "traverse_seconds": self.traverse_seconds,
@@ -106,6 +112,10 @@ class ServeMetrics:
         self.rejected = 0
         self.degraded = 0
         self.cache_hits = 0
+        #: responses that lacked data from quarantined leaf files
+        self.partial_responses = 0
+        #: sum of quarantined-file counts across all requests
+        self.quarantined_files = 0
         self.empty_increments = 0
         self.points_served = 0
         self.bytes_served = 0
@@ -126,6 +136,9 @@ class ServeMetrics:
                 self.degraded += 1
             if span.cache_hit:
                 self.cache_hits += 1
+            if span.partial:
+                self.partial_responses += 1
+                self.quarantined_files += span.quarantined_files
             if span.points == 0:
                 self.empty_increments += 1
             self.points_served += span.points
@@ -150,6 +163,8 @@ class ServeMetrics:
                     "rejected": self.rejected,
                     "degraded": self.degraded,
                     "cache_hits": self.cache_hits,
+                    "partial": self.partial_responses,
+                    "quarantined_files": self.quarantined_files,
                     "empty_increments": self.empty_increments,
                     "points_served": self.points_served,
                     "bytes_served": self.bytes_served,

@@ -105,9 +105,14 @@ class ServeResponse:
     requested_quality: float
     served_quality: float
     prev_quality: float
+    #: quality was lowered by the load-shedding policy (not a data loss)
     degraded: bool
     cache_hit: bool
     span: RequestSpan
+    #: data from quarantined (corrupt/missing) leaf files is absent
+    partial: bool = False
+    #: how many leaf files this response could not see
+    quarantined_files: int = 0
 
     def __len__(self) -> int:
         return len(self.batch)
@@ -324,16 +329,25 @@ class QueryService:
                     plan = ds.plan(box, filters)
                     span.plan_seconds = self._clock() - t0
                     t0 = self._clock()
-                    batch, _ = ds.query(
+                    # corrupt/missing leaves degrade the response instead
+                    # of failing the request: the dataset quarantines them
+                    # and returns what the surviving files hold
+                    batch, qstats = ds.query(
                         quality=effective,
                         prev_quality=prev,
                         box=box,
                         filters=filters,
                         plan=plan,
+                        on_error="degrade",
                     )
                     span.traverse_seconds = self._clock() - t0
+                    span.quarantined_files = qstats.quarantined_files
+                    span.partial = qstats.quarantined_files > 0
                     t0 = self._clock()
-                    self.results.put(key, batch)
+                    if not span.partial:
+                        # partial results must not be served to later
+                        # requests from the cache as if they were complete
+                        self.results.put(key, batch)
                     span.gather_seconds = self._clock() - t0
                 served = effective
                 sess.delivered_quality = effective
@@ -353,6 +367,8 @@ class QueryService:
             degraded=span.degraded,
             cache_hit=cache_hit,
             span=span,
+            partial=span.partial,
+            quarantined_files=span.quarantined_files,
         )
 
     # -- metrics ----------------------------------------------------------------
@@ -365,13 +381,25 @@ class QueryService:
                 "misses": sum(ds.plan_cache.misses for ds in self._datasets.values()),
                 "entries": sum(len(ds.plan_cache) for ds in self._datasets.values()),
             }
+            quarantined = {
+                step: ds.quarantined() for step, ds in self._datasets.items()
+            }
+        file_stats = self._file_cache.stats()
         doc = self.metrics.snapshot()
         doc["scheduler"] = self.scheduler.stats()
         doc["degradation"] = self.degradation.stats()
         doc["caches"] = {
             "results": self.results.stats(),
             "plans": plans,
-            "files": self._file_cache.stats(),
+            "files": file_stats,
+        }
+        doc["integrity"] = {
+            "quarantined_leaves": sum(len(q) for q in quarantined.values()),
+            "quarantined_by_step": {
+                str(step): sorted(q) for step, q in quarantined.items() if q
+            },
+            "partial_responses": self.metrics.partial_responses,
+            "file_open_errors": file_stats["open_errors"],
         }
         doc["sessions"] = self.n_sessions
         doc["steps"] = len(self._step_manifests)

@@ -103,6 +103,13 @@ class VirtualCluster:
         dur = self._fs.independent_read(np.asarray(sizes_per_rank, dtype=np.float64), opens)
         self.timeline.add_per_rank(name, dur)
 
+    def retry_writes(self, name: str, extra_sizes_per_rank: np.ndarray, attempts: int = 1) -> None:
+        """Charge re-publish attempts for damaged writes (fault injection)."""
+        dur = self._fs.retry_write(
+            np.asarray(extra_sizes_per_rank, dtype=np.float64), attempts
+        )
+        self.timeline.add_per_rank(name, dur)
+
     def write_shared(self, name: str, total_bytes: float, meta_factor: float = 1.0) -> None:
         self.timeline.synchronize()
         t = self._fs.shared_write(total_bytes, self.nranks, meta_factor)

@@ -56,6 +56,25 @@ class TestValidFiles:
         assert "OK" in s and "checks" in s
 
 
+@pytest.fixture(scope="module")
+def legacy_file(tmp_path_factory):
+    """A legacy (version-2, no checksums) image for the structural checks.
+
+    On a checksummed file the CRCs catch these corruptions before the
+    structural invariants are even consulted; the legacy image keeps the
+    fsck-style checks themselves under test.
+    """
+    rng = np.random.default_rng(88)
+    batch = ParticleBatch(
+        rng.random((30_000, 3)).astype(np.float32),
+        {"a": rng.random(30_000), "b": rng.normal(0, 1, 30_000)},
+    )
+    built = build_bat(batch, BATBuildConfig(checksums=False))
+    p = tmp_path_factory.mktemp("val_legacy") / "legacy.bat"
+    built.write(p)
+    return p, built
+
+
 def corrupt(data: bytes, offset: int, new: bytes) -> bytes:
     out = bytearray(data)
     out[offset : offset + len(new)] = new
@@ -77,8 +96,8 @@ class TestCorruptionDetection:
         bad.write_bytes(built.data[: len(built.data) // 2])
         assert not validate_file(bad).ok
 
-    def test_corrupt_point_count(self, good_file, tmp_path):
-        p, built = good_file
+    def test_corrupt_point_count(self, legacy_file, tmp_path):
+        p, built = legacy_file
         # n_points lives at offset 8 in the header
         bad = tmp_path / "count.bat"
         bad.write_bytes(corrupt(built.data, 8, struct.pack("<Q", 999)))
@@ -86,8 +105,18 @@ class TestCorruptionDetection:
         assert not report.ok
         assert any("point counts" in e or "zero particles" in e for e in report.errors)
 
-    def test_corrupt_treelet_child_pointer(self, good_file, tmp_path):
+    def test_corrupt_header_checksummed(self, good_file, tmp_path):
         p, built = good_file
+        # on a checksummed file the same header damage trips the header CRC
+        bad = tmp_path / "count_v3.bat"
+        bad.write_bytes(corrupt(built.data, 8, struct.pack("<Q", 999)))
+        report = validate_file(bad)
+        assert not report.ok
+        assert "cannot open" in report.errors[0]
+        assert "checksum" in report.errors[0]
+
+    def test_corrupt_treelet_child_pointer(self, legacy_file, tmp_path):
+        p, built = legacy_file
         from repro.bat.file import BATFile
 
         with BATFile(p) as f:
@@ -110,8 +139,8 @@ class TestCorruptionDetection:
         assert not report.ok
         assert any("children" in e for e in report.errors)
 
-    def test_corrupt_positions_detected(self, good_file, tmp_path):
-        p, built = good_file
+    def test_corrupt_positions_detected(self, legacy_file, tmp_path):
+        p, built = legacy_file
         from repro.bat.file import BATFile
 
         with BATFile(p) as f:
