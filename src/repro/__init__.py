@@ -11,17 +11,21 @@ paper-vs-measured results.
 
 Typical use::
 
-    from repro import (
-        TwoPhaseWriter, TwoPhaseReader, BATDataset, RankData, machines,
-    )
+    import repro
+    from repro import TwoPhaseWriter, machines
 
     writer = TwoPhaseWriter(machines.stampede2(), target_size=8 << 20)
     report = writer.write(rank_data, out_dir="out", name="ts0042")
-    ds = BATDataset("out/ts0042.meta.json")
-    coarse, _ = ds.query(quality=0.1)
+    with repro.open_dataset("out/ts0042.meta.json") as ds:
+        result = ds.query(repro.QueryRequest(quality=0.1))
+        coarse, stats = result.batch, result.stats
+
+All errors raised by the library derive from
+:class:`repro.errors.ReproError`; see :mod:`repro.errors`.
 """
 
-from . import machines
+from . import errors, machines
+from .api import QueryRequest, QueryResult, open_dataset
 from .bat import AttributeFilter, BATBuildConfig, BATFile, build_bat
 from .bat.validate import validate_dataset, validate_file
 from .binning import EquiDepthBinning, EquiWidthBinning
@@ -46,6 +50,10 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "machines",
+    "errors",
+    "open_dataset",
+    "QueryRequest",
+    "QueryResult",
     "Box",
     "AttributeSpec",
     "ParticleBatch",

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .api import QueryRequest
 from .bat.file import BATFile
 from .bat.query import query_file
 from .types import Box
@@ -28,7 +29,8 @@ def _run_query(source, callback, box, filters, quality):
     if isinstance(source, BATFile):
         query_file(source, quality=quality, box=box, filters=filters, callback=callback)
     else:
-        source.query(quality=quality, box=box, filters=filters, callback=callback)
+        req = QueryRequest(quality=quality, box=box, filters=tuple(filters))
+        source.query(req, callback=callback)
 
 
 def _attr_range(source, attr: str) -> tuple[float, float]:

@@ -1,0 +1,142 @@
+"""The unified query API: ``open_dataset`` + ``QueryRequest``/``QueryResult``.
+
+Every read path — :meth:`~repro.core.dataset.BATDataset.query`, the serve
+layer's request parsing, the ``repro query`` CLI — speaks one request
+shape. A :class:`QueryRequest` captures *what* to read (box, filters,
+quality window, columns, traversal engine, error policy) independently of
+*where* it runs, so the same request object can be replayed against a
+dataset, a time series, or the concurrent service and must produce
+byte-identical data.
+
+Typical use::
+
+    import repro
+
+    ds = repro.open_dataset("out/ts0000.meta.json")
+    result = ds.query(repro.QueryRequest(quality=0.3, columns=("temp",)))
+    print(len(result.batch), result.stats.files_opened)
+
+The pre-1.x keyword signatures (``ds.query(quality=0.3, box=...)``) keep
+working as thin shims that emit one :class:`DeprecationWarning` per call
+form and return the old ``(batch, stats)`` tuple; :class:`QueryResult`
+iterates as ``(batch, stats)`` too, so two-value unpacking works against
+either form.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from dataclasses import dataclass, field
+
+from .errors import InvalidRequestError
+from .types import Box, ParticleBatch
+
+__all__ = ["QueryRequest", "QueryResult", "open_dataset"]
+
+#: legal ``on_error`` policies for corrupt/missing leaf files
+ON_ERROR_POLICIES = ("raise", "degrade")
+
+# one DeprecationWarning per distinct legacy call form, process-wide —
+# a loop over the old signature must not flood the user's terminal
+_warned_forms: set[str] = set()
+_warn_lock = threading.Lock()
+
+
+def warn_deprecated(form: str, replacement: str, *, stacklevel: int = 3) -> None:
+    """Emit one :class:`DeprecationWarning` per distinct ``form``."""
+    with _warn_lock:
+        if form in _warned_forms:
+            return
+        _warned_forms.add(form)
+    warnings.warn(
+        f"{form} is deprecated; {replacement}",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def _reset_deprecation_warnings() -> None:
+    """Forget which legacy forms already warned (test isolation hook)."""
+    with _warn_lock:
+        _warned_forms.clear()
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One immutable description of a (progressive) read.
+
+    ``quality``/``prev_quality`` bound the progressive increment: the
+    request loads the data between the two quality levels, so
+    ``QueryRequest(quality=0.7, prev_quality=0.3)`` is the refinement a
+    viewer issues after already holding the 0.3 view. ``columns`` names
+    the attribute columns to materialize (``None`` means all); on a v4
+    file, unrequested columns are never even decoded. ``on_error``
+    chooses what a corrupt or missing leaf file does: ``"raise"`` (the
+    default) or ``"degrade"`` to quarantine it and return the partial
+    result from the surviving files.
+
+    Requests are hashable and comparable, so they key caches directly.
+    """
+
+    box: Box | None = None
+    filters: tuple = ()
+    quality: float = 1.0
+    prev_quality: float = 0.0
+    columns: tuple[str, ...] | None = None
+    engine: str = "frontier"
+    on_error: str = "raise"
+
+    def __post_init__(self):
+        object.__setattr__(self, "filters", tuple(self.filters))
+        if self.columns is not None:
+            object.__setattr__(self, "columns", tuple(self.columns))
+        # quality 0.0 is a valid (empty) read — progressive loops start there
+        if not 0.0 <= self.quality <= 1.0:
+            raise InvalidRequestError(
+                f"quality must be in [0, 1], got {self.quality}"
+            )
+        if not 0.0 <= self.prev_quality <= self.quality:
+            raise InvalidRequestError(
+                f"prev_quality must be in [0, quality], got "
+                f"{self.prev_quality} with quality {self.quality}"
+            )
+        if self.on_error not in ON_ERROR_POLICIES:
+            raise InvalidRequestError("on_error must be 'raise' or 'degrade'")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """What one request returned: the batch plus traversal statistics.
+
+    Iterates as ``(batch, stats)`` so existing two-value unpacking keeps
+    working; ``batch`` is ``None`` for callback (streaming) queries,
+    where the data was delivered chunk-by-chunk instead.
+    """
+
+    batch: ParticleBatch | None
+    stats: object = field(repr=False, default=None)
+
+    def __iter__(self):
+        yield self.batch
+        yield self.stats
+
+    def __len__(self) -> int:
+        return len(self.batch) if self.batch is not None else 0
+
+
+def open_dataset(path, *, executor=None, file_cache=None, plan_cache=None):
+    """Open one written timestep for querying.
+
+    The front door of the read API: returns a
+    :class:`~repro.core.dataset.BATDataset` (usable as a context manager)
+    whose :meth:`~repro.core.dataset.BATDataset.query` accepts a
+    :class:`QueryRequest`. ``executor``, ``file_cache``, and
+    ``plan_cache`` tune resource sharing exactly as the
+    :class:`~repro.core.dataset.BATDataset` constructor does.
+    """
+    from .core.dataset import BATDataset
+
+    return BATDataset(
+        path, executor=executor, file_cache=file_cache, plan_cache=plan_cache
+    )

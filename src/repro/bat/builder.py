@@ -21,7 +21,10 @@ from ..bitmaps import BitmapDictionary
 from ..morton import MAX_BITS, encode_positions
 from ..types import Box, ParticleBatch
 from .build import DEFAULT_SUBPREFIX_BITS, build_radix_tree, shallow_tree_leaves
+from .codecs import encode_column, select_codecs
 from .format import (
+    CODEC_VERSION,
+    FLAG_COLUMN_CODECS,
     FLAG_COMPRESSED_TREELETS,
     FLAG_QUANTIZED_POSITIONS,
     HEADER_SIZE,
@@ -31,6 +34,7 @@ from .format import (
     VERSION,
     Header,
     attr_table_dtype,
+    column_dir_dtype,
     footer_size,
     pack_binning_section,
     pack_footer,
@@ -81,6 +85,17 @@ class BATBuildConfig:
     #: version-2 image, byte-identical to pre-checksum builds — used by the
     #: backward-compatibility tests.
     checksums: bool = True
+    #: per-column codec spec (format v4). ``None`` (the default) keeps the
+    #: version-3 raw-column layout byte-identical to previous builds.
+    #: ``"auto"`` samples each column at write time and picks the best
+    #: lossless codec above ``codec_floor_mbs``; a mapping assigns codecs per
+    #: column name (``"positions"``, ``"nodes"``, attribute names; ``"*"`` as
+    #: default, value ``"auto"`` to defer to sampling). Lossy ``quantize{b}``
+    #: codecs are only ever used when named explicitly here.
+    codecs: object = None
+    #: nominal-throughput floor (MB/s) for auto codec selection; static per
+    #: codec, so the choice is deterministic across machines and executors
+    codec_floor_mbs: float = 50.0
 
     def __post_init__(self) -> None:
         if self.attribute_binning not in ("equiwidth", "equidepth"):
@@ -96,6 +111,13 @@ class BATBuildConfig:
             raise ValueError("lod_per_node and max_leaf_points must be >= 1")
         if not 1 <= self.morton_bits <= MAX_BITS:
             raise ValueError(f"morton_bits must be in [1, {MAX_BITS}]")
+        if self.codecs is not None:
+            if not self.checksums:
+                raise ValueError("codecs require checksums=True (v4 is a checksummed format)")
+            if self.compress:
+                raise ValueError("compress and codecs are mutually exclusive")
+            if isinstance(self.codecs, str) and self.codecs != "auto":
+                raise ValueError("codecs must be None, 'auto', or a column->codec mapping")
 
     def resolve_subprefix_bits(self, n_points: int) -> int:
         """Subprefix width to use for an input of ``n_points`` particles."""
@@ -133,6 +155,12 @@ class BuiltBAT:
     attr_binnings: dict = field(default_factory=dict)
     #: FLAG_* bits recorded in the header
     flags: int = 0
+    #: column name -> codec id chosen by the build (empty for v2/v3 files)
+    codec_table: dict = field(default_factory=dict)
+    #: treelet payload bytes before / after per-column encoding (equal when
+    #: no codecs are configured)
+    payload_raw_bytes: int = 0
+    payload_encoded_bytes: int = 0
 
     @property
     def nbytes(self) -> int:
@@ -361,11 +389,14 @@ def build_bat(batch: ParticleBatch, config: BATBuildConfig | None = None) -> Bui
         )
     treelets_offset = pad_to(binning_offset + len(binning_bytes), PAGE_SIZE)
 
+    use_codecs = config.codecs is not None
     flags = 0
     if config.quantize_positions:
         flags |= FLAG_QUANTIZED_POSITIONS
     if config.compress:
         flags |= FLAG_COMPRESSED_TREELETS
+    if use_codecs:
+        flags |= FLAG_COLUMN_CODECS
 
     # All node records in one structured array (treelet-major, so each
     # blob is a contiguous slice), and all quantization math in one
@@ -392,33 +423,70 @@ def build_bat(batch: ParticleBatch, config: BATBuildConfig | None = None) -> Bui
         q = np.round((positions_no.astype(np.float64) - lo_pp) * scale_pp)
         quantized_all = np.clip(q, 0, 65535).astype("<u2")
 
+    # Codec selection is per file and samples the *whole-file* columns, so
+    # every treelet of a leaf uses the same codec per column and the choice
+    # is a pure function of the input batch (executor-independent bytes).
+    codec_map: dict[str, str] = {}
+    if use_codecs:
+        pos_source = quantized_all if quantized_all is not None else positions_no
+        file_columns = {"nodes": all_nodes, "positions": pos_source}
+        for name in attr_names:
+            file_columns[name] = attrs_no[name]
+        codec_map = select_codecs(file_columns, config.codecs, config.codec_floor_mbs)
+
     # Treelet blobs with page alignment.
+    col_dir_dt = column_dir_dtype()
     blobs: list[bytes] = []
     offsets: list[int] = []
     cursor = treelets_offset
     max_depth = 0
+    payload_raw_total = 0
+    payload_enc_total = 0
     for k, t in enumerate(treelets):
         nodes = all_nodes[node_starts[k] : node_starts[k + 1]]
         max_depth = max(max_depth, t.max_depth)
         seg = slice(int(pt_starts[k]), int(pt_starts[k + 1]))
 
         if quantized_all is not None:
-            pos_bytes = quantized_all[seg].tobytes()
+            pos_arr = quantized_all[seg]
         else:
-            pos_bytes = np.ascontiguousarray(positions_no[seg]).tobytes()
-
-        payload_parts = [nodes.tobytes(), pos_bytes]
-        for name in attr_names:
-            payload_parts.append(np.ascontiguousarray(attrs_no[name][seg]).tobytes())
-        payload = b"".join(payload_parts)
+            pos_arr = positions_no[seg]
 
         th = np.zeros(1, dtype=thead_dt)
         th[0]["n_nodes"] = t.n_nodes
         th[0]["n_points"] = t.n_points
         th[0]["max_depth"] = t.max_depth
-        if config.compress:
-            th[0]["raw_nbytes"] = len(payload)
-            payload = zlib.compress(payload, level=6)
+
+        if use_codecs:
+            columns = [("nodes", nodes), ("positions", pos_arr)]
+            columns += [(name, attrs_no[name][seg]) for name in attr_names]
+            col_dir = np.zeros(len(columns), dtype=col_dir_dt)
+            payload_parts = []
+            raw_nbytes = 0
+            for i, (cname, arr) in enumerate(columns):
+                arr = np.ascontiguousarray(arr)
+                enc, p0, p1 = encode_column(codec_map[cname], arr)
+                col_dir[i]["codec"] = codec_map[cname].encode()
+                col_dir[i]["enc_nbytes"] = len(enc)
+                col_dir[i]["raw_nbytes"] = arr.nbytes
+                col_dir[i]["p0"] = p0
+                col_dir[i]["p1"] = p1
+                raw_nbytes += arr.nbytes
+                payload_parts.append(enc)
+            th[0]["raw_nbytes"] = raw_nbytes
+            payload = col_dir.tobytes() + b"".join(payload_parts)
+            payload_raw_total += raw_nbytes
+            payload_enc_total += sum(len(p) for p in payload_parts)
+        else:
+            payload_parts = [nodes.tobytes(), np.ascontiguousarray(pos_arr).tobytes()]
+            for name in attr_names:
+                payload_parts.append(np.ascontiguousarray(attrs_no[name][seg]).tobytes())
+            payload = b"".join(payload_parts)
+            payload_raw_total += len(payload)
+            if config.compress:
+                th[0]["raw_nbytes"] = len(payload)
+                payload = zlib.compress(payload, level=6)
+            payload_enc_total += len(payload)
         blob = th.tobytes() + payload
 
         aligned = pad_to(cursor, PAGE_SIZE)
@@ -451,7 +519,7 @@ def build_bat(batch: ParticleBatch, config: BATBuildConfig | None = None) -> Bui
         flags=flags,
         binning_offset=binning_offset if n_attrs else 0,
         footer_offset=footer_offset if config.checksums else 0,
-        version=VERSION if config.checksums else LEGACY_VERSION,
+        version=CODEC_VERSION if use_codecs else (VERSION if config.checksums else LEGACY_VERSION),
     )
 
     out = bytearray(file_size)
@@ -495,4 +563,7 @@ def build_bat(batch: ParticleBatch, config: BATBuildConfig | None = None) -> Bui
         n_treelets=n_leaves,
         attr_binnings=attr_binnings,
         flags=flags,
+        codec_table=dict(codec_map),
+        payload_raw_bytes=payload_raw_total,
+        payload_encoded_bytes=payload_enc_total,
     )

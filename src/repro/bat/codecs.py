@@ -1,0 +1,366 @@
+"""Pluggable per-column codecs for BAT treelet payloads (format v4).
+
+Each treelet column (the node records, the position block, and every
+attribute column) can be encoded independently through a codec picked at
+write time. The registry ships four families:
+
+``raw``
+    Identity. Always available; the fallback when nothing else wins.
+``zlib``
+    DEFLATE over the column's bytes. Dtype-agnostic, lossless.
+``delta``
+    Delta + bit-packing for integer columns. Values are differenced in
+    wrapping 64-bit arithmetic, zigzag-mapped, and packed at the minimum
+    bit width that holds the largest delta. Morton-ordered data (sorted
+    ids, quantized positions) has tiny deltas, so this routinely beats
+    DEFLATE on those columns at several times the throughput.
+``quantize{bits}``
+    Error-bounded lossy quantization of float columns onto a uniform
+    ``2**bits``-step grid over the column's range. The scale (and with it
+    the worst-case absolute error, ``scale / 2``) is recorded in the
+    column directory, so readers can surface the bound. Never chosen
+    automatically — only when a build config names it explicitly.
+
+Codec *choice* must be deterministic: the same input bytes have to
+produce the same file no matter which executor built which leaf (the
+byte-identity invariant the whole write path is property-tested on).
+The write-time sampler therefore never measures wall-clock — each codec
+declares a nominal throughput, and :func:`select_codecs` filters on that
+static figure before comparing sampled ratios.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CodecError
+
+__all__ = [
+    "Codec",
+    "CODEC_RAW",
+    "CODEC_ZLIB",
+    "CODEC_DELTA",
+    "available_codecs",
+    "get_codec",
+    "register_codec",
+    "select_codecs",
+    "encode_column",
+    "decode_column",
+]
+
+CODEC_RAW = "raw"
+CODEC_ZLIB = "zlib"
+CODEC_DELTA = "delta"
+
+#: elements sampled per column when auto-selecting (deterministic stride, no RNG)
+SAMPLE_ELEMENTS = 65536
+#: an encoder must beat raw by this factor on the sample to displace it
+RAW_MARGIN = 0.9
+
+
+class Codec:
+    """One column codec: a name, a loss class, and encode/decode.
+
+    ``throughput_mbs`` is a *declared nominal* encode rate (MB/s), not a
+    measurement — the selector compares it against the configured floor so
+    codec choice stays deterministic across machines and executors.
+    """
+
+    name: str = "?"
+    lossless: bool = True
+    throughput_mbs: float = 1000.0
+
+    def can_encode(self, dtype: np.dtype) -> bool:
+        raise NotImplementedError
+
+    def encode(self, arr: np.ndarray) -> tuple[bytes, float, float]:
+        """Return ``(payload, p0, p1)``; params land in the column directory."""
+        raise NotImplementedError
+
+    def decode(self, buf, dtype: np.dtype, n_elems: int, p0: float, p1: float) -> np.ndarray:
+        """Inverse of :meth:`encode`; returns a flat array of ``n_elems``."""
+        raise NotImplementedError
+
+    def error_bound(self, p0: float, p1: float, dtype=np.float64) -> float:
+        """Worst-case absolute error of a decoded value (0 for lossless)."""
+        return 0.0
+
+
+class _RawCodec(Codec):
+    name = CODEC_RAW
+    lossless = True
+    throughput_mbs = 4000.0
+
+    def can_encode(self, dtype):
+        return True
+
+    def encode(self, arr):
+        return np.ascontiguousarray(arr).tobytes(), 0.0, 0.0
+
+    def decode(self, buf, dtype, n_elems, p0, p1):
+        return np.frombuffer(buf, dtype=dtype, count=n_elems)
+
+
+class _ZlibCodec(Codec):
+    name = CODEC_ZLIB
+    lossless = True
+    throughput_mbs = 90.0
+
+    def __init__(self, level: int = 6):
+        self.level = int(level)
+
+    def can_encode(self, dtype):
+        return True
+
+    def encode(self, arr):
+        return zlib.compress(np.ascontiguousarray(arr).tobytes(), self.level), 0.0, 0.0
+
+    def decode(self, buf, dtype, n_elems, p0, p1):
+        raw = zlib.decompress(bytes(buf))
+        out = np.frombuffer(raw, dtype=dtype, count=n_elems)
+        if out.nbytes != len(raw):
+            raise CodecError(
+                f"zlib payload decoded to {len(raw)} bytes, expected {out.nbytes}",
+                codec=self.name,
+            )
+        return out
+
+
+# delta payload: u8 first-value bits | u1 bit width | packed zigzag deltas
+_DELTA_HEADER = struct.Struct("<QB")
+
+
+class _DeltaBitpackCodec(Codec):
+    """Delta + minimal-width bit-packing for integer columns."""
+
+    name = CODEC_DELTA
+    lossless = True
+    throughput_mbs = 600.0
+
+    def can_encode(self, dtype):
+        dtype = np.dtype(dtype)
+        return dtype.kind in "iu" and dtype.itemsize <= 8
+
+    def encode(self, arr):
+        flat = np.ascontiguousarray(arr).ravel()
+        if not self.can_encode(flat.dtype):
+            raise CodecError(f"delta codec cannot encode dtype {flat.dtype}", codec=self.name)
+        if flat.size == 0:
+            return _DELTA_HEADER.pack(0, 0), 0.0, 0.0
+        # All arithmetic wraps mod 2**64, so the decode cumsum is exact even
+        # when deltas of extreme uint64 values overflow the signed range.
+        vals = flat.astype(np.int64, copy=False)
+        with np.errstate(over="ignore"):
+            deltas = np.diff(vals)
+            zig = ((deltas << 1) ^ (deltas >> 63)).view(np.uint64)
+        first = int(vals[0].view(np.uint64))
+        width = int(zig.max()).bit_length() if zig.size else 0
+        header = _DELTA_HEADER.pack(first, width)
+        if width == 0 or zig.size == 0:
+            return header, 0.0, 0.0
+        shifts = np.arange(width, dtype=np.uint64)
+        bits = ((zig[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+        return header + np.packbits(bits, bitorder="little").tobytes(), 0.0, 0.0
+
+    def decode(self, buf, dtype, n_elems, p0, p1):
+        dtype = np.dtype(dtype)
+        buf = bytes(buf)
+        if len(buf) < _DELTA_HEADER.size:
+            raise CodecError("delta payload truncated", codec=self.name)
+        first, width = _DELTA_HEADER.unpack_from(buf)
+        if n_elems == 0:
+            return np.empty(0, dtype=dtype)
+        n_deltas = n_elems - 1
+        if width == 0 or n_deltas == 0:
+            zig = np.zeros(n_deltas, dtype=np.uint64)
+        else:
+            packed = np.frombuffer(buf, dtype=np.uint8, offset=_DELTA_HEADER.size)
+            bits = np.unpackbits(packed, bitorder="little")
+            if bits.size < n_deltas * width:
+                raise CodecError("delta payload truncated", codec=self.name)
+            bits = bits[: n_deltas * width].reshape(n_deltas, width).astype(np.uint64)
+            zig = (bits << np.arange(width, dtype=np.uint64)).sum(axis=1, dtype=np.uint64)
+        deltas = ((zig >> np.uint64(1)).view(np.int64)) ^ -((zig & np.uint64(1)).view(np.int64))
+        out = np.empty(n_elems, dtype=np.int64)
+        out[0] = np.uint64(first).view(np.int64)
+        with np.errstate(over="ignore"):
+            out[1:] = np.cumsum(deltas) + out[0]
+        if dtype.kind == "u":
+            return out.view(np.uint64).astype(dtype, copy=False)
+        return out.astype(dtype, copy=False)
+
+
+class _QuantizeCodec(Codec):
+    """Error-bounded lossy quantization onto a ``2**bits``-level grid."""
+
+    lossless = False
+    throughput_mbs = 800.0
+
+    def __init__(self, bits: int):
+        if not 1 <= bits <= 32:
+            raise CodecError(f"quantize bits must be in [1, 32], got {bits}")
+        self.bits = int(bits)
+        self.name = f"quantize{bits}"
+        self._container = (
+            np.uint8 if bits <= 8 else np.uint16 if bits <= 16 else np.uint32
+        )
+
+    def can_encode(self, dtype):
+        return np.dtype(dtype).kind == "f"
+
+    def encode(self, arr):
+        flat = np.ascontiguousarray(arr).ravel()
+        if not self.can_encode(flat.dtype):
+            raise CodecError(
+                f"{self.name} requires a float column, got {flat.dtype}", codec=self.name
+            )
+        if flat.size == 0:
+            return b"", 0.0, 0.0
+        lo = float(np.min(flat))
+        hi = float(np.max(flat))
+        levels = (1 << self.bits) - 1
+        scale = (hi - lo) / levels if hi > lo else 0.0
+        if scale == 0.0:
+            q = np.zeros(flat.size, dtype=self._container)
+        else:
+            q = np.clip(
+                np.rint((flat.astype(np.float64) - lo) / scale), 0, levels
+            ).astype(self._container)
+        return q.tobytes(), lo, scale
+
+    def decode(self, buf, dtype, n_elems, p0, p1):
+        q = np.frombuffer(buf, dtype=self._container, count=n_elems)
+        return (q.astype(np.float64) * p1 + p0).astype(np.dtype(dtype), copy=False)
+
+    def error_bound(self, p0, p1, dtype=np.float64):
+        # half a quantization step, plus the rounding the decode cast into
+        # the column's own float dtype can add on top
+        levels = (1 << self.bits) - 1
+        maxmag = max(abs(p0), abs(p0 + p1 * levels))
+        finfo = np.finfo(np.dtype(dtype))
+        return 0.5 * p1 + finfo.eps * maxmag + float(finfo.tiny)
+
+
+_REGISTRY: dict[str, Codec] = {}
+
+
+def register_codec(codec: Codec) -> None:
+    """Add (or replace) a codec in the global registry."""
+    if not codec.name or len(codec.name.encode()) > 15:
+        raise CodecError(f"codec name {codec.name!r} must be 1-15 bytes")
+    _REGISTRY[codec.name] = codec
+
+
+register_codec(_RawCodec())
+register_codec(_ZlibCodec())
+register_codec(_DeltaBitpackCodec())
+for _bits in (8, 12, 16):
+    register_codec(_QuantizeCodec(_bits))
+
+_QUANTIZE_RE = re.compile(r"^quantize(\d{1,2})$")
+
+
+def get_codec(name: str) -> Codec:
+    """Look up a codec by id; ``quantize<N>`` registers itself on demand."""
+    codec = _REGISTRY.get(name)
+    if codec is None:
+        m = _QUANTIZE_RE.match(name)
+        if m:
+            codec = _QuantizeCodec(int(m.group(1)))
+            register_codec(codec)
+        else:
+            raise CodecError(f"unknown codec {name!r}", codec=name)
+    return codec
+
+
+def available_codecs() -> tuple[str, ...]:
+    """Names of every registered codec, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def encode_column(codec_name: str, arr: np.ndarray) -> tuple[bytes, float, float]:
+    return get_codec(codec_name).encode(arr)
+
+
+def decode_column(codec_name: str, buf, dtype, n_elems: int, p0: float, p1: float) -> np.ndarray:
+    return get_codec(codec_name).decode(buf, np.dtype(dtype), int(n_elems), p0, p1)
+
+
+def _sample(arr: np.ndarray) -> np.ndarray:
+    """A deterministic strided sample of up to SAMPLE_ELEMENTS elements."""
+    flat = np.ascontiguousarray(arr).ravel()
+    if flat.size <= SAMPLE_ELEMENTS:
+        return flat
+    stride = flat.size // SAMPLE_ELEMENTS
+    return np.ascontiguousarray(flat[:: stride][:SAMPLE_ELEMENTS])
+
+
+def _auto_pick(arr: np.ndarray, floor_mbs: float) -> str:
+    """The best *lossless* codec for one column, by sampled ratio.
+
+    Candidates below the throughput floor are never considered; a winner
+    must beat raw by :data:`RAW_MARGIN` on the sample or raw is kept.
+    Fully deterministic: strided sample, declared throughputs, fixed order.
+    """
+    sample = _sample(arr)
+    raw_nbytes = sample.nbytes
+    if raw_nbytes == 0:
+        return CODEC_RAW
+    best_name, best_nbytes = CODEC_RAW, raw_nbytes
+    for name in (CODEC_DELTA, CODEC_ZLIB):
+        codec = _REGISTRY[name]
+        if codec.throughput_mbs < floor_mbs or not codec.can_encode(sample.dtype):
+            continue
+        payload, _, _ = codec.encode(sample)
+        if len(payload) < best_nbytes:
+            best_name, best_nbytes = name, len(payload)
+    if best_name != CODEC_RAW and best_nbytes > RAW_MARGIN * raw_nbytes:
+        return CODEC_RAW
+    return best_name
+
+
+def select_codecs(
+    columns: dict[str, np.ndarray],
+    spec,
+    floor_mbs: float = 50.0,
+) -> dict[str, str]:
+    """Resolve a codec spec to one concrete codec name per column.
+
+    ``spec`` is either the string ``"auto"`` (sample every column, pick the
+    best lossless codec above the throughput floor) or a mapping of column
+    name to codec name, where the value ``"auto"`` defers to sampling and
+    the key ``"*"`` provides a default for unnamed columns. Columns a
+    mapping leaves completely unspecified stay ``raw``.
+    """
+    if isinstance(spec, str):
+        if spec != "auto":
+            raise CodecError(f"codec spec must be 'auto' or a mapping, got {spec!r}")
+        mapping = {name: "auto" for name in columns}
+    else:
+        mapping = dict(spec)
+        default = mapping.pop("*", CODEC_RAW)
+        unknown = set(mapping) - set(columns)
+        if unknown:
+            raise CodecError(f"codec spec names unknown column(s) {sorted(unknown)}")
+        mapping = {name: mapping.get(name, default) for name in columns}
+
+    resolved: dict[str, str] = {}
+    for name, arr in columns.items():
+        choice = mapping[name]
+        if choice == "auto":
+            resolved[name] = _auto_pick(arr, floor_mbs)
+        else:
+            codec = get_codec(choice)
+            if not codec.can_encode(arr.dtype):
+                raise CodecError(
+                    f"codec {choice!r} cannot encode column {name!r} ({arr.dtype})",
+                    codec=choice,
+                    column=name,
+                )
+            resolved[name] = codec.name
+    return resolved

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import mmap
 import zlib
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,14 +18,17 @@ import numpy as np
 from ..binning import make_binning
 from ..errors import IntegrityError
 from ..types import AttributeSpec, Box
+from .codecs import decode_column, get_codec
 from .format import (
+    CHECKSUM_VERSION,
+    CODEC_VERSION,
     FLAG_COMPRESSED_TREELETS,
     FLAG_QUANTIZED_POSITIONS,
     HEADER_SIZE,
     LEAF_FLAG,
-    VERSION,
     Header,
     attr_table_dtype,
+    column_dir_dtype,
     shallow_inner_dtype,
     shallow_leaf_dtype,
     treelet_header_dtype,
@@ -36,13 +40,62 @@ from .format import (
 __all__ = ["BATFile", "TreeletView"]
 
 
+class _LazyColumns(Mapping):
+    """Attribute columns of one v4 treelet, decoded on first access.
+
+    Looks like the plain dict v2/v3 treelets carry, but a column's payload
+    is only run through its codec when something subscripts it — queries
+    that filter or select a subset of attributes never touch (or pay for)
+    the rest. Decoded columns are cached for the life of the treelet view.
+    """
+
+    __slots__ = ("_file", "_names", "_col_dir", "_starts", "_n_pts", "_leaf", "_cache")
+
+    def __init__(self, file, names, col_dir, starts, n_pts, leaf):
+        self._file = file
+        self._names = names
+        self._col_dir = col_dir
+        self._starts = starts
+        self._n_pts = n_pts
+        self._leaf = leaf
+        self._cache: dict[str, np.ndarray] = {}
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        arr = self._cache.get(name)
+        if arr is None:
+            idx = self._names.index(name) if name in self._names else -1
+            if idx < 0:
+                raise KeyError(name)
+            # nodes and positions occupy directory slots 0 and 1
+            arr = self._file._decode_treelet_column(
+                self._leaf, self._col_dir, self._starts, 2 + idx,
+                self._file.attr_dtypes[name], self._n_pts,
+            )
+            self._cache[name] = arr
+        return arr
+
+    def __iter__(self):
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name) -> bool:
+        return name in self._names
+
+
 @dataclass
 class TreeletView:
-    """Zero-copy views into one treelet's region of the mapped file."""
+    """Zero-copy views into one treelet's region of the mapped file.
+
+    ``attributes`` is a plain dict for v2/v3 files; for v4 files it is a
+    lazy mapping that decodes a column the first time it is subscripted.
+    Both support the full read-only mapping protocol.
+    """
 
     nodes: np.ndarray  # structured treelet_node_dtype
     positions: np.ndarray  # (n, 3) float32, node order
-    attributes: dict[str, np.ndarray]
+    attributes: Mapping
     max_depth: int
 
     @property
@@ -120,7 +173,10 @@ class BATFile:
                 )
         self._footer = None
         self._treelet_crcs = None
-        if h.version >= VERSION:
+        #: column bytes materialized for queries so far (v4 decode accounting)
+        self.decoded_bytes = 0
+        self._column_summary = None
+        if h.version >= CHECKSUM_VERSION:
             try:
                 self._footer = unpack_footer(self._mm, h.footer_offset, h.n_shallow_leaves)
             except IntegrityError as exc:
@@ -307,6 +363,82 @@ class BATFile:
         """True when the file carries the version-3 checksum footer."""
         return self._treelet_crcs is not None
 
+    @property
+    def column_encoded(self) -> bool:
+        """True when treelets carry a per-column codec directory (v4)."""
+        return self.header.version >= CODEC_VERSION
+
+    def column_summary(self) -> dict[str, dict]:
+        """Per-column codec id, encoded/raw byte totals, and error bound.
+
+        Aggregated over every treelet's column directory without decoding
+        any payload. Raw-layout (v2/v3) files report the ``raw`` codec with
+        equal encoded and raw sizes.
+        """
+        if self._column_summary is not None:
+            return self._column_summary
+        h = self.header
+        names = ["nodes", "positions", *self.attr_names]
+        out = {n: {"codec": "raw", "enc_nbytes": 0, "raw_nbytes": 0, "error_bound": 0.0}
+               for n in names}
+        if not self.column_encoded:
+            node_sz = self._node_dt.itemsize
+            pos_sz = 6 if self.quantized else 12
+            for rec in self.shallow_leaves:
+                th = np.frombuffer(
+                    self._mm, dtype=treelet_header_dtype(), count=1,
+                    offset=int(rec["treelet_offset"]),
+                )[0]
+                out["nodes"]["raw_nbytes"] += int(th["n_nodes"]) * node_sz
+                out["positions"]["raw_nbytes"] += int(th["n_points"]) * pos_sz
+                for name in self.attr_names:
+                    out[name]["raw_nbytes"] += (
+                        int(th["n_points"]) * self.attr_dtypes[name].itemsize
+                    )
+            for rec in out.values():
+                rec["enc_nbytes"] = rec["raw_nbytes"]
+        else:
+            head = treelet_header_dtype().itemsize
+            dir_dt = column_dir_dtype()
+            for leaf in range(h.n_shallow_leaves):
+                off = int(self.shallow_leaves[leaf]["treelet_offset"])
+                col_dir = np.frombuffer(
+                    self._mm, dtype=dir_dt, count=len(names), offset=off + head
+                )
+                for i, name in enumerate(names):
+                    d = col_dir[i]
+                    codec_name = bytes(d["codec"]).rstrip(b"\0").decode()
+                    rec = out[name]
+                    rec["codec"] = codec_name
+                    rec["enc_nbytes"] += int(d["enc_nbytes"])
+                    rec["raw_nbytes"] += int(d["raw_nbytes"])
+                    codec = get_codec(codec_name)
+                    if not codec.lossless:
+                        dtype = (
+                            self.attr_dtypes[name] if name in self.attr_dtypes else np.float32
+                        )
+                        rec["error_bound"] = max(
+                            rec["error_bound"],
+                            float(codec.error_bound(float(d["p0"]), float(d["p1"]), dtype)),
+                        )
+        self._column_summary = out
+        return out
+
+    def _decode_treelet_column(self, leaf, col_dir, starts, idx, dtype, count):
+        """Decode directory slot ``idx`` of one v4 treelet to a flat array."""
+        d = col_dir[idx]
+        codec_name = bytes(d["codec"]).rstrip(b"\0").decode()
+        buf = self._mm[int(starts[idx]) : int(starts[idx + 1])]
+        arr = decode_column(codec_name, buf, dtype, count, float(d["p0"]), float(d["p1"]))
+        if arr.nbytes != int(d["raw_nbytes"]):
+            raise IntegrityError(
+                f"treelet {leaf} column {idx}: decoded {arr.nbytes} bytes, "
+                f"directory says {int(d['raw_nbytes'])} in {self.path}",
+                section=f"treelet {leaf}", path=self.path,
+            )
+        self.decoded_bytes += arr.nbytes
+        return arr
+
     def treelet(self, leaf: int) -> TreeletView:
         """Map (or decompress/decode) the treelet of shallow leaf ``leaf``.
 
@@ -341,6 +473,11 @@ class BATFile:
         n_nodes = int(th["n_nodes"])
         n_pts = int(th["n_points"])
         head = treelet_header_dtype().itemsize
+
+        if self.column_encoded:
+            view = self._treelet_v4(leaf, rec, off, head, n_nodes, n_pts, int(th["max_depth"]))
+            self._treelet_cache[leaf] = view
+            return view
 
         if self.compressed:
             comp = self._mm[off + head : off + int(rec["treelet_nbytes"])]
@@ -380,6 +517,41 @@ class BATFile:
         )
         self._treelet_cache[leaf] = view
         return view
+
+    def _treelet_v4(self, leaf, rec, off, head, n_nodes, n_pts, max_depth) -> TreeletView:
+        """Build the view of a column-encoded (v4) treelet.
+
+        Nodes and positions decode eagerly — every traversal needs them —
+        while attribute columns go behind a :class:`_LazyColumns` mapping so
+        only the columns a query filters on or materializes ever decode.
+        """
+        n_cols = 2 + self.header.n_attrs
+        dir_dt = column_dir_dtype()
+        col_dir = np.frombuffer(self._mm, dtype=dir_dt, count=n_cols, offset=off + head)
+        base = off + head + col_dir.nbytes
+        starts = base + np.concatenate(
+            [[0], np.cumsum(col_dir["enc_nbytes"].astype(np.int64))]
+        )
+        if int(starts[-1]) > off + int(rec["treelet_nbytes"]):
+            raise IntegrityError(
+                f"treelet {leaf}: column payloads overrun the treelet block "
+                f"in {self.path}",
+                section=f"treelet {leaf}", path=self.path,
+            )
+        nodes = self._decode_treelet_column(leaf, col_dir, starts, 0, self._node_dt, n_nodes)
+        pos_dt = np.dtype("<u2") if self.quantized else np.dtype("<f4")
+        flat = self._decode_treelet_column(leaf, col_dir, starts, 1, pos_dt, 3 * n_pts)
+        if self.quantized:
+            q = flat.reshape(n_pts, 3)
+            lo = np.asarray(rec["bbox"][:3], dtype=np.float64)
+            ext = np.maximum(np.asarray(rec["bbox"][3:], dtype=np.float64) - lo, 0.0)
+            positions = (lo + q.astype(np.float64) / 65535.0 * ext).astype(np.float32)
+        else:
+            positions = flat.reshape(n_pts, 3)
+        attrs = _LazyColumns(self, list(self.attr_names), col_dir, starts, n_pts, leaf)
+        return TreeletView(
+            nodes=nodes, positions=positions, attributes=attrs, max_depth=max_depth
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

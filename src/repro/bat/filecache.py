@@ -55,6 +55,9 @@ class BATFileCache:
         #: opens that raised (missing or corrupt file) — nothing is cached
         #: for a failed open, so retries re-attempt the open
         self.open_errors = 0
+        #: column bytes decoded by handles already evicted or dropped;
+        #: :meth:`stats` adds the live handles' counters on top
+        self._retired_decoded_bytes = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -78,6 +81,7 @@ class BATFileCache:
             self._open[key] = f
             while len(self._open) > self.capacity:
                 _, victim = self._open.popitem(last=False)
+                self._retired_decoded_bytes += victim.decoded_bytes
                 victim.close()
                 self.evictions += 1
             return f
@@ -96,6 +100,8 @@ class BATFileCache:
         """Close and forget one path, if cached."""
         with self._lock:
             f = self._open.pop(str(Path(path)), None)
+            if f is not None:
+                self._retired_decoded_bytes += f.decoded_bytes
         if f is not None:
             f.close()
 
@@ -103,6 +109,9 @@ class BATFileCache:
         """Counter snapshot for the serve metrics surface."""
         with self._lock:
             total = self.hits + self.misses
+            decoded = self._retired_decoded_bytes + sum(
+                f.decoded_bytes for f in self._open.values()
+            )
             return {
                 "open": len(self._open),
                 "capacity": self.capacity,
@@ -111,6 +120,9 @@ class BATFileCache:
                 "evictions": self.evictions,
                 "open_errors": self.open_errors,
                 "hit_rate": self.hits / total if total else 0.0,
+                #: column bytes materialized through this cache's handles —
+                #: the v4 decode-skipping story in one number
+                "decoded_bytes": decoded,
             }
 
     def close(self) -> None:
@@ -118,6 +130,7 @@ class BATFileCache:
         with self._lock:
             victims = list(self._open.values())
             self._open.clear()
+            self._retired_decoded_bytes += sum(f.decoded_bytes for f in victims)
         for f in victims:
             f.close()
 

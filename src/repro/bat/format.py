@@ -28,6 +28,18 @@ Version 3 appends a checksum footer after the last treelet::
 and stores a self-contained header CRC32 in the header's last four bytes,
 so a flipped bit in the header itself is caught before any offset in it is
 trusted. Version-2 files (no checksums) remain readable.
+
+Version 4 re-encodes each treelet column-by-column. The treelet block
+becomes::
+
+    treelet header (16 B, raw_nbytes = decoded payload size)
+    column directory: 48 B per column for nodes, positions, attr 0..N-1
+        (codec id | encoded bytes | raw bytes | two f8 codec params)
+    encoded column payloads, back to back
+
+The directory sits inside the treelet block, so the existing per-treelet
+footer CRCs cover codec ids and sizes with no new trust machinery. Codecs
+live in :mod:`repro.bat.codecs`; v2/v3 files remain readable.
 """
 
 from __future__ import annotations
@@ -44,7 +56,10 @@ __all__ = [
     "MAGIC",
     "VERSION",
     "LEGACY_VERSION",
+    "CHECKSUM_VERSION",
+    "CODEC_VERSION",
     "SUPPORTED_VERSIONS",
+    "column_dir_dtype",
     "HEADER_SIZE",
     "PAGE_SIZE",
     "Header",
@@ -62,11 +77,15 @@ __all__ = [
 ]
 
 MAGIC = b"BATF"
-#: current (checksummed) format version
+#: default write version: checksummed, raw columns (byte-identical to PR 4)
 VERSION = 3
+#: first version with the checksum footer / header self-CRC
+CHECKSUM_VERSION = 3
+#: first version with per-column codecs (treelet column directory)
+CODEC_VERSION = 4
 #: last pre-checksum version; still readable, no integrity verification
 LEGACY_VERSION = 2
-SUPPORTED_VERSIONS = (LEGACY_VERSION, VERSION)
+SUPPORTED_VERSIONS = (LEGACY_VERSION, VERSION, CODEC_VERSION)
 HEADER_SIZE = 256
 PAGE_SIZE = 4096
 #: the header CRC32 covers bytes [0, HEADER_CRC_OFFSET) and is stored
@@ -85,6 +104,9 @@ FLAG_QUANTIZED_POSITIONS = 0x1
 #: zlib-compressed — the §VII compression extension; treelets decompress on
 #: first access instead of mapping in place.
 FLAG_COMPRESSED_TREELETS = 0x2
+#: header flag: treelets carry a per-column codec directory (version >= 4);
+#: columns decode independently, and only when a query touches them.
+FLAG_COLUMN_CODECS = 0x4
 
 _HEADER_FMT = "<4sI Q IIIIII III 6d 9Q"
 _HEADER_FIELDS = struct.calcsize(_HEADER_FMT)
@@ -150,7 +172,7 @@ class Header:
             self.footer_offset,
         )
         out = bytearray(raw.ljust(HEADER_SIZE, b"\0"))
-        if self.version >= VERSION:
+        if self.version >= CHECKSUM_VERSION:
             crc = zlib.crc32(bytes(out[:HEADER_CRC_OFFSET]))
             out[HEADER_CRC_OFFSET:HEADER_SIZE] = struct.pack("<I", crc)
         return bytes(out)
@@ -165,7 +187,7 @@ class Header:
             raise IntegrityError(f"not a BAT file (magic {magic!r})", section="header")
         if version not in SUPPORTED_VERSIONS:
             raise IntegrityError(f"unsupported BAT version {version}", section="header")
-        if version >= VERSION:
+        if version >= CHECKSUM_VERSION:
             # the header carries its own CRC so none of its offsets are
             # trusted (e.g. to find the footer) if the header itself is bad
             (stored,) = struct.unpack_from("<I", raw, HEADER_CRC_OFFSET)
@@ -273,6 +295,25 @@ def treelet_node_dtype(n_attrs: int) -> np.dtype:
             ("count", "<u4"),
             ("subtree_end", "<u4"),
             ("bitmap_ids", "<u2", (max(n_attrs, 1),)),
+        ]
+    )
+
+
+def column_dir_dtype() -> np.dtype:
+    """48-byte per-column codec descriptor in a version-4 treelet.
+
+    One record per column in on-disk order: node records, positions, then
+    each attribute. ``p0``/``p1`` are codec parameters (for ``quantize{b}``
+    the range origin and quantization step, from which the recorded error
+    bound derives).
+    """
+    return np.dtype(
+        [
+            ("codec", "S16"),
+            ("enc_nbytes", "<u8"),
+            ("raw_nbytes", "<u8"),
+            ("p0", "<f8"),
+            ("p1", "<f8"),
         ]
     )
 

@@ -25,11 +25,12 @@ import numpy as np
 
 from ..errors import IntegrityError
 from .format import (
+    CHECKSUM_VERSION,
     HEADER_CRC_OFFSET,
     HEADER_SIZE,
     LEGACY_VERSION,
     MAGIC,
-    VERSION,
+    SUPPORTED_VERSIONS,
     Header,
     shallow_leaf_dtype,
     unpack_footer,
@@ -145,7 +146,7 @@ def scrub_file(path) -> FileScrubReport:
         r.status = "legacy"
         r.detail = "legacy version-2 file carries no checksums"
         return r
-    if version != VERSION:
+    if version not in SUPPORTED_VERSIONS or version < CHECKSUM_VERSION:
         r.status = "corrupt"
         r.bad_sections.append("header")
         r.detail = f"unsupported version {version}"

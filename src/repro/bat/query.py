@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..bitmaps import query_bitmap
+from ..errors import InvalidRequestError
 from ..types import Box, ParticleBatch
 from .file import BATFile
 from .format import LEAF_FLAG
@@ -65,7 +66,7 @@ class AttributeFilter:
 
     def __post_init__(self) -> None:
         if self.hi < self.lo:
-            raise ValueError(f"filter on {self.name!r} has hi < lo")
+            raise InvalidRequestError(f"filter on {self.name!r} has hi < lo")
 
 
 @dataclass
@@ -116,7 +117,7 @@ class QueryStats:
 def quality_to_depth(quality: float, max_depth: int) -> float:
     """Log-remapped effective depth ``e`` ∈ [0, max_depth+1] (see module doc)."""
     if not 0.0 <= quality <= 1.0:
-        raise ValueError("quality must be in [0, 1]")
+        raise InvalidRequestError("quality must be in [0, 1]")
     levels = max_depth + 1
     if quality == 0.0:
         return 0.0
@@ -148,10 +149,11 @@ class _QueryContext:
     #: names to materialize in the result; None = all
     attributes: tuple[str, ...] | None = None
 
-    def select_attrs(self, attrs: dict) -> dict:
+    def select_attrs(self, attrs) -> dict:
+        # key-based so unselected lazy (v4) columns never decode
         if self.attributes is None:
-            return attrs
-        return {k: v for k, v in attrs.items() if k in self.attributes}
+            return {k: attrs[k] for k in attrs}
+        return {k: attrs[k] for k in attrs if k in self.attributes}
 
     def emit(self, positions: np.ndarray, attrs: dict[str, np.ndarray]) -> None:
         if len(positions) == 0:
@@ -189,9 +191,9 @@ def query_file(
     false-positive check but only returned if requested).
     """
     if prev_quality > quality:
-        raise ValueError("prev_quality must be <= quality")
+        raise InvalidRequestError("prev_quality must be <= quality")
     if engine not in ENGINES:
-        raise ValueError(f"unknown traversal engine {engine!r} (choose from {ENGINES})")
+        raise InvalidRequestError(f"unknown traversal engine {engine!r} (choose from {ENGINES})")
     if attributes is not None:
         for name in attributes:
             bat.attr_index(name)  # raises KeyError for unknown names
@@ -332,15 +334,15 @@ def _emit_points(tv, lo_slot: int, hi_slot: int, ctx: _QueryContext) -> None:
         vals = tv.attributes[f.name][lo_slot:hi_slot]
         fmask = (vals >= f.lo) & (vals <= f.hi)
         mask = fmask if mask is None else (mask & fmask)
-    wanted = tv.attributes if ctx.attributes is None else {
-        n: a for n, a in tv.attributes.items() if n in ctx.attributes
-    }
+    # selection is by key so lazily decoded (v4) columns outside the
+    # requested set are never materialized
+    names = [n for n in tv.attributes if ctx.attributes is None or n in ctx.attributes]
     if mask is None:
-        ctx.emit(pos, {n: a[lo_slot:hi_slot] for n, a in wanted.items()})
+        ctx.emit(pos, {n: tv.attributes[n][lo_slot:hi_slot] for n in names})
     elif mask.any():
         ctx.emit(
             pos[mask],
-            {n: a[lo_slot:hi_slot][mask] for n, a in wanted.items()},
+            {n: tv.attributes[n][lo_slot:hi_slot][mask] for n in names},
         )
 
 
@@ -543,10 +545,10 @@ def _emit_ranges(tv, lo_slot: np.ndarray, hi_slot: np.ndarray, ctx: _QueryContex
         vals = tv.attributes[f.name][sel]
         fmask = (vals >= f.lo) & (vals <= f.hi)
         mask = fmask if mask is None else (mask & fmask)
-    wanted = tv.attributes if ctx.attributes is None else {
-        n: a for n, a in tv.attributes.items() if n in ctx.attributes
-    }
+    # selection is by key so lazily decoded (v4) columns outside the
+    # requested set are never materialized
+    names = [n for n in tv.attributes if ctx.attributes is None or n in ctx.attributes]
     if mask is None:
-        ctx.emit(pos, {n: a[sel] for n, a in wanted.items()})
+        ctx.emit(pos, {n: tv.attributes[n][sel] for n in names})
     elif mask.any():
-        ctx.emit(pos[mask], {n: a[sel][mask] for n, a in wanted.items()})
+        ctx.emit(pos[mask], {n: tv.attributes[n][sel][mask] for n in names})

@@ -24,8 +24,13 @@ bit flips, dropped/duplicated aggregator messages, aggregator death) and
 proves recovery: the faulted run must publish byte-identical files to a
 fault-free run, scrub clean, and — after a deliberate post-hoc
 corruption — localize the damage to the exact section and serve a
-degraded partial response. Either way, ``--record`` writes the JSON data
-point every PR is expected to leave behind.
+degraded partial response. ``--suite compress`` writes one structured
+workload as plain v3 and as v4 with automatic per-column codecs,
+reporting the on-disk reduction, per-column codec choices, and the
+lazy-decode savings of single-column reads, with every v4 query
+byte-checked against the v3 baseline and a v2/v3/v4 single-file compat
+sweep. Either way, ``--record`` writes the JSON data point every PR is
+expected to leave behind.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ import sys
 import tempfile
 
 from .harness import (
+    compression_benchmark,
     fault_injection_benchmark,
     parallel_write_query_benchmark,
     read_path_benchmark,
@@ -205,6 +211,52 @@ def _run_faults(args) -> dict:
     return payload
 
 
+def _run_compress(args) -> dict:
+    def run(out_dir):
+        return compression_benchmark(
+            out_dir,
+            nranks=args.ranks,
+            particles_per_rank=args.particles,
+            target_size=args.target_kb * 1024,
+            lossy_bits=args.lossy_bits,
+        )
+
+    if args.out_dir is not None:
+        payload = run(args.out_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            payload = run(tmp)
+
+    r = payload["results"]
+    v3, v4 = r["variants"]["v3"], r["variants"]["v4-auto"]
+    print(
+        f"compression: {payload['nranks']} ranks x {payload['particles_per_rank']} "
+        f"particles"
+    )
+    print(
+        f"  on disk: v3 {v3['disk_bytes'] / 1e6:7.2f} MB -> "
+        f"v4 {v4['disk_bytes'] / 1e6:7.2f} MB  ({r['disk_reduction_x']:.2f}x smaller)"
+    )
+    for col, codec in sorted(v4["codec_table"].items()):
+        print(f"    column {col:<10} codec {codec}")
+    print(
+        f"  full read: v3 {v3['query_seconds']:6.3f}s   v4 {v4['query_seconds']:6.3f}s"
+    )
+    print(
+        f"  one-column read decoded {r['lazy_decode_fraction']:.1%} of the payload "
+        f"({v4['decoded_bytes_one_column']:,} B)"
+    )
+    if "lossy" in r:
+        lossy = r["lossy"]
+        print(
+            f"  lossy {lossy['codec']}: temp {lossy['temp_raw_nbytes']:,} -> "
+            f"{lossy['temp_enc_nbytes']:,} B, max error "
+            f"{lossy['max_observed_error']:g} <= bound {lossy['recorded_error_bound']:g}"
+        )
+    print("  v4 queries byte-identical to v3; v2/v3/v4 compat sweep identical: ok")
+    return payload
+
+
 def main(argv=None) -> int:
     p = argparse.ArgumentParser(
         prog="repro.bench",
@@ -213,11 +265,12 @@ def main(argv=None) -> int:
     )
     p.add_argument(
         "--suite",
-        choices=("write", "read", "serve", "faults"),
+        choices=("write", "read", "serve", "faults", "compress"),
         default="write",
         help="write: multi-executor write+query; read: planner + engine "
              "comparison; serve: concurrent service under load; faults: "
-             "write under injected faults, prove recovery + degraded reads",
+             "write under injected faults, prove recovery + degraded reads; "
+             "compress: v4 column codecs vs the v3 baseline",
     )
     p.add_argument(
         "--executors",
@@ -251,6 +304,11 @@ def main(argv=None) -> int:
     p.add_argument(
         "--ops", type=int, default=6, help="serve suite: requests per session trace"
     )
+    p.add_argument(
+        "--lossy-bits", type=int, default=12,
+        help="compress suite: also demonstrate quantize<N> on one column "
+             "(0 disables the lossy leg)",
+    )
     p.add_argument("--out-dir", default=None, help="keep written files here (default: temp)")
     p.add_argument("--record", default=None, help="write the BENCH_<tag>.json data point here")
     args = p.parse_args(argv)
@@ -261,6 +319,10 @@ def main(argv=None) -> int:
         payload = _run_serve(args)
     elif args.suite == "faults":
         payload = _run_faults(args)
+    elif args.suite == "compress":
+        if args.lossy_bits == 0:
+            args.lossy_bits = None
+        payload = _run_compress(args)
     else:
         payload = _run_write(args)
 

@@ -13,11 +13,12 @@ import json
 import os
 import platform
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 import numpy as np
 
+from ..api import QueryRequest
 from ..baselines import build_aug_plan, ior_benchmark
 from ..core import AggTreeConfig, RankData, TwoPhaseReader, TwoPhaseWriter
 from ..core.dataset import BATDataset
@@ -37,6 +38,7 @@ __all__ = [
     "read_path_benchmark",
     "serve_benchmark",
     "fault_injection_benchmark",
+    "compression_benchmark",
     "record_benchmark",
 ]
 
@@ -274,9 +276,9 @@ def parallel_write_query_benchmark(
 
         with BATDataset(report.metadata_path, executor=spec) as ds:
             t0 = time.perf_counter()
-            full, _ = ds.query(quality=1.0)
-            boxed, _ = ds.query(quality=1.0, box=box)
-            filtered, _ = ds.query(quality=1.0, filters=[filt])
+            full, _ = ds.query(QueryRequest())
+            boxed, _ = ds.query(QueryRequest(box=box))
+            filtered, _ = ds.query(QueryRequest(filters=(filt,)))
             query_seconds = time.perf_counter() - t0
             ds.executor.close()
         answers = (len(full), len(boxed), len(filtered))
@@ -359,14 +361,14 @@ def read_path_benchmark(
 
     filt = AttributeFilter("attr00", 0.25, 0.5)
     cases = [
-        ("full", dict(quality=1.0)),
-        ("box", dict(quality=1.0, box=Box((0.1, 0.1, 0.1), (0.6, 0.6, 0.6)))),
-        ("filtered", dict(quality=1.0, filters=(filt,))),
+        ("full", QueryRequest()),
+        ("box", QueryRequest(box=Box((0.1, 0.1, 0.1), (0.6, 0.6, 0.6)))),
+        ("filtered", QueryRequest(filters=(filt,))),
         (
             "box+filter-minority",
-            dict(quality=1.0, box=Box((0.0, 0.0, 0.0), (0.25, 0.25, 0.25)), filters=(filt,)),
+            QueryRequest(box=Box((0.0, 0.0, 0.0), (0.25, 0.25, 0.25)), filters=(filt,)),
         ),
-        ("progressive-0.3-0.7", dict(quality=0.7, prev_quality=0.3)),
+        ("progressive-0.3-0.7", QueryRequest(quality=0.7, prev_quality=0.3)),
     ]
 
     rows = []
@@ -374,13 +376,13 @@ def read_path_benchmark(
     for engine in ENGINES[::-1]:  # reference engine first
         case_out = {}
         digests = {}
-        for case_name, kwargs in cases:
+        for case_name, case_req in cases:
             best = None
             for _ in range(max(1, repeats)):
                 # fresh dataset per repeat: no warm file handles or plans
                 with BATDataset(report.metadata_path) as ds:
                     t0 = time.perf_counter()
-                    batch, stats = ds.query(engine=engine, **kwargs)
+                    batch, stats = ds.query(replace(case_req, engine=engine))
                     dt = time.perf_counter() - t0
                 if best is None or dt < best[0]:
                     best = (dt, batch, stats)
@@ -496,7 +498,7 @@ def serve_benchmark(
         # degradation policy observe the drain and restore full quality
         sid = service.open_session()
         for q in (0.2, 0.4, 0.6):
-            service.request(sid, q)
+            service.request(sid, QueryRequest(quality=q))
         service.close_session(sid)
         snapshot = service.snapshot()
         identity_checked = verify_identity_samples(ds, load.identity_samples)
@@ -630,7 +632,7 @@ def fault_injection_benchmark(
 
     with QueryService(run_dir / "faultbench.meta.json") as service:
         sid = service.open_session()
-        response = service.request(sid, quality=1.0)
+        response = service.request(sid, QueryRequest())
         snapshot = service.snapshot()
     if not response.partial or response.quarantined_files != 1:
         raise AssertionError("service did not degrade to a partial result")
@@ -673,6 +675,176 @@ def fault_injection_benchmark(
     }
 
 
+def compression_benchmark(
+    out_dir,
+    nranks: int = 16,
+    particles_per_rank: int = 16_384,
+    target_size: int = 256 * 1024,
+    machine: MachineSpec | None = None,
+    seed: int = 0,
+    lossy_bits: int | None = None,
+) -> dict:
+    """BAT v4 column codecs vs the uncompressed v3 baseline.
+
+    Writes one structured, realistically compressible workload twice —
+    once as plain v3, once as v4 with ``codecs="auto"`` — and measures
+    the on-disk reduction, per-column codec choices, full-read time, and
+    the lazy-decode savings of a single-column read. Correctness is part
+    of the benchmark: every v4 query must return byte-identical data to
+    the v3 build, v2/v3 single files built from the same particles must
+    still open and query byte-identically, and (when ``lossy_bits`` is
+    set) quantized columns must stay within their recorded error bound.
+    """
+    from ..api import open_dataset
+    from ..bat import build_bat
+    from ..bat.builder import BATBuildConfig
+    from ..bat.file import BATFile
+    from ..bat.query import AttributeFilter, query_file
+    from ..machines import stampede2
+    from ..types import Box
+    from ..workloads import compressible_rank_data
+
+    machine = machine or stampede2()
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    data = compressible_rank_data(nranks, particles_per_rank, seed=seed)
+
+    def digest(batch) -> str:
+        h = hashlib.sha256(batch.positions.tobytes())
+        for name in sorted(batch.attributes):
+            h.update(batch.attributes[name].tobytes())
+        return h.hexdigest()
+
+    requests = {
+        "full": QueryRequest(),
+        "box": QueryRequest(box=Box((0.1, 0.1, 0.1), (0.6, 0.6, 0.6))),
+        "filtered": QueryRequest(filters=(AttributeFilter("temp", 290.0, 330.0),)),
+        "progressive-0.3-0.7": QueryRequest(quality=0.7, prev_quality=0.3),
+    }
+
+    variants = {
+        "v3": BATBuildConfig(),
+        "v4-auto": BATBuildConfig(codecs="auto"),
+    }
+    rows = {}
+    digests = {}
+    for label, cfg in variants.items():
+        run_dir = out_dir / label
+        run_dir.mkdir(parents=True, exist_ok=True)
+        writer = TwoPhaseWriter(
+            machine, target_size=target_size,
+            agg_config=paper_agg_config(target_size), bat_config=cfg,
+        )
+        t0 = time.perf_counter()
+        report = writer.write(data, out_dir=run_dir, name="compbench")
+        write_seconds = time.perf_counter() - t0
+        disk_bytes = sum(p.stat().st_size for p in run_dir.glob("compbench.*.bat"))
+        with open_dataset(report.metadata_path) as ds:
+            t0 = time.perf_counter()
+            answers = {name: ds.query(req) for name, req in requests.items()}
+            query_seconds = time.perf_counter() - t0
+            digests[label] = {n: digest(r.batch) for n, r in answers.items()}
+            # one-column read on a fresh handle set: how many column bytes
+            # does lazy decode actually materialize? (the counter survives
+            # close(), so measure the delta)
+            ds.file_cache.close()
+            decoded_before = ds.file_cache.stats()["decoded_bytes"]
+            ds.query(QueryRequest(columns=("temp",)))
+            decoded_one_column = (
+                ds.file_cache.stats()["decoded_bytes"] - decoded_before
+            )
+        rows[label] = {
+            "file_version": 4 if cfg.codecs is not None else 3,
+            "disk_bytes": disk_bytes,
+            "payload_raw_bytes": report.payload_raw_bytes,
+            "payload_encoded_bytes": report.payload_encoded_bytes,
+            "write_seconds": write_seconds,
+            "query_seconds": query_seconds,
+            "decoded_bytes_one_column": int(decoded_one_column),
+            "codec_table": dict(report.codec_table),
+            "points": {n: len(r.batch) for n, r in answers.items()},
+        }
+
+    if digests["v4-auto"] != digests["v3"]:
+        raise AssertionError("v4 lossless queries diverged from the v3 baseline")
+    ratio = rows["v3"]["disk_bytes"] / rows["v4-auto"]["disk_bytes"]
+    if ratio < 2.0:
+        raise AssertionError(
+            f"lossless codecs reached only {ratio:.2f}x on-disk reduction (< 2x)"
+        )
+    full_decoded = rows["v3"]["payload_raw_bytes"]
+    if not 0 < rows["v4-auto"]["decoded_bytes_one_column"] < full_decoded:
+        raise AssertionError("lazy decode materialized as much as a full read")
+
+    # format-compatibility sweep: the same particles as one v2, v3, and v4
+    # file must answer every request byte-identically
+    first = data.batches[0]
+    compat_digests = {}
+    for label, cfg in (
+        ("v2", BATBuildConfig(checksums=False)),
+        ("v3", BATBuildConfig()),
+        ("v4", BATBuildConfig(codecs="auto")),
+    ):
+        path = out_dir / f"compat-{label}.bat"
+        path.write_bytes(build_bat(first, cfg).data)
+        with BATFile(path) as f:
+            batch, _ = query_file(f, quality=1.0)
+            box_batch, _ = query_file(f, quality=1.0, box=requests["box"].box)
+            compat_digests[label] = (digest(batch), digest(box_batch))
+    if len(set(compat_digests.values())) != 1:
+        raise AssertionError(f"v2/v3/v4 compat sweep diverged: {compat_digests}")
+
+    results = {
+        "variants": rows,
+        "disk_reduction_x": ratio,
+        "queries_byte_identical": True,
+        "compat_v2_v3_v4_identical": True,
+        "lazy_decode_fraction": (
+            rows["v4-auto"]["decoded_bytes_one_column"] / full_decoded
+            if full_decoded else 0.0
+        ),
+    }
+
+    if lossy_bits is not None:
+        lossy_cfg = BATBuildConfig(
+            codecs={"*": "auto", "temp": f"quantize{lossy_bits}"}
+        )
+        path = out_dir / "lossy.bat"
+        path.write_bytes(build_bat(first, lossy_cfg).data)
+        with BATFile(path) as f:
+            summary = f.column_summary()
+            bound = summary["temp"]["error_bound"]
+            got, _ = query_file(f, quality=1.0)
+        ref_cfg = BATBuildConfig()
+        ref_path = out_dir / "lossy-ref.bat"
+        ref_path.write_bytes(build_bat(first, ref_cfg).data)
+        with BATFile(ref_path) as f:
+            ref, _ = query_file(f, quality=1.0)
+        err = float(np.max(np.abs(
+            got.attributes["temp"].astype(np.float64)
+            - ref.attributes["temp"].astype(np.float64)
+        )))
+        if err > bound:
+            raise AssertionError(
+                f"quantize{lossy_bits} error {err:g} exceeds recorded bound {bound:g}"
+            )
+        results["lossy"] = {
+            "codec": f"quantize{lossy_bits}",
+            "recorded_error_bound": float(bound),
+            "max_observed_error": err,
+            "temp_enc_nbytes": int(summary["temp"]["enc_nbytes"]),
+            "temp_raw_nbytes": int(summary["temp"]["raw_nbytes"]),
+        }
+
+    return {
+        "benchmark": "compression",
+        "nranks": nranks,
+        "particles_per_rank": particles_per_rank,
+        "target_size": target_size,
+        "results": results,
+    }
+
+
 def record_benchmark(path, payload: dict) -> dict:
     """Write one BENCH_*.json perf data point with environment context.
 
@@ -711,7 +883,7 @@ def progressive_read_benchmark(
         points = []
         for q in qualities:
             t0 = time.perf_counter()
-            batch, _ = ds.query(quality=float(q), prev_quality=prev)
+            batch, _ = ds.query(QueryRequest(quality=float(q), prev_quality=prev))
             dt = time.perf_counter() - t0
             times.append(dt)
             points.append(len(batch))

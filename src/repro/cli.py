@@ -22,9 +22,9 @@ from pathlib import Path
 import numpy as np
 
 from . import machines
+from .api import QueryRequest, open_dataset
 from .bat.file import BATFile
 from .bat.query import ENGINES, AttributeFilter
-from .core.dataset import BATDataset
 from .core.metadata import DatasetMetadata
 from .types import Box
 
@@ -81,17 +81,30 @@ def _cmd_info(args) -> int:
             lo, hi = f.attr_ranges[name]
             kind = type(f.binnings[name]).__name__ if name in f.binnings else "?"
             print(f"  attribute {name} ({f.attr_dtypes[name]}): [{lo:g}, {hi:g}] {kind}")
+        if f.column_encoded:
+            print("  column codecs (v4):")
+            for name, col in f.column_summary().items():
+                ratio = col["raw_nbytes"] / col["enc_nbytes"] if col["enc_nbytes"] else 0.0
+                bound = (
+                    f"  max error {col['error_bound']:g}"
+                    if col.get("error_bound") is not None else ""
+                )
+                print(f"    {name}: {col['codec']}  "
+                      f"{col['enc_nbytes']:,} / {col['raw_nbytes']:,} B "
+                      f"({ratio:.2f}x){bound}")
     return 0
 
 
 def _cmd_query(args) -> int:
-    with BATDataset(args.metadata, executor=args.executor) as ds:
-        batch, stats = ds.query(
-            quality=args.quality,
-            box=args.box,
-            filters=args.filter or (),
-            engine=args.engine,
-        )
+    request = QueryRequest(
+        quality=args.quality,
+        box=args.box,
+        filters=tuple(args.filter or ()),
+        columns=tuple(args.columns.split(",")) if args.columns else None,
+        engine=args.engine,
+    )
+    with open_dataset(args.metadata, executor=args.executor) as ds:
+        batch, stats = ds.query(request)
         print(f"matched {len(batch):,} of {ds.total_particles:,} particles "
               f"(tested {stats.points_tested:,}, "
               f"pruned {stats.pruned_spatial} spatial / {stats.pruned_bitmap} bitmap subtrees)")
@@ -230,6 +243,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="spatial filter: x0,y0,z0,x1,y1,z1")
     query.add_argument("--filter", type=_parse_filter, action="append",
                        help="attribute filter: name:lo:hi (repeatable)")
+    query.add_argument("--columns", default=None,
+                       help="comma-separated attribute columns to materialize "
+                            "(default: all; on v4 files, others never decode)")
     query.add_argument("--stats", action="store_true",
                        help="print per-attribute statistics of the result")
     query.add_argument("--output", help="write the result to an .npz file")

@@ -16,10 +16,11 @@ import threading
 from functools import partial
 from pathlib import Path
 
+from ..api import QueryRequest, QueryResult, warn_deprecated
 from ..bat.file import BATFile
 from ..bat.filecache import BATFileCache
 from ..bat.query import QueryStats, query_file
-from ..errors import IntegrityError, LeafUnavailableError
+from ..errors import IntegrityError, InvalidRequestError, LeafUnavailableError
 from ..parallel import get_executor
 from ..types import Box, ParticleBatch
 from .metadata import DatasetMetadata
@@ -213,51 +214,107 @@ class BATDataset:
         """Leaf indices the planner keeps (kept for compatibility/tests)."""
         return [fp.leaf_index for fp in self.plan(box, tuple(filters)).files]
 
-    def query(
-        self,
-        quality: float = 1.0,
-        prev_quality: float = 0.0,
-        box: Box | None = None,
-        filters=(),
-        callback=None,
-        attributes: list[str] | None = None,
-        engine: str = "frontier",
-        plan: QueryPlan | None = None,
-        on_error: str = "raise",
-    ) -> tuple[ParticleBatch | None, QueryStats]:
+    #: legacy positional order of :meth:`query` before :class:`QueryRequest`
+    _LEGACY_QUERY_ORDER = (
+        "quality", "prev_quality", "box", "filters", "callback",
+        "attributes", "engine", "plan", "on_error",
+    )
+
+    def query(self, request=None, *args, plan=None, callback=None, **kwargs):
         """Run one (progressive) query across the whole data set.
 
-        Same semantics as :func:`repro.bat.query.query_file`, with the
-        planner pruning which leaf files get touched at all (``plan`` may
-        pass a precomputed plan, e.g. a streaming session's; it must match
-        ``box``/``filters``). Candidate files fan out across the dataset's
-        executor (callback queries stay serial so the callback observes
-        file order); results and stats are merged in file order, so every
-        executor returns identical output.
+        The current form takes a :class:`~repro.api.QueryRequest` (or
+        nothing, for a full-quality read of everything) and returns a
+        :class:`~repro.api.QueryResult`::
 
-        ``on_error`` decides what a corrupt or missing leaf file does:
-        ``"raise"`` (default) surfaces a clear
-        :class:`~repro.errors.LeafUnavailableError` /
-        :class:`~repro.errors.IntegrityError` naming the leaf and dataset;
-        ``"degrade"`` quarantines the leaf and returns the partial result
-        from the surviving files, with ``stats.quarantined_files``
-        counting what the query did not see. Only corruption and absence
-        degrade — user errors (bad quality, unknown filter attribute)
-        always raise.
+            result = ds.query(QueryRequest(quality=0.3, box=box))
+            batch, stats = result  # iterates as (batch, stats)
+
+        ``plan`` may pass a precomputed :class:`QueryPlan` (e.g. a
+        streaming session's; it must match the request's box/filters);
+        ``callback`` streams chunks instead of materializing a batch
+        (``result.batch`` is then ``None``).
+
+        The pre-1.x keyword signature — ``query(quality=..., box=...,
+        filters=..., attributes=..., engine=..., on_error=...)`` — still
+        works as a shim: it emits one :class:`DeprecationWarning` per
+        call form and returns the old ``(batch, stats)`` tuple.
         """
-        if on_error not in ("raise", "degrade"):
-            raise ValueError("on_error must be 'raise' or 'degrade'")
-        filters = tuple(filters)
+        if args or kwargs or not isinstance(request, (QueryRequest, type(None))):
+            req, plan, callback = self._coerce_legacy_query(
+                request, args, kwargs, plan, callback
+            )
+            result = self._query_request(req, plan=plan, callback=callback)
+            return result.batch, result.stats
+        return self._query_request(
+            request if request is not None else QueryRequest(),
+            plan=plan, callback=callback,
+        )
+
+    def _coerce_legacy_query(self, request, args, kwargs, plan, callback):
+        """Map a pre-``QueryRequest`` call onto (request, plan, callback)."""
+        positional = () if request is None else (request, *args)
+        if len(positional) > len(self._LEGACY_QUERY_ORDER):
+            raise TypeError(
+                f"query() takes at most {len(self._LEGACY_QUERY_ORDER)} "
+                f"positional arguments ({len(positional)} given)"
+            )
+        legacy = dict(zip(self._LEGACY_QUERY_ORDER, positional))
+        for name, value in kwargs.items():
+            if name not in self._LEGACY_QUERY_ORDER:
+                raise TypeError(f"query() got an unexpected keyword argument {name!r}")
+            if name in legacy:
+                raise TypeError(f"query() got multiple values for argument {name!r}")
+            legacy[name] = value
+        warn_deprecated(
+            "BATDataset.query(" + ", ".join(sorted(legacy)) + ")",
+            "pass a repro.QueryRequest (returns a QueryResult)",
+            stacklevel=4,
+        )
+        plan = legacy.pop("plan", plan)
+        callback = legacy.pop("callback", callback)
+        if "attributes" in legacy:
+            legacy["columns"] = legacy.pop("attributes")
+        return QueryRequest(**legacy), plan, callback
+
+    def _query_request(
+        self, req: QueryRequest, plan: QueryPlan | None = None, callback=None
+    ) -> QueryResult:
+        """Execute one :class:`QueryRequest` across every candidate leaf.
+
+        Same semantics as :func:`repro.bat.query.query_file`, with the
+        planner pruning which leaf files get touched at all. Candidate
+        files fan out across the dataset's executor (callback queries
+        stay serial so the callback observes file order); results and
+        stats are merged in file order, so every executor returns
+        identical output.
+
+        ``req.on_error`` decides what a corrupt or missing leaf file
+        does: ``"raise"`` surfaces a clear
+        :class:`~repro.errors.LeafUnavailableError` /
+        :class:`~repro.errors.IntegrityError` naming the leaf and
+        dataset; ``"degrade"`` quarantines the leaf and returns the
+        partial result from the surviving files, with
+        ``stats.quarantined_files`` counting what the query did not see.
+        Only corruption and absence degrade — user errors (bad quality,
+        unknown filter attribute) always raise.
+        """
+        on_error = req.on_error
+        box = req.box
+        filters = req.filters
+        attributes = list(req.columns) if req.columns is not None else None
         if plan is None:
             plan = self.plan(box, filters)
         elif plan.box != box or plan.filters != filters:
-            raise ValueError("plan was built for a different box/filters shape")
+            raise InvalidRequestError(
+                "plan was built for a different box/filters shape"
+            )
         kwargs = dict(
-            quality=quality,
-            prev_quality=prev_quality,
+            quality=req.quality,
+            prev_quality=req.prev_quality,
             filters=filters,
             attributes=attributes,
-            engine=engine,
+            engine=req.engine,
         )
         newly_failed = 0
         indexed_stats: list[tuple[int, QueryStats]] = []
@@ -295,13 +352,13 @@ class BATDataset:
         stats.pruned_files += plan.pruned_files
         stats.quarantined_files += plan.excluded_files + newly_failed
         if callback is not None:
-            return None, stats
+            return QueryResult(batch=None, stats=stats)
         if not parts:
             specs = self.attribute_specs()
             if attributes is not None:
                 specs = [sp for sp in specs if sp.name in attributes]
-            return ParticleBatch.empty(specs), stats
-        return ParticleBatch.concatenate(parts), stats
+            return QueryResult(batch=ParticleBatch.empty(specs), stats=stats)
+        return QueryResult(batch=ParticleBatch.concatenate(parts), stats=stats)
 
     def _leaf_failed(self, leaf_index: int, kind: str, message: str,
                      on_error: str) -> None:

@@ -21,7 +21,7 @@ so scaling studies can also run counts-only (DESIGN.md §5).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
@@ -73,6 +73,12 @@ class _LeafSummary:
     nbytes: int
     #: publish attempts this leaf file needed (1 = first try verified clean)
     attempts: int = 1
+    #: treelet payload bytes before/after per-column encoding (equal for
+    #: raw-layout builds) — feeds WriteReport compression accounting
+    payload_raw_bytes: int = 0
+    payload_encoded_bytes: int = 0
+    #: column name -> codec id the build chose (empty for v2/v3 builds)
+    codec_table: dict = field(default_factory=dict)
 
 
 def _build_leaf(layout_name: str, cfg, publish_cfg, item) -> _LeafSummary:
@@ -105,6 +111,9 @@ def _build_leaf(layout_name: str, cfg, publish_cfg, item) -> _LeafSummary:
         attr_binnings=built.attr_binnings,
         nbytes=built.nbytes,
         attempts=attempts,
+        payload_raw_bytes=getattr(built, "payload_raw_bytes", 0),
+        payload_encoded_bytes=getattr(built, "payload_encoded_bytes", 0),
+        codec_table=dict(getattr(built, "codec_table", {}) or {}),
     )
 
 
@@ -123,6 +132,20 @@ class WriteReport:
     plan: object = None
     #: what was injected and recovered from, when fault injection is on
     faults: FaultReport | None = None
+    #: treelet payload bytes before/after per-column encoding, summed over
+    #: every leaf build (equal unless the build config enables codecs)
+    payload_raw_bytes: int = 0
+    payload_encoded_bytes: int = 0
+    #: column name -> codec id (the per-file choice of the first leaf that
+    #: reported one; files may differ when sampling diverges per leaf)
+    codec_table: dict = field(default_factory=dict)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw/encoded payload ratio (1.0 when codecs are off)."""
+        if self.payload_encoded_bytes <= 0:
+            return 1.0
+        return self.payload_raw_bytes / self.payload_encoded_bytes
 
     @property
     def bandwidth(self) -> float:
@@ -296,6 +319,8 @@ class TwoPhaseWriter:
 
         # Functional aggregation: concatenate member batches per leaf.
         built = None
+        payload_raw = payload_enc = 0
+        codec_table: dict = {}
         leaf_batches: list[ParticleBatch] | None = None
         if data.materialized:
             leaf_batches = [
@@ -356,6 +381,10 @@ class TwoPhaseWriter:
                 leaf_binnings.append(bb.attr_binnings)
                 write_sizes[leaf.aggregator] += bb.nbytes
                 file_sizes[i] = bb.nbytes
+                payload_raw += bb.payload_raw_bytes
+                payload_enc += bb.payload_encoded_bytes
+                if not codec_table and bb.codec_table:
+                    codec_table = dict(bb.codec_table)
                 if fault_report is not None:
                     self._tally_attempts(
                         fault_report, plans[i], bb.attempts, leaf, bb.nbytes, retry_sizes
@@ -421,6 +450,9 @@ class TwoPhaseWriter:
             metadata_path=metadata_path,
             plan=plan,
             faults=fault_report,
+            payload_raw_bytes=payload_raw,
+            payload_encoded_bytes=payload_enc,
+            codec_table=codec_table,
         )
 
     @staticmethod

@@ -3,7 +3,8 @@
 The serving cache hierarchy has three layers, cheapest miss first:
 
 - **result cache** (this module) — whole :class:`~repro.types.ParticleBatch`
-  responses keyed by ``(step, box, filters, prev_quality, quality)``. A hit
+  responses keyed by ``(step, box, filters, prev_quality, quality,
+  columns)``. A hit
   skips planning and traversal entirely. Entries expire after ``ttl``
   seconds (time-series data may be rewritten in place by a restarted
   simulation) and the least-recently-used entry is evicted past
@@ -32,13 +33,21 @@ from ..types import ParticleBatch
 __all__ = ["ResultCache", "result_key"]
 
 
-def result_key(step, box, filters, prev_quality: float, quality: float) -> tuple:
+def result_key(
+    step, box, filters, prev_quality: float, quality: float, columns=None
+) -> tuple:
     """The full identity of one progressive-increment response.
 
     ``prev_quality`` is part of the key: the increment ``0.3 → 0.7`` and
-    the direct ``0 → 0.7`` read are different byte streams.
+    the direct ``0 → 0.7`` read are different byte streams. ``columns``
+    (the request's materialized-attribute selection, ``None`` for all) is
+    part of the key too — the same traversal with fewer columns is a
+    different payload.
     """
-    return (step, box, tuple(filters), float(prev_quality), float(quality))
+    return (
+        step, box, tuple(filters), float(prev_quality), float(quality),
+        None if columns is None else tuple(columns),
+    )
 
 
 class ResultCache:

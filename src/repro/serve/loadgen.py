@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api import QueryRequest
 from ..bat.query import AttributeFilter
 from ..types import Box
 from .scheduler import AdmissionRejected
@@ -168,7 +169,10 @@ def run_load(
                     t0 = time.perf_counter()
                     try:
                         resp = service.request(
-                            sid, op.quality, box=op.box, filters=op.filters
+                            sid,
+                            QueryRequest(
+                                quality=op.quality, box=op.box, filters=op.filters
+                            ),
                         )
                     except AdmissionRejected:
                         with lock:
@@ -224,7 +228,9 @@ def verify_identity_samples(dataset, samples) -> int:
     """
     for step, box, filters, prev_q, served_q, digest in samples:
         batch, _ = dataset.query(
-            quality=served_q, prev_quality=prev_q, box=box, filters=filters
+            QueryRequest(
+                quality=served_q, prev_quality=prev_q, box=box, filters=filters
+            )
         )
         if _digest(batch) != digest:
             raise AssertionError(

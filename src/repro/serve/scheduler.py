@@ -31,6 +31,8 @@ import time
 from collections import Counter
 from dataclasses import dataclass
 
+from ..errors import AdmissionRejected
+
 __all__ = [
     "AdmissionRejected",
     "SchedulerClosed",
@@ -45,15 +47,6 @@ __all__ = [
 PRIORITY_INTERACTIVE = 0
 #: runs after: cold full-quality scans
 PRIORITY_BULK = 1
-
-
-class AdmissionRejected(RuntimeError):
-    """The scheduler refused a request at its admission bound."""
-
-    def __init__(self, reason: str, queue_depth: int):
-        super().__init__(reason)
-        self.reason = reason
-        self.queue_depth = queue_depth
 
 
 class SchedulerClosed(RuntimeError):

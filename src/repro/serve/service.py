@@ -33,9 +33,10 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
+from ..api import QueryRequest, warn_deprecated
 from ..bat.filecache import DEFAULT_CAPACITY, BATFileCache
 from ..core.dataset import BATDataset
 from ..types import Box, ParticleBatch
@@ -86,6 +87,7 @@ class ServeSession:
     step: int = 0
     box: Box | None = None
     filters: tuple = ()
+    columns: tuple | None = None
     delivered_quality: float = 0.0
     bytes_sent: int = 0
     requests: int = 0
@@ -93,8 +95,13 @@ class ServeSession:
     #: serializes this session's requests across scheduler workers
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
-    def matches(self, step, box, filters) -> bool:
-        return self.step == step and self.box == box and self.filters == tuple(filters)
+    def matches(self, step, box, filters, columns=None) -> bool:
+        return (
+            self.step == step
+            and self.box == box
+            and self.filters == tuple(filters)
+            and self.columns == columns
+        )
 
 
 @dataclass
@@ -232,38 +239,75 @@ class QueryService:
 
     # -- requests ----------------------------------------------------------------
 
-    def _priority(self, sess: ServeSession, quality, step, box, filters) -> int:
+    def _priority(self, sess: ServeSession, req: QueryRequest, step) -> int:
         """Refinements of a held view and cheap first paints go first."""
-        if quality <= self.config.interactive_quality:
+        if req.quality <= self.config.interactive_quality:
             return PRIORITY_INTERACTIVE
-        if sess.matches(step, box, filters) and sess.delivered_quality > 0.0:
+        if (
+            sess.matches(step, req.box, req.filters, req.columns)
+            and sess.delivered_quality > 0.0
+        ):
             return PRIORITY_INTERACTIVE
         return PRIORITY_BULK
+
+    @staticmethod
+    def _coerce_legacy_request(method: str, request, legacy: dict) -> QueryRequest:
+        """Map the pre-``QueryRequest`` call form onto a request object."""
+        warn_deprecated(
+            f"QueryService.{method}(" + ", ".join(sorted(
+                (["quality"] if request is not None else []) + sorted(legacy)
+            )) + ")",
+            "pass a repro.QueryRequest",
+            stacklevel=4,
+        )
+        if "quality" in legacy:
+            if request is not None:
+                raise TypeError(f"{method}() got multiple values for 'quality'")
+            request = legacy.pop("quality")
+        if request is None:
+            raise TypeError(f"{method}() missing a QueryRequest (or legacy quality)")
+        req = QueryRequest(
+            quality=request,
+            box=legacy.pop("box", None),
+            filters=tuple(legacy.pop("filters", ())),
+        )
+        if legacy:
+            name = next(iter(legacy))
+            raise TypeError(f"{method}() got an unexpected keyword argument {name!r}")
+        return req
 
     def submit(
         self,
         session_id: int,
-        quality: float,
-        box: Box | None = None,
-        filters=(),
+        request: QueryRequest | float | None = None,
+        *,
         step: int | None = None,
+        **legacy,
     ) -> Ticket:
         """Admit one progressive request; the ticket resolves to a
         :class:`ServeResponse`. Raises
         :class:`~repro.serve.scheduler.AdmissionRejected` past the bounds
         (the rejection is recorded on the metrics surface).
+
+        Takes a :class:`~repro.api.QueryRequest`; the pre-1.x form
+        (``submit(sid, quality, box=..., filters=...)``) still works as a
+        deprecated shim.
         """
+        if not isinstance(request, QueryRequest):
+            request = self._coerce_legacy_request("submit", request, legacy)
+        elif legacy:
+            name = next(iter(legacy))
+            raise TypeError(f"submit() got an unexpected keyword argument {name!r}")
         sess = self.session(session_id)
-        filters = tuple(filters)
         step = sess.step if step is None else step
         span = RequestSpan(
-            session_id=session_id, seq=0, requested_quality=quality,
+            session_id=session_id, seq=0, requested_quality=request.quality,
         )
-        priority = self._priority(sess, quality, step, box, filters)
+        priority = self._priority(sess, request, step)
         span.priority = priority
 
         def fn(ticket):
-            return self._execute(ticket, sess, span, quality, step, box, filters)
+            return self._execute(ticket, sess, span, request, step)
 
         try:
             ticket = self.scheduler.submit(fn, session_id=session_id, priority=priority)
@@ -278,31 +322,37 @@ class QueryService:
     def request(
         self,
         session_id: int,
-        quality: float,
-        box: Box | None = None,
-        filters=(),
+        request: QueryRequest | float | None = None,
+        *,
         step: int | None = None,
         timeout: float | None = None,
+        **legacy,
     ) -> ServeResponse:
         """Synchronous :meth:`submit` — blocks until the response is ready."""
-        return self.submit(session_id, quality, box=box, filters=filters, step=step).result(
-            timeout
-        )
+        if not isinstance(request, QueryRequest):
+            request = self._coerce_legacy_request("request", request, legacy)
+        elif legacy:
+            name = next(iter(legacy))
+            raise TypeError(f"request() got an unexpected keyword argument {name!r}")
+        return self.submit(session_id, request, step=step).result(timeout)
 
     # -- the worker-side hot path ----------------------------------------------
 
-    def _execute(self, ticket, sess: ServeSession, span, quality, step, box, filters):
+    def _execute(self, ticket, sess: ServeSession, span, req: QueryRequest, step):
         t_start = self._clock()
         span.wait_seconds = ticket.wait_seconds
         sched = self.scheduler
+        quality = req.quality
+        box, filters, columns = req.box, req.filters, req.columns
         with sess.lock:
             span.queue_depth = sched.queue_depth + sched.in_flight
             # a view change restarts the progression before degradation
             # is even consulted — the old increments are for another view
-            if not sess.matches(step, box, filters):
+            if not sess.matches(step, box, filters, columns):
                 sess.step = step
                 sess.box = box
                 sess.filters = filters
+                sess.columns = columns
                 sess.delivered_quality = 0.0
             prev = sess.delivered_quality
             span.prev_quality = prev
@@ -317,11 +367,14 @@ class QueryService:
             if effective <= prev:
                 # nothing new to send at this ceiling (already-delivered
                 # data is never re-sent, degraded or not)
-                batch = ParticleBatch.empty(ds.attribute_specs())
+                specs = ds.attribute_specs()
+                if columns is not None:
+                    specs = [sp for sp in specs if sp.name in columns]
+                batch = ParticleBatch.empty(specs)
                 served = prev
                 cache_hit = False
             else:
-                key = result_key(step, box, filters, prev, effective)
+                key = result_key(step, box, filters, prev, effective, columns)
                 batch = self.results.get(key)
                 cache_hit = batch is not None
                 if batch is None:
@@ -333,12 +386,13 @@ class QueryService:
                     # of failing the request: the dataset quarantines them
                     # and returns what the surviving files hold
                     batch, qstats = ds.query(
-                        quality=effective,
-                        prev_quality=prev,
-                        box=box,
-                        filters=filters,
+                        replace(
+                            req,
+                            quality=effective,
+                            prev_quality=prev,
+                            on_error="degrade",
+                        ),
                         plan=plan,
-                        on_error="degrade",
                     )
                     span.traverse_seconds = self._clock() - t0
                     span.quarantined_files = qstats.quarantined_files

@@ -9,6 +9,7 @@ volume: if a fraction *f* of particles is shown, each is drawn with radius
 
 from __future__ import annotations
 
+from ..api import QueryRequest
 
 __all__ = ["lod_radius", "quality_progression"]
 
@@ -32,7 +33,7 @@ def quality_progression(dataset, qualities=(0.2, 0.4, 0.8), base_radius: float =
     total = dataset.total_particles
     out = []
     for q in qualities:
-        batch, stats = dataset.query(quality=q)
+        batch, stats = dataset.query(QueryRequest(quality=q))
         n = len(batch)
         frac = n / total if total else 0.0
         out.append(

@@ -20,6 +20,7 @@ to turn it on.
 
 from __future__ import annotations
 
+from ..api import QueryRequest
 from ..serve.degrade import DegradationConfig
 from ..serve.service import QueryService, ServeConfig, ServeSession
 from ..types import Box, ParticleBatch
@@ -86,7 +87,8 @@ class ProgressiveStreamServer:
         progression restarts from zero. If ``quality`` is at or below what
         was already delivered for the same view, the increment is empty.
         """
-        return self.service.request(session_id, quality, box=box, filters=filters).batch
+        req = QueryRequest(quality=quality, box=box, filters=tuple(filters))
+        return self.service.request(session_id, req).batch
 
     def stats(self) -> dict:
         """The serve-layer metrics surface for this server."""

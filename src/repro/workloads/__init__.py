@@ -20,12 +20,13 @@ from .dam_break import DamBreak
 from .decomposition import grid_decompose, grid_dims
 from .injection import InjectionSim
 from .swe import ShallowWaterSim
-from .uniform import uniform_rank_data
+from .uniform import compressible_rank_data, uniform_rank_data
 
 __all__ = [
     "grid_dims",
     "grid_decompose",
     "uniform_rank_data",
+    "compressible_rank_data",
     "CoalBoiler",
     "InjectionSim",
     "ShallowWaterSim",

@@ -18,6 +18,7 @@ __all__ = [
     "N_ATTRIBUTES",
     "BYTES_PER_PARTICLE",
     "uniform_rank_data",
+    "compressible_rank_data",
 ]
 
 PARTICLES_PER_RANK = 32_768
@@ -57,6 +58,67 @@ def uniform_rank_data(
         pos = lo + rng.random((particles_per_rank, 3)) * (hi - lo)
         attrs = {
             f"attr{a:02d}": rng.random(particles_per_rank) for a in range(n_attributes)
+        }
+        batches.append(ParticleBatch(pos.astype(np.float32), attrs))
+    return RankData(bounds=bounds, counts=counts, batches=batches)
+
+
+def compressible_rank_data(
+    nranks: int,
+    particles_per_rank: int = 16_384,
+    domain: Box | None = None,
+    seed: int = 0,
+) -> RankData:
+    """Structured particles with realistically compressible columns.
+
+    Simulation outputs are rarely uniform noise: particles sit on near-
+    regular lattices, identifiers are sequential, categorical attributes
+    come from small alphabets, and measured fields carry limited
+    precision. This workload models that mix so the codec layer has
+    something honest to chew on:
+
+    - ``positions`` — a jittered lattice filling each rank's block,
+      snapped to a fine power-of-two grid (limited output precision);
+    - ``id`` — globally sequential int64 (delta+bitpack's best case);
+    - ``species`` — ints from an 8-symbol alphabet;
+    - ``temp`` — a smooth field rounded to a coarse measurement grid;
+    - ``rho`` — full-precision random floats (incompressible control:
+      the sampler must leave this column ``raw``).
+    """
+    if nranks <= 0 or particles_per_rank < 0:
+        raise ValueError("nranks must be positive and particles_per_rank >= 0")
+    domain = domain or Box((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+    bounds = grid_decompose(domain, nranks, ndims=3)
+    counts = np.full(nranks, particles_per_rank, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    batches = []
+    side = max(int(round(particles_per_rank ** (1.0 / 3.0))), 1)
+    for r in range(nranks):
+        lo, hi = bounds[r]
+        # jittered lattice: regular structure + small noise, like a
+        # relaxed SPH/MD configuration
+        axes = [np.linspace(lo[d], hi[d], side, endpoint=False) for d in range(3)]
+        gx, gy, gz = np.meshgrid(*axes, indexing="ij")
+        lattice = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1)
+        reps = particles_per_rank // len(lattice) + 1
+        pos = np.tile(lattice, (reps, 1))[:particles_per_rank]
+        pos = pos + rng.random((particles_per_rank, 3)) * (hi - lo) * 0.01
+        # snap to a 2^-13 grid: exact in binary, so float32 coordinates
+        # draw from a small alphabet the way fixed-precision outputs do
+        pos = np.floor(pos * 8192.0) / 8192.0
+        pos = np.clip(pos, lo, np.nextafter(hi, lo, dtype=np.float64))
+        ids = np.arange(
+            r * particles_per_rank, (r + 1) * particles_per_rank, dtype=np.int64
+        )
+        species = rng.integers(0, 8, particles_per_rank).astype(np.int64)
+        smooth = 300.0 + 50.0 * np.sin(pos[:, 0] * 6.0) * np.cos(pos[:, 1] * 4.0)
+        temp = (np.round(smooth / 0.25) * 0.25).astype(np.float32)
+        rho = rng.random(particles_per_rank)
+        attrs = {
+            "id": ids,
+            "species": species,
+            "temp": temp,
+            "rho": rho,
         }
         batches.append(ParticleBatch(pos.astype(np.float32), attrs))
     return RankData(bounds=bounds, counts=counts, batches=batches)

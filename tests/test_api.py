@@ -1,0 +1,211 @@
+"""Tests for the unified query API: open_dataset / QueryRequest / QueryResult.
+
+Covers the public-surface contract (every ``repro.__all__`` name imports
+and is documented), the deprecation shims (old keyword/positional query
+forms warn exactly once per form and return byte-identical results), and
+request validation.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import QueryRequest, QueryResult, open_dataset
+from repro.api import _reset_deprecation_warnings
+from repro.bat import AttributeFilter
+from repro.core import TwoPhaseWriter
+from repro.errors import InvalidRequestError, ReproError
+from repro.machines import testing_machine as make_test_machine
+from repro.serve import QueryService, ServeConfig
+from repro.types import Box
+from tests.test_pipeline import make_rank_data
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    data = make_rank_data(nranks=16, seed=11)
+    out = tmp_path_factory.mktemp("api-ds")
+    writer = TwoPhaseWriter(make_test_machine(), target_size=128 * 1024)
+    report = writer.write(data, out_dir=out, name="vis")
+    with open_dataset(report.metadata_path) as ds:
+        yield ds
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warnings():
+    _reset_deprecation_warnings()
+    yield
+    _reset_deprecation_warnings()
+
+
+# -- public surface ---------------------------------------------------------
+
+
+def test_all_names_importable_and_documented():
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        assert obj is not None, name
+        doc = getattr(obj, "__doc__", None)
+        assert doc and doc.strip(), f"repro.{name} has no docstring"
+
+
+def test_error_hierarchy_exported():
+    from repro.errors import (
+        AdmissionRejected,
+        CodecError,
+        IntegrityError,
+        LeafUnavailableError,
+        PublishError,
+    )
+
+    for exc in (
+        IntegrityError,
+        LeafUnavailableError,
+        PublishError,
+        AdmissionRejected,
+        CodecError,
+        InvalidRequestError,
+    ):
+        assert issubclass(exc, ReproError)
+
+
+# -- QueryRequest validation ------------------------------------------------
+
+
+def test_request_validates_quality():
+    with pytest.raises(InvalidRequestError):
+        QueryRequest(quality=-0.1)
+    with pytest.raises(InvalidRequestError):
+        QueryRequest(quality=1.5)
+    with pytest.raises(InvalidRequestError):
+        QueryRequest(quality=0.5, prev_quality=0.6)
+    QueryRequest(quality=0.0)  # empty read: valid, progressive loops start here
+
+
+def test_request_validates_on_error():
+    with pytest.raises(InvalidRequestError, match="on_error"):
+        QueryRequest(on_error="explode")
+    # InvalidRequestError stays catchable as ValueError for old callers
+    with pytest.raises(ValueError):
+        QueryRequest(on_error="explode")
+
+
+def test_request_is_hashable_and_normalizes_sequences():
+    req = QueryRequest(filters=[AttributeFilter("temp", 0.0, 1.0)], columns=["temp"])
+    assert isinstance(req.filters, tuple)
+    assert req.columns == ("temp",)
+    assert hash(req) == hash(
+        QueryRequest(filters=(AttributeFilter("temp", 0.0, 1.0),), columns=("temp",))
+    )
+
+
+def test_result_unpacks_like_a_tuple(dataset):
+    res = dataset.query(QueryRequest(quality=0.5))
+    assert isinstance(res, QueryResult)
+    batch, stats = res
+    assert batch is res.batch and stats is res.stats
+    assert len(res) == len(batch)
+
+
+# -- deprecation shims ------------------------------------------------------
+
+
+def test_legacy_kwargs_warn_once_and_match(dataset):
+    box = Box((0.0, 0.0, 0.0), (2.0, 2.0, 1.0))
+    with pytest.warns(DeprecationWarning, match="QueryRequest"):
+        old_batch, old_stats = dataset.query(quality=0.5, box=box)
+    # same form again: silent
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        old2, _ = dataset.query(quality=0.5, box=box)
+    new = dataset.query(QueryRequest(quality=0.5, box=box))
+    assert old_batch.positions.tobytes() == new.batch.positions.tobytes()
+    assert old2.positions.tobytes() == new.batch.positions.tobytes()
+    for name in new.batch.attributes:
+        assert old_batch.attributes[name].tobytes() == new.batch.attributes[name].tobytes()
+    assert old_stats.points_returned == new.stats.points_returned
+
+
+def test_legacy_positional_quality_warns_and_matches(dataset):
+    with pytest.warns(DeprecationWarning):
+        old_batch, _ = dataset.query(0.5)
+    new = dataset.query(QueryRequest(quality=0.5))
+    assert old_batch.positions.tobytes() == new.batch.positions.tobytes()
+
+
+def test_legacy_attributes_kwarg_maps_to_columns(dataset):
+    with pytest.warns(DeprecationWarning):
+        old_batch, _ = dataset.query(attributes=["temp"])
+    new = dataset.query(QueryRequest(columns=("temp",)))
+    assert set(old_batch.attributes) == set(new.batch.attributes) == {"temp"}
+    assert old_batch.attributes["temp"].tobytes() == new.batch.attributes["temp"].tobytes()
+
+
+def test_distinct_legacy_forms_each_warn(dataset):
+    with pytest.warns(DeprecationWarning):
+        dataset.query(quality=0.5)
+    with pytest.warns(DeprecationWarning):
+        dataset.query(quality=0.5, filters=(AttributeFilter("temp", 0.0, 0.5),))
+
+
+def test_unknown_legacy_kwarg_rejected(dataset):
+    with pytest.raises(TypeError):
+        dataset.query(qualtiy=0.5)  # typo must not be silently dropped
+
+
+def test_bare_query_still_works_without_warning(dataset):
+    """`batch, stats = ds.query()` (no legacy kwargs) is the new form."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        batch, stats = dataset.query()
+    assert len(batch) == dataset.total_particles
+    assert stats.points_returned == len(batch)
+
+
+def test_columns_selection_roundtrip(dataset):
+    res = dataset.query(QueryRequest(columns=("mass",)))
+    assert set(res.batch.attributes) == {"mass"}
+    full = dataset.query(QueryRequest())
+    assert res.batch.attributes["mass"].tobytes() == full.batch.attributes["mass"].tobytes()
+
+
+# -- serve-layer shims ------------------------------------------------------
+
+
+def test_serve_legacy_request_warns_once_and_matches(dataset):
+    svc = QueryService(dataset.metadata_path, ServeConfig(capacity=1))
+    try:
+        sid = svc.open_session()
+        with pytest.warns(DeprecationWarning, match="QueryRequest"):
+            legacy = svc.request(sid, quality=0.4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            svc.request(sid, quality=0.4)
+        sid2 = svc.open_session()
+        new = svc.request(sid2, QueryRequest(quality=0.4))
+        assert legacy.batch.positions.tobytes() == new.batch.positions.tobytes()
+    finally:
+        svc.close()
+
+
+def test_serve_rejects_mixed_request_and_legacy_kwargs(dataset):
+    svc = QueryService(dataset.metadata_path, ServeConfig(capacity=1))
+    try:
+        sid = svc.open_session()
+        with pytest.raises(TypeError):
+            svc.request(sid, QueryRequest(quality=0.5), quality=0.5)
+    finally:
+        svc.close()
+
+
+# -- open_dataset -----------------------------------------------------------
+
+
+def test_open_dataset_context_manager(tmp_path):
+    data = make_rank_data(nranks=4, seed=3)
+    writer = TwoPhaseWriter(make_test_machine(), target_size=128 * 1024)
+    report = writer.write(data, out_dir=tmp_path, name="vis")
+    with open_dataset(report.metadata_path) as ds:
+        res = ds.query(QueryRequest())
+        assert len(res) == ds.total_particles

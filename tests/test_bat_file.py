@@ -175,7 +175,7 @@ class TestBATFile:
                     assert 0 <= bm <= 0xFFFFFFFF
 
     def test_size_mismatch_detected(self, bat_path, tmp_path):
-        data = open(bat_path, "rb").read()
+        data = bat_path.read_bytes()
         bad = tmp_path / "bad.bat"
         bad.write_bytes(data + b"extra")
         with pytest.raises(ValueError, match="mismatch"):

@@ -6,6 +6,7 @@ byte-identical files, read-side quarantine with degraded partial results,
 the serve layer's integrity counters, and the ``repro scrub`` CLI.
 """
 
+import gc
 import hashlib
 import json
 import os
@@ -167,6 +168,9 @@ class TestCorruptOpenHygiene:
         p.write_bytes(payload)
         with pytest.raises(ValueError):
             BATFile(p)
+        # flush stray garbage from earlier tests so a finalizer closing an
+        # unrelated fd mid-loop cannot skew the count
+        gc.collect()
         before = open_fd_count()
         for _ in range(100):
             with pytest.raises(ValueError):

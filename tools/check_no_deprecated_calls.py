@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Fail if internal code still calls the deprecated pre-QueryRequest shims.
+
+The legacy forms — ``ds.query(quality=..., box=...)``,
+``service.request(sid, quality, ...)`` — are kept only for external
+callers; everything under ``src/repro`` must construct a
+:class:`repro.QueryRequest`. This script walks the AST of every module
+and flags any ``.query(...)`` / ``.request(...)`` / ``.submit(...)``
+method call that passes one of the legacy query keywords directly, which
+is exactly the signature the shims deprecate.
+
+Exit status 0 when clean; 1 with a ``path:line`` listing otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: methods that grew a QueryRequest-first signature in v4
+SHIMMED_METHODS = {"query", "request", "submit", "query_over_time"}
+
+#: keywords that only the deprecated signatures accept directly
+LEGACY_KEYWORDS = {"quality", "prev_quality", "attributes"}
+
+
+def find_violations(root: Path) -> list[tuple[Path, int, str]]:
+    violations = []
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in SHIMMED_METHODS:
+                continue
+            used = {kw.arg for kw in node.keywords if kw.arg} & LEGACY_KEYWORDS
+            if used:
+                violations.append(
+                    (path, node.lineno, f".{func.attr}(... {', '.join(sorted(used))}=...)")
+                )
+    return violations
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("src/repro")
+    violations = find_violations(root)
+    for path, line, what in violations:
+        print(f"{path}:{line}: deprecated call form {what}; pass a repro.QueryRequest")
+    if violations:
+        print(f"\n{len(violations)} internal caller(s) still use deprecated shims")
+        return 1
+    print(f"OK: no internal callers of deprecated query shims under {root}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
