@@ -70,8 +70,14 @@ class QueryRequest:
     request loads the data between the two quality levels, so
     ``QueryRequest(quality=0.7, prev_quality=0.3)`` is the refinement a
     viewer issues after already holding the 0.3 view. ``columns`` names
-    the attribute columns to materialize (``None`` means all); on a v4
-    file, unrequested columns are never even decoded. ``on_error``
+    the columns to materialize (``None`` means all); on a v4 file,
+    unrequested columns are never even decoded. An explicit selection may
+    include the pseudo-column ``"positions"``; leaving it out projects
+    positions away too — the result batch then has ``positions=None`` and
+    carries its row count in ``batch.count``, and on v4 files the
+    position payload is only decoded where a box test needs it (so
+    ``QueryRequest(columns=("temp",))`` decodes roughly just the ``temp``
+    column). ``on_error``
     chooses what a corrupt or missing leaf file does: ``"raise"`` (the
     default) or ``"degrade"`` to quarantine it and return the partial
     result from the surviving files.

@@ -21,7 +21,7 @@ from ..bitmaps import BitmapDictionary
 from ..morton import MAX_BITS, encode_positions
 from ..types import Box, ParticleBatch
 from .build import DEFAULT_SUBPREFIX_BITS, build_radix_tree, shallow_tree_leaves
-from .codecs import encode_column, select_codecs
+from .codecs import get_codec, select_codecs
 from .format import (
     CODEC_VERSION,
     FLAG_COLUMN_CODECS,
@@ -427,12 +427,32 @@ def build_bat(batch: ParticleBatch, config: BATBuildConfig | None = None) -> Bui
     # every treelet of a leaf uses the same codec per column and the choice
     # is a pure function of the input batch (executor-independent bytes).
     codec_map: dict[str, str] = {}
+    encoded_cols: dict[str, list[tuple[bytes, float, float]]] = {}
+    codec_wire_names: dict[str, bytes] = {}
     if use_codecs:
         pos_source = quantized_all if quantized_all is not None else positions_no
         file_columns = {"nodes": all_nodes, "positions": pos_source}
         for name in attr_names:
             file_columns[name] = attrs_no[name]
         codec_map = select_codecs(file_columns, config.codecs, config.codec_floor_mbs)
+        # Encode each whole-file column once, batched across treelets, so
+        # per-treelet Python/struct overhead is amortized (the delta codec
+        # shares one diff/zigzag pass over the entire column). Node records
+        # segment on node_starts; everything else is per-point.
+        segment_sources = {
+            "nodes": (all_nodes, node_starts),
+            "positions": (pos_source, pt_starts),
+        }
+        for name in attr_names:
+            segment_sources[name] = (attrs_no[name], pt_starts)
+        for cname, (source, seg_starts) in segment_sources.items():
+            codec = get_codec(codec_map[cname])
+            # the directory records the codec's wire name, which for
+            # parameterized specs (quantize_auto:<bound>) is not the spec
+            codec_wire_names[cname] = codec.name.encode()
+            encoded_cols[cname] = codec.encode_segments(
+                np.ascontiguousarray(source), seg_starts
+            )
 
     # Treelet blobs with page alignment.
     col_dir_dt = column_dir_dtype()
@@ -464,9 +484,8 @@ def build_bat(batch: ParticleBatch, config: BATBuildConfig | None = None) -> Bui
             payload_parts = []
             raw_nbytes = 0
             for i, (cname, arr) in enumerate(columns):
-                arr = np.ascontiguousarray(arr)
-                enc, p0, p1 = encode_column(codec_map[cname], arr)
-                col_dir[i]["codec"] = codec_map[cname].encode()
+                enc, p0, p1 = encoded_cols[cname][k]
+                col_dir[i]["codec"] = codec_wire_names[cname]
                 col_dir[i]["enc_nbytes"] = len(enc)
                 col_dir[i]["raw_nbytes"] = arr.nbytes
                 col_dir[i]["p0"] = p0

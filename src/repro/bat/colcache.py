@@ -1,0 +1,141 @@
+"""Byte-budgeted LRU cache of decoded treelet columns.
+
+The decoded-column tier sits between the plan/result caches and the
+:class:`~repro.bat.filecache.BATFileCache` file-handle tier: a v4 column
+payload that survives here is never run through its codec again, so
+repeated plans and progressive refinements touching the same treelets pay
+the decode cost once. Entries are keyed ``(path, treelet_id, column_slot)``
+— the slot is the treelet directory index (0 nodes, 1 positions, 2+
+attributes) — and hold the exact arrays the decode path produced (for the
+position slot, the final reshaped/dequantized ``(n, 3)`` float32 block),
+so a hit is byte-identical to a cold decode by construction. While a
+handle has this tier attached, its treelet views do *not* memoize
+decoded columns themselves: retention lives here, which is what makes
+the byte budget an actual bound on decoded memory.
+
+The budget is in *decoded* bytes (``arr.nbytes``), not encoded bytes:
+that is what the cache actually pins in memory. Eviction is strict LRU.
+All operations take one re-entrant lock so the serve layer's scheduler
+workers and the thread executor can share a single instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["DecodedColumnCache", "DEFAULT_COLUMN_CACHE_BYTES"]
+
+#: default byte budget (64 MiB) when a caller enables the tier without sizing it
+DEFAULT_COLUMN_CACHE_BYTES = 64 * 1024 * 1024
+
+
+class DecodedColumnCache:
+    """LRU over decoded column arrays with a hard byte budget.
+
+    ``get``/``put`` maintain hit/miss/eviction counters surfaced through
+    :meth:`stats`; :meth:`peek` is counter-pure (metrics endpoints can
+    probe without perturbing hit rates). :meth:`invalidate` drops every
+    entry of one file — the file-handle cache calls it whenever a
+    ``BATFile`` is evicted, dropped, or quarantined, so a rewritten or
+    corrupt file can never serve stale columns.
+    """
+
+    def __init__(self, budget_bytes: int = DEFAULT_COLUMN_CACHE_BYTES):
+        budget_bytes = int(budget_bytes)
+        if budget_bytes < 0:
+            raise ValueError("column cache budget must be >= 0")
+        self.budget_bytes = budget_bytes
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[tuple[str, int, int], np.ndarray] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- core --------------------------------------------------------------
+
+    def get(self, path: str, treelet: int, column: int):
+        """The cached array for one column, or ``None`` (counts hit/miss)."""
+        key = (str(path), int(treelet), int(column))
+        with self._lock:
+            arr = self._entries.get(key)
+            if arr is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return arr
+
+    def put(self, path: str, treelet: int, column: int, arr: np.ndarray) -> None:
+        """Insert one decoded column, evicting LRU entries over budget.
+
+        Arrays larger than the whole budget are not cached at all —
+        admitting one would immediately evict everything else for a single
+        entry that can never be amortized.
+        """
+        key = (str(path), int(treelet), int(column))
+        nbytes = int(arr.nbytes)
+        with self._lock:
+            if nbytes > self.budget_bytes:
+                return
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= int(old.nbytes)
+            self._entries[key] = arr
+            self._bytes += nbytes
+            while self._bytes > self.budget_bytes and self._entries:
+                _, victim = self._entries.popitem(last=False)
+                self._bytes -= int(victim.nbytes)
+                self.evictions += 1
+
+    def peek(self, path: str, treelet: int, column: int):
+        """Like :meth:`get` but touches neither counters nor LRU order."""
+        with self._lock:
+            return self._entries.get((str(path), int(treelet), int(column)))
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate(self, path: str) -> int:
+        """Drop every entry belonging to ``path``; returns entries removed."""
+        path = str(path)
+        with self._lock:
+            doomed = [k for k in self._entries if k[0] == path]
+            for k in doomed:
+                self._bytes -= int(self._entries.pop(k).nbytes)
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "budget_bytes": self.budget_bytes,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DecodedColumnCache(entries={len(self)}, bytes={self.nbytes}, "
+            f"budget={self.budget_bytes})"
+        )

@@ -9,9 +9,9 @@ the first pages of the file.
 from __future__ import annotations
 
 import mmap
+import threading
 import zlib
 from collections.abc import Mapping
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -71,7 +71,11 @@ class _LazyColumns(Mapping):
                 self._leaf, self._col_dir, self._starts, 2 + idx,
                 self._file.attr_dtypes[name], self._n_pts,
             )
-            self._cache[name] = arr
+            # with a DecodedColumnCache attached, *it* owns retention (and
+            # its byte budget must actually bound decoded memory); only
+            # cache-less handles memoize for their own lifetime
+            if self._file.column_cache is None:
+                self._cache[name] = arr
         return arr
 
     def __iter__(self):
@@ -84,22 +88,69 @@ class _LazyColumns(Mapping):
         return name in self._names
 
 
-@dataclass
 class TreeletView:
     """Zero-copy views into one treelet's region of the mapped file.
 
     ``attributes`` is a plain dict for v2/v3 files; for v4 files it is a
     lazy mapping that decodes a column the first time it is subscripted.
     Both support the full read-only mapping protocol.
+
+    For v4 files ``nodes`` and ``positions`` are lazy too: the treelet
+    header already carries ``n_points`` and ``max_depth``, so a full-speed
+    plan (no box test, no filters) can emit a whole treelet without ever
+    decoding its node records — or, under column projection, its position
+    block. Accessing the property triggers (and memoizes) the decode.
     """
 
-    nodes: np.ndarray  # structured treelet_node_dtype
-    positions: np.ndarray  # (n, 3) float32, node order
-    attributes: Mapping
-    max_depth: int
+    __slots__ = (
+        "_nodes", "_positions", "attributes", "max_depth", "_n_points",
+        "_nodes_thunk", "_positions_thunk", "_memoize",
+    )
+
+    def __init__(
+        self,
+        nodes: np.ndarray | None = None,
+        positions: np.ndarray | None = None,
+        attributes: Mapping | None = None,
+        max_depth: int = 0,
+        n_points: int | None = None,
+        nodes_thunk=None,
+        positions_thunk=None,
+        memoize: bool = True,
+    ):
+        self._nodes = nodes
+        self._positions = positions
+        self.attributes = attributes if attributes is not None else {}
+        self.max_depth = int(max_depth)
+        self._n_points = n_points
+        self._nodes_thunk = nodes_thunk
+        self._positions_thunk = positions_thunk
+        # views of a handle with a DecodedColumnCache attached do not
+        # memoize: retention (and the byte budget) belongs to that tier
+        self._memoize = bool(memoize)
+
+    @property
+    def nodes(self) -> np.ndarray:  # structured treelet_node_dtype
+        if self._nodes is not None:
+            return self._nodes
+        arr = self._nodes_thunk()
+        if self._memoize:
+            self._nodes = arr
+        return arr
+
+    @property
+    def positions(self) -> np.ndarray:  # (n, 3) float32, node order
+        if self._positions is not None:
+            return self._positions
+        arr = self._positions_thunk()
+        if self._memoize:
+            self._positions = arr
+        return arr
 
     @property
     def n_points(self) -> int:
+        if self._n_points is not None:
+            return self._n_points
         return len(self.positions)
 
 
@@ -173,8 +224,14 @@ class BATFile:
                 )
         self._footer = None
         self._treelet_crcs = None
+        # slicing an mmap copies; slicing one long-lived memoryview of it
+        # hands codecs zero-copy windows into the mapped pages instead
+        self._buf = memoryview(self._mm)
         #: column bytes materialized for queries so far (v4 decode accounting)
         self.decoded_bytes = 0
+        self._dbytes_lock = threading.Lock()
+        #: optional DecodedColumnCache attached by the file-handle cache
+        self.column_cache = None
         self._column_summary = None
         if h.version >= CHECKSUM_VERSION:
             try:
@@ -248,6 +305,13 @@ class BATFile:
         self.shallow_inner = None
         self.shallow_leaves = None
         self.dictionary = None
+        buf = getattr(self, "_buf", None)
+        if buf is not None:
+            try:
+                buf.release()
+            except BufferError:
+                pass  # exported to a live array; freed when it is collected
+            self._buf = None
         if getattr(self, "_mm", None) is not None:
             if isinstance(self._mm, mmap.mmap):
                 try:
@@ -424,11 +488,24 @@ class BATFile:
         self._column_summary = out
         return out
 
-    def _decode_treelet_column(self, leaf, col_dir, starts, idx, dtype, count):
-        """Decode directory slot ``idx`` of one v4 treelet to a flat array."""
+    def _decode_treelet_column(self, leaf, col_dir, starts, idx, dtype, count, transform=None):
+        """Decode directory slot ``idx`` of one v4 treelet to a flat array.
+
+        Consults the attached :class:`DecodedColumnCache` first; a hit
+        skips the codec (and ``transform``) entirely and does *not* count
+        toward ``decoded_bytes`` (the counter measures real decode work).
+        ``transform`` post-processes the raw codec output — the position
+        slot uses it to reshape/dequantize — and the cache stores the
+        *transformed* product, so hits skip that work too.
+        """
+        cache = self.column_cache
+        if cache is not None:
+            arr = cache.get(self.path, leaf, idx)
+            if arr is not None:
+                return arr
         d = col_dir[idx]
         codec_name = bytes(d["codec"]).rstrip(b"\0").decode()
-        buf = self._mm[int(starts[idx]) : int(starts[idx + 1])]
+        buf = self._buf[int(starts[idx]) : int(starts[idx + 1])]
         arr = decode_column(codec_name, buf, dtype, count, float(d["p0"]), float(d["p1"]))
         if arr.nbytes != int(d["raw_nbytes"]):
             raise IntegrityError(
@@ -436,7 +513,12 @@ class BATFile:
                 f"directory says {int(d['raw_nbytes'])} in {self.path}",
                 section=f"treelet {leaf}", path=self.path,
             )
-        self.decoded_bytes += arr.nbytes
+        with self._dbytes_lock:
+            self.decoded_bytes += arr.nbytes
+        if transform is not None:
+            arr = transform(arr)
+        if cache is not None:
+            cache.put(self.path, leaf, idx, arr)
         return arr
 
     def treelet(self, leaf: int) -> TreeletView:
@@ -521,9 +603,11 @@ class BATFile:
     def _treelet_v4(self, leaf, rec, off, head, n_nodes, n_pts, max_depth) -> TreeletView:
         """Build the view of a column-encoded (v4) treelet.
 
-        Nodes and positions decode eagerly — every traversal needs them —
-        while attribute columns go behind a :class:`_LazyColumns` mapping so
-        only the columns a query filters on or materializes ever decode.
+        *Everything* decodes lazily: node records and the position block go
+        behind thunks on the view (a full-speed plan under column
+        projection may need neither), and attribute columns go behind a
+        :class:`_LazyColumns` mapping so only the columns a query filters
+        on or materializes ever run through their codec.
         """
         n_cols = 2 + self.header.n_attrs
         dir_dt = column_dir_dtype()
@@ -538,19 +622,38 @@ class BATFile:
                 f"in {self.path}",
                 section=f"treelet {leaf}", path=self.path,
             )
-        nodes = self._decode_treelet_column(leaf, col_dir, starts, 0, self._node_dt, n_nodes)
-        pos_dt = np.dtype("<u2") if self.quantized else np.dtype("<f4")
-        flat = self._decode_treelet_column(leaf, col_dir, starts, 1, pos_dt, 3 * n_pts)
-        if self.quantized:
-            q = flat.reshape(n_pts, 3)
-            lo = np.asarray(rec["bbox"][:3], dtype=np.float64)
-            ext = np.maximum(np.asarray(rec["bbox"][3:], dtype=np.float64) - lo, 0.0)
-            positions = (lo + q.astype(np.float64) / 65535.0 * ext).astype(np.float32)
-        else:
-            positions = flat.reshape(n_pts, 3)
+
+        def nodes_thunk() -> np.ndarray:
+            return self._decode_treelet_column(
+                leaf, col_dir, starts, 0, self._node_dt, n_nodes
+            )
+
+        # copy the bbox floats out of the shallow-leaf record so the thunk
+        # holds plain values, not a structured view pinning the mapping
+        bbox = np.asarray(rec["bbox"], dtype=np.float64).copy()
+
+        def dequantize(flat: np.ndarray) -> np.ndarray:
+            if self.quantized:
+                q = flat.reshape(n_pts, 3)
+                lo = bbox[:3]
+                ext = np.maximum(bbox[3:] - lo, 0.0)
+                return (lo + q.astype(np.float64) / 65535.0 * ext).astype(np.float32)
+            return flat.reshape(n_pts, 3)
+
+        def positions_thunk() -> np.ndarray:
+            pos_dt = np.dtype("<u2") if self.quantized else np.dtype("<f4")
+            return self._decode_treelet_column(
+                leaf, col_dir, starts, 1, pos_dt, 3 * n_pts, transform=dequantize
+            )
+
         attrs = _LazyColumns(self, list(self.attr_names), col_dir, starts, n_pts, leaf)
         return TreeletView(
-            nodes=nodes, positions=positions, attributes=attrs, max_depth=max_depth
+            attributes=attrs,
+            max_depth=max_depth,
+            n_points=n_pts,
+            nodes_thunk=nodes_thunk,
+            positions_thunk=positions_thunk,
+            memoize=self.column_cache is None,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -20,6 +20,7 @@ import threading
 from collections import OrderedDict
 from pathlib import Path
 
+from .colcache import DEFAULT_COLUMN_CACHE_BYTES, DecodedColumnCache
 from .file import BATFile
 
 __all__ = ["BATFileCache", "DEFAULT_CAPACITY"]
@@ -43,12 +44,21 @@ class BATFileCache:
     (:meth:`stats`), so they must stay exact under concurrency.
     """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        column_cache_bytes: int = DEFAULT_COLUMN_CACHE_BYTES,
+    ):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = int(capacity)
         self._lock = threading.RLock()
         self._open: OrderedDict[str, BATFile] = OrderedDict()
+        #: decoded-column tier shared by every handle this cache opens;
+        #: a zero budget disables it (handles decode cold every time)
+        self.column_cache = (
+            DecodedColumnCache(column_cache_bytes) if column_cache_bytes > 0 else None
+        )
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -58,6 +68,17 @@ class BATFileCache:
         #: column bytes decoded by handles already evicted or dropped;
         #: :meth:`stats` adds the live handles' counters on top
         self._retired_decoded_bytes = 0
+
+    def _retire(self, f: BATFile) -> None:
+        """Account for a handle leaving the cache and drop its columns.
+
+        Column entries are invalidated because the path may be *rewritten*
+        before it is next opened (the writer's atomic replace) — decoded
+        columns must never outlive the handle that produced them.
+        """
+        self._retired_decoded_bytes += f.decoded_bytes
+        if self.column_cache is not None:
+            self.column_cache.invalidate(f.path)
 
     def __len__(self) -> int:
         with self._lock:
@@ -78,10 +99,11 @@ class BATFileCache:
             except Exception:
                 self.open_errors += 1
                 raise
+            f.column_cache = self.column_cache
             self._open[key] = f
             while len(self._open) > self.capacity:
                 _, victim = self._open.popitem(last=False)
-                self._retired_decoded_bytes += victim.decoded_bytes
+                self._retire(victim)
                 victim.close()
                 self.evictions += 1
             return f
@@ -101,7 +123,7 @@ class BATFileCache:
         with self._lock:
             f = self._open.pop(str(Path(path)), None)
             if f is not None:
-                self._retired_decoded_bytes += f.decoded_bytes
+                self._retire(f)
         if f is not None:
             f.close()
 
@@ -112,7 +134,7 @@ class BATFileCache:
             decoded = self._retired_decoded_bytes + sum(
                 f.decoded_bytes for f in self._open.values()
             )
-            return {
+            out = {
                 "open": len(self._open),
                 "capacity": self.capacity,
                 "hits": self.hits,
@@ -124,13 +146,17 @@ class BATFileCache:
                 #: the v4 decode-skipping story in one number
                 "decoded_bytes": decoded,
             }
+            if self.column_cache is not None:
+                out["decoded_columns"] = self.column_cache.stats()
+            return out
 
     def close(self) -> None:
         """Close every cached handle."""
         with self._lock:
             victims = list(self._open.values())
             self._open.clear()
-            self._retired_decoded_bytes += sum(f.decoded_bytes for f in victims)
+            for f in victims:
+                self._retire(f)
         for f in victims:
             f.close()
 

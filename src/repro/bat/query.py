@@ -148,6 +148,9 @@ class _QueryContext:
     callback: object = None
     #: names to materialize in the result; None = all
     attributes: tuple[str, ...] | None = None
+    #: False = column-projected read: positions are neither returned nor
+    #: decoded (unless a box test still needs them)
+    with_positions: bool = True
 
     def select_attrs(self, attrs) -> dict:
         # key-based so unselected lazy (v4) columns never decode
@@ -155,14 +158,21 @@ class _QueryContext:
             return {k: attrs[k] for k in attrs}
         return {k: attrs[k] for k in attrs if k in self.attributes}
 
-    def emit(self, positions: np.ndarray, attrs: dict[str, np.ndarray]) -> None:
-        if len(positions) == 0:
+    def emit(
+        self,
+        positions: np.ndarray | None,
+        attrs: dict[str, np.ndarray],
+        count: int | None = None,
+    ) -> None:
+        n = int(count) if positions is None else len(positions)
+        if n == 0:
             return
-        self.stats.points_returned += len(positions)
+        self.stats.points_returned += n
         if self.callback is not None:
             self.callback(positions, attrs)
             return
-        self.chunks_pos.append(np.asarray(positions))
+        if positions is not None:
+            self.chunks_pos.append(np.asarray(positions))
         for name, arr in attrs.items():
             self.chunks_attr.setdefault(name, []).append(np.asarray(arr))
 
@@ -176,6 +186,7 @@ def query_file(
     callback=None,
     attributes: list[str] | None = None,
     engine: str = "frontier",
+    with_positions: bool = True,
 ) -> tuple[ParticleBatch | None, QueryStats]:
     """Run one (progressive) visualization read against a BAT file.
 
@@ -189,6 +200,11 @@ def query_file(
     result — the array-per-attribute storage model means unrequested
     attributes are never touched (filter attributes are still read for the
     false-positive check but only returned if requested).
+
+    ``with_positions=False`` projects positions away too: the result batch
+    carries ``positions=None`` plus a row count, and on column-encoded
+    (v4) files the position block is only decoded where a box test still
+    needs it. Callbacks then receive ``None`` as their positions argument.
     """
     if prev_quality > quality:
         raise InvalidRequestError("prev_quality must be <= quality")
@@ -216,6 +232,7 @@ def query_file(
         e_new=quality_to_depth(quality, bat.max_treelet_depth),
         callback=callback,
         attributes=tuple(attributes) if attributes is not None else None,
+        with_positions=bool(with_positions),
     )
     ctx.stats.files_opened = 1
 
@@ -229,13 +246,15 @@ def query_file(
 
     if callback is not None:
         return None, ctx.stats
-    if not ctx.chunks_pos:
+    if ctx.stats.points_returned == 0:
         specs = bat.attribute_specs()
         if attributes is not None:
             specs = [sp for sp in specs if sp.name in attributes]
-        return ParticleBatch.empty(specs), ctx.stats
-    positions = np.concatenate(ctx.chunks_pos, axis=0)
+        return ParticleBatch.empty(specs, with_positions=with_positions), ctx.stats
     attrs = {name: np.concatenate(parts) for name, parts in ctx.chunks_attr.items()}
+    if not with_positions:
+        return ParticleBatch(None, attrs, count=ctx.stats.points_returned), ctx.stats
+    positions = np.concatenate(ctx.chunks_pos, axis=0)
     return ParticleBatch(positions, attrs), ctx.stats
 
 
@@ -284,14 +303,28 @@ def _full_speed(tv, leaf_box: Box, ctx: _QueryContext) -> bool:
     )
 
 
+def _emit_full_treelet(tv, ctx: _QueryContext) -> None:
+    """Emit a whole treelet (full-speed plan) decoding only what's needed.
+
+    No box test runs here, so under column projection the node records and
+    the position block are never touched — a one-column read decodes just
+    that column.
+    """
+    ctx.stats.nodes_visited += 1
+    attrs = ctx.select_attrs(tv.attributes)
+    if ctx.with_positions:
+        ctx.emit(tv.positions, attrs)
+    else:
+        ctx.emit(None, attrs, count=tv.n_points)
+
+
 def _traverse_treelet(bat: BATFile, leaf: int, leaf_box: Box, ctx: _QueryContext) -> None:
     tv = bat.treelet(leaf)
-    nodes = tv.nodes
     if _full_speed(tv, leaf_box, ctx):
-        ctx.stats.nodes_visited += 1
-        ctx.emit(tv.positions, ctx.select_attrs(tv.attributes))
+        _emit_full_treelet(tv, ctx)
         return
 
+    nodes = tv.nodes
     stack: list[tuple[int, Box]] = [(0, leaf_box)]
     while stack:
         node_id, node_box = stack.pop()
@@ -325,8 +358,12 @@ def _traverse_treelet(bat: BATFile, leaf: int, leaf_box: Box, ctx: _QueryContext
 
 
 def _emit_points(tv, lo_slot: int, hi_slot: int, ctx: _QueryContext) -> None:
-    pos = tv.positions[lo_slot:hi_slot]
-    ctx.stats.points_tested += len(pos)
+    n_sel = hi_slot - lo_slot
+    ctx.stats.points_tested += n_sel
+    # positions decode only when returned or needed for the box test
+    pos = None
+    if ctx.with_positions or ctx.box is not None:
+        pos = tv.positions[lo_slot:hi_slot]
     mask = None
     if ctx.box is not None:
         mask = ctx.box.contains_points(pos)
@@ -334,15 +371,18 @@ def _emit_points(tv, lo_slot: int, hi_slot: int, ctx: _QueryContext) -> None:
         vals = tv.attributes[f.name][lo_slot:hi_slot]
         fmask = (vals >= f.lo) & (vals <= f.hi)
         mask = fmask if mask is None else (mask & fmask)
+    if not ctx.with_positions:
+        pos = None
     # selection is by key so lazily decoded (v4) columns outside the
     # requested set are never materialized
     names = [n for n in tv.attributes if ctx.attributes is None or n in ctx.attributes]
     if mask is None:
-        ctx.emit(pos, {n: tv.attributes[n][lo_slot:hi_slot] for n in names})
+        ctx.emit(pos, {n: tv.attributes[n][lo_slot:hi_slot] for n in names}, count=n_sel)
     elif mask.any():
         ctx.emit(
-            pos[mask],
+            pos[mask] if pos is not None else None,
             {n: tv.attributes[n][lo_slot:hi_slot][mask] for n in names},
+            count=int(mask.sum()),
         )
 
 
@@ -427,12 +467,11 @@ def _frontier_treelet(bat: BATFile, leaf: int, leaf_box: Box, ctx: _QueryContext
     ``floor(e_new)`` — no deeper node can contribute particles.
     """
     tv = bat.treelet(leaf)
-    nodes = tv.nodes
     if _full_speed(tv, leaf_box, ctx):
-        ctx.stats.nodes_visited += 1
-        ctx.emit(tv.positions, ctx.select_attrs(tv.attributes))
+        _emit_full_treelet(tv, ctx)
         return
 
+    nodes = tv.nodes
     fl_new = math.floor(ctx.e_new)
     qlo = qhi = None
     if ctx.box is not None:
@@ -534,10 +573,15 @@ def _emit_ranges(tv, lo_slot: np.ndarray, hi_slot: np.ndarray, ctx: _QueryContex
     """
     if (lo_slot[1:] == hi_slot[:-1]).all():
         sel: slice | np.ndarray = slice(int(lo_slot[0]), int(hi_slot[-1]))
+        n_sel = sel.stop - sel.start
     else:
         sel = _concat_ranges(lo_slot, hi_slot)
-    pos = tv.positions[sel]
-    ctx.stats.points_tested += len(pos)
+        n_sel = len(sel)
+    ctx.stats.points_tested += n_sel
+    # positions decode only when returned or needed for the box test
+    pos = None
+    if ctx.with_positions or ctx.box is not None:
+        pos = tv.positions[sel]
     mask = None
     if ctx.box is not None:
         mask = ctx.box.contains_points(pos)
@@ -545,10 +589,16 @@ def _emit_ranges(tv, lo_slot: np.ndarray, hi_slot: np.ndarray, ctx: _QueryContex
         vals = tv.attributes[f.name][sel]
         fmask = (vals >= f.lo) & (vals <= f.hi)
         mask = fmask if mask is None else (mask & fmask)
+    if not ctx.with_positions:
+        pos = None
     # selection is by key so lazily decoded (v4) columns outside the
     # requested set are never materialized
     names = [n for n in tv.attributes if ctx.attributes is None or n in ctx.attributes]
     if mask is None:
-        ctx.emit(pos, {n: tv.attributes[n][sel] for n in names})
+        ctx.emit(pos, {n: tv.attributes[n][sel] for n in names}, count=n_sel)
     elif mask.any():
-        ctx.emit(pos[mask], {n: tv.attributes[n][sel][mask] for n in names})
+        ctx.emit(
+            pos[mask] if pos is not None else None,
+            {n: tv.attributes[n][sel][mask] for n in names},
+            count=int(mask.sum()),
+        )

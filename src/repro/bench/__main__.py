@@ -253,6 +253,12 @@ def _run_compress(args) -> dict:
             f"{lossy['temp_enc_nbytes']:,} B, max error "
             f"{lossy['max_observed_error']:g} <= bound {lossy['recorded_error_bound']:g}"
         )
+    print("  codec kernels (measured, best-of-3):")
+    for name, t in r["codec_throughput_mb_per_s"].items():
+        print(
+            f"    {name:<12} encode {t['encode_mb_per_s']:8.1f} MB/s   "
+            f"decode {t['decode_mb_per_s']:8.1f} MB/s"
+        )
     print("  v4 queries byte-identical to v3; v2/v3/v4 compat sweep identical: ok")
     return payload
 
@@ -265,12 +271,12 @@ def main(argv=None) -> int:
     )
     p.add_argument(
         "--suite",
-        choices=("write", "read", "serve", "faults", "compress"),
+        choices=("write", "parallel", "read", "serve", "faults", "compress"),
         default="write",
-        help="write: multi-executor write+query; read: planner + engine "
-             "comparison; serve: concurrent service under load; faults: "
-             "write under injected faults, prove recovery + degraded reads; "
-             "compress: v4 column codecs vs the v3 baseline",
+        help="write (alias: parallel): multi-executor write+query; read: "
+             "planner + engine comparison; serve: concurrent service under "
+             "load; faults: write under injected faults, prove recovery + "
+             "degraded reads; compress: v4 column codecs vs the v3 baseline",
     )
     p.add_argument(
         "--executors",

@@ -274,7 +274,9 @@ class BATDataset:
         plan = legacy.pop("plan", plan)
         callback = legacy.pop("callback", callback)
         if "attributes" in legacy:
-            legacy["columns"] = legacy.pop("attributes")
+            # the legacy kwarg always returned positions alongside the
+            # selected attributes; the modern equivalent must opt back in
+            legacy["columns"] = (*legacy.pop("attributes"), "positions")
         return QueryRequest(**legacy), plan, callback
 
     def _query_request(
@@ -302,7 +304,14 @@ class BATDataset:
         on_error = req.on_error
         box = req.box
         filters = req.filters
-        attributes = list(req.columns) if req.columns is not None else None
+        # ``columns`` may name the pseudo-column "positions"; anything else
+        # is an attribute. Omitting it from an explicit selection projects
+        # positions away entirely (the batch carries a count instead).
+        attributes = None
+        with_positions = True
+        if req.columns is not None:
+            attributes = [c for c in req.columns if c != "positions"]
+            with_positions = "positions" in req.columns
         if plan is None:
             plan = self.plan(box, filters)
         elif plan.box != box or plan.filters != filters:
@@ -315,13 +324,22 @@ class BATDataset:
             filters=filters,
             attributes=attributes,
             engine=req.engine,
+            with_positions=with_positions,
         )
         newly_failed = 0
         indexed_stats: list[tuple[int, QueryStats]] = []
         parts = []
         if callback is None and self.executor.kind != "serial" and len(plan.files) > 1:
+            if self.executor.kind == "thread":
+                # threads share the dataset's LRU handle cache (it is
+                # thread-safe): no per-task reopen, no re-running the
+                # whole-file section CRCs a fresh BATFile pays on open
+                task_fn = partial(self._query_leaf_shared, kwargs)
+            else:
+                # processes can't share mmaps; workers open their own handle
+                task_fn = partial(_query_leaf, str(self.directory), kwargs)
             tasks = self.executor.map(
-                partial(_query_leaf, str(self.directory), kwargs),
+                task_fn,
                 [(fp.leaf_index, fp.file_name, fp.box) for fp in plan.files],
             )
             for i, res, s, err in sorted(tasks, key=lambda t: t[0]):
@@ -357,8 +375,28 @@ class BATDataset:
             specs = self.attribute_specs()
             if attributes is not None:
                 specs = [sp for sp in specs if sp.name in attributes]
-            return QueryResult(batch=ParticleBatch.empty(specs), stats=stats)
+            return QueryResult(
+                batch=ParticleBatch.empty(specs, with_positions=with_positions),
+                stats=stats,
+            )
         return QueryResult(batch=ParticleBatch.concatenate(parts), stats=stats)
+
+    def _query_leaf_shared(self, kwargs: dict, item):
+        """Thread-executor work unit: query one leaf via the shared cache.
+
+        Mirrors :func:`_query_leaf`'s return contract but reuses (and
+        populates) the dataset's handle cache instead of opening a
+        throwaway ``BATFile`` per task.
+        """
+        leaf_index, file_name, box = item
+        try:
+            f = self._cache.get(self.directory / file_name)
+            batch, stats = query_file(f, box=box, **kwargs)
+        except FileNotFoundError as exc:
+            return leaf_index, None, None, ("missing", str(exc))
+        except IntegrityError as exc:
+            return leaf_index, None, None, ("corrupt", str(exc))
+        return leaf_index, batch, stats, None
 
     def _leaf_failed(self, leaf_index: int, kind: str, message: str,
                      on_error: str) -> None:

@@ -46,6 +46,7 @@ __all__ = [
     "parse_executor_spec",
     "available_executors",
     "default_workers",
+    "default_thread_workers",
     "EXECUTOR_ENV_VAR",
 ]
 
@@ -56,6 +57,20 @@ EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
 def default_workers() -> int:
     """Worker count used when a spec names no explicit count."""
     return max(os.cpu_count() or 1, 1)
+
+
+def default_thread_workers() -> int:
+    """Default size of the *thread* pool.
+
+    Threads here exist to overlap I/O (fsync, page faults) with
+    GIL-releasing compute, so the pool is sized past the core count —
+    ``cpu + 4`` capped at 32, the same shape ``ThreadPoolExecutor`` uses —
+    instead of ``cpu_count``. On a 1-core machine the old default built a
+    1-worker pool: pure serial execution plus futures overhead, which is
+    exactly the thread-slower-than-serial regression the write+query bench
+    used to show.
+    """
+    return min(32, (os.cpu_count() or 1) + 4)
 
 
 def available_executors() -> list[str]:
@@ -107,9 +122,10 @@ class _PoolExecutor(Executor):
     """Shared machinery for the concurrent.futures-backed executors."""
 
     _pool_cls: type = None  # set by subclasses
+    _default_workers = staticmethod(default_workers)
 
     def __init__(self, workers: int | None = None):
-        self._workers = int(workers) if workers else default_workers()
+        self._workers = int(workers) if workers else self._default_workers()
         if self._workers < 1:
             raise ValueError("executor worker count must be >= 1")
         self._pool = None
@@ -150,6 +166,7 @@ class ThreadExecutor(_PoolExecutor):
 
     kind = "thread"
     _pool_cls = ThreadPoolExecutor
+    _default_workers = staticmethod(default_thread_workers)
 
 
 class ProcessExecutor(_PoolExecutor):

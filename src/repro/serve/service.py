@@ -37,6 +37,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from ..api import QueryRequest, warn_deprecated
+from ..bat.colcache import DEFAULT_COLUMN_CACHE_BYTES
 from ..bat.filecache import DEFAULT_CAPACITY, BATFileCache
 from ..core.dataset import BATDataset
 from ..types import Box, ParticleBatch
@@ -77,6 +78,9 @@ class ServeConfig:
     executor: str | None = None
     #: bound on simultaneously open leaf files, shared by all sessions
     max_open_files: int = DEFAULT_CAPACITY
+    #: byte budget of the decoded-column LRU shared by every open file
+    #: (0 disables the tier; columns then decode cold on every touch)
+    column_cache_bytes: int = DEFAULT_COLUMN_CACHE_BYTES
 
 
 @dataclass
@@ -135,7 +139,10 @@ class QueryService:
     def __init__(self, source, config: ServeConfig | None = None, clock=time.perf_counter):
         self.config = config or ServeConfig()
         self._clock = clock
-        self._file_cache = BATFileCache(self.config.max_open_files)
+        self._file_cache = BATFileCache(
+            self.config.max_open_files,
+            column_cache_bytes=self.config.column_cache_bytes,
+        )
         self._datasets: dict[int, BATDataset] = {}
         self._dataset_lock = threading.Lock()
         source = Path(source)
@@ -446,6 +453,13 @@ class QueryService:
             "results": self.results.stats(),
             "plans": plans,
             "files": file_stats,
+            # the decoded-column tier rides on the file cache; hoist it so
+            # dashboards see all four levels side by side
+            "decoded_columns": file_stats.pop(
+                "decoded_columns",
+                {"hits": 0, "misses": 0, "evictions": 0, "entries": 0,
+                 "bytes": 0, "budget_bytes": 0},
+            ),
         }
         doc["integrity"] = {
             "quarantined_leaves": sum(len(q) for q in quarantined.values()),

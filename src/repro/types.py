@@ -136,41 +136,68 @@ class ParticleBatch:
     Positions are stored as ``(N, 3)`` float32 (matching the paper's three
     single-precision coordinates); attributes are 1D arrays of length N,
     float64 by default.
+
+    Column-projected reads (a :class:`QueryRequest` whose ``columns`` does
+    not name ``"positions"``) produce *positions-free* batches:
+    ``positions`` is ``None`` and the row count comes from ``count``.
+    Such batches still support ``len``, ``nbytes``, ``select``, and
+    ``concatenate``; ``bounds`` reports an empty box.
     """
 
-    def __init__(self, positions: np.ndarray, attributes: dict[str, np.ndarray] | None = None):
-        positions = np.ascontiguousarray(positions, dtype=np.float32).reshape(-1, 3)
+    def __init__(
+        self,
+        positions: np.ndarray | None,
+        attributes: dict[str, np.ndarray] | None = None,
+        count: int | None = None,
+    ):
+        if positions is None:
+            if count is None:
+                raise ValueError("a positions-free batch needs an explicit count")
+            n = int(count)
+        else:
+            positions = np.ascontiguousarray(positions, dtype=np.float32).reshape(-1, 3)
+            n = len(positions)
+            if count is not None and int(count) != n:
+                raise ValueError(f"count {count} != len(positions) {n}")
         self.positions = positions
+        self._count = n
         self.attributes: dict[str, np.ndarray] = {}
         for name, arr in (attributes or {}).items():
             arr = np.ascontiguousarray(arr)
-            if arr.shape != (len(positions),):
+            if arr.shape != (n,):
                 raise ValueError(
-                    f"attribute {name!r} has shape {arr.shape}, expected ({len(positions)},)"
+                    f"attribute {name!r} has shape {arr.shape}, expected ({n},)"
                 )
             self.attributes[name] = arr
 
     @staticmethod
-    def empty(attribute_specs: list[AttributeSpec] | None = None) -> "ParticleBatch":
+    def empty(
+        attribute_specs: list[AttributeSpec] | None = None,
+        with_positions: bool = True,
+    ) -> "ParticleBatch":
         attrs = {
             spec.name: np.empty(0, dtype=spec.dtype) for spec in (attribute_specs or [])
         }
-        return ParticleBatch(np.empty((0, 3), dtype=np.float32), attrs)
+        positions = np.empty((0, 3), dtype=np.float32) if with_positions else None
+        return ParticleBatch(positions, attrs, count=0)
 
     def __len__(self) -> int:
-        return len(self.positions)
+        return self._count
 
     @property
     def count(self) -> int:
-        return len(self.positions)
+        return self._count
 
     @property
     def nbytes(self) -> int:
-        """Raw payload size: positions plus all attribute arrays."""
-        return self.positions.nbytes + sum(a.nbytes for a in self.attributes.values())
+        """Raw payload size: positions (when present) plus attribute arrays."""
+        pos_nbytes = self.positions.nbytes if self.positions is not None else 0
+        return pos_nbytes + sum(a.nbytes for a in self.attributes.values())
 
     @property
     def bounds(self) -> Box:
+        if self.positions is None:
+            return Box.empty()
         return Box.of_points(self.positions)
 
     def attribute_specs(self) -> list[AttributeSpec]:
@@ -178,10 +205,13 @@ class ParticleBatch:
 
     def select(self, index: np.ndarray) -> "ParticleBatch":
         """New batch containing rows picked by an index or boolean mask."""
-        return ParticleBatch(
-            self.positions[index],
-            {name: arr[index] for name, arr in self.attributes.items()},
-        )
+        attrs = {name: arr[index] for name, arr in self.attributes.items()}
+        if self.positions is None:
+            # the row count survives projection: size the selection against
+            # an index over [0, count)
+            n = int(np.arange(self._count)[index].size)
+            return ParticleBatch(None, attrs, count=n)
+        return ParticleBatch(self.positions[index], attrs)
 
     @staticmethod
     def concatenate(batches: list["ParticleBatch"]) -> "ParticleBatch":
@@ -189,13 +219,20 @@ class ParticleBatch:
         if not batches:
             return ParticleBatch.empty()
         names = list(batches[0].attributes.keys())
+        with_positions = batches[0].positions is not None
         for b in batches:
             if list(b.attributes.keys()) != names:
                 raise ValueError("cannot concatenate batches with mismatched attributes")
-        positions = np.concatenate([b.positions for b in batches], axis=0)
+            if (b.positions is not None) != with_positions:
+                raise ValueError(
+                    "cannot concatenate positions-free and positioned batches"
+                )
         attrs = {
             name: np.concatenate([b.attributes[name] for b in batches]) for name in names
         }
+        if not with_positions:
+            return ParticleBatch(None, attrs, count=sum(b.count for b in batches))
+        positions = np.concatenate([b.positions for b in batches], axis=0)
         return ParticleBatch(positions, attrs)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -119,7 +119,7 @@ class TestServe:
         assert doc["requests"]["completed"] == 4
         assert doc["requests"]["rejected"] == 0
         assert not doc["degradation"]["enabled"]
-        assert set(doc["caches"]) == {"results", "plans", "files"}
+        assert set(doc["caches"]) == {"results", "plans", "files", "decoded_columns"}
 
 
 class TestBench:

@@ -1,0 +1,207 @@
+"""Tests for the byte-budgeted decoded-column cache tier.
+
+Covers the unit contract (LRU under a hard byte budget, counter-pure
+``peek``, per-path invalidation) and the integration invariants: a cached
+read must be byte-identical to a cold decode, cache hits must not inflate
+the ``decoded_bytes`` work counter, and entries must die with their file
+handle — eviction, drop, and quarantine all invalidate, so a rewritten or
+corrupt file can never serve stale columns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bat import BATBuildConfig, build_bat
+from repro.bat.colcache import DecodedColumnCache
+from repro.bat.filecache import BATFileCache
+from repro.bat.query import query_file
+
+
+def _arr(nbytes: int) -> np.ndarray:
+    return np.zeros(nbytes, dtype=np.uint8)
+
+
+class TestUnitContract:
+    def test_get_put_round_trip_and_counters(self):
+        c = DecodedColumnCache(budget_bytes=1024)
+        assert c.get("f", 0, 1) is None
+        a = _arr(100)
+        c.put("f", 0, 1, a)
+        assert c.get("f", 0, 1) is a
+        assert c.stats()["hits"] == 1
+        assert c.stats()["misses"] == 1
+        assert c.nbytes == 100
+
+    def test_lru_eviction_under_tight_budget(self):
+        c = DecodedColumnCache(budget_bytes=250)
+        c.put("f", 0, 0, _arr(100))
+        c.put("f", 1, 0, _arr(100))
+        # touching treelet 0 makes treelet 1 the LRU victim
+        assert c.get("f", 0, 0) is not None
+        c.put("f", 2, 0, _arr(100))
+        assert c.peek("f", 1, 0) is None
+        assert c.peek("f", 0, 0) is not None
+        assert c.peek("f", 2, 0) is not None
+        assert c.stats()["evictions"] == 1
+        assert c.nbytes <= 250
+
+    def test_oversized_entry_rejected(self):
+        c = DecodedColumnCache(budget_bytes=50)
+        c.put("f", 0, 0, _arr(40))
+        c.put("f", 1, 0, _arr(51))
+        assert c.peek("f", 1, 0) is None
+        # the oversized entry must not have evicted the resident one
+        assert c.peek("f", 0, 0) is not None
+        assert c.stats()["evictions"] == 0
+
+    def test_peek_is_counter_and_order_pure(self):
+        c = DecodedColumnCache(budget_bytes=250)
+        c.put("f", 0, 0, _arr(100))
+        c.put("f", 1, 0, _arr(100))
+        before = c.stats()
+        assert c.peek("f", 0, 0) is not None
+        assert c.peek("f", 9, 9) is None
+        assert c.stats() == before
+        # peek did not refresh treelet 0, so it is still the LRU victim
+        c.put("f", 2, 0, _arr(100))
+        assert c.peek("f", 0, 0) is None
+        assert c.peek("f", 1, 0) is not None
+
+    def test_invalidate_is_per_path(self):
+        c = DecodedColumnCache(budget_bytes=1024)
+        c.put("a", 0, 0, _arr(10))
+        c.put("a", 1, 2, _arr(10))
+        c.put("b", 0, 0, _arr(10))
+        assert c.invalidate("a") == 2
+        assert len(c) == 1
+        assert c.nbytes == 10
+        assert c.peek("b", 0, 0) is not None
+
+    def test_zero_budget_caches_nothing(self):
+        c = DecodedColumnCache(budget_bytes=0)
+        c.put("f", 0, 0, _arr(1))
+        assert len(c) == 0
+
+    def test_replacing_a_key_adjusts_bytes(self):
+        c = DecodedColumnCache(budget_bytes=1024)
+        c.put("f", 0, 0, _arr(100))
+        c.put("f", 0, 0, _arr(30))
+        assert c.nbytes == 30
+        assert len(c) == 1
+
+
+@pytest.fixture(scope="module")
+def v4_bytes():
+    rng = np.random.default_rng(11)
+    n = 6000
+    pos = rng.random((n, 3)).astype(np.float32)
+    batch = None
+    from repro.types import ParticleBatch
+
+    batch = ParticleBatch(
+        pos,
+        {
+            "id": np.arange(n, dtype=np.int64),
+            "temp": (300 + 5 * rng.standard_normal(n)).astype(np.float64),
+        },
+    )
+    return build_bat(batch, BATBuildConfig(codecs="auto")).data
+
+
+def _digest(batch) -> tuple:
+    parts = [batch.positions.tobytes() if batch.positions is not None else b""]
+    parts += [batch.attributes[k].tobytes() for k in sorted(batch.attributes)]
+    return tuple(parts)
+
+
+class TestIntegration:
+    def test_cached_read_byte_identical_to_cold(self, v4_bytes, tmp_path):
+        path = tmp_path / "a.bat"
+        path.write_bytes(v4_bytes)
+        with BATFileCache(capacity=4) as cache:
+            f = cache.get(path)
+            cold, _ = query_file(f, quality=1.0)
+            decoded_after_cold = f.decoded_bytes
+            assert cache.column_cache.stats()["entries"] > 0
+            warm, _ = query_file(f, quality=1.0)
+            assert _digest(warm) == _digest(cold)
+            # the warm pass was served from the column cache: no new decode
+            assert f.decoded_bytes == decoded_after_cold
+            assert cache.column_cache.stats()["hits"] > 0
+
+    def test_hits_do_not_count_as_decode_work(self, v4_bytes, tmp_path):
+        path = tmp_path / "a.bat"
+        path.write_bytes(v4_bytes)
+        with BATFileCache(capacity=4) as cache:
+            f = cache.get(path)
+            query_file(f, quality=1.0)
+            stats = cache.stats()
+            query_file(f, quality=1.0)
+            assert cache.stats()["decoded_bytes"] == stats["decoded_bytes"]
+
+    def test_tight_budget_still_byte_identical(self, v4_bytes, tmp_path):
+        path = tmp_path / "a.bat"
+        path.write_bytes(v4_bytes)
+        # big enough to admit single columns, far too small to hold them all
+        with BATFileCache(capacity=4, column_cache_bytes=20_000) as cache:
+            f = cache.get(path)
+            cold, _ = query_file(f, quality=1.0)
+            warm, _ = query_file(f, quality=1.0)
+            assert _digest(warm) == _digest(cold)
+            assert cache.column_cache.stats()["evictions"] > 0
+
+    def test_disabled_tier_falls_back_to_handle_memoization(self, v4_bytes, tmp_path):
+        path = tmp_path / "a.bat"
+        path.write_bytes(v4_bytes)
+        with BATFileCache(capacity=4, column_cache_bytes=0) as cache:
+            f = cache.get(path)
+            assert cache.column_cache is None
+            query_file(f, quality=1.0)
+            first = f.decoded_bytes
+            assert first > 0
+            # without the tier, treelet views memoize for the handle's life
+            query_file(f, quality=1.0)
+            assert f.decoded_bytes == first
+            assert "decoded_columns" not in cache.stats()
+
+    def test_eviction_invalidates_columns(self, v4_bytes, tmp_path):
+        a, b = tmp_path / "a.bat", tmp_path / "b.bat"
+        a.write_bytes(v4_bytes)
+        b.write_bytes(v4_bytes)
+        with BATFileCache(capacity=1) as cache:
+            query_file(cache.get(a), quality=1.0)
+            assert cache.column_cache.stats()["entries"] > 0
+            # opening b evicts a's handle, which must take its columns along
+            query_file(cache.get(b), quality=1.0)
+            assert cache.evictions == 1
+            remaining = {k[0] for k in cache.column_cache._entries}
+            assert remaining == {str(b)}
+
+    def test_drop_invalidates_columns(self, v4_bytes, tmp_path):
+        path = tmp_path / "a.bat"
+        path.write_bytes(v4_bytes)
+        with BATFileCache(capacity=4) as cache:
+            query_file(cache.get(path), quality=1.0)
+            cache.drop(path)
+            assert cache.column_cache.stats()["entries"] == 0
+
+    def test_quarantine_invalidates_columns(self, tmp_path):
+        from repro.core import TwoPhaseWriter
+        from repro.core.dataset import BATDataset
+        from repro.machines import testing_machine
+        from tests.test_pipeline import make_rank_data
+
+        data = make_rank_data(nranks=4, seed=3)
+        writer = TwoPhaseWriter(
+            testing_machine(), target_size=64 * 1024,
+            bat_config=BATBuildConfig(codecs="auto"),
+        )
+        report = writer.write(data, out_dir=tmp_path, name="q")
+        with BATDataset(report.metadata_path) as ds:
+            ds.query()
+            colcache = ds.file_cache.column_cache
+            assert colcache.stats()["entries"] > 0
+            victim = str(ds.directory / ds.metadata.leaves[0].file_name)
+            assert any(k[0] == victim for k in colcache._entries)
+            ds.quarantine_leaf(0, "test")
+            assert not any(k[0] == victim for k in colcache._entries)

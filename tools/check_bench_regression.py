@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Fail CI when the v4 codec read/write overhead regresses past thresholds.
+
+Compares one freshly recorded compress-suite data point
+(``python -m repro.bench --suite compress --record <json>``) against the
+checked-in ceilings in ``BENCH_thresholds.json``:
+
+- ``max_query_ratio_v4_over_v3``: query_seconds(v4-auto) / query_seconds(v3)
+- ``max_write_ratio_v4_over_v3``: write_seconds(v4-auto) / write_seconds(v3)
+- ``min_disk_reduction_x``: on-disk v3/v4 size ratio
+
+Wall-clock ratios on shared CI runners are noisy, so the ceilings carry
+deliberate headroom over the reference-container measurements recorded in
+``BENCH_pr6.json``; the gate exists to catch order-of-magnitude decode or
+encode regressions (an accidental per-bit loop, a dropped cache tier),
+not 10 % drift. Correctness (byte-identity of v4 queries against v3) is
+asserted *inside* the suite itself — if the benchmark completed, the
+results were identical.
+
+Exit status 0 when within thresholds; 1 with a metric listing otherwise.
+
+    python tools/check_bench_regression.py BENCH_ci_compress.json \
+        [BENCH_thresholds.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def check(bench_path: str, thresholds_path: str) -> list[str]:
+    """Return a list of human-readable violations (empty when clean)."""
+    bench = json.loads(Path(bench_path).read_text())
+    thresholds = json.loads(Path(thresholds_path).read_text())
+
+    if bench.get("benchmark") != "compression":
+        return [f"{bench_path}: not a compress-suite data point"]
+
+    results = bench["results"]
+    v3 = results["variants"]["v3"]
+    v4 = results["variants"]["v4-auto"]
+    query_ratio = v4["query_seconds"] / v3["query_seconds"]
+    write_ratio = v4["write_seconds"] / v3["write_seconds"]
+    disk_reduction = results["disk_reduction_x"]
+
+    failures = []
+    ceiling = thresholds["max_query_ratio_v4_over_v3"]
+    if query_ratio > ceiling:
+        failures.append(
+            f"query ratio v4/v3 = {query_ratio:.2f} exceeds ceiling {ceiling:.2f} "
+            f"(v3 {v3['query_seconds']:.3f}s, v4 {v4['query_seconds']:.3f}s)"
+        )
+    ceiling = thresholds["max_write_ratio_v4_over_v3"]
+    if write_ratio > ceiling:
+        failures.append(
+            f"write ratio v4/v3 = {write_ratio:.2f} exceeds ceiling {ceiling:.2f} "
+            f"(v3 {v3['write_seconds']:.3f}s, v4 {v4['write_seconds']:.3f}s)"
+        )
+    floor = thresholds["min_disk_reduction_x"]
+    if disk_reduction < floor:
+        failures.append(
+            f"disk reduction {disk_reduction:.2f}x below floor {floor:.2f}x"
+        )
+    if not results.get("queries_byte_identical", False):
+        failures.append("v4 queries were not byte-identical to v3")
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if not 2 <= len(argv) <= 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench_path = argv[1]
+    thresholds_path = (
+        argv[2] if len(argv) == 3
+        else str(Path(__file__).resolve().parent.parent / "BENCH_thresholds.json")
+    )
+    failures = check(bench_path, thresholds_path)
+    if failures:
+        print(f"benchmark regression gate FAILED for {bench_path}:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"benchmark regression gate ok for {bench_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
