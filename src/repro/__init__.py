@@ -25,7 +25,7 @@ All errors raised by the library derive from
 """
 
 from . import errors, machines
-from .api import QueryRequest, QueryResult, open_dataset
+from .api import QueryRequest, QueryResult, StreamIncrement, open_dataset, reassemble_stream
 from .bat import AttributeFilter, BATBuildConfig, BATFile, build_bat
 from .bat.validate import validate_dataset, validate_file
 from .binning import EquiDepthBinning, EquiWidthBinning
@@ -54,6 +54,8 @@ __all__ = [
     "open_dataset",
     "QueryRequest",
     "QueryResult",
+    "StreamIncrement",
+    "reassemble_stream",
     "Box",
     "AttributeSpec",
     "ParticleBatch",

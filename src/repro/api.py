@@ -29,10 +29,18 @@ import threading
 import warnings
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from .errors import InvalidRequestError
 from .types import Box, ParticleBatch
 
-__all__ = ["QueryRequest", "QueryResult", "open_dataset"]
+__all__ = [
+    "QueryRequest",
+    "QueryResult",
+    "StreamIncrement",
+    "reassemble_stream",
+    "open_dataset",
+]
 
 #: legal ``on_error`` policies for corrupt/missing leaf files
 ON_ERROR_POLICIES = ("raise", "degrade")
@@ -129,6 +137,76 @@ class QueryResult:
 
     def __len__(self) -> int:
         return len(self.batch) if self.batch is not None else 0
+
+
+@dataclass(frozen=True)
+class StreamIncrement:
+    """One quality rung of a streamed (progressive) read.
+
+    ``batch`` holds the rows this rung adds on top of ``prev_quality``.
+    ``order`` is an ``(N, 3)`` int64 array of per-row order keys
+    ``(file_rank, treelet_rank, slot)``; rows within one increment are
+    already ascending in their keys, and sorting the concatenation of a
+    stream's increments by them reproduces the direct synchronous
+    emission order byte for byte (see :func:`reassemble_stream`).
+    ``order=None`` marks a pre-ordered increment — e.g. a one-shot
+    synchronous result re-published as a single increment by the serve
+    layer's request collapser.
+
+    ``stats`` is the stream's *cumulative* work-counter object: every
+    increment of one stream carries the same live
+    :class:`~repro.bat.query.QueryStats`, which equals a direct query's
+    counters once the final rung has been consumed. ``partial`` turns
+    (and stays) True once a leaf file was quarantined mid-stream under
+    ``on_error="degrade"``; partial streams are never cached or shared.
+    """
+
+    quality: float
+    prev_quality: float
+    batch: ParticleBatch
+    order: np.ndarray | None = None
+    stats: object = field(repr=False, default=None)
+    partial: bool = False
+
+
+def reassemble_stream(increments) -> QueryResult:
+    """Fold streamed increments back into one :class:`QueryResult`.
+
+    The inverse of :meth:`~repro.core.dataset.BATDataset.stream`: given
+    every increment of one stream (in delivery order), returns a result
+    byte-identical to the direct synchronous query at the final rung's
+    quality. A *prefix* of a stream is also valid input — truncated
+    streams reassemble to the direct query at the last consumed rung's
+    quality, because increment slot ranges chain with no overlap and no
+    gap.
+    """
+    incs = list(increments)
+    if not incs:
+        raise InvalidRequestError("cannot reassemble an empty stream")
+    stats = incs[-1].stats
+    keyed = [inc for inc in incs if inc.order is not None]
+    if not keyed:
+        # pre-ordered increments (the sync one-shot path): concatenation
+        # in delivery order already is the direct order
+        if len(incs) == 1:
+            return QueryResult(batch=incs[0].batch, stats=stats)
+        return QueryResult(
+            batch=ParticleBatch.concatenate([inc.batch for inc in incs]), stats=stats
+        )
+    if len(keyed) != len(incs):
+        raise InvalidRequestError(
+            "cannot reassemble a mix of keyed and pre-ordered increments"
+        )
+    parts = [inc for inc in incs if len(inc.batch)]
+    if not parts:
+        return QueryResult(batch=incs[0].batch, stats=stats)
+    if len(parts) == 1:
+        # a single increment is already ascending in its order keys
+        return QueryResult(batch=parts[0].batch, stats=stats)
+    batch = ParticleBatch.concatenate([inc.batch for inc in parts])
+    order = np.concatenate([inc.order for inc in parts], axis=0)
+    perm = np.lexsort((order[:, 2], order[:, 1], order[:, 0]))
+    return QueryResult(batch=batch.select(perm), stats=stats)
 
 
 def open_dataset(path, *, executor=None, file_cache=None, plan_cache=None):

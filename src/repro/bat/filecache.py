@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from pathlib import Path
 
 from .colcache import DEFAULT_COLUMN_CACHE_BYTES, DecodedColumnCache
@@ -68,6 +69,12 @@ class BATFileCache:
         #: column bytes decoded by handles already evicted or dropped;
         #: :meth:`stats` adds the live handles' counters on top
         self._retired_decoded_bytes = 0
+        #: path -> lease count; leased handles are never closed by
+        #: eviction or :meth:`drop` (streamed reads hold treelet state
+        #: across rungs, and a closed handle nulls its section arrays)
+        self._pins: dict[str, int] = {}
+        #: handles dropped while leased: closed on last release
+        self._deferred: dict[str, list[BATFile]] = {}
 
     def _retire(self, f: BATFile) -> None:
         """Account for a handle leaving the cache and drop its columns.
@@ -102,7 +109,16 @@ class BATFileCache:
             f.column_cache = self.column_cache
             self._open[key] = f
             while len(self._open) > self.capacity:
-                _, victim = self._open.popitem(last=False)
+                # leased handles are skipped: a streamed read may hold
+                # treelet state in them for many rungs. The cache can
+                # transiently exceed capacity while leases are out; the
+                # bound resumes once they release.
+                victim_key = next(
+                    (k for k in self._open if k not in self._pins), None
+                )
+                if victim_key is None:
+                    break
+                victim = self._open.pop(victim_key)
                 self._retire(victim)
                 victim.close()
                 self.evictions += 1
@@ -119,13 +135,52 @@ class BATFileCache:
             return self._open.get(str(Path(path)))
 
     def drop(self, path) -> None:
-        """Close and forget one path, if cached."""
+        """Close and forget one path, if cached.
+
+        A leased handle is forgotten (and its decoded columns invalidated
+        — the path may be rewritten) but its close is deferred to the
+        last lease release, so streams in flight keep a valid handle.
+        """
         with self._lock:
-            f = self._open.pop(str(Path(path)), None)
+            key = str(Path(path))
+            f = self._open.pop(key, None)
             if f is not None:
                 self._retire(f)
+                if key in self._pins:
+                    self._deferred.setdefault(key, []).append(f)
+                    f = None
         if f is not None:
             f.close()
+
+    @contextmanager
+    def lease(self, paths):
+        """Keep handles for ``paths`` open for the duration of the block.
+
+        Streamed reads (:meth:`BATDataset.stream`) hold per-treelet state
+        referencing a handle's section arrays across quality rungs; a
+        lease prevents eviction (or a concurrent :meth:`drop`) from
+        closing those handles mid-stream. Leases nest and are counted per
+        path; they pin only handles, not cache *entries* — lookups and
+        LRU order behave as usual.
+        """
+        keys = [str(Path(p)) for p in paths]
+        with self._lock:
+            for k in keys:
+                self._pins[k] = self._pins.get(k, 0) + 1
+        try:
+            yield
+        finally:
+            victims: list[BATFile] = []
+            with self._lock:
+                for k in keys:
+                    n = self._pins[k] - 1
+                    if n:
+                        self._pins[k] = n
+                    else:
+                        del self._pins[k]
+                        victims.extend(self._deferred.pop(k, ()))
+            for f in victims:
+                f.close()
 
     def stats(self) -> dict:
         """Counter snapshot for the serve metrics surface."""
@@ -137,6 +192,7 @@ class BATFileCache:
             out = {
                 "open": len(self._open),
                 "capacity": self.capacity,
+                "leased": len(self._pins),
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
@@ -151,12 +207,16 @@ class BATFileCache:
             return out
 
     def close(self) -> None:
-        """Close every cached handle."""
+        """Close every cached handle (leases do not survive a close)."""
         with self._lock:
             victims = list(self._open.values())
             self._open.clear()
             for f in victims:
                 self._retire(f)
+            for deferred in self._deferred.values():
+                victims.extend(deferred)
+            self._deferred.clear()
+            self._pins.clear()
         for f in victims:
             f.close()
 

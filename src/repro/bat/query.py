@@ -49,7 +49,11 @@ __all__ = [
     "QueryStats",
     "ENGINES",
     "quality_to_depth",
+    "quality_for_depth",
+    "default_quality_ladder",
     "query_file",
+    "FileIncrement",
+    "stream_query_file",
 ]
 
 #: available traversal engines, in preference order
@@ -123,6 +127,42 @@ def quality_to_depth(quality: float, max_depth: int) -> float:
         return 0.0
     e = math.log2(1.0 + quality * (2.0**levels - 1.0))
     return min(e, float(levels))
+
+
+def quality_for_depth(e: float, max_depth: int) -> float:
+    """Inverse of :func:`quality_to_depth`: the quality whose effective
+    depth is exactly ``e`` on a tree with ``max_depth`` treelet levels."""
+    levels = max_depth + 1
+    if e <= 0.0:
+        return 0.0
+    e = min(e, float(levels))
+    return (2.0**e - 1.0) / (2.0**levels - 1.0)
+
+
+def default_quality_ladder(
+    quality: float, prev_quality: float = 0.0, levels: int = 8
+) -> tuple[float, ...]:
+    """Quality rungs for a streamed progressive read.
+
+    Returns an ascending ladder ending exactly at ``quality``: one rung
+    per frontier depth level of a nominal ``levels``-level tree, so each
+    streamed increment roughly doubles the number of delivered particles
+    (particle counts double per treelet depth). The ladder is a pure
+    increment schedule — any ascending ladder ending at ``quality``
+    reassembles to the same bytes — so ``levels`` needs only to be in the
+    ballpark of the data's real treelet depth for the increments to line
+    up with the frontier.
+    """
+    if not 0.0 <= prev_quality <= quality <= 1.0:
+        raise InvalidRequestError("need 0 <= prev_quality <= quality <= 1")
+    denom = 2.0**levels - 1.0
+    rungs = [
+        q
+        for e in range(1, levels)
+        if prev_quality < (q := (2.0**e - 1.0) / denom) < quality
+    ]
+    rungs.append(quality)
+    return tuple(rungs)
 
 
 def _depth_fraction(depth: int, e: float) -> float:
@@ -417,15 +457,15 @@ def _frontier_keep(bat: BATFile, recs: np.ndarray, ctx: _QueryContext) -> np.nda
     return keep
 
 
-def _frontier_shallow(bat: BATFile, ctx: _QueryContext) -> None:
-    """Level-by-level walk of the shallow tree, one numpy pass per depth.
+def _frontier_survivor_leaves(bat: BATFile, ctx: _QueryContext) -> np.ndarray:
+    """Surviving shallow leaves in stack-DFS visit order.
 
+    Level-by-level walk of the shallow tree, one numpy pass per depth.
     Children sit exactly one level below their parents, so each frontier
     holds all surviving nodes of one depth. Surviving leaves are collected
-    and re-ordered by the stack-DFS visit rank before their treelets are
-    traversed — pruning removes subtrees but never reorders the rest, so
-    the emission order (and therefore the result bytes) matches the
-    recursive engine exactly.
+    and re-ordered by the stack-DFS visit rank — pruning removes subtrees
+    but never reorders the rest, so traversing the returned leaves in
+    order matches the recursive engine's emission order exactly.
     """
     empty = np.empty(0, dtype=np.int64)
     root, root_is_leaf = bat.root()
@@ -450,10 +490,14 @@ def _frontier_shallow(bat: BATFile, ctx: _QueryContext) -> None:
         else:
             inner = leaves = empty
     if not found:
-        return
+        return empty
     hits = np.concatenate(found)
     rank = bat.shallow_leaf_visit_rank()
-    for leaf in hits[np.argsort(rank[hits])]:
+    return hits[np.argsort(rank[hits])]
+
+
+def _frontier_shallow(bat: BATFile, ctx: _QueryContext) -> None:
+    for leaf in _frontier_survivor_leaves(bat, ctx):
         ctx.stats.treelets_visited += 1
         _frontier_treelet(bat, int(leaf), bat.leaf_box(int(leaf)), ctx)
 
@@ -564,6 +608,50 @@ def _concat_ranges(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
     return np.cumsum(steps)
 
 
+def _gather_rows(tv, lo_slot: np.ndarray, hi_slot: np.ndarray, ctx: _QueryContext):
+    """Like :func:`_emit_ranges`, but return the rows with their slot keys.
+
+    Returns ``(positions | None, attrs, slots, count)``; ``slots`` carries
+    the node-order slot index of every returned row so a streamed read can
+    be reassembled into the direct emission order (ascending slot within a
+    treelet).
+    """
+    if (lo_slot[1:] == hi_slot[:-1]).all():
+        sel: slice | np.ndarray = slice(int(lo_slot[0]), int(hi_slot[-1]))
+        slots = np.arange(sel.start, sel.stop, dtype=np.int64)
+        n_sel = sel.stop - sel.start
+    else:
+        sel = _concat_ranges(lo_slot, hi_slot)
+        slots = sel
+        n_sel = len(sel)
+    ctx.stats.points_tested += n_sel
+    pos = None
+    if ctx.with_positions or ctx.box is not None:
+        pos = tv.positions[sel]
+    mask = None
+    if ctx.box is not None:
+        mask = ctx.box.contains_points(pos)
+    for f in ctx.filters:
+        vals = tv.attributes[f.name][sel]
+        fmask = (vals >= f.lo) & (vals <= f.hi)
+        mask = fmask if mask is None else (mask & fmask)
+    if not ctx.with_positions:
+        pos = None
+    names = [n for n in tv.attributes if ctx.attributes is None or n in ctx.attributes]
+    if mask is None:
+        attrs = {n: tv.attributes[n][sel] for n in names}
+        count = n_sel
+    else:
+        count = int(mask.sum())
+        if count == 0:
+            return None, {}, np.empty(0, dtype=np.int64), 0
+        attrs = {n: tv.attributes[n][sel][mask] for n in names}
+        pos = pos[mask] if pos is not None else None
+        slots = slots[mask]
+    ctx.stats.points_returned += count
+    return pos, attrs, slots, count
+
+
 def _emit_ranges(tv, lo_slot: np.ndarray, hi_slot: np.ndarray, ctx: _QueryContext) -> None:
     """Gather the surviving slot ranges of one treelet and emit them once.
 
@@ -602,3 +690,263 @@ def _emit_ranges(tv, lo_slot: np.ndarray, hi_slot: np.ndarray, ctx: _QueryContex
             {n: tv.attributes[n][sel][mask] for n in names},
             count=int(mask.sum()),
         )
+
+
+# -- streaming frontier engine ------------------------------------------------
+
+
+@dataclass
+class FileIncrement:
+    """Rows one quality rung of a streamed file read adds.
+
+    ``treelet_rank`` and ``slots`` are per-row order keys: stably sorting
+    the concatenation of a file's increments by ``(treelet_rank, slot)``
+    reproduces the direct synchronous emission order byte for byte —
+    treelets emit in visit-rank order, and within a treelet node ids are
+    assigned pre-order, which is ascending slot order by construction of
+    the node-order particle layout.
+    """
+
+    quality: float
+    prev_quality: float
+    positions: np.ndarray | None
+    attributes: dict[str, np.ndarray]
+    count: int
+    treelet_rank: np.ndarray
+    slots: np.ndarray
+
+
+class _TreeletStream:
+    """Stateful frontier walk of one treelet, advanced one rung at a time.
+
+    Spatial and bitmap pruning are quality-independent, so each depth's
+    survivors are computed once and cached; a rung only extends the
+    descent when its effective depth reaches below every prior rung's.
+    Per-rung emission then reads the cached ``(ids, begin, count)``
+    survivor arrays, with the same monotone slot-range rounding as the
+    one-shot engines — consecutive rungs chain with no gap and no overlap.
+    """
+
+    __slots__ = ("tv", "_sv", "_fr_ids", "_fr_lo", "_fr_hi")
+
+    def __init__(self, bat: BATFile, leaf: int, leaf_box: Box) -> None:
+        self.tv = bat.treelet(leaf)
+        #: per-depth survivors: (node ids, begin, count) int64 triples
+        self._sv: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._fr_ids = np.zeros(1, dtype=np.int64)
+        self._fr_lo = np.asarray(leaf_box.lower, dtype=np.float64).reshape(1, 3)
+        self._fr_hi = np.asarray(leaf_box.upper, dtype=np.float64).reshape(1, 3)
+
+    def _extend(self, bat: BATFile, ctx: _QueryContext, upto: int) -> None:
+        """Grow the cached survivor levels through depth ``upto``."""
+        nodes = self.tv.nodes
+        qlo = qhi = None
+        if ctx.box is not None:
+            qlo = np.asarray(ctx.box.lower)
+            qhi = np.asarray(ctx.box.upper)
+        while self._fr_ids.size and len(self._sv) <= upto:
+            ids, lo, hi = self._fr_ids, self._fr_lo, self._fr_hi
+            ctx.stats.nodes_visited += len(ids)
+            recs = nodes[ids]
+            keep = np.ones(len(ids), dtype=bool)
+            if qlo is not None:
+                keep = np.all((lo <= qhi) & (hi >= qlo) & (lo <= hi), axis=1)
+                ctx.stats.pruned_spatial += int(len(ids) - keep.sum())
+            if ctx.filters:
+                ok = np.ones(len(ids), dtype=bool)
+                for f in ctx.filters:
+                    a = bat.attr_index(f.name)
+                    bms = bat.bitmaps_many(recs["bitmap_ids"][:, a])
+                    ok &= (bms & np.uint32(ctx.qbitmaps[f.name])) != 0
+                ctx.stats.pruned_bitmap += int((keep & ~ok).sum())
+                keep &= ok
+            srecs = recs[keep]
+            self._sv.append(
+                (
+                    ids[keep],
+                    srecs["begin"].astype(np.int64),
+                    srecs["count"].astype(np.int64),
+                )
+            )
+            desc = keep & (recs["axis"] >= 0)
+            if not desc.any():
+                self._fr_ids = np.empty(0, dtype=np.int64)
+                continue
+            drecs = recs[desc]
+            plo, phi = lo[desc], hi[desc]
+            ax = drecs["axis"].astype(np.int64)
+            sp = drecs["split"].astype(np.float64)
+            rows = np.arange(len(drecs))
+            lhi = phi.copy()
+            lhi[rows, ax] = sp
+            rlo = plo.copy()
+            rlo[rows, ax] = sp
+            self._fr_ids = np.concatenate(
+                [drecs["left"].astype(np.int64), drecs["right"].astype(np.int64)]
+            )
+            self._fr_lo = np.concatenate([plo, rlo])
+            self._fr_hi = np.concatenate([lhi, phi])
+
+    def rung(self, bat: BATFile, ctx: _QueryContext, e_lo: float, e_hi: float):
+        """Rows this treelet adds between effective depths ``e_lo → e_hi``."""
+        fl_hi = math.floor(e_hi)
+        self._extend(bat, ctx, fl_hi)
+        parts_ids: list[np.ndarray] = []
+        parts_lo: list[np.ndarray] = []
+        parts_hi: list[np.ndarray] = []
+        for d in range(math.floor(e_lo), min(fl_hi, len(self._sv) - 1) + 1):
+            ids, beg, cnt = self._sv[d]
+            if not ids.size:
+                continue
+            f0 = _depth_fraction(d, e_lo)
+            f1 = _depth_fraction(d, e_hi)
+            if f1 <= f0:
+                continue
+            lo_slot = beg + (f0 * cnt + 0.5).astype(np.int64)
+            hi_slot = beg + (f1 * cnt + 0.5).astype(np.int64)
+            nz = hi_slot > lo_slot
+            if nz.any():
+                parts_ids.append(ids[nz])
+                parts_lo.append(lo_slot[nz])
+                parts_hi.append(hi_slot[nz])
+        if not parts_ids:
+            return None, {}, np.empty(0, dtype=np.int64), 0
+        order = np.argsort(np.concatenate(parts_ids))
+        return _gather_rows(
+            self.tv,
+            np.concatenate(parts_lo)[order],
+            np.concatenate(parts_hi)[order],
+            ctx,
+        )
+
+
+def stream_query_file(
+    bat: BATFile,
+    ladder,
+    prev_quality: float = 0.0,
+    box: Box | None = None,
+    filters: tuple[AttributeFilter, ...] | list[AttributeFilter] = (),
+    attributes: list[str] | None = None,
+    with_positions: bool = True,
+    stats: QueryStats | None = None,
+):
+    """Stream one file's (progressive) read as per-rung increments.
+
+    ``ladder`` is a non-descending sequence of qualities starting above
+    ``prev_quality`` and ending at the target quality (see
+    :func:`default_quality_ladder`). Exactly one :class:`FileIncrement` is
+    yielded per rung — possibly empty. Two invariants hold, both inherited
+    from the monotone slot-range rounding shared with the one-shot
+    engines:
+
+    - *Reassembly*: the concatenation of all increments, stably sorted by
+      ``(treelet_rank, slot)``, is byte-identical to
+      ``query_file(bat, ladder[-1], prev_quality, ...)``.
+    - *Truncation*: stopping after rung *k* leaves exactly the rows of a
+      direct query at quality ``ladder[k]`` — rung ranges chain with no
+      overlap and no gap, so a shed or abandoned stream is a valid
+      lower-quality result, refinable later from ``prev_quality =
+      ladder[k]``.
+
+    ``stats`` may pass a caller-owned :class:`QueryStats` to accumulate
+    into (the dataset layer shares one across a stream's files); work
+    counters advance as rungs are consumed. After the final rung,
+    ``points_returned`` and the prune counters equal a direct one-shot
+    query's; ``points_tested``/``nodes_visited`` can be higher where the
+    one-shot engines take the whole-treelet fast path a rung-split read
+    cannot.
+    """
+    ladder = tuple(float(q) for q in ladder)
+    if not ladder:
+        raise InvalidRequestError("ladder must have at least one rung")
+    lo = prev_quality
+    for q in ladder:
+        if not lo <= q <= 1.0:
+            raise InvalidRequestError(
+                "ladder must be non-descending within [prev_quality, 1]"
+            )
+        lo = q
+    if attributes is not None:
+        for name in attributes:
+            bat.attr_index(name)  # raises KeyError for unknown names
+    filters = tuple(filters)
+    qbitmaps: dict[str, int] = {}
+    for f in filters:
+        bat.attr_index(f.name)  # raises KeyError for unknown attributes
+        binning = bat.binnings.get(f.name)
+        if binning is not None:
+            qbitmaps[f.name] = int(binning.query(f.lo, f.hi))
+        else:
+            alo, ahi = bat.attr_ranges[f.name]
+            qbitmaps[f.name] = int(query_bitmap(f.lo, f.hi, alo, ahi))
+
+    ctx = _QueryContext(
+        box=box,
+        filters=filters,
+        qbitmaps=qbitmaps,
+        e_prev=quality_to_depth(prev_quality, bat.max_treelet_depth),
+        e_new=quality_to_depth(ladder[-1], bat.max_treelet_depth),
+        attributes=tuple(attributes) if attributes is not None else None,
+        with_positions=bool(with_positions),
+    )
+    if stats is not None:
+        ctx.stats = stats
+    ctx.stats.files_opened += 1
+
+    empty_filter = any(q == 0 for q in qbitmaps.values())
+    root_prunes = box is not None and not bat.bounds.intersects(box)
+    streams: list[_TreeletStream] = []
+    if not (empty_filter or root_prunes or ctx.e_new == 0.0):
+        for leaf in _frontier_survivor_leaves(bat, ctx):
+            ctx.stats.treelets_visited += 1
+            streams.append(_TreeletStream(bat, int(leaf), bat.leaf_box(int(leaf))))
+
+    specs = bat.attribute_specs()
+    if attributes is not None:
+        specs = [sp for sp in specs if sp.name in attributes]
+    prev = prev_quality
+    for q in ladder:
+        e_lo = quality_to_depth(prev, bat.max_treelet_depth)
+        e_hi = quality_to_depth(q, bat.max_treelet_depth)
+        pos_parts: list[np.ndarray] = []
+        slot_parts: list[np.ndarray] = []
+        rank_parts: list[np.ndarray] = []
+        attr_parts: dict[str, list[np.ndarray]] = {sp.name: [] for sp in specs}
+        total = 0
+        if e_hi > e_lo:
+            for rank, ts in enumerate(streams):
+                pos, attrs, slots, count = ts.rung(bat, ctx, e_lo, e_hi)
+                if not count:
+                    continue
+                total += count
+                if pos is not None:
+                    pos_parts.append(pos)
+                for name, arr in attrs.items():
+                    attr_parts[name].append(arr)
+                slot_parts.append(slots)
+                rank_parts.append(np.full(count, rank, dtype=np.int64))
+        if total == 0:
+            yield FileIncrement(
+                quality=q,
+                prev_quality=prev,
+                positions=np.empty((0, 3), dtype=np.float32) if with_positions else None,
+                attributes={sp.name: np.empty(0, dtype=sp.dtype) for sp in specs},
+                count=0,
+                treelet_rank=np.empty(0, dtype=np.int64),
+                slots=np.empty(0, dtype=np.int64),
+            )
+        else:
+            yield FileIncrement(
+                quality=q,
+                prev_quality=prev,
+                positions=(
+                    np.concatenate(pos_parts, axis=0) if with_positions else None
+                ),
+                attributes={
+                    name: np.concatenate(parts) for name, parts in attr_parts.items()
+                },
+                count=total,
+                treelet_rank=np.concatenate(rank_parts),
+                slots=np.concatenate(slot_parts),
+            )
+        prev = q

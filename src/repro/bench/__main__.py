@@ -19,6 +19,12 @@ zoom/pan/filter session traces through the admission-controlled query
 service at 2× capacity (by default), reporting throughput, p50/p99
 latency, queue depth, degradation activity, and cache hit rates, with a
 sample of served responses byte-checked against direct dataset queries.
+``--suite stream`` replays an asyncio thundering herd — an order of
+magnitude more sessions than ``serve``, all piling onto a few shared hot
+views and consuming streamed increments — twice, with the in-flight
+request-collapse table off and on, reporting collapse hit rate, decode
+work saved, time-to-first-increment, and p50/p99 latency, with responses
+byte-checked against direct queries in both runs.
 ``--suite faults`` repeats the write under injected faults (torn writes,
 bit flips, dropped/duplicated aggregator messages, aggregator death) and
 proves recovery: the faulted run must publish byte-identical files to a
@@ -47,6 +53,7 @@ from .harness import (
     read_path_benchmark,
     record_benchmark,
     serve_benchmark,
+    stream_benchmark,
 )
 
 
@@ -169,6 +176,53 @@ def _run_serve(args) -> dict:
     return payload
 
 
+def _run_stream(args) -> dict:
+    def run(out_dir):
+        return stream_benchmark(
+            out_dir,
+            nranks=args.ranks,
+            particles_per_rank=args.particles,
+            n_attributes=args.attributes,
+            target_size=args.target_kb * 1024,
+            capacity=args.capacity,
+            sessions=args.sessions,
+            ops_per_session=args.ops,
+            n_views=args.views,
+        )
+
+    if args.out_dir is not None:
+        payload = run(args.out_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            payload = run(tmp)
+
+    r = payload["results"]
+    base, coll = r["variants"]["no-collapse"], r["variants"]["collapse"]
+    print(
+        f"stream: {payload['sessions']} asyncio sessions x "
+        f"{payload['ops_per_session']} ops over {payload['n_views']} hot views, "
+        f"capacity {payload['capacity']} ({payload['n_files']} files)"
+    )
+    for name, v in r["variants"].items():
+        print(
+            f"  {name:<12} p50 {v['latency_ms']['p50']:8.2f} ms   "
+            f"p99 {v['latency_ms']['p99']:8.2f} ms   "
+            f"ttfi p50 {v['ttfi_ms']['p50']:7.2f} ms   "
+            f"decoded {v['decoded_bytes'] / 1e6:7.2f} MB   "
+            f"collapsed {v['collapsed']:>4}   shed {v['shed']:>3}"
+        )
+    print(
+        f"  collapse hit rate {r['collapse_hit_rate']:.1%}; decode work saved "
+        f"{r['decoded_bytes_saved'] / 1e6:.2f} MB "
+        f"({r['decoded_bytes_saved_frac']:.1%} of baseline)"
+    )
+    print(
+        f"  identity samples byte-checked vs direct queries: "
+        f"{base['identity_samples_checked']} + {coll['identity_samples_checked']} ok"
+    )
+    return payload
+
+
 def _run_faults(args) -> dict:
     def run(out_dir):
         return fault_injection_benchmark(
@@ -271,11 +325,12 @@ def main(argv=None) -> int:
     )
     p.add_argument(
         "--suite",
-        choices=("write", "parallel", "read", "serve", "faults", "compress"),
+        choices=("write", "parallel", "read", "serve", "stream", "faults", "compress"),
         default="write",
         help="write (alias: parallel): multi-executor write+query; read: "
              "planner + engine comparison; serve: concurrent service under "
-             "load; faults: write under injected faults, prove recovery + "
+             "load; stream: asyncio streaming herd, collapse on vs off; "
+             "faults: write under injected faults, prove recovery + "
              "degraded reads; compress: v4 column codecs vs the v3 baseline",
     )
     p.add_argument(
@@ -301,7 +356,13 @@ def main(argv=None) -> int:
         help="serve suite: load-generator client threads (default 2x capacity)",
     )
     p.add_argument(
-        "--sessions", type=int, default=12, help="serve suite: session traces to replay"
+        "--sessions", type=int, default=None,
+        help="serve/stream suites: session traces to replay "
+             "(default 12 for serve, 120 for stream)",
+    )
+    p.add_argument(
+        "--views", type=int, default=4,
+        help="stream suite: shared hot views the sessions pile onto",
     )
     p.add_argument(
         "--fault-seed", type=int, default=0,
@@ -319,10 +380,15 @@ def main(argv=None) -> int:
     p.add_argument("--record", default=None, help="write the BENCH_<tag>.json data point here")
     args = p.parse_args(argv)
 
+    if args.sessions is None:
+        args.sessions = 120 if args.suite == "stream" else 12
+
     if args.suite == "read":
         payload = _run_read(args)
     elif args.suite == "serve":
         payload = _run_serve(args)
+    elif args.suite == "stream":
+        payload = _run_stream(args)
     elif args.suite == "faults":
         payload = _run_faults(args)
     elif args.suite == "compress":

@@ -37,6 +37,7 @@ __all__ = [
     "parallel_write_query_benchmark",
     "read_path_benchmark",
     "serve_benchmark",
+    "stream_benchmark",
     "fault_injection_benchmark",
     "compression_benchmark",
     "codec_throughput_benchmark",
@@ -535,6 +536,152 @@ def serve_benchmark(
         "concurrency": concurrency,
         "sessions": sessions,
         "ops_per_session": ops_per_session,
+        "results": results,
+    }
+
+
+def stream_benchmark(
+    out_dir,
+    nranks: int = 24,
+    particles_per_rank: int = 8_000,
+    n_attributes: int = 4,
+    target_size: int = 256 * 1024,
+    machine: MachineSpec | None = None,
+    seed: int = 0,
+    capacity: int = 2,
+    sessions: int = 120,
+    ops_per_session: int = 4,
+    n_views: int = 4,
+    max_queued: int | None = None,
+) -> dict:
+    """Streaming-serve benchmark: request collapsing under a thundering herd.
+
+    Writes one v4 (per-column codec) workload, then replays ``sessions``
+    asyncio sessions — an order of magnitude more than the thread-based
+    serve suite — all walking a shared set of ``n_views`` hot views
+    (:func:`~repro.serve.loadgen.make_hot_traces`), each consuming
+    streamed increments. The same traces run twice against fresh
+    services: once with the in-flight collapse table disabled (the PR 3
+    execution model: every request decodes for itself) and once enabled.
+    The decoded-column cache is off and degradation disabled in **both**
+    runs, so the only difference between the variants is pre-completion
+    request collapsing, and ``decoded_bytes`` (real codec decode work,
+    counted at the section layer) isolates exactly what collapsing saved.
+
+    Per variant the benchmark records throughput, p50/p99 latency,
+    time-to-first-increment percentiles (the latency a progressive viewer
+    perceives), shed/collapse counts, and the collapse table's own
+    accounting; a sample of responses is byte-checked against direct
+    dataset queries at their served coordinates. The run *fails* — like
+    every suite here, wrong answers are a benchmark failure, not a data
+    point — if identity checks fail, if the collapse run never collapses,
+    or if it does not decode strictly fewer bytes than the baseline.
+    """
+    from ..bat import BATBuildConfig
+    from ..machines import stampede2
+    from ..serve import (
+        DegradationConfig,
+        QueryService,
+        ServeConfig,
+        make_hot_traces,
+        run_load_async,
+        verify_identity_samples,
+    )
+    from ..serve.metrics import percentile
+
+    machine = machine or stampede2()
+    if max_queued is None:
+        max_queued = max(64, sessions * ops_per_session)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    data = uniform_rank_data(
+        nranks, particles_per_rank, n_attributes=n_attributes,
+        materialize=True, seed=seed,
+    )
+    writer = TwoPhaseWriter(
+        machine,
+        target_size=target_size,
+        agg_config=paper_agg_config(target_size),
+        bat_config=BATBuildConfig(codecs="auto"),
+    )
+    report = writer.write(data, out_dir=out_dir, name="streambench")
+
+    variants = {}
+    for variant, collapse in (("no-collapse", False), ("collapse", True)):
+        config = ServeConfig(
+            capacity=capacity,
+            max_queued=max_queued,
+            collapse=collapse,
+            column_cache_bytes=0,
+            degradation=DegradationConfig(enabled=False),
+        )
+        with QueryService(report.metadata_path, config) as service:
+            ds = service.dataset(0)
+            traces = make_hot_traces(
+                sessions, ds.bounds, n_views=n_views,
+                ops_per_session=ops_per_session, seed=seed,
+            )
+            load = run_load_async(service, traces)
+            snapshot = service.snapshot()
+            identity_checked = verify_identity_samples(ds, load.identity_samples)
+
+        lat = sorted(load.latencies)
+        ttfi = sorted(load.ttfi)
+        variants[variant] = {
+            "requests": load.requests,
+            "rejected": load.rejected,
+            "collapsed": load.collapsed,
+            "shed": load.shed,
+            "cache_hits": load.cache_hits,
+            "increments": load.increments,
+            "points_served": load.points,
+            "bytes_served": load.nbytes,
+            "elapsed_seconds": load.elapsed_seconds,
+            "throughput_rps": load.throughput_rps,
+            "latency_ms": {
+                "p50": 1e3 * percentile(lat, 50),
+                "p99": 1e3 * percentile(lat, 99),
+                "max": 1e3 * max(lat) if lat else 0.0,
+            },
+            "ttfi_ms": {
+                "p50": 1e3 * percentile(ttfi, 50),
+                "p99": 1e3 * percentile(ttfi, 99),
+            },
+            "decoded_bytes": snapshot["caches"]["files"]["decoded_bytes"],
+            "collapse": snapshot["caches"]["collapse"],
+            "identity_samples_checked": identity_checked,
+        }
+        if not identity_checked:
+            raise AssertionError(f"{variant}: no identity samples were checked")
+
+    base, coll = variants["no-collapse"], variants["collapse"]
+    if coll["collapse"]["collapsed_hits"] + coll["collapse"]["derived_hits"] == 0:
+        raise AssertionError("collapse run never collapsed a request")
+    if coll["decoded_bytes"] >= base["decoded_bytes"]:
+        raise AssertionError(
+            f"collapsing did not reduce decode work: "
+            f"{coll['decoded_bytes']} >= {base['decoded_bytes']}"
+        )
+    results = {
+        "variants": variants,
+        "collapse_hit_rate": coll["collapse"]["hit_rate"],
+        "decoded_bytes_saved": base["decoded_bytes"] - coll["decoded_bytes"],
+        "decoded_bytes_saved_frac": (
+            1.0 - coll["decoded_bytes"] / base["decoded_bytes"]
+        ),
+        "byte_identity_ok": True,
+    }
+    return {
+        "benchmark": "stream",
+        "nranks": nranks,
+        "particles_per_rank": particles_per_rank,
+        "n_attributes": n_attributes,
+        "target_size": target_size,
+        "n_files": report.n_files,
+        "capacity": capacity,
+        "sessions": sessions,
+        "ops_per_session": ops_per_session,
+        "n_views": n_views,
         "results": results,
     }
 

@@ -127,8 +127,10 @@ def _cmd_serve(args) -> int:
         DegradationConfig,
         QueryService,
         ServeConfig,
+        make_hot_traces,
         make_traces,
         run_load,
+        run_load_async,
         verify_identity_samples,
     )
 
@@ -136,27 +138,53 @@ def _cmd_serve(args) -> int:
         capacity=args.capacity,
         max_queued=args.max_queued,
         executor=args.executor,
+        collapse=not args.no_collapse,
         degradation=DegradationConfig(enabled=not args.no_degradation),
     )
     concurrency = args.concurrency or 2 * args.capacity
     with QueryService(args.source, config) as service:
         step = service.steps[0]
         ds = service.dataset(step)
-        traces = make_traces(
-            args.sessions, ds.bounds, ds.attr_ranges,
-            ops_per_session=args.ops, seed=args.seed,
-        )
-        load = run_load(service, traces, concurrency=concurrency, step=step)
+        if args.hot_views:
+            traces = make_hot_traces(
+                args.sessions, ds.bounds, n_views=args.hot_views,
+                ops_per_session=args.ops, seed=args.seed,
+            )
+        else:
+            traces = make_traces(
+                args.sessions, ds.bounds, ds.attr_ranges,
+                ops_per_session=args.ops, seed=args.seed,
+            )
+        if args.stream:
+            # asyncio front end: every session is a coroutine consuming
+            # streamed increments over one event loop
+            load = run_load_async(service, traces, step=step)
+        else:
+            load = run_load(
+                service, traces, concurrency=concurrency, step=step,
+                arrival=args.arrival, rate_hz=args.rate_hz,
+                arrival_seed=args.arrival_seed,
+            )
         checked = verify_identity_samples(ds, load.identity_samples)
         snapshot = service.snapshot()
     lat = snapshot["latency_ms"]
+    mode = "asyncio streams" if args.stream else f"{concurrency} clients"
     print(
         f"served {load.requests} requests from {args.sessions} sessions "
-        f"({concurrency} clients, capacity {args.capacity}): "
+        f"({mode}, capacity {args.capacity}): "
         f"{load.throughput_rps:.1f} req/s, p50 {lat['p50']:.2f} ms, "
         f"p99 {lat['p99']:.2f} ms, {load.rejected} rejected, "
         f"{load.degraded} degraded, {checked} responses byte-verified"
     )
+    if args.stream:
+        streaming = snapshot["streaming"]
+        collapse = snapshot["caches"]["collapse"]
+        print(
+            f"  streaming: {streaming['increments']} increments, "
+            f"ttfi p50 {streaming['ttfi_ms']['p50']:.2f} ms, "
+            f"{streaming['shed']} shed; collapse hit rate "
+            f"{collapse['hit_rate']:.1%} ({collapse['saved_points']} points shared)"
+        )
     if args.json:
         print(json.dumps(snapshot, indent=1, sort_keys=True))
     return 0
@@ -273,6 +301,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-queued", type=int, default=64,
                        help="admission bound on the global queue")
     serve.add_argument("--seed", type=int, default=0, help="trace generator seed")
+    serve.add_argument("--stream", action="store_true",
+                       help="drive sessions through the asyncio streaming front "
+                            "end (one event loop, per-rung increments)")
+    serve.add_argument("--hot-views", type=int, default=0, metavar="N",
+                       help="pile sessions onto N shared views (exercises "
+                            "request collapsing; 0 = independent traces)")
+    serve.add_argument("--no-collapse", action="store_true",
+                       help="disable in-flight request collapsing")
+    serve.add_argument("--arrival", choices=("closed", "open"), default="closed",
+                       help="closed: each client waits for its response; open: "
+                            "Poisson arrivals at --rate-hz (thread mode only)")
+    serve.add_argument("--rate-hz", type=float, default=200.0,
+                       help="open-loop aggregate arrival rate")
+    serve.add_argument("--arrival-seed", type=int, default=0,
+                       help="open-loop interarrival RNG seed")
     serve.add_argument("--no-degradation", action="store_true",
                        help="disable adaptive quality degradation under load")
     serve.add_argument("--executor", default=None,

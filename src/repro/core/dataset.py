@@ -16,10 +16,17 @@ import threading
 from functools import partial
 from pathlib import Path
 
-from ..api import QueryRequest, QueryResult, warn_deprecated
+import numpy as np
+
+from ..api import QueryRequest, QueryResult, StreamIncrement, warn_deprecated
 from ..bat.file import BATFile
 from ..bat.filecache import BATFileCache
-from ..bat.query import QueryStats, query_file
+from ..bat.query import (
+    QueryStats,
+    default_quality_ladder,
+    query_file,
+    stream_query_file,
+)
 from ..errors import IntegrityError, InvalidRequestError, LeafUnavailableError
 from ..parallel import get_executor
 from ..types import Box, ParticleBatch
@@ -380,6 +387,159 @@ class BATDataset:
                 stats=stats,
             )
         return QueryResult(batch=ParticleBatch.concatenate(parts), stats=stats)
+
+    def stream(self, request=None, ladder=None, plan=None):
+        """Stream one query as per-rung :class:`~repro.api.StreamIncrement`s.
+
+        The streaming execution mode of :meth:`query`: instead of one
+        gathered batch, returns a generator yielding one increment per
+        quality rung of ``ladder`` (default:
+        :func:`~repro.bat.query.default_quality_ladder` between the
+        request's ``prev_quality`` and ``quality``) as the frontier
+        engine materializes it. Files are traversed through stateful
+        per-treelet streams — pruning runs once, each rung only touches
+        the depth window it adds — and their handles are leased from the
+        file cache for the stream's lifetime.
+
+        Invariants (property-tested):
+
+        - reassembling all increments
+          (:func:`~repro.api.reassemble_stream`) is byte-identical to
+          ``self.query(request)``;
+        - truncating after any rung leaves exactly the direct result at
+          that rung's quality, refinable later via ``prev_quality``.
+
+        Under ``on_error="degrade"`` a leaf failing mid-stream is
+        quarantined and dropped from the remaining rungs; increments
+        from then on are flagged ``partial`` (rows the dead leaf already
+        delivered stay in earlier increments, so a partial stream — like
+        a partial one-shot result — is not byte-comparable and must not
+        be cached). Streams execute serially across files: the serve
+        tier's parallelism is across sessions, not within one stream.
+        """
+        req = request if request is not None else QueryRequest()
+        if not isinstance(req, QueryRequest):
+            raise InvalidRequestError("stream() takes a repro.QueryRequest")
+        if ladder is None:
+            ladder = default_quality_ladder(req.quality, req.prev_quality)
+        ladder = tuple(float(q) for q in ladder)
+        if not ladder or ladder[-1] != req.quality:
+            raise InvalidRequestError("ladder must end exactly at request.quality")
+        lo = req.prev_quality
+        for q in ladder:
+            if not lo <= q <= 1.0:
+                raise InvalidRequestError(
+                    "ladder must be non-descending within [prev_quality, 1]"
+                )
+            lo = q
+        attributes = None
+        with_positions = True
+        if req.columns is not None:
+            attributes = [c for c in req.columns if c != "positions"]
+            with_positions = "positions" in req.columns
+        if plan is None:
+            plan = self.plan(req.box, req.filters)
+        elif plan.box != req.box or plan.filters != req.filters:
+            raise InvalidRequestError(
+                "plan was built for a different box/filters shape"
+            )
+        return self._stream_rungs(req, ladder, plan, attributes, with_positions)
+
+    def _stream_rungs(self, req, ladder, plan, attributes, with_positions):
+        stats = QueryStats()
+        stats.pruned_files += plan.pruned_files
+        stats.quarantined_files += plan.excluded_files
+        partial = False
+        specs = None
+        with self._cache.lease(
+            [self.directory / fp.file_name for fp in plan.files]
+        ):
+            gens = []  # [(file_rank, leaf_index, per-file increment generator)]
+            for file_rank, fp in enumerate(plan.files):
+                try:
+                    f = self.file(fp.leaf_index)
+                except FileNotFoundError as exc:
+                    self._leaf_failed(fp.leaf_index, "missing", str(exc), req.on_error)
+                    stats.quarantined_files += 1
+                    partial = True
+                    continue
+                except IntegrityError as exc:
+                    self._leaf_failed(fp.leaf_index, "corrupt", str(exc), req.on_error)
+                    stats.quarantined_files += 1
+                    partial = True
+                    continue
+                gens.append(
+                    (
+                        file_rank,
+                        fp.leaf_index,
+                        stream_query_file(
+                            f,
+                            ladder,
+                            prev_quality=req.prev_quality,
+                            box=fp.box,
+                            filters=req.filters,
+                            attributes=attributes,
+                            with_positions=with_positions,
+                            stats=stats,
+                        ),
+                    )
+                )
+            prev = req.prev_quality
+            for q in ladder:
+                parts: list[ParticleBatch] = []
+                orders: list[np.ndarray] = []
+                dead: list[int] = []
+                for slot, (file_rank, leaf_index, gen) in enumerate(gens):
+                    try:
+                        inc = next(gen)
+                    except FileNotFoundError as exc:
+                        self._leaf_failed(leaf_index, "missing", str(exc), req.on_error)
+                        stats.quarantined_files += 1
+                        partial = True
+                        dead.append(slot)
+                        continue
+                    except IntegrityError as exc:
+                        self._leaf_failed(leaf_index, "corrupt", str(exc), req.on_error)
+                        stats.quarantined_files += 1
+                        partial = True
+                        dead.append(slot)
+                        continue
+                    if inc.count:
+                        parts.append(
+                            ParticleBatch(
+                                inc.positions, inc.attributes, count=inc.count
+                            )
+                        )
+                        okeys = np.empty((inc.count, 3), dtype=np.int64)
+                        okeys[:, 0] = file_rank
+                        okeys[:, 1] = inc.treelet_rank
+                        okeys[:, 2] = inc.slots
+                        orders.append(okeys)
+                for slot in reversed(dead):
+                    gens.pop(slot)[2].close()
+                if parts:
+                    batch = (
+                        ParticleBatch.concatenate(parts) if len(parts) > 1 else parts[0]
+                    )
+                    order = (
+                        np.concatenate(orders, axis=0) if len(orders) > 1 else orders[0]
+                    )
+                else:
+                    if specs is None:
+                        specs = self.attribute_specs()
+                        if attributes is not None:
+                            specs = [sp for sp in specs if sp.name in attributes]
+                    batch = ParticleBatch.empty(specs, with_positions=with_positions)
+                    order = np.empty((0, 3), dtype=np.int64)
+                yield StreamIncrement(
+                    quality=q,
+                    prev_quality=prev,
+                    batch=batch,
+                    order=order,
+                    stats=stats,
+                    partial=partial,
+                )
+                prev = q
 
     def _query_leaf_shared(self, kwargs: dict, item):
         """Thread-executor work unit: query one leaf via the shared cache.

@@ -6,17 +6,30 @@ for many simultaneous clients instead of one: a bounded priority
 scheduler with admission control (:mod:`~repro.serve.scheduler`),
 adaptive quality degradation under load (:mod:`~repro.serve.degrade`), a
 shared TTL+LRU result cache above the plan cache
-(:mod:`~repro.serve.cache`), a JSON metrics surface
+(:mod:`~repro.serve.cache`), pre-completion request collapsing of
+overlapping in-flight decodes (:mod:`~repro.serve.collapse`), streamed
+per-rung delivery with bounded-outbox backpressure
+(:mod:`~repro.serve.streaming`), a windowed JSON metrics surface
 (:mod:`~repro.serve.metrics`), and a deterministic load generator
 (:mod:`~repro.serve.loadgen`). :class:`~repro.serve.service.QueryService`
 ties them together; the viz-layer
 :class:`~repro.viz.server.ProgressiveStreamServer` is a thin wrapper over
-it.
+it, and :mod:`repro.serve.aio` fronts it with a single asyncio event
+loop for thousands of concurrent progressive sessions.
 """
 
+from .aio import AsyncQueryService, AsyncStream, run_load_async
 from .cache import ResultCache, result_key
+from .collapse import CollapseAbandoned, CollapseKey, FollowSpec, InflightTable
 from .degrade import DegradationConfig, DegradationPolicy
-from .loadgen import LoadReport, TraceOp, make_traces, run_load, verify_identity_samples
+from .loadgen import (
+    LoadReport,
+    TraceOp,
+    make_hot_traces,
+    make_traces,
+    run_load,
+    verify_identity_samples,
+)
 from .metrics import RequestSpan, ServeMetrics, percentile
 from .scheduler import (
     PRIORITY_BULK,
@@ -28,11 +41,18 @@ from .scheduler import (
     Ticket,
 )
 from .service import QueryService, ServeConfig, ServeResponse, ServeSession
+from .streaming import StreamHandle, StreamOutbox
 
 __all__ = [
     "AdmissionRejected",
+    "AsyncQueryService",
+    "AsyncStream",
+    "CollapseAbandoned",
+    "CollapseKey",
     "DegradationConfig",
     "DegradationPolicy",
+    "FollowSpec",
+    "InflightTable",
     "LoadReport",
     "PRIORITY_BULK",
     "PRIORITY_INTERACTIVE",
@@ -46,11 +66,15 @@ __all__ = [
     "ServeMetrics",
     "ServeResponse",
     "ServeSession",
+    "StreamHandle",
+    "StreamOutbox",
     "Ticket",
     "TraceOp",
+    "make_hot_traces",
     "make_traces",
     "percentile",
     "result_key",
     "run_load",
+    "run_load_async",
     "verify_identity_samples",
 ]

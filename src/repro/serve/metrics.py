@@ -7,7 +7,13 @@ collector is the single JSON-able source of truth the CLI, the load
 generator, and the bench suite print: latency percentiles, per-phase time
 totals, queue-depth high-water marks, admission rejections, degradation
 engage/release transitions, and the hit rates of every cache layer
-(result → plan → file handle).
+(result → collapse → plan → decoded column → file handle).
+
+Memory is bounded: per-request samples (latency, time to first
+increment) live in a fixed-size ring buffer, so a service that has been
+up for weeks holds the same few kilobytes as one that served ten
+requests. Percentiles are exact over that window; counters and phase
+totals stay cumulative since start.
 
 Wall-clock reads go through an injectable ``clock`` so tests can drive
 TTL and latency accounting deterministically.
@@ -18,9 +24,13 @@ from __future__ import annotations
 import json
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 
-__all__ = ["RequestSpan", "ServeMetrics", "percentile"]
+__all__ = ["DEFAULT_METRICS_WINDOW", "RequestSpan", "ServeMetrics", "percentile"]
+
+#: ring-buffer size for per-request samples (latency, TTFI)
+DEFAULT_METRICS_WINDOW = 4096
 
 
 def percentile(values, p: float) -> float:
@@ -53,6 +63,16 @@ class RequestSpan:
     partial: bool = False
     #: leaf files this request's query could not see
     quarantined_files: int = 0
+    #: served from an overlapping in-flight request instead of decoding
+    collapsed: bool = False
+    #: delivered through a StreamHandle (increments, not one batch)
+    streamed: bool = False
+    #: stopped early at a rung boundary (slow consumer / closed handle)
+    shed: bool = False
+    #: increments actually delivered (1 for a one-shot response)
+    increments: int = 0
+    #: submission → first increment available to the client (0 = untracked)
+    first_increment_seconds: float = 0.0
     wait_seconds: float = 0.0
     plan_seconds: float = 0.0
     traverse_seconds: float = 0.0
@@ -75,6 +95,11 @@ class RequestSpan:
             "rejected": self.rejected,
             "partial": self.partial,
             "quarantined_files": self.quarantined_files,
+            "collapsed": self.collapsed,
+            "streamed": self.streamed,
+            "shed": self.shed,
+            "increments": self.increments,
+            "first_increment_seconds": self.first_increment_seconds,
             "wait_seconds": self.wait_seconds,
             "plan_seconds": self.plan_seconds,
             "traverse_seconds": self.traverse_seconds,
@@ -100,13 +125,23 @@ class _PhaseTotals:
 
 
 class ServeMetrics:
-    """Thread-safe aggregation of request spans and scheduler samples."""
+    """Thread-safe aggregation of request spans and scheduler samples.
 
-    def __init__(self, clock=time.perf_counter):
+    Counters are cumulative since construction; per-request samples live
+    in a ring buffer of ``window`` entries, so percentiles describe the
+    recent window while the memory footprint stays constant.
+    """
+
+    def __init__(self, clock=time.perf_counter, window: int = DEFAULT_METRICS_WINDOW):
+        if window < 1:
+            raise ValueError("metrics window must be >= 1")
         self._lock = threading.Lock()
         self._clock = clock
         self._started = clock()
-        self._latencies: list[float] = []
+        self.window = int(window)
+        self._latencies: deque[float] = deque(maxlen=self.window)
+        #: submission → first increment, streamed/collapsed requests only
+        self._ttfi: deque[float] = deque(maxlen=self.window)
         self._phases = _PhaseTotals()
         self.completed = 0
         self.rejected = 0
@@ -120,6 +155,17 @@ class ServeMetrics:
         self.points_served = 0
         self.bytes_served = 0
         self.max_queue_depth = 0
+        #: requests served off an overlapping in-flight decode
+        self.collapsed = 0
+        #: requests delivered through a StreamHandle
+        self.streamed = 0
+        #: streams stopped early at a rung boundary by backpressure
+        self.shed = 0
+        #: increments delivered across all requests
+        self.increments = 0
+        #: cumulative latency, so the all-time mean survives the window
+        self.latency_sum = 0.0
+        self.latency_max = 0.0
 
     # -- recording -----------------------------------------------------------
 
@@ -131,6 +177,8 @@ class ServeMetrics:
                 return
             self.completed += 1
             self._latencies.append(span.total_seconds)
+            self.latency_sum += span.total_seconds
+            self.latency_max = max(self.latency_max, span.total_seconds)
             self._phases.add(span)
             if span.degraded:
                 self.degraded += 1
@@ -139,6 +187,15 @@ class ServeMetrics:
             if span.partial:
                 self.partial_responses += 1
                 self.quarantined_files += span.quarantined_files
+            if span.collapsed:
+                self.collapsed += 1
+            if span.streamed:
+                self.streamed += 1
+            if span.shed:
+                self.shed += 1
+            self.increments += span.increments
+            if span.first_increment_seconds > 0.0:
+                self._ttfi.append(span.first_increment_seconds)
             if span.points == 0:
                 self.empty_increments += 1
             self.points_served += span.points
@@ -155,6 +212,7 @@ class ServeMetrics:
         """The JSON-able metrics surface (latencies in milliseconds)."""
         with self._lock:
             lat = list(self._latencies)
+            ttfi = list(self._ttfi)
             elapsed = max(self._clock() - self._started, 1e-9)
             n = max(self.completed, 1)
             return {
@@ -175,6 +233,23 @@ class ServeMetrics:
                     "p99": 1e3 * percentile(lat, 99),
                     "mean": 1e3 * sum(lat) / len(lat) if lat else 0.0,
                     "max": 1e3 * max(lat) if lat else 0.0,
+                    # cumulative, not windowed: for long-run dashboards
+                    "mean_all": 1e3 * self.latency_sum / n,
+                    "max_all": 1e3 * self.latency_max,
+                    "window": self.window,
+                    "window_count": len(lat),
+                },
+                "streaming": {
+                    "streamed": self.streamed,
+                    "collapsed": self.collapsed,
+                    "shed": self.shed,
+                    "increments": self.increments,
+                    "ttfi_ms": {
+                        "p50": 1e3 * percentile(ttfi, 50),
+                        "p99": 1e3 * percentile(ttfi, 99),
+                        "mean": 1e3 * sum(ttfi) / len(ttfi) if ttfi else 0.0,
+                        "window_count": len(ttfi),
+                    },
                 },
                 "phase_seconds": {
                     "wait": self._phases.wait,
@@ -196,4 +271,3 @@ class ServeMetrics:
             f"ServeMetrics(completed={self.completed}, rejected={self.rejected}, "
             f"degraded={self.degraded})"
         )
-

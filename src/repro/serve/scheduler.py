@@ -78,8 +78,8 @@ class Ticket:
 
     __slots__ = (
         "priority", "seq", "session_id", "fn",
-        "enqueued_at", "started_at", "wait_seconds",
-        "_done", "_result", "_error",
+        "enqueued_at", "started_at", "finished_at", "wait_seconds",
+        "_done", "_result", "_error", "_cb_lock", "_callbacks",
     )
 
     def __init__(self, priority: int, seq: int, session_id: int, fn):
@@ -89,13 +89,28 @@ class Ticket:
         self.fn = fn
         self.enqueued_at = 0.0
         self.started_at = 0.0
+        #: stamped just before the ticket resolves; with ``enqueued_at``
+        #: it gives open-loop drivers the latency from *scheduled* arrival
+        self.finished_at = 0.0
         self.wait_seconds = 0.0
         self._done = threading.Event()
         self._result = None
         self._error: BaseException | None = None
+        self._cb_lock = threading.Lock()
+        self._callbacks: list | None = []
 
     def done(self) -> bool:
         return self._done.is_set()
+
+    def add_done_callback(self, cb) -> None:
+        """Call ``cb(ticket)`` when the ticket resolves (immediately if it
+        already has). Runs on the worker thread — event-loop front ends
+        must trampoline via ``loop.call_soon_threadsafe``."""
+        with self._cb_lock:
+            if self._callbacks is not None:
+                self._callbacks.append(cb)
+                return
+        cb(self)
 
     def result(self, timeout: float | None = None):
         """Block until the request ran; re-raise its exception if it failed."""
@@ -109,6 +124,10 @@ class Ticket:
         self._result = result
         self._error = error
         self._done.set()
+        with self._cb_lock:
+            callbacks, self._callbacks = self._callbacks, None
+        for cb in callbacks:
+            cb(self)
 
     def __lt__(self, other: "Ticket") -> bool:
         return (self.priority, self.seq) < (other.priority, other.seq)
@@ -215,8 +234,10 @@ class RequestScheduler:
             try:
                 result = ticket.fn(ticket)
             except BaseException as exc:  # surface through the ticket
+                ticket.finished_at = self._clock()
                 ticket._finish(error=exc)
             else:
+                ticket.finished_at = self._clock()
                 ticket._finish(result=result)
             with self._cond:
                 self._in_flight -= 1

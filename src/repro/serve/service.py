@@ -2,9 +2,9 @@
 
 :class:`QueryService` multiplexes many client sessions over one set of
 shared resources — one file-handle cache, one plan cache per timestep,
-one result cache, one executor — where previously every
-:class:`~repro.viz.server.ProgressiveStreamServer` session family owned
-its own. A request travels::
+one result cache, one in-flight collapse table, one executor — where
+previously every :class:`~repro.viz.server.ProgressiveStreamServer`
+session family owned its own. A request travels::
 
     request() ── admission ──▶ RequestScheduler (priority queue,
         │ rejected past bounds      capacity worker threads)
@@ -16,17 +16,37 @@ its own. A request travels::
         │                    ResultCache.get ── hit ──▶ response
         │                               │ miss
         │                               ▼
-        │                    Dataset.plan (PlanCache) ─▶ Dataset.query
-        │                               │                (BATFileCache)
-        │                               ▼
+        │                    InflightTable.acquire ── follower ──▶ consume
+        │                               │ leader                 leader's
+        │                               ▼                        increments
+        │                    Dataset.plan (PlanCache) ─▶ Dataset.query /
+        │                               │                Dataset.stream
+        │                               ▼                (BATFileCache)
         └──────────◀─────────  cache put + session accounting
+
+Two execution modes share that path. :meth:`QueryService.submit` /
+:meth:`~QueryService.request` are the one-shot mode: the worker runs
+:meth:`~repro.core.dataset.BATDataset.query` exactly as before and the
+response carries one batch. :meth:`QueryService.stream` is the
+progressive mode: the worker walks the quality ladder via
+:meth:`~repro.core.dataset.BATDataset.stream`, pushing each rung's
+increment through a bounded per-session outbox as it materializes; a
+consumer that falls behind sheds the remaining rungs at a rung boundary
+(the session simply refines from there later, like load degradation).
+
+Either way the **collapse table** sits between the result cache and the
+decode: concurrent requests whose plans touch overlapping work — same
+view, or a derived column-subset / filter-superset / rung-truncation of
+it — share one decode, with the leader publishing increments and
+followers adapting them per-request (see :mod:`repro.serve.collapse`).
 
 Every response is byte-identical to a direct
 :meth:`~repro.core.dataset.BATDataset.query` at the same effective
-``(prev_quality, quality)`` — the scheduler and the caches reorder and
-deduplicate work, they never alter results. Degradation only lowers the
-quality ceiling of *new* increments, so a degraded session refining after
-load drains converges to exactly the full-quality data set.
+``(prev_quality, quality)`` — the scheduler, the caches, the collapse
+table, and the streaming mode reorder and deduplicate work, they never
+alter results. Degradation and shedding only lower the quality ceiling
+of *new* increments, so a degraded or shed session refining after load
+drains converges to exactly the full-quality data set.
 """
 
 from __future__ import annotations
@@ -36,14 +56,16 @@ import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
-from ..api import QueryRequest, warn_deprecated
+from ..api import QueryRequest, StreamIncrement, reassemble_stream, warn_deprecated
 from ..bat.colcache import DEFAULT_COLUMN_CACHE_BYTES
 from ..bat.filecache import DEFAULT_CAPACITY, BATFileCache
+from ..bat.query import default_quality_ladder
 from ..core.dataset import BATDataset
 from ..types import Box, ParticleBatch
 from .cache import ResultCache, result_key
+from .collapse import _DONE, CollapseAbandoned, CollapseKey, InflightTable, adapt_increment
 from .degrade import DegradationConfig, DegradationPolicy
-from .metrics import RequestSpan, ServeMetrics
+from .metrics import DEFAULT_METRICS_WINDOW, RequestSpan, ServeMetrics
 from .scheduler import (
     PRIORITY_BULK,
     PRIORITY_INTERACTIVE,
@@ -51,6 +73,7 @@ from .scheduler import (
     SchedulerConfig,
     Ticket,
 )
+from .streaming import StreamHandle, StreamOutbox
 
 __all__ = ["ServeConfig", "ServeSession", "ServeResponse", "QueryService"]
 
@@ -81,6 +104,21 @@ class ServeConfig:
     #: byte budget of the decoded-column LRU shared by every open file
     #: (0 disables the tier; columns then decode cold on every touch)
     column_cache_bytes: int = DEFAULT_COLUMN_CACHE_BYTES
+    #: collapse concurrent overlapping requests onto one in-flight decode
+    collapse: bool = True
+    #: how long a follower waits on its leader before falling back to its
+    #: own query (None = forever; the leader always runs on a live worker)
+    collapse_timeout: float | None = 30.0
+    #: increments buffered per streamed request before its worker blocks
+    stream_outbox: int = 8
+    #: how long a streamed worker waits on a full outbox before shedding
+    #: the remaining rungs (None = never shed on backpressure)
+    stream_grace: float | None = 2.0
+    #: quality-ladder resolution for streamed requests (2**levels rungs
+    #: across the full quality range; see ``default_quality_ladder``)
+    stream_levels: int = 8
+    #: ring-buffer size for latency/TTFI percentile samples
+    metrics_window: int = DEFAULT_METRICS_WINDOW
 
 
 @dataclass
@@ -124,6 +162,13 @@ class ServeResponse:
     partial: bool = False
     #: how many leaf files this response could not see
     quarantined_files: int = 0
+    #: served off an overlapping in-flight request's decode
+    collapsed: bool = False
+    #: the stream stopped early at a rung boundary (slow consumer);
+    #: ``served_quality`` is the last fully delivered rung
+    shed: bool = False
+    #: increments delivered (1 for a one-shot response, 0 if nothing new)
+    increments: int = 0
 
     def __len__(self) -> int:
         return len(self.batch)
@@ -175,7 +220,8 @@ class QueryService:
         self.results = ResultCache(
             capacity=self.config.result_cache_entries, ttl=self.config.result_ttl
         )
-        self.metrics = ServeMetrics(clock=clock)
+        self.collapse = InflightTable()
+        self.metrics = ServeMetrics(clock=clock, window=self.config.metrics_window)
         self._sessions: dict[int, ServeSession] = {}
         self._session_lock = threading.Lock()
         self._next_session = 0
@@ -343,14 +389,84 @@ class QueryService:
             raise TypeError(f"request() got an unexpected keyword argument {name!r}")
         return self.submit(session_id, request, step=step).result(timeout)
 
+    def stream(
+        self,
+        session_id: int,
+        request: QueryRequest,
+        *,
+        step: int | None = None,
+        ladder: tuple | None = None,
+        on_event=None,
+    ) -> StreamHandle:
+        """Admit one progressive request in streaming mode.
+
+        The returned :class:`~repro.serve.streaming.StreamHandle` yields
+        one :class:`~repro.api.StreamIncrement` per quality-ladder rung
+        as the worker materializes it; ``handle.result()`` resolves to
+        the same :class:`ServeResponse` a one-shot :meth:`request` would
+        return, whose batch is the reassembly of exactly the delivered
+        increments. A consumer that stops draining sheds the remaining
+        rungs (``response.shed``); the session's ``delivered_quality``
+        then reflects only the rungs actually delivered, so the next
+        request refines from there — convergence is never lost.
+
+        ``ladder`` overrides the default quality ladder (rungs outside
+        the effective ``(prev, quality]`` window are dropped);
+        ``on_event`` is a thread-safe callback fired whenever the stream
+        gains an increment or finishes (the asyncio front end's wakeup).
+        """
+        if not isinstance(request, QueryRequest):
+            raise TypeError("stream() takes a repro.QueryRequest")
+        sess = self.session(session_id)
+        step = sess.step if step is None else step
+        span = RequestSpan(
+            session_id=session_id, seq=0, requested_quality=request.quality,
+        )
+        span.streamed = True
+        priority = self._priority(sess, request, step)
+        span.priority = priority
+        outbox = StreamOutbox(self.config.stream_outbox, on_event=on_event)
+
+        def fn(ticket):
+            error = None
+            try:
+                return self._execute(
+                    ticket, sess, span, request, step, outbox=outbox, ladder=ladder
+                )
+            except BaseException as exc:
+                error = exc
+                raise
+            finally:
+                outbox.finish(error)
+
+        try:
+            ticket = self.scheduler.submit(fn, session_id=session_id, priority=priority)
+        except Exception as exc:
+            span.rejected = True
+            span.queue_depth = getattr(exc, "queue_depth", 0)
+            self.metrics.record(span)
+            raise
+        span.seq = ticket.seq
+        return StreamHandle(outbox, ticket)
+
     # -- the worker-side hot path ----------------------------------------------
 
-    def _execute(self, ticket, sess: ServeSession, span, req: QueryRequest, step):
+    def _empty_batch(self, ds: BATDataset, columns) -> ParticleBatch:
+        specs = ds.attribute_specs()
+        if columns is not None:
+            specs = [sp for sp in specs if sp.name in columns]
+        return ParticleBatch.empty(specs)
+
+    def _execute(
+        self, ticket, sess: ServeSession, span, req: QueryRequest, step,
+        outbox: StreamOutbox | None = None, ladder: tuple | None = None,
+    ):
         t_start = self._clock()
         span.wait_seconds = ticket.wait_seconds
         sched = self.scheduler
         quality = req.quality
         box, filters, columns = req.box, req.filters, req.columns
+        streamed = outbox is not None
         with sess.lock:
             span.queue_depth = sched.queue_depth + sched.in_flight
             # a view change restarts the progression before degradation
@@ -371,47 +487,58 @@ class QueryService:
                 sess.downgrades += 1
 
             ds = self.dataset(step)
+            shed = False
             if effective <= prev:
                 # nothing new to send at this ceiling (already-delivered
                 # data is never re-sent, degraded or not)
-                specs = ds.attribute_specs()
-                if columns is not None:
-                    specs = [sp for sp in specs if sp.name in columns]
-                batch = ParticleBatch.empty(specs)
+                batch = self._empty_batch(ds, columns)
                 served = prev
                 cache_hit = False
             else:
                 key = result_key(step, box, filters, prev, effective, columns)
                 batch = self.results.get(key)
                 cache_hit = batch is not None
-                if batch is None:
+                if cache_hit:
+                    served = effective
+                    if streamed:
+                        inc = StreamIncrement(
+                            quality=effective, prev_quality=prev, batch=batch
+                        )
+                        if outbox.push(inc, self.config.stream_grace):
+                            span.increments = 1
+                            span.first_increment_seconds = (
+                                span.wait_seconds + (self._clock() - t_start)
+                            )
+                        else:
+                            shed = True
+                            batch = self._empty_batch(ds, columns)
+                            served = prev
+                    else:
+                        span.increments = 1
+                else:
                     t0 = self._clock()
                     plan = ds.plan(box, filters)
                     span.plan_seconds = self._clock() - t0
-                    t0 = self._clock()
-                    # corrupt/missing leaves degrade the response instead
-                    # of failing the request: the dataset quarantines them
-                    # and returns what the surviving files hold
-                    batch, qstats = ds.query(
-                        replace(
-                            req,
-                            quality=effective,
-                            prev_quality=prev,
-                            on_error="degrade",
-                        ),
-                        plan=plan,
+                    batch, served, shed = self._execute_miss(
+                        span, req, step, ds, plan, prev, effective,
+                        outbox, ladder, t_start,
                     )
-                    span.traverse_seconds = self._clock() - t0
-                    span.quarantined_files = qstats.quarantined_files
-                    span.partial = qstats.quarantined_files > 0
+                    if batch is None:
+                        batch = self._empty_batch(ds, columns)
                     t0 = self._clock()
-                    if not span.partial:
+                    if not span.partial and served > prev:
                         # partial results must not be served to later
-                        # requests from the cache as if they were complete
-                        self.results.put(key, batch)
+                        # requests from the cache as if they were
+                        # complete; shed results are cached at the
+                        # (prev, served) window they actually cover
+                        self.results.put(
+                            result_key(step, box, filters, prev, served, columns),
+                            batch,
+                        )
                     span.gather_seconds = self._clock() - t0
-                served = effective
-                sess.delivered_quality = effective
+            if served > prev:
+                sess.delivered_quality = served
+            span.shed = shed
             sess.requests += 1
             sess.bytes_sent += batch.nbytes
         span.served_quality = served
@@ -430,7 +557,168 @@ class QueryService:
             span=span,
             partial=span.partial,
             quarantined_files=span.quarantined_files,
+            collapsed=span.collapsed,
+            shed=shed,
+            increments=span.increments,
         )
+
+    def _execute_miss(
+        self, span, req, step, ds, plan, prev, effective, outbox, ladder, t_start
+    ):
+        """Decode the (prev, effective] window: collapse, follow, or lead.
+
+        Returns ``(batch_or_None, served_quality, shed)``.
+        """
+        if outbox is not None:
+            if ladder is None:
+                ladder = default_quality_ladder(
+                    effective, prev, levels=self.config.stream_levels
+                )
+            else:
+                # degradation may have lowered the target below the
+                # caller's ladder; keep the rungs inside the window
+                ladder = tuple(q for q in ladder if prev < q < effective) + (effective,)
+        else:
+            ladder = (effective,)
+        entry = spec = None
+        if self.config.collapse:
+            ckey = CollapseKey(
+                step, req.box, req.filters, prev, effective, req.columns, req.engine
+            )
+            entry, spec = self.collapse.acquire(ckey, ladder)
+        if spec is not None:
+            incs, shed, abandoned = self._follow(entry, spec, span, outbox, t_start)
+            if not abandoned:
+                span.collapsed = True
+                span.increments = len(incs)
+                if incs:
+                    return reassemble_stream(incs).batch, incs[-1].quality, shed
+                return None, prev, shed
+            self.collapse.record_fallback()
+            # increments already pushed to a streaming consumer are
+            # committed — the fallback decode covers only the remaining
+            # window, and rung chaining keeps the union byte-exact
+            kept = incs if outbox is not None else []
+            fb_prev = kept[-1].quality if kept else prev
+            if fb_prev >= effective:
+                # the leader died after its final rung reached us
+                span.collapsed = True
+                span.increments = len(kept)
+                return reassemble_stream(kept).batch, fb_prev, False
+            fb_ladder = tuple(q for q in ladder if fb_prev < q < effective) + (effective,)
+            return self._lead(
+                None, span, req, ds, plan, fb_prev, effective, fb_ladder,
+                outbox, t_start, carried=kept,
+            )
+        try:
+            return self._lead(
+                entry, span, req, ds, plan, prev, effective, ladder, outbox, t_start
+            )
+        finally:
+            if entry is not None:
+                self.collapse.release(entry)
+
+    def _lead(
+        self, entry, span, req, ds, plan, prev, effective, ladder, outbox,
+        t_start, carried=(),
+    ):
+        """Execute the decode (as collapse leader when ``entry`` is set)."""
+        exec_req = replace(req, quality=effective, prev_quality=prev, on_error="degrade")
+        t0 = self._clock()
+        if outbox is None:
+            # one-shot mode: the pre-streaming sync path, published to
+            # followers as a single pre-ordered increment.
+            # Corrupt/missing leaves degrade the response instead of
+            # failing the request: the dataset quarantines them and
+            # returns what the surviving files hold
+            batch, qstats = ds.query(exec_req, plan=plan)
+            span.traverse_seconds = self._clock() - t0
+            span.quarantined_files = qstats.quarantined_files
+            span.partial = qstats.quarantined_files > 0
+            span.increments = 1
+            if entry is not None:
+                entry.publish(StreamIncrement(
+                    quality=effective, prev_quality=prev, batch=batch,
+                    stats=qstats, partial=span.partial,
+                ))
+                entry.finish()
+            return batch, effective, False
+        incs = list(carried)
+        shed = False
+        gen = ds.stream(exec_req, ladder=ladder, plan=plan)
+        try:
+            for inc in gen:
+                if entry is not None:
+                    # publish before pushing: followers are never
+                    # throttled by this request's own consumer (a
+                    # partial increment kills the entry instead)
+                    entry.publish(inc)
+                if inc.partial:
+                    span.partial = True
+                if not outbox.push(inc, self.config.stream_grace):
+                    shed = True
+                    break
+                incs.append(inc)
+                if span.first_increment_seconds == 0.0:
+                    span.first_increment_seconds = (
+                        span.wait_seconds + (self._clock() - t_start)
+                    )
+        except BaseException:
+            if entry is not None:
+                entry.abandon()
+            raise
+        finally:
+            gen.close()
+        span.traverse_seconds = self._clock() - t0
+        if entry is not None:
+            if shed:
+                # the unstreamed rungs will never be published
+                entry.abandon()
+            else:
+                entry.finish()
+        if incs and incs[-1].stats is not None:
+            span.quarantined_files = incs[-1].stats.quarantined_files
+        span.increments = len(incs)
+        if incs:
+            return reassemble_stream(incs).batch, incs[-1].quality, shed
+        return None, prev, shed
+
+    def _follow(self, entry, spec, span, outbox, t_start):
+        """Consume a leader's published stream instead of decoding.
+
+        Returns ``(increments, shed, abandoned)``; ``increments`` holds
+        what was consumed (and, when streaming, already pushed) before
+        the stop/shed/abandon point.
+        """
+        streamed = outbox is not None
+        incs = []
+        shed = abandoned = False
+        shared_points = shared_bytes = 0
+        i = 0
+        while True:
+            try:
+                inc = entry.fetch(i, self.config.collapse_timeout, clock=self._clock)
+            except CollapseAbandoned:
+                abandoned = True
+                break
+            if inc is _DONE:
+                break
+            i += 1
+            shared_points += len(inc.batch)
+            shared_bytes += inc.batch.nbytes
+            adapted = adapt_increment(inc, spec)
+            if streamed and not outbox.push(adapted, self.config.stream_grace):
+                shed = True
+                break
+            incs.append(adapted)
+            if span.first_increment_seconds == 0.0:
+                span.first_increment_seconds = (
+                    span.wait_seconds + (self._clock() - t_start)
+                )
+            if spec.stop_quality is not None and inc.quality >= spec.stop_quality:
+                break
+        self.collapse.record_shared(shared_points, shared_bytes)
+        return incs, shed, abandoned
 
     # -- metrics ----------------------------------------------------------------
 
@@ -451,10 +739,13 @@ class QueryService:
         doc["degradation"] = self.degradation.stats()
         doc["caches"] = {
             "results": self.results.stats(),
+            # pre-completion dedup: requests collapsed onto in-flight
+            # decodes, one tier above the result cache
+            "collapse": self.collapse.stats(),
             "plans": plans,
             "files": file_stats,
             # the decoded-column tier rides on the file cache; hoist it so
-            # dashboards see all four levels side by side
+            # dashboards see all five levels side by side
             "decoded_columns": file_stats.pop(
                 "decoded_columns",
                 {"hits": 0, "misses": 0, "evictions": 0, "entries": 0,

@@ -1,0 +1,178 @@
+"""Per-session increment transport with backpressure.
+
+A streamed request's worker produces increments faster than a slow
+client consumes them; buffering the gap unboundedly is exactly the
+failure mode the serve tier exists to avoid. A :class:`StreamOutbox` is
+a small bounded queue between one worker (producer) and one client
+(consumer): the worker's :meth:`~StreamOutbox.push` blocks while the
+outbox is full, and when the client has not drained it within the grace
+period the push returns ``False`` — the worker then stops producing at
+the current quality rung ("sheds"). Because rung slot-ranges chain
+exactly, everything pushed so far *is* the byte-exact result at the last
+delivered rung's quality, and the session refines from there once the
+client catches up — the same convergence contract as load-driven quality
+degradation.
+
+The outbox is thread-synchronous (``threading.Condition``) but grows an
+optional ``on_event`` hook invoked — outside the lock — whenever state a
+consumer waits on changes; the asyncio front end
+(:mod:`repro.serve.aio`) points it at ``loop.call_soon_threadsafe`` to
+wake a coroutine instead of a thread, and consumes via the non-blocking
+:meth:`~StreamOutbox.try_pop`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = ["DONE", "EMPTY", "StreamOutbox", "StreamHandle"]
+
+#: consumer sentinel: the producer finished (successfully or not)
+DONE = object()
+#: ``try_pop`` sentinel: nothing buffered right now
+EMPTY = object()
+
+
+class StreamOutbox:
+    """Bounded single-producer / single-consumer increment queue."""
+
+    def __init__(self, maxsize: int, on_event=None, clock=time.monotonic):
+        if maxsize < 1:
+            raise ValueError("outbox maxsize must be >= 1")
+        self.maxsize = int(maxsize)
+        self._cond = threading.Condition()
+        self._items: deque = deque()
+        self._clock = clock
+        self._finished = False
+        self._error: BaseException | None = None
+        self._abandoned = False
+        #: thread-safe wakeup hook for event-loop consumers
+        self._on_event = on_event
+        #: pushes that found the outbox full and waited at all
+        self.blocked_pushes = 0
+        #: high-water mark of buffered increments
+        self.max_depth = 0
+
+    # -- producer (worker) side ---------------------------------------------
+
+    def push(self, item, grace: float | None) -> bool:
+        """Enqueue ``item``; block up to ``grace`` seconds while full.
+
+        Returns ``False`` when the consumer is gone or did not free a
+        slot within the grace period — the producer must shed (stop at
+        the current rung boundary) instead of buffering further.
+        """
+        deadline = None if grace is None else self._clock() + grace
+        notify = False
+        with self._cond:
+            if len(self._items) >= self.maxsize and not self._abandoned:
+                self.blocked_pushes += 1
+            while len(self._items) >= self.maxsize and not self._abandoned:
+                remaining = None if deadline is None else deadline - self._clock()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            if self._abandoned:
+                return False
+            self._items.append(item)
+            self.max_depth = max(self.max_depth, len(self._items))
+            self._cond.notify_all()
+            notify = True
+        if notify and self._on_event is not None:
+            self._on_event()
+        return True
+
+    def finish(self, error: BaseException | None = None) -> None:
+        """Producer is done; buffered increments stay consumable."""
+        with self._cond:
+            self._finished = True
+            self._error = error
+            self._cond.notify_all()
+        if self._on_event is not None:
+            self._on_event()
+
+    # -- consumer (client) side ----------------------------------------------
+
+    def pop(self, timeout: float | None = None):
+        """Next increment, blocking; :data:`DONE` once drained and finished.
+
+        Re-raises the producer's error (after all increments produced
+        before it were consumed). Raises ``TimeoutError`` if nothing
+        arrives in time.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._cond:
+            while True:
+                if self._items:
+                    item = self._items.popleft()
+                    self._cond.notify_all()
+                    return item
+                if self._finished:
+                    if self._error is not None:
+                        raise self._error
+                    return DONE
+                remaining = None if deadline is None else deadline - self._clock()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError("stream increment still pending")
+                self._cond.wait(remaining)
+
+    def try_pop(self):
+        """Non-blocking :meth:`pop`: :data:`EMPTY` when nothing is buffered."""
+        with self._cond:
+            if self._items:
+                item = self._items.popleft()
+                self._cond.notify_all()
+                return item
+            if self._finished:
+                if self._error is not None:
+                    raise self._error
+                return DONE
+            return EMPTY
+
+    def abandon(self) -> None:
+        """Consumer walks away: pending pushes return ``False`` immediately."""
+        with self._cond:
+            self._abandoned = True
+            self._cond.notify_all()
+
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+
+class StreamHandle:
+    """Client-side face of one streamed request.
+
+    Iterating yields :class:`~repro.api.StreamIncrement`s as the worker
+    delivers them; :meth:`result` blocks for the final
+    :class:`~repro.serve.service.ServeResponse` (whose batch is the
+    reassembled stream). Dropping the handle early (``close``) tells the
+    worker to stop producing.
+    """
+
+    def __init__(self, outbox: StreamOutbox, ticket):
+        self.outbox = outbox
+        self.ticket = ticket
+
+    def __iter__(self):
+        while True:
+            item = self.outbox.pop()
+            if item is DONE:
+                return
+            yield item
+
+    def result(self, timeout: float | None = None):
+        """The final :class:`ServeResponse` (drains nothing by itself)."""
+        return self.ticket.result(timeout)
+
+    def close(self) -> None:
+        self.outbox.abandon()
+
+    def __enter__(self) -> "StreamHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -119,7 +119,9 @@ class TestServe:
         assert doc["requests"]["completed"] == 4
         assert doc["requests"]["rejected"] == 0
         assert not doc["degradation"]["enabled"]
-        assert set(doc["caches"]) == {"results", "plans", "files", "decoded_columns"}
+        assert set(doc["caches"]) == {
+            "results", "collapse", "plans", "files", "decoded_columns"
+        }
 
 
 class TestBench:

@@ -584,7 +584,7 @@ class TestQueryService:
         for phase in ("wait", "plan", "traverse", "gather"):
             assert phase in snap["phase_seconds"]
         assert snap["scheduler"]["capacity"] == 2
-        assert set(snap["caches"]) == {"results", "plans", "files", "decoded_columns"}
+        assert set(snap["caches"]) == {"results", "collapse", "plans", "files", "decoded_columns"}
         assert snap["degradation"]["downgrades"] == 0
 
     def test_timeseries_source_shares_file_cache(self, tmp_path):

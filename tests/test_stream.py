@@ -1,0 +1,240 @@
+"""Tests for the streaming query engine and increment reassembly.
+
+The load-bearing property: a stream's increments, reassembled by their
+``(file_rank, treelet_rank, slot)`` order keys, are byte-identical to a
+direct one-shot query — and every *prefix* of the stream is
+byte-identical to a direct query at the last consumed rung's quality, so
+a client can stop anywhere (or be shed by the service anywhere) and
+still hold an exact multiresolution result.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import QueryRequest, reassemble_stream
+from repro.api import StreamIncrement
+from repro.bat import AttributeFilter, BATBuildConfig
+from repro.bat.filecache import BATFileCache
+from repro.bat.query import default_quality_ladder, quality_for_depth
+from repro.core import TwoPhaseWriter
+from repro.core.dataset import BATDataset
+from repro.errors import InvalidRequestError
+from repro.machines import testing_machine
+from repro.types import Box, ParticleBatch
+from tests.test_pipeline import make_rank_data
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+BOX = Box((0.5, 0.5, 0.1), (3.0, 3.0, 0.8))
+FILT = (AttributeFilter("mass", 0.2, 0.8),)
+
+
+@pytest.fixture(scope="module", params=["v3", "v4"])
+def dataset(request, tmp_path_factory):
+    data = make_rank_data(nranks=9, seed=3)
+    out = tmp_path_factory.mktemp(f"stream_{request.param}")
+    kw = {}
+    if request.param == "v4":
+        kw["bat_config"] = BATBuildConfig(codecs="auto")
+    report = TwoPhaseWriter(testing_machine(), target_size=128 * 1024, **kw).write(
+        data, out_dir=out, name="s"
+    )
+    with BATDataset(report.metadata_path) as ds:
+        yield ds
+
+
+def canon(batch):
+    out = [None if batch.positions is None else batch.positions.tobytes()]
+    for k, v in batch.attributes.items():
+        out.append((k, str(v.dtype), v.tobytes()))
+    return out
+
+
+REQUESTS = [
+    QueryRequest(),
+    QueryRequest(quality=0.6, box=BOX),
+    QueryRequest(quality=0.9, prev_quality=0.13, box=BOX, filters=FILT),
+    QueryRequest(quality=0.7, columns=("mass",)),
+    QueryRequest(quality=0.7, box=BOX, columns=("mass", "positions")),
+    QueryRequest(quality=0.0),
+    QueryRequest(quality=0.5, prev_quality=0.5),
+]
+
+
+class TestQualityLadder:
+    def test_rungs_are_exact_depth_qualities(self):
+        # max_depth 7 -> 8 levels; e(q) inverts to (2^e - 1) / (2^8 - 1)
+        for e in range(9):
+            assert quality_for_depth(e, 7) == (2.0**e - 1.0) / (2.0**8 - 1.0)
+
+    def test_ladder_ends_at_quality_and_respects_prev(self):
+        ladder = default_quality_ladder(0.8, 0.1)
+        assert ladder[-1] == 0.8
+        assert all(0.1 < q <= 0.8 for q in ladder)
+        assert list(ladder) == sorted(ladder)
+
+    def test_degenerate_window_single_rung(self):
+        assert default_quality_ladder(0.05, 0.04) == (0.05,)
+
+    def test_full_range_has_many_rungs(self):
+        assert len(default_quality_ladder(1.0, 0.0)) >= 8
+
+
+class TestStreamIdentity:
+    @pytest.mark.parametrize("req", REQUESTS, ids=range(len(REQUESTS)))
+    def test_reassembly_equals_direct(self, dataset, req):
+        direct = dataset.query(req)
+        incs = list(dataset.stream(req))
+        assert canon(reassemble_stream(incs).batch) == canon(direct.batch)
+
+    def test_every_prefix_equals_direct_at_rung(self, dataset):
+        req = QueryRequest(quality=0.9, prev_quality=0.13, box=BOX, filters=FILT)
+        incs = list(dataset.stream(req))
+        assert len(incs) > 1
+        for k in range(len(incs)):
+            ref = dataset.query(
+                QueryRequest(
+                    quality=incs[k].quality,
+                    prev_quality=req.prev_quality,
+                    box=req.box,
+                    filters=req.filters,
+                )
+            )
+            assert canon(reassemble_stream(incs[: k + 1]).batch) == canon(ref.batch)
+
+    def test_each_increment_is_the_direct_window(self, dataset):
+        req = QueryRequest(quality=0.8, box=BOX)
+        prev = 0.0
+        for inc in dataset.stream(req):
+            ref = dataset.query(
+                QueryRequest(quality=inc.quality, prev_quality=prev, box=BOX)
+            )
+            assert canon(inc.batch) == canon(ref.batch)
+            prev = inc.quality
+
+    def test_custom_ladder(self, dataset):
+        req = QueryRequest(quality=0.35)
+        incs = list(dataset.stream(req, ladder=(0.01, 0.2, 0.35)))
+        assert [i.quality for i in incs] == [0.01, 0.2, 0.35]
+        direct = dataset.query(req)
+        assert canon(reassemble_stream(incs).batch) == canon(direct.batch)
+
+    def test_final_stats_match_direct(self, dataset):
+        req = QueryRequest(quality=0.9, box=BOX, filters=FILT)
+        direct = dataset.query(req)
+        incs = list(dataset.stream(req))
+        s = incs[-1].stats
+        for fld in (
+            "points_returned",
+            "files_opened",
+            "treelets_visited",
+            "pruned_spatial",
+            "pruned_bitmap",
+        ):
+            assert getattr(s, fld) == getattr(direct.stats, fld)
+
+    @SETTINGS
+    @given(
+        quality=st.floats(0.0, 1.0),
+        prev_frac=st.floats(0.0, 1.0),
+        use_box=st.booleans(),
+        use_filter=st.booleans(),
+    )
+    def test_random_windows_reassemble_exactly(
+        self, dataset, quality, prev_frac, use_box, use_filter
+    ):
+        req = QueryRequest(
+            quality=quality,
+            prev_quality=quality * prev_frac,
+            box=BOX if use_box else None,
+            filters=FILT if use_filter else (),
+        )
+        direct = dataset.query(req)
+        incs = list(dataset.stream(req))
+        assert canon(reassemble_stream(incs).batch) == canon(direct.batch)
+
+
+class TestStreamValidation:
+    def test_descending_ladder_rejected(self, dataset):
+        with pytest.raises(InvalidRequestError):
+            dataset.stream(QueryRequest(quality=0.5), ladder=(0.4, 0.2, 0.5))
+
+    def test_ladder_must_end_at_quality(self, dataset):
+        with pytest.raises(InvalidRequestError):
+            dataset.stream(QueryRequest(quality=0.5), ladder=(0.2, 0.4))
+
+    def test_unknown_filter_rejected_eagerly(self, dataset):
+        with pytest.raises(Exception):
+            dataset.stream(
+                QueryRequest(quality=0.5, filters=(AttributeFilter("nope", 0, 1),))
+            )
+
+
+class TestReassemble:
+    def test_empty_raises(self):
+        with pytest.raises(InvalidRequestError):
+            reassemble_stream([])
+
+    def test_mixed_keyed_and_preordered_raises(self, dataset):
+        keyed = list(dataset.stream(QueryRequest(quality=0.4)))
+        pre = StreamIncrement(
+            quality=0.4, prev_quality=0.0, batch=keyed[0].batch, order=None
+        )
+        with pytest.raises(InvalidRequestError):
+            reassemble_stream([keyed[0], pre])
+
+    def test_single_preordered_passthrough(self, dataset):
+        direct = dataset.query(QueryRequest(quality=0.4))
+        inc = StreamIncrement(
+            quality=0.4, prev_quality=0.0, batch=direct.batch, order=None
+        )
+        assert reassemble_stream([inc]).batch is direct.batch
+
+
+class TestFileHandleLease:
+    def test_stream_survives_eviction_pressure(self, tmp_path):
+        """A mid-stream file never loses its sections to LRU eviction."""
+        data = make_rank_data(nranks=9, seed=5)
+        report = TwoPhaseWriter(testing_machine(), target_size=64 * 1024).write(
+            data, out_dir=tmp_path, name="lease"
+        )
+        cache = BATFileCache(1)  # capacity one: every other open evicts
+        with BATDataset(report.metadata_path, file_cache=cache) as ds:
+            direct = ds.query(QueryRequest(quality=0.8))
+            gen = ds.stream(QueryRequest(quality=0.8))
+            incs = [next(gen)]
+            # interleave full queries that would evict the leased handles
+            ds.query(QueryRequest(quality=0.3))
+            incs.extend(gen)
+            assert canon(reassemble_stream(incs).batch) == canon(direct.batch)
+        assert cache.stats()["leased"] == 0
+
+    def test_lease_released_on_abandoned_stream(self, tmp_path):
+        data = make_rank_data(nranks=4, seed=6)
+        report = TwoPhaseWriter(testing_machine(), target_size=64 * 1024).write(
+            data, out_dir=tmp_path, name="drop"
+        )
+        cache = BATFileCache(2)
+        with BATDataset(report.metadata_path, file_cache=cache) as ds:
+            gen = ds.stream(QueryRequest(quality=1.0))
+            next(gen)
+            gen.close()  # client walked away mid-stream
+            assert cache.stats()["leased"] == 0
+
+
+def test_empty_increment_batches_are_typed(dataset):
+    """Rungs that add nothing still carry correctly-typed empty batches."""
+    incs = list(dataset.stream(QueryRequest(quality=1.0, box=BOX, filters=FILT)))
+    specs = {sp.name for sp in dataset.attribute_specs()}
+    for inc in incs:
+        assert set(inc.batch.attributes) == specs
+        assert isinstance(inc.batch, ParticleBatch)
+        if len(inc.batch) == 0:
+            assert inc.order is not None and inc.order.shape == (0, 3)
+            assert inc.batch.positions.dtype == np.float32

@@ -1,21 +1,33 @@
 #!/usr/bin/env python3
-"""Fail CI when the v4 codec read/write overhead regresses past thresholds.
+"""Fail CI when a recorded benchmark data point regresses past thresholds.
 
-Compares one freshly recorded compress-suite data point
-(``python -m repro.bench --suite compress --record <json>``) against the
-checked-in ceilings in ``BENCH_thresholds.json``:
+Dispatches on the data point's ``benchmark`` field and compares it
+against the checked-in ceilings in ``BENCH_thresholds.json``:
+
+compress suite (``python -m repro.bench --suite compress --record <json>``):
 
 - ``max_query_ratio_v4_over_v3``: query_seconds(v4-auto) / query_seconds(v3)
 - ``max_write_ratio_v4_over_v3``: write_seconds(v4-auto) / write_seconds(v3)
 - ``min_disk_reduction_x``: on-disk v3/v4 size ratio
 
-Wall-clock ratios on shared CI runners are noisy, so the ceilings carry
+stream suite (``python -m repro.bench --suite stream --record <json>``),
+keys under ``thresholds["stream"]``:
+
+- ``max_p99_ms``: p99 latency of the collapse-enabled run
+- ``max_ttfi_p50_ms``: median time-to-first-increment, collapse enabled
+- ``min_collapse_hit_rate``: in-flight collapse hit rate floor
+- ``min_decoded_bytes_saved``: decode work the collapse run must save
+  over the collapse-disabled baseline (1 = "any saving at all")
+
+Wall-clock numbers on shared CI runners are noisy, so the ceilings carry
 deliberate headroom over the reference-container measurements recorded in
-``BENCH_pr6.json``; the gate exists to catch order-of-magnitude decode or
-encode regressions (an accidental per-bit loop, a dropped cache tier),
-not 10 % drift. Correctness (byte-identity of v4 queries against v3) is
-asserted *inside* the suite itself — if the benchmark completed, the
-results were identical.
+``BENCH_pr6.json`` / ``BENCH_pr7.json``; the gate exists to catch
+order-of-magnitude decode, encode, or serving regressions (an accidental
+per-bit loop, a dropped cache tier, a collapse table that stops
+matching), not 10 % drift. Correctness (byte-identity against direct
+queries) is asserted *inside* the suites themselves — if the benchmark
+completed, the results were identical — and re-checked here from the
+recorded flags.
 
 Exit status 0 when within thresholds; 1 with a metric listing otherwise.
 
@@ -30,15 +42,7 @@ import sys
 from pathlib import Path
 
 
-def check(bench_path: str, thresholds_path: str) -> list[str]:
-    """Return a list of human-readable violations (empty when clean)."""
-    bench = json.loads(Path(bench_path).read_text())
-    thresholds = json.loads(Path(thresholds_path).read_text())
-
-    if bench.get("benchmark") != "compression":
-        return [f"{bench_path}: not a compress-suite data point"]
-
-    results = bench["results"]
+def _check_compress(results: dict, thresholds: dict) -> list[str]:
     v3 = results["variants"]["v3"]
     v4 = results["variants"]["v4-auto"]
     query_ratio = v4["query_seconds"] / v3["query_seconds"]
@@ -66,6 +70,53 @@ def check(bench_path: str, thresholds_path: str) -> list[str]:
     if not results.get("queries_byte_identical", False):
         failures.append("v4 queries were not byte-identical to v3")
     return failures
+
+
+def _check_stream(results: dict, thresholds: dict) -> list[str]:
+    t = thresholds.get("stream")
+    if t is None:
+        return ["thresholds file has no 'stream' section"]
+    coll = results["variants"]["collapse"]
+
+    failures = []
+    p99 = coll["latency_ms"]["p99"]
+    if p99 > t["max_p99_ms"]:
+        failures.append(
+            f"collapse-run p99 = {p99:.1f} ms exceeds ceiling {t['max_p99_ms']:.1f} ms"
+        )
+    ttfi = coll["ttfi_ms"]["p50"]
+    if ttfi > t["max_ttfi_p50_ms"]:
+        failures.append(
+            f"time-to-first-increment p50 = {ttfi:.1f} ms exceeds ceiling "
+            f"{t['max_ttfi_p50_ms']:.1f} ms"
+        )
+    hit_rate = results["collapse_hit_rate"]
+    if hit_rate < t["min_collapse_hit_rate"]:
+        failures.append(
+            f"collapse hit rate {hit_rate:.2f} below floor "
+            f"{t['min_collapse_hit_rate']:.2f}"
+        )
+    saved = results["decoded_bytes_saved"]
+    if saved < t["min_decoded_bytes_saved"]:
+        failures.append(
+            f"decoded bytes saved {saved} below floor {t['min_decoded_bytes_saved']}"
+        )
+    if not results.get("byte_identity_ok", False):
+        failures.append("streamed responses were not byte-identical to direct queries")
+    return failures
+
+
+def check(bench_path: str, thresholds_path: str) -> list[str]:
+    """Return a list of human-readable violations (empty when clean)."""
+    bench = json.loads(Path(bench_path).read_text())
+    thresholds = json.loads(Path(thresholds_path).read_text())
+
+    kind = bench.get("benchmark")
+    if kind == "compression":
+        return _check_compress(bench["results"], thresholds)
+    if kind == "stream":
+        return _check_stream(bench["results"], thresholds)
+    return [f"{bench_path}: no regression gate for benchmark kind {kind!r}"]
 
 
 def main(argv: list[str]) -> int:
