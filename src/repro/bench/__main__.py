@@ -53,6 +53,7 @@ from .harness import (
     read_path_benchmark,
     record_benchmark,
     serve_benchmark,
+    shard_benchmark,
     stream_benchmark,
 )
 
@@ -223,6 +224,67 @@ def _run_stream(args) -> dict:
     return payload
 
 
+def _run_shard(args) -> dict:
+    def run(out_dir):
+        return shard_benchmark(
+            out_dir,
+            nranks=args.ranks,
+            particles_per_rank=args.particles,
+            n_attributes=args.attributes,
+            target_size=args.target_kb * 1024,
+            capacity=args.capacity,
+            concurrency=args.concurrency,
+            sessions=args.sessions,
+            ops_per_session=args.ops,
+            n_views=args.views,
+            n_shards=args.shards,
+            n_jobs=args.jobs,
+        )
+
+    if args.out_dir is not None:
+        payload = run(args.out_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            payload = run(tmp)
+
+    r = payload["results"]
+    print(
+        f"shard: {payload['sessions']} sessions x {payload['ops_per_session']} ops "
+        f"over {payload['n_views']} hot views, {payload['n_shards']} shard "
+        f"processes vs one ({payload['n_files']} files, capacity "
+        f"{payload['capacity']})"
+    )
+    for name, v in r["variants"].items():
+        print(
+            f"  {name:<8} {v['throughput_rps']:7.1f} req/s   "
+            f"p50 {v['latency_ms']['p50']:8.2f} ms   "
+            f"p99 {v['latency_ms']['p99']:8.2f} ms   "
+            f"rejected {v['rejected']:>4}"
+        )
+    for w in r["per_shard"]:
+        print(
+            f"    shard {w['shard']}: {w['completed']} scattered windows over "
+            f"{w['owned_leaves']} owned leaves, "
+            f"p50 {w['latency_ms']['p50']:.2f} ms, p99 {w['latency_ms']['p99']:.2f} ms"
+        )
+    fan = r["variants"]["sharded"]["fanout"]
+    job = r["job"]
+    print(
+        f"  scatter-gather overhead {r['scatter_gather_overhead_x']:.2f}x p50; "
+        f"fanout mean {fan['fanout_mean']:.2f} "
+        f"({fan['fanout_multi']} multi-shard scatters)"
+    )
+    print(
+        f"  job drill: {job['counts']['done']}/{job['tasks']} done after "
+        f"runner+worker kill, {job['counts']['duplicate_acks']} duplicate acks, "
+        f"{job['worker_restarts']} worker restarts, resume correctness ok"
+    )
+    print("  identity samples byte-checked vs direct queries: "
+          f"{r['variants']['single']['identity_samples_checked']} + "
+          f"{r['variants']['sharded']['identity_samples_checked']} ok")
+    return payload
+
+
 def _run_faults(args) -> dict:
     def run(out_dir):
         return fault_injection_benchmark(
@@ -325,13 +387,16 @@ def main(argv=None) -> int:
     )
     p.add_argument(
         "--suite",
-        choices=("write", "parallel", "read", "serve", "stream", "faults", "compress"),
+        choices=("write", "parallel", "read", "serve", "stream", "shard",
+                 "faults", "compress"),
         default="write",
         help="write (alias: parallel): multi-executor write+query; read: "
              "planner + engine comparison; serve: concurrent service under "
              "load; stream: asyncio streaming herd, collapse on vs off; "
-             "faults: write under injected faults, prove recovery + "
-             "degraded reads; compress: v4 column codecs vs the v3 baseline",
+             "shard: N worker processes vs one, plus the job-queue "
+             "crash-resume drill; faults: write under injected faults, "
+             "prove recovery + degraded reads; compress: v4 column codecs "
+             "vs the v3 baseline",
     )
     p.add_argument(
         "--executors",
@@ -365,6 +430,14 @@ def main(argv=None) -> int:
         help="stream suite: shared hot views the sessions pile onto",
     )
     p.add_argument(
+        "--shards", type=int, default=2,
+        help="shard suite: worker processes behind the router",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=48,
+        help="shard suite: sweep size of the job-queue crash-resume drill",
+    )
+    p.add_argument(
         "--fault-seed", type=int, default=0,
         help="faults suite: RNG seed of the injected fault plan",
     )
@@ -381,7 +454,12 @@ def main(argv=None) -> int:
     args = p.parse_args(argv)
 
     if args.sessions is None:
-        args.sessions = 120 if args.suite == "stream" else 12
+        if args.suite == "stream":
+            args.sessions = 120
+        elif args.suite == "shard":
+            args.sessions = 480
+        else:
+            args.sessions = 12
 
     if args.suite == "read":
         payload = _run_read(args)
@@ -389,6 +467,8 @@ def main(argv=None) -> int:
         payload = _run_serve(args)
     elif args.suite == "stream":
         payload = _run_stream(args)
+    elif args.suite == "shard":
+        payload = _run_shard(args)
     elif args.suite == "faults":
         payload = _run_faults(args)
     elif args.suite == "compress":

@@ -37,6 +37,7 @@ __all__ = [
     "parallel_write_query_benchmark",
     "read_path_benchmark",
     "serve_benchmark",
+    "shard_benchmark",
     "stream_benchmark",
     "fault_injection_benchmark",
     "compression_benchmark",
@@ -682,6 +683,218 @@ def stream_benchmark(
         "sessions": sessions,
         "ops_per_session": ops_per_session,
         "n_views": n_views,
+        "results": results,
+    }
+
+
+def shard_benchmark(
+    out_dir,
+    nranks: int = 24,
+    particles_per_rank: int = 8_000,
+    n_attributes: int = 4,
+    target_size: int = 256 * 1024,
+    machine: MachineSpec | None = None,
+    seed: int = 0,
+    capacity: int = 2,
+    concurrency: int | None = None,
+    sessions: int = 480,
+    ops_per_session: int = 3,
+    n_views: int = 6,
+    n_shards: int = 2,
+    n_jobs: int = 48,
+) -> dict:
+    """Sharded-serve benchmark: scatter-gather vs one process, plus resume.
+
+    Writes one v4 workload, builds a shared hot-view trace set at a high
+    session count, and replays it twice with identical service tuning:
+    once through a single-process :class:`~repro.serve.QueryService` and
+    once through a :class:`~repro.serve.ShardedQueryService` routing to
+    ``n_shards`` worker processes. Collapse and degradation are off in
+    both runs, so the only difference is the scatter-gather hop — the
+    recorded ``scatter_gather_overhead_x`` (sharded p50 / single p50) is
+    the price of crossing process boundaries, and the per-shard latency
+    percentiles (from each worker's own metrics window) show how evenly
+    the consistent-hash ring spread the load.
+
+    The second leg is the durability drill: an ``n_jobs``-query sweep is
+    submitted to a SQLite job store and drained through the sharded
+    router's bulk path; a third of the way in the runner stops the way a
+    SIGKILL would (leases left in hand) **and** shard 0's worker process
+    is killed outright. A fresh runner on the same store must then finish
+    the sweep — every task exactly once in the completion log, zero
+    dead-letters, and every digest byte-identical to a direct
+    single-process query. Identity or resume failures raise: wrong
+    answers are a benchmark failure, not a data point.
+    """
+    from ..bat import BATBuildConfig
+    from ..machines import stampede2
+    from ..serve import (
+        DegradationConfig,
+        JobConfig,
+        JobRunner,
+        JobStore,
+        QueryService,
+        ServeConfig,
+        ShardedQueryService,
+        make_hot_traces,
+        make_sweep,
+        run_load,
+        verify_identity_samples,
+    )
+    from ..serve.loadgen import _digest
+    from ..serve.metrics import percentile
+
+    machine = machine or stampede2()
+    if concurrency is None:
+        concurrency = 4 * capacity
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    data = uniform_rank_data(
+        nranks, particles_per_rank, n_attributes=n_attributes,
+        materialize=True, seed=seed,
+    )
+    writer = TwoPhaseWriter(
+        machine,
+        target_size=target_size,
+        agg_config=paper_agg_config(target_size),
+        bat_config=BATBuildConfig(codecs="auto"),
+    )
+    report = writer.write(data, out_dir=out_dir, name="shardbench")
+
+    config = ServeConfig(
+        capacity=capacity,
+        max_queued=max(64, sessions * ops_per_session),
+        collapse=False,
+        degradation=DegradationConfig(enabled=False),
+    )
+    with BATDataset(report.metadata_path) as ds:
+        traces = make_hot_traces(
+            sessions, ds.bounds, n_views=n_views,
+            ops_per_session=ops_per_session, seed=seed,
+        )
+
+        variants = {}
+        per_shard = []
+        restarts_during_load = 0
+        for variant in ("single", "sharded"):
+            if variant == "single":
+                service = QueryService(report.metadata_path, config)
+            else:
+                service = ShardedQueryService(
+                    report.metadata_path, config, n_shards=n_shards
+                )
+            with service:
+                # steady state, not spawn cost: one bulk window warms every
+                # worker's lazily opened dataset before the clock starts
+                service.execute(QueryRequest(quality=0.2))
+                load = run_load(
+                    service, traces, concurrency=concurrency,
+                    identity_sample_every=11,
+                )
+                snapshot = service.snapshot()
+                identity_checked = verify_identity_samples(
+                    ds, load.identity_samples
+                )
+            if not identity_checked:
+                raise AssertionError(f"{variant}: no identity samples checked")
+            lat = sorted(load.latencies)
+            variants[variant] = {
+                "requests": load.requests,
+                "rejected": load.rejected,
+                "cache_hits": load.cache_hits,
+                "points_served": load.points,
+                "bytes_served": load.nbytes,
+                "elapsed_seconds": load.elapsed_seconds,
+                "throughput_rps": load.throughput_rps,
+                "latency_ms": {
+                    "p50": 1e3 * percentile(lat, 50),
+                    "p99": 1e3 * percentile(lat, 99),
+                    "max": 1e3 * max(lat) if lat else 0.0,
+                },
+                "identity_samples_checked": identity_checked,
+            }
+            if variant == "sharded":
+                variants[variant]["fanout"] = {
+                    k: snapshot["shards"][k]
+                    for k in ("fanout_single", "fanout_multi", "fanout_mean")
+                }
+                restarts_during_load = snapshot["shards"]["restarts"]
+                for w in snapshot["shards"]["workers"]:
+                    per_shard.append({
+                        "shard": w["shard"],
+                        "completed": w["requests"]["completed"],
+                        "owned_leaves": sum(w["owned_leaves"].values()),
+                        "latency_ms": {
+                            "p50": w["latency_ms"]["p50"],
+                            "p99": w["latency_ms"]["p99"],
+                        },
+                    })
+
+        # -- durability drill: kill runner and worker mid-sweep, resume ----
+        sweep = make_sweep(ds.bounds, n_jobs, seed=seed)
+        job_cfg = JobConfig(lease_seconds=0.5, batch_size=4)
+        store = JobStore(out_dir / "shardbench-jobs.db")
+        try:
+            store.submit("shardbench", sweep, source=str(report.metadata_path))
+            with ShardedQueryService(
+                report.metadata_path, config, n_shards=n_shards
+            ) as svc:
+                # first runner dies the SIGKILL way: leases stay in hand
+                JobRunner(
+                    store, svc, "shardbench", worker="bench-r0", config=job_cfg,
+                ).run(max_tasks=n_jobs // 3, clean_stop=False)
+                svc._shards[0].process.kill()  # and a shard dies with it
+                time.sleep(job_cfg.lease_seconds + 0.1)  # leases expire
+                counts = JobRunner(
+                    store, svc, "shardbench", worker="bench-r1", config=job_cfg,
+                ).run()
+                job_restarts = sum(c.restarts for c in svc._shards)
+            resume_ok = (
+                counts["done"] == n_jobs
+                and counts["dead"] == 0
+                and counts["completions"] == n_jobs
+            )
+            if not resume_ok:
+                raise AssertionError(f"sweep did not resume cleanly: {counts}")
+            for idx, digest, _points, _dups in store.completions("shardbench"):
+                batch, _ = ds.query(sweep[idx])
+                if _digest(batch) != digest:
+                    raise AssertionError(
+                        f"task {idx}: digest diverged after crash-resume"
+                    )
+        finally:
+            store.close()
+
+    single, sharded = variants["single"], variants["sharded"]
+    results = {
+        "variants": variants,
+        "per_shard": per_shard,
+        "scatter_gather_overhead_x": (
+            sharded["latency_ms"]["p50"] / single["latency_ms"]["p50"]
+            if single["latency_ms"]["p50"] else 0.0
+        ),
+        "restarts_during_load": restarts_during_load,
+        "job": {
+            "tasks": n_jobs,
+            "counts": counts,
+            "worker_restarts": job_restarts,
+            "resume_correctness_ok": True,
+        },
+        "byte_identity_ok": True,
+    }
+    return {
+        "benchmark": "shard",
+        "nranks": nranks,
+        "particles_per_rank": particles_per_rank,
+        "n_attributes": n_attributes,
+        "target_size": target_size,
+        "n_files": report.n_files,
+        "capacity": capacity,
+        "concurrency": concurrency,
+        "sessions": sessions,
+        "ops_per_session": ops_per_session,
+        "n_views": n_views,
+        "n_shards": n_shards,
         "results": results,
     }
 

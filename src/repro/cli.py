@@ -123,17 +123,24 @@ def _cmd_serve(args) -> int:
     """Replay load-generator traces through the concurrent query service."""
     import json
 
+    from .core.dataset import BATDataset
     from .serve import (
         DegradationConfig,
         QueryService,
         ServeConfig,
+        ShardedQueryService,
         make_hot_traces,
         make_traces,
+        resolve_step_manifests,
         run_load,
         run_load_async,
         verify_identity_samples,
     )
 
+    if args.shards and args.stream:
+        print("error: --stream is a single-process feature; drop --shards",
+              file=sys.stderr)
+        return 2
     config = ServeConfig(
         capacity=args.capacity,
         max_queued=args.max_queued,
@@ -142,33 +149,40 @@ def _cmd_serve(args) -> int:
         degradation=DegradationConfig(enabled=not args.no_degradation),
     )
     concurrency = args.concurrency or 2 * args.capacity
-    with QueryService(args.source, config) as service:
+    if args.shards:
+        service = ShardedQueryService(args.source, config, n_shards=args.shards)
+    else:
+        service = QueryService(args.source, config)
+    with service:
         step = service.steps[0]
-        ds = service.dataset(step)
-        if args.hot_views:
-            traces = make_hot_traces(
-                args.sessions, ds.bounds, n_views=args.hot_views,
-                ops_per_session=args.ops, seed=args.seed,
-            )
-        else:
-            traces = make_traces(
-                args.sessions, ds.bounds, ds.attr_ranges,
-                ops_per_session=args.ops, seed=args.seed,
-            )
-        if args.stream:
-            # asyncio front end: every session is a coroutine consuming
-            # streamed increments over one event loop
-            load = run_load_async(service, traces, step=step)
-        else:
-            load = run_load(
-                service, traces, concurrency=concurrency, step=step,
-                arrival=args.arrival, rate_hz=args.rate_hz,
-                arrival_seed=args.arrival_seed,
-            )
-        checked = verify_identity_samples(ds, load.identity_samples)
+        manifest = resolve_step_manifests(Path(args.source))[step]
+        with BATDataset(manifest) as ds:
+            if args.hot_views:
+                traces = make_hot_traces(
+                    args.sessions, ds.bounds, n_views=args.hot_views,
+                    ops_per_session=args.ops, seed=args.seed,
+                )
+            else:
+                traces = make_traces(
+                    args.sessions, ds.bounds, ds.attr_ranges,
+                    ops_per_session=args.ops, seed=args.seed,
+                )
+            if args.stream:
+                # asyncio front end: every session is a coroutine consuming
+                # streamed increments over one event loop
+                load = run_load_async(service, traces, step=step)
+            else:
+                load = run_load(
+                    service, traces, concurrency=concurrency, step=step,
+                    arrival=args.arrival, rate_hz=args.rate_hz,
+                    arrival_seed=args.arrival_seed,
+                )
+            checked = verify_identity_samples(ds, load.identity_samples)
         snapshot = service.snapshot()
     lat = snapshot["latency_ms"]
     mode = "asyncio streams" if args.stream else f"{concurrency} clients"
+    if args.shards:
+        mode += f", {args.shards} shard processes"
     print(
         f"served {load.requests} requests from {args.sessions} sessions "
         f"({mode}, capacity {args.capacity}): "
@@ -185,9 +199,93 @@ def _cmd_serve(args) -> int:
             f"{streaming['shed']} shed; collapse hit rate "
             f"{collapse['hit_rate']:.1%} ({collapse['saved_points']} points shared)"
         )
+    if args.shards:
+        shards = snapshot["shards"]
+        print(
+            f"  shards: fanout mean {shards['fanout_mean']:.2f} "
+            f"({shards['fanout_multi']} multi-shard scatters), "
+            f"{shards['restarts']} worker restarts"
+        )
     if args.json:
         print(json.dumps(snapshot, indent=1, sort_keys=True))
     return 0
+
+
+def _cmd_jobs(args) -> int:
+    """Durable batch sweeps: submit to, inspect, and resume a job store."""
+    import json
+
+    from .serve import JobConfig, JobRunner, JobStore, make_sweep
+
+    with JobStore(args.store) as store:
+        if args.jobs_command == "submit":
+            from .core.dataset import BATDataset
+
+            with BATDataset(args.source) as ds:
+                sweep = make_sweep(
+                    ds.bounds, args.n, seed=args.seed,
+                    qualities=tuple(float(q) for q in args.qualities.split(",")),
+                )
+            added = store.submit(
+                args.job_id, sweep, source=str(args.source), step=args.step,
+            )
+            c = store.counts(args.job_id)
+            print(f"job {args.job_id}: {added} tasks added "
+                  f"({c['total']} total, {c['done']} already done)")
+            return 0
+
+        if args.jobs_command == "status":
+            job_ids = [args.job_id] if args.job_id else store.jobs()
+            for job_id in job_ids:
+                c = store.counts(job_id)
+                if args.json:
+                    print(json.dumps({"job_id": job_id, **c}, sort_keys=True))
+                else:
+                    print(f"{job_id}: {c['done']}/{c['total']} done, "
+                          f"{c['pending']} pending, {c['leased']} leased, "
+                          f"{c['dead']} dead, "
+                          f"{c['duplicate_acks']} duplicate acks, "
+                          f"{c['points']:,} points")
+                for idx, error in store.dead(job_id):
+                    print(f"  dead task {idx}: {error}")
+            return 0
+
+        # resume (alias: run) — drain whatever the store says is left
+        from .serve import (
+            DegradationConfig,
+            QueryService,
+            ServeConfig,
+            ShardedQueryService,
+        )
+
+        job = store.job(args.job_id)
+        source = args.source or job["source"]
+        if not source:
+            print("error: job records no source; pass one explicitly",
+                  file=sys.stderr)
+            return 2
+        config = ServeConfig(
+            capacity=args.capacity,
+            degradation=DegradationConfig(enabled=False),
+        )
+        if args.shards:
+            service = ShardedQueryService(source, config, n_shards=args.shards)
+        else:
+            service = QueryService(source, config)
+        with service:
+            runner = JobRunner(
+                store, service, args.job_id, worker=args.worker,
+                config=JobConfig(
+                    lease_seconds=args.lease_seconds,
+                    max_attempts=args.max_attempts,
+                ),
+            )
+            counts = runner.run(max_tasks=args.max_tasks)
+        print(f"job {args.job_id}: {counts['done']}/{counts['total']} done, "
+              f"{counts['pending']} pending, {counts['dead']} dead, "
+              f"{counts['completions']} completion records, "
+              f"{counts['duplicate_acks']} duplicate acks")
+        return 0 if counts["pending"] == counts["leased"] == 0 else 1
 
 
 def _cmd_bench(args) -> int:
@@ -320,9 +418,56 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable adaptive quality degradation under load")
     serve.add_argument("--executor", default=None,
                        help="per-query fan-out backend (see repro.parallel)")
+    serve.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="serve through N shard worker processes "
+                            "(consistent-hash partitioned; 0 = in-process)")
     serve.add_argument("--json", action="store_true",
                        help="also print the full metrics surface as JSON")
     serve.set_defaults(func=_cmd_serve)
+
+    jobs = sub.add_parser(
+        "jobs",
+        help="durable batch-query sweeps: submit, status, resume",
+    )
+    jobs_sub = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    j_submit = jobs_sub.add_parser(
+        "submit", help="create (or idempotently re-create) a sweep job"
+    )
+    j_submit.add_argument("store", help="SQLite job-store path")
+    j_submit.add_argument("job_id")
+    j_submit.add_argument("source", help=".meta.json manifest or time-series directory")
+    j_submit.add_argument("--n", type=int, default=100,
+                          help="queries in the sweep (default 100)")
+    j_submit.add_argument("--seed", type=int, default=0)
+    j_submit.add_argument("--qualities", default="0.25,0.5,1.0",
+                          help="comma-separated quality levels to sample")
+    j_submit.add_argument("--step", type=int, default=0)
+
+    j_status = jobs_sub.add_parser("status", help="per-state task counts")
+    j_status.add_argument("store")
+    j_status.add_argument("job_id", nargs="?", default=None,
+                          help="one job (default: all jobs in the store)")
+    j_status.add_argument("--json", action="store_true")
+
+    for name, help_text in (
+        ("resume", "drain the job's remaining tasks (safe after any crash)"),
+        ("run", "alias of resume"),
+    ):
+        j_run = jobs_sub.add_parser(name, help=help_text)
+        j_run.add_argument("store")
+        j_run.add_argument("job_id")
+        j_run.add_argument("source", nargs="?", default=None,
+                           help="dataset (default: recorded at submit)")
+        j_run.add_argument("--shards", type=int, default=0, metavar="N",
+                           help="execute through N shard worker processes")
+        j_run.add_argument("--capacity", type=int, default=4)
+        j_run.add_argument("--worker", default="cli-runner")
+        j_run.add_argument("--lease-seconds", type=float, default=30.0)
+        j_run.add_argument("--max-attempts", type=int, default=4)
+        j_run.add_argument("--max-tasks", type=int, default=None,
+                           help="stop after this many executions (testing)")
+    jobs.set_defaults(func=_cmd_jobs)
 
     bench = sub.add_parser("bench", help="run a benchmark experiment")
     bench.add_argument("experiment", choices=["weak-scaling", "parallel-smoke"])

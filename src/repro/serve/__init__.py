@@ -22,6 +22,8 @@ from .aio import AsyncQueryService, AsyncStream, run_load_async
 from .cache import ResultCache, result_key
 from .collapse import CollapseAbandoned, CollapseKey, FollowSpec, InflightTable
 from .degrade import DegradationConfig, DegradationPolicy
+from .hashing import HashRing, assign_leaves, region_key
+from .jobs import JobConfig, JobRunner, JobStore, make_sweep
 from .loadgen import (
     LoadReport,
     TraceOp,
@@ -30,7 +32,7 @@ from .loadgen import (
     run_load,
     verify_identity_samples,
 )
-from .metrics import RequestSpan, ServeMetrics, percentile
+from .metrics import RequestSpan, ServeMetrics, json_sanitize, percentile
 from .scheduler import (
     PRIORITY_BULK,
     PRIORITY_INTERACTIVE,
@@ -40,7 +42,20 @@ from .scheduler import (
     SchedulerConfig,
     Ticket,
 )
-from .service import QueryService, ServeConfig, ServeResponse, ServeSession
+from .service import (
+    QueryService,
+    ServeConfig,
+    ServeResponse,
+    ServeSession,
+    resolve_step_manifests,
+)
+from .shard import (
+    ShardCrashed,
+    ShardedQueryService,
+    ShardUnavailable,
+    request_from_doc,
+    request_to_doc,
+)
 from .streaming import StreamHandle, StreamOutbox
 
 __all__ = [
@@ -52,7 +67,11 @@ __all__ = [
     "DegradationConfig",
     "DegradationPolicy",
     "FollowSpec",
+    "HashRing",
     "InflightTable",
+    "JobConfig",
+    "JobRunner",
+    "JobStore",
     "LoadReport",
     "PRIORITY_BULK",
     "PRIORITY_INTERACTIVE",
@@ -66,14 +85,23 @@ __all__ = [
     "ServeMetrics",
     "ServeResponse",
     "ServeSession",
+    "ShardCrashed",
+    "ShardUnavailable",
+    "ShardedQueryService",
     "StreamHandle",
     "StreamOutbox",
     "Ticket",
     "TraceOp",
+    "assign_leaves",
+    "json_sanitize",
     "make_hot_traces",
+    "make_sweep",
     "make_traces",
     "percentile",
-    "result_key",
+    "region_key",
+    "request_from_doc",
+    "request_to_doc",
+    "resolve_step_manifests",
     "run_load",
     "run_load_async",
     "verify_identity_samples",

@@ -158,11 +158,14 @@ class AsyncQueryService:
     async def snapshot(self) -> dict:
         return self.service.snapshot()
 
-    async def aclose(self) -> None:
+    async def aclose(self, *, cancel: bool = False) -> None:
         if self._owned:
             loop = asyncio.get_running_loop()
-            # close() drains the worker pool — keep the loop responsive
-            await loop.run_in_executor(None, self.service.close)
+            # close() drains (or with cancel=True, sheds) the worker
+            # pool — keep the event loop responsive while it does
+            await loop.run_in_executor(
+                None, lambda: self.service.close(cancel=cancel)
+            )
 
     async def __aenter__(self) -> "AsyncQueryService":
         return self

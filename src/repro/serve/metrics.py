@@ -26,11 +26,62 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
+from pathlib import Path
 
-__all__ = ["DEFAULT_METRICS_WINDOW", "RequestSpan", "ServeMetrics", "percentile"]
+import numpy as np
+
+__all__ = [
+    "DEFAULT_METRICS_WINDOW",
+    "RequestSpan",
+    "ServeMetrics",
+    "json_sanitize",
+    "percentile",
+]
 
 #: ring-buffer size for per-request samples (latency, TTFI)
 DEFAULT_METRICS_WINDOW = 4096
+
+
+def _sanitize_key(key) -> str:
+    """A strict-JSON object key: always ``str``, numpy unwrapped first."""
+    if isinstance(key, str):
+        return key
+    if isinstance(key, np.generic):
+        key = key.item()
+    if isinstance(key, (tuple, list)):
+        return "/".join(str(_sanitize_key(k)) for k in key)
+    return str(key)
+
+
+def json_sanitize(obj):
+    """Make a metrics document strictly JSON-serializable.
+
+    Shard workers ship their snapshots over IPC and dashboards re-emit
+    them verbatim, so nothing numpy-shaped (scalars, arrays), no tuple or
+    int dict keys, and no ``Path``/``set`` values may leak through.
+    ``json.dumps(json_sanitize(doc), allow_nan=False)`` must always
+    succeed for any snapshot the serve tier produces (regression-tested).
+    Unknown objects fall back to ``str`` — a snapshot must never fail to
+    serialize because one counter grew an exotic type.
+    """
+    if isinstance(obj, dict):
+        return {_sanitize_key(k): json_sanitize(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [json_sanitize(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(json_sanitize(v) for v in obj)
+    if isinstance(obj, np.ndarray):
+        return [json_sanitize(v) for v in obj.tolist()]
+    if isinstance(obj, np.generic):
+        obj = obj.item()
+    if isinstance(obj, float):
+        # NaN/Inf are not JSON; surface them as null rather than crash
+        return obj if obj == obj and abs(obj) != float("inf") else None
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, Path):
+        return str(obj)
+    return str(obj)
 
 
 def percentile(values, p: float) -> float:

@@ -65,17 +65,51 @@ from ..types import Box, ParticleBatch
 from .cache import ResultCache, result_key
 from .collapse import _DONE, CollapseAbandoned, CollapseKey, InflightTable, adapt_increment
 from .degrade import DegradationConfig, DegradationPolicy
-from .metrics import DEFAULT_METRICS_WINDOW, RequestSpan, ServeMetrics
+from .metrics import DEFAULT_METRICS_WINDOW, RequestSpan, ServeMetrics, json_sanitize
 from .scheduler import (
     PRIORITY_BULK,
     PRIORITY_INTERACTIVE,
     RequestScheduler,
+    SchedulerClosed,
     SchedulerConfig,
     Ticket,
 )
 from .streaming import StreamHandle, StreamOutbox
 
-__all__ = ["ServeConfig", "ServeSession", "ServeResponse", "QueryService"]
+__all__ = [
+    "ServeConfig",
+    "ServeSession",
+    "ServeResponse",
+    "QueryService",
+    "resolve_step_manifests",
+]
+
+
+def resolve_step_manifests(source) -> dict[int, Path]:
+    """``{step: manifest path}`` for one serveable source.
+
+    ``source`` is either a ``*.meta.json`` manifest (one timestep,
+    served as step 0) or a time-series directory containing
+    ``series.json``. Shared by :class:`QueryService` and every shard
+    worker process, so the router and its workers always agree on the
+    step layout.
+    """
+    source = Path(source)
+    if source.suffix == ".json" and source.is_file():
+        return {0: source}
+    from ..core.timeseries import TimeSeriesDataset
+
+    series = TimeSeriesDataset(source)
+    try:
+        manifests = {
+            s: series.directory / series.record(s).metadata_file
+            for s in series.steps
+        }
+    finally:
+        series.close()
+    if not manifests:
+        raise ValueError(f"time series at {source} has no written steps")
+    return manifests
 
 
 @dataclass(frozen=True)
@@ -191,23 +225,8 @@ class QueryService:
         self._datasets: dict[int, BATDataset] = {}
         self._dataset_lock = threading.Lock()
         source = Path(source)
-        if source.suffix == ".json" and source.is_file():
-            self._directory = source.parent
-            self._step_manifests = {0: source}
-        else:
-            from ..core.timeseries import TimeSeriesDataset
-
-            series = TimeSeriesDataset(source)
-            try:
-                self._directory = series.directory
-                self._step_manifests = {
-                    s: series.directory / series.record(s).metadata_file
-                    for s in series.steps
-                }
-            finally:
-                series.close()
-            if not self._step_manifests:
-                raise ValueError(f"time series at {source} has no written steps")
+        self._step_manifests = resolve_step_manifests(source)
+        self._directory = next(iter(self._step_manifests.values())).parent
         self.scheduler = RequestScheduler(
             SchedulerConfig(
                 capacity=self.config.capacity,
@@ -225,12 +244,46 @@ class QueryService:
         self._sessions: dict[int, ServeSession] = {}
         self._session_lock = threading.Lock()
         self._next_session = 0
+        #: outboxes of streams admitted but not yet finished; close()
+        #: must resolve every one of them before tearing down datasets
+        self._live_outboxes: set[StreamOutbox] = set()
+        self._outbox_lock = threading.Lock()
+        self._closed = False
 
     # -- lifecycle -----------------------------------------------------------
 
-    def close(self) -> None:
-        """Drain queued work, then release every shared resource."""
-        self.scheduler.close(wait=True)
+    def close(self, *, cancel: bool = False) -> None:
+        """Release every shared resource; by default drain queued work first.
+
+        ``cancel=True`` is the bounded-shutdown path: live stream
+        outboxes are abandoned first (in-flight workers then shed at the
+        next rung boundary instead of blocking on full outboxes, and
+        collapse followers fall back and shed in turn), queued tickets
+        are cancelled with :class:`~repro.serve.scheduler.SchedulerClosed`
+        rather than drained, and only then do the workers join — so
+        teardown never races a worker still publishing. Either way every
+        admitted stream's outbox is finished before datasets close, so no
+        consumer can block forever on a service that no longer exists.
+        """
+        with self._outbox_lock:
+            if self._closed:
+                return
+            self._closed = True
+        if cancel:
+            with self._outbox_lock:
+                outboxes = list(self._live_outboxes)
+            for outbox in outboxes:
+                outbox.abandon()
+            self.scheduler.close(wait=False)
+        else:
+            self.scheduler.close(wait=True)
+        # safety net: a ticket cancelled before its worker ran never
+        # reaches the fn's finally-finish; resolve its consumer here
+        with self._outbox_lock:
+            outboxes = list(self._live_outboxes)
+            self._live_outboxes.clear()
+        for outbox in outboxes:
+            outbox.finish(None)
         with self._dataset_lock:
             for ds in self._datasets.values():
                 ds.close()
@@ -389,6 +442,87 @@ class QueryService:
             raise TypeError(f"request() got an unexpected keyword argument {name!r}")
         return self.submit(session_id, request, step=step).result(timeout)
 
+    #: scheduler session id of stateless batch work (no ServeSession)
+    BATCH_SESSION = -1
+
+    def execute(
+        self, request: QueryRequest, step: int = 0, timeout: float | None = None
+    ) -> ServeResponse:
+        """Stateless one-shot window at bulk priority (the batch-job path).
+
+        No session, no degradation: the window is exactly the request's
+        ``(prev_quality, quality]``, so re-executing the same request —
+        the at-least-once redelivery of :mod:`repro.serve.jobs` — always
+        reproduces the identical bytes and completion digest. Shares the
+        result cache and scheduler with interactive traffic but never
+        outranks it.
+        """
+        if not isinstance(request, QueryRequest):
+            raise TypeError("execute() takes a repro.QueryRequest")
+        span = RequestSpan(
+            session_id=self.BATCH_SESSION, seq=0,
+            requested_quality=request.quality,
+            prev_quality=request.prev_quality,
+        )
+        span.priority = PRIORITY_BULK
+
+        def fn(ticket):
+            return self._execute_stateless(ticket, span, request, step)
+
+        try:
+            ticket = self.scheduler.submit(
+                fn, session_id=self.BATCH_SESSION, priority=PRIORITY_BULK
+            )
+        except Exception as exc:
+            span.rejected = True
+            span.queue_depth = getattr(exc, "queue_depth", 0)
+            self.metrics.record(span)
+            raise
+        span.seq = ticket.seq
+        return ticket.result(timeout)
+
+    def _execute_stateless(self, ticket, span, req: QueryRequest, step: int):
+        t_start = self._clock()
+        span.wait_seconds = ticket.wait_seconds
+        sched = self.scheduler
+        span.queue_depth = sched.queue_depth + sched.in_flight
+        ds = self.dataset(step)
+        prev, effective = req.prev_quality, req.quality
+        key = result_key(step, req.box, req.filters, prev, effective, req.columns)
+        batch = self.results.get(key)
+        cache_hit = batch is not None
+        if not cache_hit:
+            t0 = self._clock()
+            plan = ds.plan(req.box, req.filters)
+            span.plan_seconds = self._clock() - t0
+            exec_req = replace(req, on_error="degrade")
+            t0 = self._clock()
+            batch, qstats = ds.query(exec_req, plan=plan)
+            span.traverse_seconds = self._clock() - t0
+            span.quarantined_files = qstats.quarantined_files
+            span.partial = qstats.quarantined_files > 0
+            if not span.partial:
+                self.results.put(key, batch)
+        span.increments = 1
+        span.served_quality = effective
+        span.cache_hit = cache_hit
+        span.points = len(batch)
+        span.nbytes = batch.nbytes
+        span.total_seconds = span.wait_seconds + (self._clock() - t_start)
+        self.metrics.record(span)
+        return ServeResponse(
+            batch=batch,
+            requested_quality=req.quality,
+            served_quality=effective,
+            prev_quality=prev,
+            degraded=False,
+            cache_hit=cache_hit,
+            span=span,
+            partial=span.partial,
+            quarantined_files=span.quarantined_files,
+            increments=span.increments,
+        )
+
     def stream(
         self,
         session_id: int,
@@ -426,6 +560,10 @@ class QueryService:
         priority = self._priority(sess, request, step)
         span.priority = priority
         outbox = StreamOutbox(self.config.stream_outbox, on_event=on_event)
+        with self._outbox_lock:
+            if self._closed:
+                raise SchedulerClosed("service is closed")
+            self._live_outboxes.add(outbox)
 
         def fn(ticket):
             error = None
@@ -442,12 +580,28 @@ class QueryService:
         try:
             ticket = self.scheduler.submit(fn, session_id=session_id, priority=priority)
         except Exception as exc:
+            with self._outbox_lock:
+                self._live_outboxes.discard(outbox)
             span.rejected = True
             span.queue_depth = getattr(exc, "queue_depth", 0)
             self.metrics.record(span)
             raise
         span.seq = ticket.seq
+        # resolves the outbox even when the ticket is cancelled before
+        # its worker ever runs (close(cancel=True) with a deep queue);
+        # finish() is first-call-wins, so this never masks a real error
+        ticket.add_done_callback(lambda t: self._stream_done(outbox, t))
         return StreamHandle(outbox, ticket)
+
+    def _stream_done(self, outbox: StreamOutbox, ticket) -> None:
+        with self._outbox_lock:
+            self._live_outboxes.discard(outbox)
+        try:
+            ticket.result(0)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to consumer
+            outbox.finish(exc)
+        else:
+            outbox.finish(None)
 
     # -- the worker-side hot path ----------------------------------------------
 
@@ -762,7 +916,9 @@ class QueryService:
         }
         doc["sessions"] = self.n_sessions
         doc["steps"] = len(self._step_manifests)
-        return doc
+        # strictly JSON: shard workers ship this over IPC and re-emit it
+        # verbatim; nothing numpy-shaped or tuple-keyed may leak through
+        return json_sanitize(doc)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

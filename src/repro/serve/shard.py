@@ -1,0 +1,944 @@
+"""Sharded serve tier: a router front end over N shard worker processes.
+
+One :class:`QueryService` process tops out at one GIL, one page cache
+working set, and one failure domain. :class:`ShardedQueryService` splits
+the dataset across worker **processes**: leaf files are partitioned by
+the consistent-hash ring of :mod:`repro.serve.hashing` (keyed on
+``(dataset, step, leaf region)``), and every shard owns its own
+BATFileCache, DecodedColumnCache, PlanCache, quarantine set, and decode
+threads for exactly the leaves it was dealt. The router keeps the parts
+a fleet must share exactly once — sessions, admission control, the
+degradation policy, the result cache, the batch-admission gate — and
+plans each query against the manifest alone (it never opens a leaf
+file), scattering the window to the shards whose leaves the plan
+touches::
+
+    request ── admission ──▶ router scheduler (capacity workers)
+        │                        │ session lock, degradation,
+        │                        │ ResultCache
+        │                        ▼
+        │                  plan (manifest only) ─▶ owners = ring lookup
+        │                        │ scatter (pipe RPC, pickle)
+        │              ┌─────────┼─────────┐
+        │         shard 0    shard 1  ...  shard k     (processes)
+        │          restricted plan → ds.stream → keyed increment
+        │              └─────────┼─────────┘
+        │                        ▼ gather
+        └──────◀── reassemble_stream (order-key merge) + cache put
+
+**Byte-identity across the scatter.** A shard executes the query with
+the full plan *filtered to its owned leaves* — never via planner
+exclusion, which would count the other shards' files as quarantined and
+mark every response partial. Order keys from :meth:`BATDataset.stream`
+carry a plan-local file rank in column 0; since every plan lists files
+ascending by leaf index, each worker rewrites that column to the
+**global leaf index** before replying, and the router's
+:func:`~repro.api.reassemble_stream` lexsort then reproduces exactly
+the single-process delivery order. Sharded responses are property-tested
+byte-identical to :class:`QueryService` responses, including boxes
+spanning shard boundaries.
+
+**Crash containment.** Each shard client owns the worker process, a
+receiver thread, and a pending-reply table. A worker death (EOF on the
+pipe) fails the in-flight replies with :class:`ShardCrashed`; the caller
+respawns the worker — fresh caches, ownership recomputed from the
+manifest — and retries once. The batch-job tier (:mod:`repro.serve.jobs`)
+layers at-least-once redelivery on top for sweeps.
+
+**Shared admission budget.** Interactive sessions use the router
+scheduler's full capacity at their usual priorities; stateless batch
+work (:meth:`ShardedQueryService.execute`, used by the job runner) must
+first acquire a bounded batch gate sized ``capacity * batch_share`` and
+runs at ``PRIORITY_BULK``, so a 10k-query sweep saturates at most its
+share of the workers and interactive requests always jump the queue.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from ..api import QueryRequest, StreamIncrement, reassemble_stream
+from ..bat.filecache import BATFileCache
+from ..bat.query import AttributeFilter
+from ..core.metadata import DatasetMetadata
+from ..core.planner import PlanCache
+from ..errors import ReproError
+from ..types import Box, ParticleBatch
+from .cache import ResultCache, result_key
+from .degrade import DegradationPolicy
+from .hashing import DEFAULT_REPLICAS, HashRing, assign_leaves
+from .metrics import RequestSpan, ServeMetrics, json_sanitize
+from .scheduler import (
+    PRIORITY_BULK,
+    RequestScheduler,
+    SchedulerConfig,
+)
+from .service import ServeConfig, ServeResponse, ServeSession, resolve_step_manifests
+
+__all__ = [
+    "ShardCrashed",
+    "ShardUnavailable",
+    "ShardedQueryService",
+    "request_to_doc",
+    "request_from_doc",
+    "shard_worker_main",
+]
+
+
+class ShardCrashed(ReproError, RuntimeError):
+    """The worker process died while a reply was pending."""
+
+
+class ShardUnavailable(ReproError, RuntimeError):
+    """A shard stayed unreachable even after a respawn retry."""
+
+
+# -- request wire form ---------------------------------------------------------
+#
+# QueryRequests cross two boundaries that want plain data: the worker
+# pipe (picklable, but a stable doc decouples worker versions from
+# router internals) and the SQLite job store (strict JSON).
+
+def request_to_doc(req: QueryRequest) -> dict:
+    """A :class:`~repro.api.QueryRequest` as a plain-JSON document."""
+    return {
+        "box": None if req.box is None else
+            [list(map(float, req.box.lower)), list(map(float, req.box.upper))],
+        "filters": [[f.name, float(f.lo), float(f.hi)] for f in req.filters],
+        "quality": float(req.quality),
+        "prev_quality": float(req.prev_quality),
+        "columns": None if req.columns is None else list(req.columns),
+        "engine": req.engine,
+        "on_error": req.on_error,
+    }
+
+
+def request_from_doc(doc: dict) -> QueryRequest:
+    """Inverse of :func:`request_to_doc`."""
+    box = doc.get("box")
+    return QueryRequest(
+        box=None if box is None else Box(tuple(box[0]), tuple(box[1])),
+        filters=tuple(
+            AttributeFilter(name, lo, hi) for name, lo, hi in doc.get("filters", ())
+        ),
+        quality=doc.get("quality", 1.0),
+        prev_quality=doc.get("prev_quality", 0.0),
+        columns=None if doc.get("columns") is None else tuple(doc["columns"]),
+        engine=doc.get("engine", "frontier"),
+        on_error=doc.get("on_error", "raise"),
+    )
+
+
+# -- worker process ------------------------------------------------------------
+
+
+class _ShardWorker:
+    """Everything one shard worker process owns (built post-spawn)."""
+
+    def __init__(self, source: str, shard_id: int, n_shards: int, options: dict):
+        from ..core.dataset import BATDataset
+
+        self._BATDataset = BATDataset
+        self.shard_id = shard_id
+        self.n_shards = n_shards
+        self.options = options
+        self.ring = HashRing(n_shards, options.get("replicas", DEFAULT_REPLICAS))
+        self._manifests = resolve_step_manifests(source)
+        self._file_cache = BATFileCache(
+            options.get("max_open_files", 64),
+            column_cache_bytes=options.get("column_cache_bytes", 0),
+        )
+        self._datasets: dict[int, object] = {}
+        self._owned: dict[int, frozenset] = {}
+        self._lock = threading.Lock()
+        self.metrics = ServeMetrics()
+        self._started = time.perf_counter()
+
+    def dataset(self, step: int):
+        with self._lock:
+            ds = self._datasets.get(step)
+            if ds is None:
+                manifest = self._manifests.get(step)
+                if manifest is None:
+                    raise KeyError(f"no step {step}; have {sorted(self._manifests)}")
+                ds = self._BATDataset(
+                    manifest,
+                    executor=self.options.get("executor"),
+                    file_cache=self._file_cache,
+                )
+                owners = assign_leaves(ds.metadata, manifest.name, step, self.ring)
+                self._owned[step] = frozenset(
+                    i for i, owner in enumerate(owners) if owner == self.shard_id
+                )
+                self._datasets[step] = ds
+            return ds
+
+    def execute(self, doc: dict) -> dict:
+        """One scattered window on this shard's leaves; a keyed increment.
+
+        The plan is the worker's own (quarantine-aware) plan filtered to
+        owned leaves — filtering, not planner exclusion, so foreign
+        leaves are not miscounted as quarantined. Order-key column 0 is
+        rewritten from the plan-local file rank to the global leaf index
+        so the router's merge is globally ordered.
+        """
+        t0 = time.perf_counter()
+        step = int(doc["step"])
+        req = request_from_doc(doc["request"])
+        ds = self.dataset(step)
+        full_plan = ds.plan(req.box, req.filters)
+        owned = self._owned[step]
+        files = tuple(fp for fp in full_plan.files if fp.leaf_index in owned)
+        span = RequestSpan(
+            session_id=self.shard_id, seq=0, requested_quality=req.quality,
+            prev_quality=req.prev_quality,
+        )
+        if not files:
+            payload = {
+                "count": 0, "positions": None, "attributes": {},
+                "order": np.empty((0, 3), dtype=np.int64),
+                "partial": full_plan.excluded_files > 0,
+                "quarantined_files": full_plan.excluded_files,
+                "points_tested": 0, "files": 0,
+            }
+            span.total_seconds = time.perf_counter() - t0
+            self.metrics.record(span)
+            return payload
+        plan = replace(full_plan, files=files, n_files=len(files))
+        inc = None
+        gen = ds.stream(req, ladder=(req.quality,), plan=plan)
+        try:
+            for inc in gen:
+                pass  # single-rung ladder: exactly one increment
+        finally:
+            gen.close()
+        order = inc.order
+        if len(order):
+            lut = np.fromiter(
+                (fp.leaf_index for fp in plan.files), dtype=np.int64,
+                count=len(plan.files),
+            )
+            order = order.copy()
+            order[:, 0] = lut[order[:, 0]]
+        stats = inc.stats
+        batch = inc.batch
+        span.served_quality = req.quality
+        span.partial = inc.partial or stats.quarantined_files > 0
+        span.quarantined_files = stats.quarantined_files
+        span.points = len(batch)
+        span.nbytes = batch.nbytes
+        span.increments = 1
+        span.traverse_seconds = time.perf_counter() - t0
+        span.total_seconds = span.traverse_seconds
+        self.metrics.record(span)
+        return {
+            "count": len(batch),
+            "positions": batch.positions,
+            "attributes": dict(batch.attributes),
+            "order": order,
+            "partial": span.partial,
+            "quarantined_files": stats.quarantined_files,
+            "points_tested": stats.points_tested,
+            "files": len(plan.files),
+        }
+
+    def snapshot(self) -> dict:
+        """This shard's strictly-JSON metrics slice (shipped over IPC)."""
+        with self._lock:
+            plans = {
+                "hits": sum(ds.plan_cache.hits for ds in self._datasets.values()),
+                "misses": sum(ds.plan_cache.misses for ds in self._datasets.values()),
+            }
+            quarantined = sum(
+                len(ds.quarantined()) for ds in self._datasets.values()
+            )
+            owned = {step: len(v) for step, v in self._owned.items()}
+        file_stats = self._file_cache.stats()
+        doc = self.metrics.snapshot()
+        doc["shard"] = self.shard_id
+        doc["uptime_seconds"] = time.perf_counter() - self._started
+        doc["owned_leaves"] = owned
+        doc["caches"] = {
+            "plans": plans,
+            "files": file_stats,
+            "decoded_columns": file_stats.pop("decoded_columns", {}),
+        }
+        doc["quarantined_leaves"] = quarantined
+        return json_sanitize(doc)
+
+    def close(self) -> None:
+        with self._lock:
+            for ds in self._datasets.values():
+                ds.close()
+            self._datasets.clear()
+        self._file_cache.close()
+
+
+def shard_worker_main(conn, source: str, shard_id: int, n_shards: int,
+                      options: dict) -> None:
+    """Worker-process entry point: serve pipe RPCs until shutdown/EOF.
+
+    Requests are handled on a small thread pool (``capacity`` threads)
+    so one shard serves the router's concurrent scatter calls; replies
+    are tagged with the request id, so completion order is free.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    worker = _ShardWorker(source, shard_id, n_shards, options)
+    send_lock = threading.Lock()
+
+    def reply(req_id, payload, *, ok=True):
+        try:
+            with send_lock:
+                conn.send(("ok" if ok else "err", req_id, payload))
+        except (OSError, ValueError, BrokenPipeError):  # router went away
+            pass
+
+    def handle(kind, req_id, doc):
+        try:
+            if kind == "query":
+                reply(req_id, worker.execute(doc))
+            elif kind == "snapshot":
+                reply(req_id, worker.snapshot())
+            elif kind == "ping":
+                reply(req_id, {"shard": shard_id})
+            else:
+                reply(req_id, f"unknown message kind {kind!r}", ok=False)
+        except BaseException as exc:  # noqa: BLE001 - reported to the router
+            reply(req_id, f"{type(exc).__name__}: {exc}", ok=False)
+
+    pool = ThreadPoolExecutor(
+        max_workers=max(1, int(options.get("capacity", 2)))
+    )
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            if msg[0] == "shutdown":
+                break
+            pool.submit(handle, msg[0], msg[1], msg[2] if len(msg) > 2 else None)
+    finally:
+        pool.shutdown(wait=True)
+        worker.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# -- router side ---------------------------------------------------------------
+
+
+class _Reply:
+    """One pending RPC's landing slot."""
+
+    __slots__ = ("event", "value", "error", "crashed")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value = None
+        self.error = None
+        self.crashed = False
+
+
+class _ShardClient:
+    """Router-side handle of one worker process: pipe, receiver, respawn."""
+
+    def __init__(self, shard_id: int, source: str, n_shards: int,
+                 options: dict, ctx):
+        self.shard_id = shard_id
+        self._source = source
+        self._n_shards = n_shards
+        self._options = options
+        self._ctx = ctx
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._ids = itertools.count()
+        self._pending: dict[int, _Reply] = {}
+        self._alive = False
+        self.process = None
+        self._conn = None
+        self.restarts = -1  # first spawn is not a restart
+        self._spawn_locked()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _spawn_locked(self) -> None:
+        with self._lock:
+            self._spawn()
+
+    def _spawn(self) -> None:
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=shard_worker_main,
+            args=(child, self._source, self.shard_id, self._n_shards,
+                  self._options),
+            name=f"repro-shard-{self.shard_id}",
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        self.process = proc
+        self._conn = parent
+        self._alive = True
+        self.restarts += 1
+        threading.Thread(
+            target=self._receive, args=(parent,),
+            name=f"repro-shard-rx-{self.shard_id}", daemon=True,
+        ).start()
+
+    def _receive(self, conn) -> None:
+        while True:
+            try:
+                kind, req_id, payload = conn.recv()
+            except (EOFError, OSError):
+                break
+            with self._lock:
+                reply = self._pending.pop(req_id, None)
+            if reply is None:
+                continue
+            if kind == "ok":
+                reply.value = payload
+            else:
+                reply.error = str(payload)
+            reply.event.set()
+        # worker gone: fail whatever was still in flight on this pipe
+        with self._lock:
+            if conn is self._conn:
+                self._alive = False
+            stranded = [r for r in self._pending.values() if not r.event.is_set()]
+            self._pending.clear()
+        for reply in stranded:
+            reply.crashed = True
+            reply.event.set()
+
+    def close(self, timeout: float = 5.0) -> None:
+        with self._lock:
+            conn, proc = self._conn, self.process
+            self._alive = False
+        if conn is not None:
+            try:
+                with self._send_lock:
+                    conn.send(("shutdown",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        if proc is not None:
+            proc.join(timeout)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # -- RPC ---------------------------------------------------------------
+
+    def _start(self, kind: str, doc):
+        """Send one request, respawning a dead worker first; returns a reply."""
+        with self._lock:
+            if not self._alive or self.process is None or not self.process.is_alive():
+                self._spawn()
+            reply = _Reply()
+            req_id = next(self._ids)
+            self._pending[req_id] = reply
+            conn = self._conn
+        try:
+            with self._send_lock:
+                conn.send((kind, req_id, doc))
+        except (OSError, ValueError, BrokenPipeError):
+            with self._lock:
+                self._pending.pop(req_id, None)
+                if conn is self._conn:
+                    self._alive = False
+            reply.crashed = True
+            reply.event.set()
+        return reply
+
+    def call(self, kind: str, doc=None, timeout: float | None = None):
+        """Blocking RPC with one transparent respawn-and-retry on crash."""
+        reply = self.finish(self._start(kind, doc), timeout, retry=(kind, doc))
+        return reply
+
+    def finish(self, reply: _Reply, timeout: float | None, retry=None):
+        """Wait for one started RPC; optionally retry once after a crash."""
+        if not reply.event.wait(timeout):
+            raise ShardUnavailable(
+                f"shard {self.shard_id} did not answer within {timeout}s"
+            )
+        if reply.crashed:
+            if retry is None:
+                raise ShardCrashed(f"shard {self.shard_id} worker died mid-request")
+            kind, doc = retry
+            fresh = self._start(kind, doc)
+            if not fresh.event.wait(timeout):
+                raise ShardUnavailable(
+                    f"shard {self.shard_id} did not answer within {timeout}s"
+                )
+            if fresh.crashed:
+                raise ShardUnavailable(
+                    f"shard {self.shard_id} crashed twice on one request"
+                )
+            reply = fresh
+        if reply.error is not None:
+            raise ShardUnavailable(
+                f"shard {self.shard_id} failed: {reply.error}"
+            )
+        return reply.value
+
+
+class ShardedQueryService:
+    """Router facade: the :class:`QueryService` surface over N processes.
+
+    Duck-compatible with :class:`QueryService` for the session API the
+    load generator drives (``open_session`` / ``submit`` / ``request`` /
+    ``close_session`` / ``snapshot``), plus the stateless
+    :meth:`execute` the batch-job runner uses. Streaming delivery stays
+    a single-process feature; the sharded tier serves one-shot windows.
+    """
+
+    #: scheduler session id of stateless batch work
+    BATCH_SESSION = -1
+
+    def __init__(
+        self,
+        source,
+        config: ServeConfig | None = None,
+        *,
+        n_shards: int = 2,
+        replicas: int = DEFAULT_REPLICAS,
+        batch_share: float = 0.5,
+        rpc_timeout: float = 120.0,
+        mp_context: str = "spawn",
+        clock=time.perf_counter,
+    ):
+        import multiprocessing
+
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.config = config or ServeConfig()
+        self._clock = clock
+        self.n_shards = int(n_shards)
+        self.ring = HashRing(self.n_shards, replicas)
+        self._rpc_timeout = rpc_timeout
+        source = Path(source)
+        self._step_manifests = resolve_step_manifests(source)
+        self._metadata: dict[int, DatasetMetadata] = {}
+        self._plan_caches: dict[int, PlanCache] = {}
+        self._owners: dict[int, tuple] = {}
+        self._meta_lock = threading.Lock()
+        self.scheduler = RequestScheduler(
+            SchedulerConfig(
+                capacity=self.config.capacity,
+                max_queued=self.config.max_queued,
+                max_session_queue=self.config.max_session_queue,
+            ),
+            clock=clock,
+        )
+        self.degradation = DegradationPolicy(self.config.degradation)
+        self.results = ResultCache(
+            capacity=self.config.result_cache_entries, ttl=self.config.result_ttl
+        )
+        self.metrics = ServeMetrics(clock=clock, window=self.config.metrics_window)
+        self._sessions: dict[int, ServeSession] = {}
+        self._session_lock = threading.Lock()
+        self._next_session = 0
+        # the shared admission budget: stateless batch work may hold at
+        # most this many scheduler slots, interactive traffic the rest
+        batch_slots = max(1, int(round(self.config.capacity * batch_share)))
+        self._batch_gate = threading.BoundedSemaphore(
+            min(batch_slots, self.config.max_session_queue)
+        )
+        self._fanout_lock = threading.Lock()
+        self.fanout_single = 0
+        self.fanout_multi = 0
+        self.fanout_shards = 0
+        options = {
+            "capacity": max(1, self.config.capacity),
+            "max_open_files": self.config.max_open_files,
+            "column_cache_bytes": self.config.column_cache_bytes,
+            "executor": self.config.executor,
+            "replicas": replicas,
+        }
+        ctx = multiprocessing.get_context(mp_context)
+        self._shards = [
+            _ShardClient(i, str(source), self.n_shards, options, ctx)
+            for i in range(self.n_shards)
+        ]
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close(wait=True)
+        for client in self._shards:
+            client.close()
+        self.results.clear()
+
+    def __enter__(self) -> "ShardedQueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def steps(self) -> list[int]:
+        return sorted(self._step_manifests)
+
+    def metadata(self, step: int = 0) -> DatasetMetadata:
+        with self._meta_lock:
+            meta = self._metadata.get(step)
+            if meta is None:
+                manifest = self._step_manifests.get(step)
+                if manifest is None:
+                    raise KeyError(f"no step {step}; have {self.steps}")
+                meta = DatasetMetadata.load(manifest)
+                self._metadata[step] = meta
+                self._plan_caches[step] = PlanCache()
+                self._owners[step] = assign_leaves(
+                    meta, manifest.name, step, self.ring
+                )
+            return meta
+
+    def owners(self, step: int = 0) -> tuple:
+        """Per-leaf shard assignment (deterministic; workers agree)."""
+        self.metadata(step)
+        return self._owners[step]
+
+    @property
+    def bounds(self):
+        return self.metadata(self.steps[0]).bounds
+
+    # -- sessions ----------------------------------------------------------
+
+    def open_session(self, step: int = 0) -> int:
+        if step not in self._step_manifests:
+            raise KeyError(f"no step {step}; have {self.steps}")
+        with self._session_lock:
+            sid = self._next_session
+            self._next_session += 1
+            self._sessions[sid] = ServeSession(session_id=sid, step=step)
+            return sid
+
+    def close_session(self, session_id: int) -> ServeSession:
+        with self._session_lock:
+            return self._sessions.pop(session_id)
+
+    def session(self, session_id: int) -> ServeSession:
+        with self._session_lock:
+            return self._sessions[session_id]
+
+    @property
+    def n_sessions(self) -> int:
+        with self._session_lock:
+            return len(self._sessions)
+
+    # -- requests ----------------------------------------------------------
+
+    def _priority(self, sess: ServeSession, req: QueryRequest, step) -> int:
+        from .service import QueryService
+
+        return QueryService._priority(self, sess, req, step)
+
+    def submit(self, session_id: int, request: QueryRequest, *,
+               step: int | None = None):
+        """Admit one progressive request; mirrors :meth:`QueryService.submit`."""
+        if not isinstance(request, QueryRequest):
+            raise TypeError("submit() takes a repro.QueryRequest")
+        sess = self.session(session_id)
+        step = sess.step if step is None else step
+        span = RequestSpan(
+            session_id=session_id, seq=0, requested_quality=request.quality,
+        )
+        priority = self._priority(sess, request, step)
+        span.priority = priority
+
+        def fn(ticket):
+            return self._execute_session(ticket, sess, span, request, step)
+
+        try:
+            ticket = self.scheduler.submit(fn, session_id=session_id, priority=priority)
+        except Exception as exc:
+            span.rejected = True
+            span.queue_depth = getattr(exc, "queue_depth", 0)
+            self.metrics.record(span)
+            raise
+        span.seq = ticket.seq
+        return ticket
+
+    def request(self, session_id: int, request: QueryRequest, *,
+                step: int | None = None, timeout: float | None = None):
+        return self.submit(session_id, request, step=step).result(timeout)
+
+    def execute(self, request: QueryRequest, step: int = 0,
+                timeout: float | None = None) -> ServeResponse:
+        """Stateless one-shot window at ``PRIORITY_BULK`` under the batch gate.
+
+        The batch-job path: no session, no degradation (sweep results
+        must be deterministic for idempotent completion digests), the
+        window is exactly the request's ``(prev_quality, quality]``.
+        Blocks while the batch share of the scheduler is fully occupied —
+        sweeps throttle, interactive sessions do not.
+        """
+        if not isinstance(request, QueryRequest):
+            raise TypeError("execute() takes a repro.QueryRequest")
+        self._batch_gate.acquire()
+        try:
+            span = RequestSpan(
+                session_id=self.BATCH_SESSION, seq=0,
+                requested_quality=request.quality,
+                prev_quality=request.prev_quality,
+            )
+            span.priority = PRIORITY_BULK
+
+            def fn(ticket):
+                return self._execute_stateless(ticket, span, request, step)
+
+            ticket = self.scheduler.submit(
+                fn, session_id=self.BATCH_SESSION, priority=PRIORITY_BULK
+            )
+            span.seq = ticket.seq
+            return ticket.result(timeout)
+        finally:
+            self._batch_gate.release()
+
+    # -- execution (router scheduler workers) ------------------------------
+
+    def _plan(self, step: int, box, filters):
+        meta = self.metadata(step)
+        return self._plan_caches[step].get_or_build(meta, box, tuple(filters))
+
+    def _empty_batch(self, step: int, columns) -> ParticleBatch:
+        specs = self.metadata(step).attribute_specs()
+        if specs is None:  # pre-attr_dtypes manifest: one transient open
+            from ..bat.file import BATFile
+
+            meta = self.metadata(step)
+            first = meta.leaves[0]
+            with BATFile(self._step_manifests[step].parent / first.file_name) as f:
+                specs = f.attribute_specs()
+        if columns is not None:
+            specs = [sp for sp in specs if sp.name in columns]
+        return ParticleBatch.empty(specs)
+
+    def _scatter_window(self, span, req: QueryRequest, step: int,
+                        prev: float, effective: float):
+        """Scatter the (prev, effective] window; gather and merge in order.
+
+        Returns ``(batch, partial)``. The batch is byte-identical to the
+        single-process decode of the same window (order-key merge).
+        """
+        t0 = self._clock()
+        plan = self._plan(step, req.box, req.filters)
+        span.plan_seconds = self._clock() - t0
+        owners = self._owners[step]
+        needed = sorted({owners[fp.leaf_index] for fp in plan.files})
+        with self._fanout_lock:
+            if len(needed) > 1:
+                self.fanout_multi += 1
+            else:
+                self.fanout_single += 1
+            self.fanout_shards += len(needed)
+        if not needed:
+            span.increments = 1
+            return self._empty_batch(step, req.columns), False
+        exec_req = replace(
+            req, quality=effective, prev_quality=prev, on_error="degrade"
+        )
+        doc = {"step": step, "request": request_to_doc(exec_req)}
+        t0 = self._clock()
+        clients = [self._shards[s] for s in needed]
+        started = [(c, c._start("query", doc)) for c in clients]
+        payloads = [
+            c.finish(reply, self._rpc_timeout, retry=("query", doc))
+            for c, reply in started
+        ]
+        span.traverse_seconds = self._clock() - t0
+        incs = []
+        partial = False
+        quarantined = 0
+        for payload in payloads:
+            partial = partial or payload["partial"]
+            quarantined += payload["quarantined_files"]
+            incs.append(StreamIncrement(
+                quality=effective,
+                prev_quality=prev,
+                batch=ParticleBatch(
+                    payload["positions"], payload["attributes"],
+                    count=payload["count"],
+                ),
+                order=payload["order"],
+            ))
+        span.partial = partial
+        span.quarantined_files = quarantined
+        span.increments = 1
+        batch = reassemble_stream(incs).batch
+        if not len(batch) and not batch.attributes:
+            # every shard answered empty with an untyped batch; retype
+            # from the manifest so empty responses stay schema-stable
+            batch = self._empty_batch(step, req.columns)
+        return batch, partial
+
+    def _execute_stateless(self, ticket, span, req: QueryRequest, step: int):
+        t_start = self._clock()
+        span.wait_seconds = ticket.wait_seconds
+        span.queue_depth = self.scheduler.queue_depth + self.scheduler.in_flight
+        prev, effective = req.prev_quality, req.quality
+        key = result_key(step, req.box, req.filters, prev, effective, req.columns)
+        batch = self.results.get(key)
+        cache_hit = batch is not None
+        if cache_hit:
+            partial = False
+        else:
+            batch, partial = self._scatter_window(span, req, step, prev, effective)
+            if not partial:
+                t0 = self._clock()
+                self.results.put(key, batch)
+                span.gather_seconds = self._clock() - t0
+        span.served_quality = effective
+        span.cache_hit = cache_hit
+        span.points = len(batch)
+        span.nbytes = batch.nbytes
+        span.total_seconds = span.wait_seconds + (self._clock() - t_start)
+        self.metrics.record(span)
+        return ServeResponse(
+            batch=batch,
+            requested_quality=req.quality,
+            served_quality=effective,
+            prev_quality=prev,
+            degraded=False,
+            cache_hit=cache_hit,
+            span=span,
+            partial=partial,
+            quarantined_files=span.quarantined_files,
+            increments=span.increments,
+        )
+
+    def _execute_session(self, ticket, sess: ServeSession, span,
+                         req: QueryRequest, step: int):
+        """Session-stateful window: mirrors :meth:`QueryService._execute`.
+
+        Same view-change reset, same monotone ``delivered_quality``, same
+        degradation and caching decisions — so a sharded session's
+        response sequence is byte-identical to a single-process one.
+        """
+        t_start = self._clock()
+        span.wait_seconds = ticket.wait_seconds
+        sched = self.scheduler
+        quality = req.quality
+        box, filters, columns = req.box, req.filters, req.columns
+        with sess.lock:
+            span.queue_depth = sched.queue_depth + sched.in_flight
+            if not sess.matches(step, box, filters, columns):
+                sess.step = step
+                sess.box = box
+                sess.filters = filters
+                sess.columns = columns
+                sess.delivered_quality = 0.0
+            prev = sess.delivered_quality
+            span.prev_quality = prev
+
+            self.degradation.observe(sched.load_factor())
+            effective, degraded = self.degradation.apply(quality)
+            span.degraded = degraded
+            if degraded:
+                sess.downgrades += 1
+
+            if effective <= prev:
+                batch = self._empty_batch(step, columns)
+                served = prev
+                cache_hit = False
+            else:
+                key = result_key(step, box, filters, prev, effective, columns)
+                batch = self.results.get(key)
+                cache_hit = batch is not None
+                if cache_hit:
+                    served = effective
+                    span.increments = 1
+                else:
+                    batch, partial = self._scatter_window(
+                        span, req, step, prev, effective
+                    )
+                    served = effective
+                    if not partial:
+                        t0 = self._clock()
+                        self.results.put(key, batch)
+                        span.gather_seconds = self._clock() - t0
+            if served > prev:
+                sess.delivered_quality = served
+            sess.requests += 1
+            sess.bytes_sent += batch.nbytes
+        span.served_quality = served
+        span.cache_hit = cache_hit
+        span.points = len(batch)
+        span.nbytes = batch.nbytes
+        span.total_seconds = span.wait_seconds + (self._clock() - t_start)
+        self.metrics.record(span)
+        return ServeResponse(
+            batch=batch,
+            requested_quality=quality,
+            served_quality=served,
+            prev_quality=span.prev_quality,
+            degraded=span.degraded,
+            cache_hit=cache_hit,
+            span=span,
+            partial=span.partial,
+            quarantined_files=span.quarantined_files,
+            increments=span.increments,
+        )
+
+    # -- metrics -----------------------------------------------------------
+
+    def snapshot(self, include_workers: bool = True) -> dict:
+        """The aggregated JSON metrics surface: router plus every shard."""
+        doc = self.metrics.snapshot()
+        doc["scheduler"] = self.scheduler.stats()
+        doc["degradation"] = self.degradation.stats()
+        with self._meta_lock:
+            plans = {
+                "hits": sum(pc.hits for pc in self._plan_caches.values()),
+                "misses": sum(pc.misses for pc in self._plan_caches.values()),
+            }
+        doc["caches"] = {"results": self.results.stats(), "plans": plans}
+        with self._fanout_lock:
+            scattered = self.fanout_single + self.fanout_multi
+            doc["shards"] = {
+                "count": self.n_shards,
+                "fanout_single": self.fanout_single,
+                "fanout_multi": self.fanout_multi,
+                "fanout_mean": (
+                    self.fanout_shards / scattered if scattered else 0.0
+                ),
+                "restarts": sum(c.restarts for c in self._shards),
+            }
+        if include_workers:
+            workers = []
+            for client in self._shards:
+                try:
+                    workers.append(client.call("snapshot", timeout=self._rpc_timeout))
+                except (ShardCrashed, ShardUnavailable) as exc:
+                    workers.append({"shard": client.shard_id, "error": str(exc)})
+            doc["shards"]["workers"] = workers
+        doc["sessions"] = self.n_sessions
+        doc["steps"] = len(self._step_manifests)
+        return json_sanitize(doc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardedQueryService(shards={self.n_shards}, "
+            f"steps={len(self._step_manifests)}, sessions={self.n_sessions})"
+        )

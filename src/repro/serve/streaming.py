@@ -85,8 +85,15 @@ class StreamOutbox:
         return True
 
     def finish(self, error: BaseException | None = None) -> None:
-        """Producer is done; buffered increments stay consumable."""
+        """Producer is done; buffered increments stay consumable.
+
+        First call wins: a late safety-net ``finish(None)`` (shutdown,
+        ticket cancellation callbacks) must not overwrite an error the
+        worker already recorded, and vice versa.
+        """
         with self._cond:
+            if self._finished:
+                return
             self._finished = True
             self._error = error
             self._cond.notify_all()

@@ -130,3 +130,64 @@ class TestBench:
         out = capsys.readouterr().out
         assert "write bandwidth" in out
         assert "ior-fpp" in out
+
+
+class TestServeSharded:
+    def test_serve_with_shards(self, written, capsys):
+        _, rep = written
+        assert main(
+            [
+                "serve", rep.metadata_path, "--shards", "2",
+                "--capacity", "2", "--sessions", "3", "--ops", "2", "--seed", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 shard processes" in out
+        assert "byte-verified" in out
+        assert "fanout mean" in out
+
+    def test_shards_and_stream_conflict(self, written, capsys):
+        _, rep = written
+        assert main(
+            ["serve", rep.metadata_path, "--shards", "2", "--stream"]
+        ) == 2
+        assert "single-process" in capsys.readouterr().err
+
+
+class TestJobs:
+    def test_submit_resume_status_cycle(self, written, tmp_path, capsys):
+        _, rep = written
+        store = str(tmp_path / "jobs.db")
+        assert main(
+            ["jobs", "submit", store, "j1", rep.metadata_path,
+             "--n", "6", "--seed", "5"]
+        ) == 0
+        assert "6 tasks added" in capsys.readouterr().out
+        # resubmission is idempotent
+        assert main(
+            ["jobs", "submit", store, "j1", rep.metadata_path,
+             "--n", "6", "--seed", "5"]
+        ) == 0
+        assert "0 tasks added" in capsys.readouterr().out
+        # a bounded run leaves work outstanding and exits nonzero
+        assert main(
+            ["jobs", "run", store, "j1", "--capacity", "2", "--max-tasks", "2"]
+        ) == 1
+        assert "2/6 done" in capsys.readouterr().out
+        # resume (source recorded at submit) drains the rest
+        assert main(["jobs", "resume", store, "j1", "--capacity", "2"]) == 0
+        assert "6/6 done" in capsys.readouterr().out
+        assert main(["jobs", "status", store]) == 0
+        out = capsys.readouterr().out
+        assert "j1: 6/6 done" in out and "0 dead" in out
+
+    def test_status_json(self, written, tmp_path, capsys):
+        import json
+
+        _, rep = written
+        store = str(tmp_path / "jobs.db")
+        main(["jobs", "submit", store, "j1", rep.metadata_path, "--n", "2"])
+        capsys.readouterr()
+        assert main(["jobs", "status", store, "j1", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["job_id"] == "j1" and doc["total"] == 2

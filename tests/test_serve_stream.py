@@ -609,9 +609,17 @@ class TestMetricsWindow:
 
 class TestOpenLoopLoad:
     def test_open_loop_deterministic_and_verified(self, written, direct):
+        from repro.serve import DegradationConfig
+
         reports = []
         for _ in range(2):
-            with QueryService(written, serve_config(capacity=2, max_queued=256)) as svc:
+            # degradation is load-dependent by design; determinism across
+            # runs only holds with it off
+            cfg = serve_config(
+                capacity=2, max_queued=256,
+                degradation=DegradationConfig(enabled=False),
+            )
+            with QueryService(written, cfg) as svc:
                 traces = make_traces(
                     6, direct.bounds,
                     direct.attr_ranges, ops_per_session=3, seed=3,
@@ -691,3 +699,153 @@ class TestColumnCacheStress:
             for (key, arr) in cache._entries.items()
         )
         assert cache.nbytes <= budget
+
+
+# ---------------------------------------------------------------------------
+# graceful shutdown under load
+
+
+class TestShutdownUnderLoad:
+    def test_cancel_close_bounded_with_undrained_streams(self, written):
+        """close(cancel=True) must return promptly even while streams are
+        in flight and nobody is consuming their outboxes: live outboxes
+        are abandoned (workers shed at the next rung boundary), queued
+        tickets cancel, and every consumer's next pop resolves."""
+        svc = QueryService(
+            written,
+            serve_config(capacity=2, stream_outbox=1, stream_grace=30.0),
+        )
+        sids = [svc.open_session() for _ in range(4)]
+        handles = [
+            svc.stream(sid, QueryRequest(quality=1.0, box=BOX)) for sid in sids
+        ]
+        # let at least one worker start publishing into a full outbox
+        time.sleep(0.05)
+        t0 = time.perf_counter()
+        svc.close(cancel=True)
+        # far below the 30s grace: abandonment, not the grace timer
+        assert time.perf_counter() - t0 < 10.0
+        from repro.serve import SchedulerClosed
+
+        for handle in handles:
+            while True:  # every outbox resolves; nothing hangs
+                try:
+                    item = handle.outbox.try_pop()
+                except SchedulerClosed:
+                    break  # a cancelled ticket surfaces as the close error
+                if item is DONE or item is EMPTY:
+                    break
+        assert not svc._live_outboxes
+
+    def test_drain_close_completes_inflight_results(self, written):
+        """Default close drains: submitted work still yields full results."""
+        svc = QueryService(written, serve_config(capacity=2))
+        sid = svc.open_session()
+        tickets = [
+            svc.submit(sid, QueryRequest(quality=q, box=BOX))
+            for q in (0.3, 0.6, 1.0)
+        ]
+        svc.close()
+        total = sum(len(t.result(0.0).batch) for t in tickets)
+        assert total > 0  # the progressive windows all materialized
+
+    def test_drain_close_finishes_stream_outboxes(self, written):
+        svc = QueryService(written, serve_config(capacity=1))
+        sid = svc.open_session()
+        handle = svc.stream(sid, QueryRequest(quality=0.8, box=BOX))
+        svc.close()
+        # the stream was fully published and finished; drain to DONE
+        seen = 0
+        while True:
+            item = handle.outbox.pop(5.0)
+            if item is DONE:
+                break
+            seen += 1
+        assert seen >= 1
+        assert not svc._live_outboxes
+
+    def test_close_idempotent_and_rejects_new_streams(self, written):
+        from repro.serve import SchedulerClosed
+
+        svc = QueryService(written, serve_config())
+        sid = svc.open_session()
+        svc.close()
+        svc.close(cancel=True)  # second close is a no-op, not an error
+        with pytest.raises(SchedulerClosed):
+            svc.stream(sid, QueryRequest(quality=0.5, box=BOX))
+
+    def test_async_aclose_cancel_under_load(self, written):
+        async def main():
+            svc = AsyncQueryService(written, serve_config(capacity=2, stream_outbox=1))
+            streams = []
+            for _ in range(3):
+                sid = svc.open_session()
+                streams.append(svc.stream(sid, QueryRequest(quality=1.0, box=BOX)))
+            await svc.aclose(cancel=True)
+            from repro.serve import SchedulerClosed
+
+            for stream in streams:
+                # consuming a cancelled stream terminates (cleanly or
+                # with the close error) — it never hangs
+                try:
+                    async for _inc in stream:
+                        pass
+                except SchedulerClosed:
+                    pass
+
+        import asyncio
+
+        asyncio.run(asyncio.wait_for(main(), timeout=60.0))
+
+
+# ---------------------------------------------------------------------------
+# strictly-JSON snapshots
+
+
+class TestSnapshotStrictJson:
+    def test_snapshot_json_dumps_strict_after_traffic(self, written):
+        import json
+
+        svc = QueryService(written, serve_config())
+        try:
+            sid = svc.open_session()
+            for q in (0.3, 1.0):
+                svc.request(sid, QueryRequest(quality=q, box=BOX, filters=FILT))
+            svc.request(sid, QueryRequest(quality=1.0, box=BOX, filters=FILT))
+            handle = svc.stream(sid, QueryRequest(quality=1.0))
+            while handle.outbox.pop(30.0) is not DONE:
+                pass
+            svc.close_session(sid)
+            snap = svc.snapshot()
+        finally:
+            svc.close()
+        # allow_nan=False is the strict-JSON regression: no numpy
+        # scalars, no tuple keys, no NaN/Inf anywhere in the document
+        text = json.dumps(snap, allow_nan=False)
+        assert json.loads(text) == snap
+
+    def test_json_sanitize_numpy_and_tuple_keys(self):
+        import json
+
+        from repro.serve import json_sanitize
+
+        doc = {
+            ("a", 1): np.float64(0.5),
+            2: np.int32(7),
+            "arr": np.arange(3, dtype=np.int64),
+            "nan": float("nan"),
+            "inf": np.float32("inf"),
+            "path": __import__("pathlib").Path("/x/y"),
+            "set": {np.int64(3), np.int64(1)},
+            "nested": [{"k": np.bool_(True)}],
+        }
+        out = json_sanitize(doc)
+        text = json.dumps(out, allow_nan=False)
+        back = json.loads(text)
+        assert back["a/1"] == 0.5
+        assert back["2"] == 7
+        assert back["arr"] == [0, 1, 2]
+        assert back["nan"] is None and back["inf"] is None
+        assert back["path"] == "/x/y"
+        assert back["set"] == [1, 3]
+        assert back["nested"][0]["k"] is True

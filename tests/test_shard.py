@@ -1,0 +1,419 @@
+"""Tests for the sharded serve tier: consistent hashing, scatter-gather
+byte-identity, crash containment, and the aggregated metrics surface.
+
+The load-bearing invariant is byte-identity: whatever the ring dealt to
+whichever worker process, the bytes a client receives from the sharded
+router are exactly the bytes a single-process :class:`QueryService` (and
+a direct synchronous query) returns for the same request sequence —
+including boxes that span shard boundaries and progressive sessions
+whose windows differ from request to request.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import QueryRequest
+from repro.bat import AttributeFilter
+from repro.core import TwoPhaseWriter
+from repro.core.dataset import BATDataset
+from repro.core.metadata import DatasetMetadata
+from repro.machines import testing_machine
+from repro.serve import (
+    DegradationConfig,
+    HashRing,
+    QueryService,
+    ServeConfig,
+    ShardedQueryService,
+    assign_leaves,
+    region_key,
+    request_from_doc,
+    request_to_doc,
+)
+from repro.types import Box
+from tests.test_pipeline import make_rank_data
+
+SETTINGS = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+BOX = Box((0.5, 0.5, 0.1), (3.0, 3.0, 0.8))
+FILT = (AttributeFilter("mass", 0.2, 0.8),)
+
+
+def serve_config(**kw):
+    kw.setdefault("capacity", 2)
+    kw.setdefault("degradation", DegradationConfig(enabled=False))
+    return ServeConfig(**kw)
+
+
+@pytest.fixture(scope="module")
+def written(tmp_path_factory):
+    data = make_rank_data(nranks=9, seed=21)
+    out = tmp_path_factory.mktemp("shard")
+    report = TwoPhaseWriter(testing_machine(), target_size=128 * 1024).write(
+        data, out_dir=out, name="sh"
+    )
+    return report.metadata_path
+
+@pytest.fixture(scope="module")
+def direct(written):
+    with BATDataset(written) as ds:
+        yield ds
+
+
+@pytest.fixture(scope="module")
+def sharded(written):
+    """One shared 2-shard service; spawning processes is the slow part."""
+    svc = ShardedQueryService(written, serve_config(), n_shards=2)
+    yield svc
+    svc.close()
+
+
+@pytest.fixture(scope="module")
+def single(written):
+    svc = QueryService(written, serve_config())
+    yield svc
+    svc.close()
+
+
+def canon(batch):
+    out = [None if batch.positions is None else batch.positions.tobytes()]
+    for k, v in batch.attributes.items():
+        out.append((k, str(v.dtype), v.tobytes()))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# consistent hashing
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        a, b = HashRing(4), HashRing(4)
+        keys = [f"ds/0/({i}, 0.0, 0.0)/(1.0, 1.0, 1.0)" for i in range(200)]
+        assert [a.owner(k) for k in keys] == [b.owner(k) for k in keys]
+
+    def test_owners_in_range_and_all_used(self):
+        ring = HashRing(3)
+        owners = {ring.owner(f"key-{i}") for i in range(500)}
+        assert owners == {0, 1, 2}
+
+    def test_roughly_balanced(self):
+        ring = HashRing(4)
+        counts = np.bincount(
+            [ring.owner(f"leaf-{i}") for i in range(4000)], minlength=4
+        )
+        # consistent hashing with 64 virtual nodes: no shard starves
+        assert counts.min() > 4000 / 4 * 0.5
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert {ring.owner(f"k{i}") for i in range(50)} == {0}
+
+    def test_stability_under_shard_growth(self):
+        # the consistent-hashing property: adding a shard moves only a
+        # fraction of the keys, it does not reshuffle the world
+        small, large = HashRing(4), HashRing(5)
+        keys = [f"leaf-{i}" for i in range(2000)]
+        moved = sum(small.owner(k) != large.owner(k) for k in keys)
+        assert moved < len(keys) * 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, replicas=0)
+
+    def test_region_key_distinguishes_dataset_step_region(self):
+        unit = Box((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        k = region_key("ds", 0, unit)
+        assert k != region_key("ds2", 0, unit)
+        assert k != region_key("ds", 1, unit)
+        assert k != region_key("ds", 0, Box((0.0, 0.0, 0.0), (2.0, 1.0, 1.0)))
+
+
+class TestAssignment:
+    def test_router_and_workers_agree(self, written, sharded):
+        # the worker-side assignment is the same pure function of the
+        # manifest; recompute it here and compare with the router's view
+        meta = DatasetMetadata.load(written)
+        owners = assign_leaves(meta, Path(written).name, 0, HashRing(2))
+        assert owners == sharded.owners(0)
+        assert len(owners) == len(meta.leaves)
+        assert set(owners) <= {0, 1}
+
+    def test_workers_report_complementary_ownership(self, sharded):
+        # ownership materializes when a worker first opens the step
+        sid = sharded.open_session()
+        try:
+            sharded.request(sid, QueryRequest(quality=1.0))
+        finally:
+            sharded.close_session(sid)
+        snap = sharded.snapshot()
+        owned = [w["owned_leaves"].get("0", 0) for w in snap["shards"]["workers"]]
+        assert sum(owned) == len(sharded.owners(0))
+        assert all(n > 0 for n in owned)  # 5 leaves over 2 shards: both hold some
+
+
+# ---------------------------------------------------------------------------
+# request wire form
+
+
+class TestRequestDoc:
+    @pytest.mark.parametrize(
+        "req",
+        [
+            QueryRequest(quality=1.0),
+            QueryRequest(quality=0.4, box=BOX, filters=FILT, prev_quality=0.1),
+            QueryRequest(quality=0.7, columns=("mass",), engine="bitmap"),
+            QueryRequest(quality=0.2, on_error="degrade"),
+        ],
+    )
+    def test_round_trip(self, req):
+        doc = request_to_doc(req)
+        json.dumps(doc, allow_nan=False)  # strictly JSON (job store rows)
+        assert request_from_doc(doc) == req
+
+    def test_doc_is_plain_python(self):
+        doc = request_to_doc(QueryRequest(quality=np.float64(0.5), box=BOX))
+        assert type(doc["quality"]) is float
+        assert all(type(v) is float for pt in doc["box"] for v in pt)
+
+
+# ---------------------------------------------------------------------------
+# scatter-gather byte-identity
+
+
+class TestShardedIdentity:
+    def test_one_shot_matches_single_process(self, sharded, single):
+        reqs = [
+            QueryRequest(quality=0.3, box=BOX, filters=FILT),
+            QueryRequest(quality=1.0),                      # spans every shard
+            QueryRequest(quality=0.5, box=BOX),
+            QueryRequest(quality=1.0, box=Box((0, 0, 0), (9, 9, 9))),
+        ]
+        for req in reqs:
+            s1, s2 = single.open_session(), sharded.open_session()
+            try:
+                a = single.request(s1, req)
+                b = sharded.request(s2, req)
+            finally:
+                single.close_session(s1)
+                sharded.close_session(s2)
+            assert canon(a.batch) == canon(b.batch)
+            assert (a.served_quality, a.prev_quality) == (
+                b.served_quality, b.prev_quality
+            )
+            assert not b.partial
+
+    def test_progressive_session_matches(self, sharded, single):
+        s1, s2 = single.open_session(), sharded.open_session()
+        try:
+            for q in (0.2, 0.55, 0.55, 1.0):
+                a = single.request(s1, QueryRequest(quality=q, box=BOX, filters=FILT))
+                b = sharded.request(s2, QueryRequest(quality=q, box=BOX, filters=FILT))
+                assert canon(a.batch) == canon(b.batch), q
+                assert a.prev_quality == b.prev_quality
+            # view change resets delivered quality on both sides alike
+            a = single.request(s1, QueryRequest(quality=0.4))
+            b = sharded.request(s2, QueryRequest(quality=0.4))
+            assert canon(a.batch) == canon(b.batch)
+            assert a.prev_quality == b.prev_quality == 0.0
+        finally:
+            single.close_session(s1)
+            sharded.close_session(s2)
+
+    def test_empty_region_schema_stable(self, sharded, single):
+        req = QueryRequest(quality=1.0, box=Box((8.5, 8.5, 8.5), (8.9, 8.9, 8.9)))
+        s1, s2 = single.open_session(), sharded.open_session()
+        try:
+            a = single.request(s1, req)
+            b = sharded.request(s2, req)
+        finally:
+            single.close_session(s1)
+            sharded.close_session(s2)
+        assert len(b.batch) == 0
+        assert set(a.batch.attributes) == set(b.batch.attributes)
+        assert canon(a.batch) == canon(b.batch)
+
+    @SETTINGS
+    @given(
+        lo=st.tuples(*[st.floats(0.0, 6.0) for _ in range(3)]),
+        span=st.tuples(*[st.floats(0.3, 4.0) for _ in range(3)]),
+        quality=st.sampled_from([0.25, 0.5, 0.8, 1.0]),
+        use_filter=st.booleans(),
+    )
+    def test_random_boxes_byte_identical(
+        self, sharded, direct, lo, span, quality, use_filter
+    ):
+        box = Box(lo, tuple(v + s for v, s in zip(lo, span)))
+        req = QueryRequest(
+            quality=quality, box=box, filters=FILT if use_filter else ()
+        )
+        expected, _ = direct.query(req)
+        sid = sharded.open_session()
+        try:
+            got = sharded.request(sid, req)
+        finally:
+            sharded.close_session(sid)
+        assert canon(got.batch) == canon(expected)
+
+    def test_cross_shard_boxes_actually_fan_out(self, sharded):
+        before = sharded.fanout_multi
+        sid = sharded.open_session()
+        try:
+            # a box no other test uses, so the result cache cannot absorb it
+            sharded.request(
+                sid, QueryRequest(quality=1.0, box=Box((0, 0, 0), (8.7, 8.7, 8.7)))
+            )
+        finally:
+            sharded.close_session(sid)
+        assert sharded.fanout_multi > before
+
+    def test_three_shards_full_quality(self, written, direct):
+        with ShardedQueryService(written, serve_config(), n_shards=3) as svc:
+            assert set(svc.owners(0)) <= {0, 1, 2}
+            sid = svc.open_session()
+            try:
+                got = svc.request(sid, QueryRequest(quality=1.0, box=BOX))
+            finally:
+                svc.close_session(sid)
+            expected, _ = direct.query(QueryRequest(quality=1.0, box=BOX))
+            assert canon(got.batch) == canon(expected)
+
+
+# ---------------------------------------------------------------------------
+# stateless batch path and the shared admission budget
+
+
+class TestBatchExecute:
+    def test_execute_matches_direct(self, sharded, direct):
+        req = QueryRequest(quality=0.6, box=BOX, filters=FILT)
+        resp = sharded.execute(req)
+        expected, _ = direct.query(req)
+        assert canon(resp.batch) == canon(expected)
+        assert not resp.degraded  # batch path never degrades
+
+    def test_execute_window(self, sharded, direct):
+        full, _ = direct.query(QueryRequest(quality=0.8, box=BOX))
+        low, _ = direct.query(QueryRequest(quality=0.3, box=BOX))
+        window = sharded.execute(
+            QueryRequest(quality=0.8, prev_quality=0.3, box=BOX)
+        )
+        assert len(window.batch) == len(full) - len(low)
+
+    def test_batch_gate_bounded_by_share(self, written):
+        svc = ShardedQueryService(
+            written, serve_config(capacity=4), n_shards=2, batch_share=0.5
+        )
+        try:
+            gate = svc._batch_gate
+            assert gate._initial_value == 2  # capacity 4 * share 0.5
+        finally:
+            svc.close()
+
+    def test_type_errors(self, sharded):
+        with pytest.raises(TypeError):
+            sharded.execute({"quality": 1.0})
+        sid = sharded.open_session()
+        try:
+            with pytest.raises(TypeError):
+                sharded.submit(sid, "not a request")
+        finally:
+            sharded.close_session(sid)
+
+
+# ---------------------------------------------------------------------------
+# metrics surface
+
+
+class TestShardSnapshot:
+    def test_aggregated_snapshot_strict_json(self, sharded):
+        sid = sharded.open_session()
+        try:
+            sharded.request(sid, QueryRequest(quality=0.4, box=BOX, filters=FILT))
+        finally:
+            sharded.close_session(sid)
+        snap = sharded.snapshot()
+        json.dumps(snap, allow_nan=False)  # strict: no numpy, NaN, tuples
+        shards = snap["shards"]
+        assert shards["count"] == 2
+        assert len(shards["workers"]) == 2
+        assert shards["fanout_single"] + shards["fanout_multi"] >= 1
+        for w in shards["workers"]:
+            assert "requests" in w and "caches" in w
+            assert w["caches"]["files"]["open"] >= 0
+
+    def test_worker_snapshots_sum_to_scattered_requests(self, written):
+        with ShardedQueryService(written, serve_config(), n_shards=2) as svc:
+            sid = svc.open_session()
+            try:
+                for q in (0.3, 1.0):
+                    svc.request(sid, QueryRequest(quality=q, box=BOX))
+            finally:
+                svc.close_session(sid)
+            snap = svc.snapshot()
+            shard_completed = sum(
+                w["requests"]["completed"] for w in snap["shards"]["workers"]
+            )
+            # every scattered window becomes exactly one request per
+            # contacted shard, which is what the fanout counter records
+            assert shard_completed == svc.fanout_shards
+            assert snap["requests"]["completed"] == 2
+
+
+# ---------------------------------------------------------------------------
+# crash containment
+
+
+class TestCrashRecovery:
+    def test_killed_worker_respawns_and_answers_identically(
+        self, written, direct
+    ):
+        with ShardedQueryService(written, serve_config(), n_shards=2) as svc:
+            req = QueryRequest(quality=1.0, box=BOX, filters=FILT)
+            sid = svc.open_session()
+            try:
+                first = svc.request(sid, req)
+                svc._shards[0].process.kill()
+                svc._shards[0].process.join(5.0)
+                # view change so the second request decodes, not cache-hits
+                again = svc.request(
+                    sid, QueryRequest(quality=1.0, box=BOX)
+                )
+                expected, _ = direct.query(QueryRequest(quality=1.0, box=BOX))
+            finally:
+                svc.close_session(sid)
+            assert canon(again.batch) == canon(expected)
+            assert len(first.batch) > 0
+            assert sum(c.restarts for c in svc._shards) == 1
+            assert svc.snapshot()["shards"]["restarts"] == 1
+
+    def test_restart_counter_in_snapshot_before_any_crash(self, sharded):
+        # the module-wide fixture is shared; restarts only ever grows
+        assert sharded.snapshot(include_workers=False)["shards"]["restarts"] >= 0
+
+
+# ---------------------------------------------------------------------------
+# loadgen duck-compatibility
+
+
+class TestLoadgenCompat:
+    def test_run_load_verifies_identity_against_direct(self, written, direct):
+        from repro.serve import make_traces, run_load, verify_identity_samples
+
+        with ShardedQueryService(written, serve_config(capacity=4), n_shards=2) as svc:
+            traces = make_traces(
+                n_sessions=6, ops_per_session=3, bounds=svc.bounds, seed=5
+            )
+            report = run_load(svc, traces, concurrency=3, identity_sample_every=2)
+            assert report.requests == 18
+            assert report.identity_samples
+            verify_identity_samples(direct, report.identity_samples)

@@ -19,6 +19,15 @@ keys under ``thresholds["stream"]``:
 - ``min_decoded_bytes_saved``: decode work the collapse run must save
   over the collapse-disabled baseline (1 = "any saving at all")
 
+shard suite (``python -m repro.bench --suite shard --record <json>``),
+keys under ``thresholds["shard"]``:
+
+- ``max_p99_ms``: p99 latency of the sharded run
+- ``max_scatter_gather_overhead_x``: sharded p50 / single-process p50 —
+  the ceiling on what crossing process boundaries may cost
+- plus the recorded ``resume_correctness_ok`` and ``byte_identity_ok``
+  flags (the crash-resume drill and the identity sweep must have passed)
+
 Wall-clock numbers on shared CI runners are noisy, so the ceilings carry
 deliberate headroom over the reference-container measurements recorded in
 ``BENCH_pr6.json`` / ``BENCH_pr7.json``; the gate exists to catch
@@ -106,6 +115,35 @@ def _check_stream(results: dict, thresholds: dict) -> list[str]:
     return failures
 
 
+def _check_shard(results: dict, thresholds: dict) -> list[str]:
+    t = thresholds.get("shard")
+    if t is None:
+        return ["thresholds file has no 'shard' section"]
+    sharded = results["variants"]["sharded"]
+
+    failures = []
+    p99 = sharded["latency_ms"]["p99"]
+    if p99 > t["max_p99_ms"]:
+        failures.append(
+            f"sharded p99 = {p99:.1f} ms exceeds ceiling {t['max_p99_ms']:.1f} ms"
+        )
+    overhead = results["scatter_gather_overhead_x"]
+    if overhead > t["max_scatter_gather_overhead_x"]:
+        failures.append(
+            f"scatter-gather overhead {overhead:.2f}x p50 exceeds ceiling "
+            f"{t['max_scatter_gather_overhead_x']:.2f}x"
+        )
+    if not results.get("job", {}).get("resume_correctness_ok", False):
+        failures.append(
+            "job sweep did not resume correctly after the crash drill"
+        )
+    if not results.get("byte_identity_ok", False):
+        failures.append(
+            "sharded responses were not byte-identical to direct queries"
+        )
+    return failures
+
+
 def check(bench_path: str, thresholds_path: str) -> list[str]:
     """Return a list of human-readable violations (empty when clean)."""
     bench = json.loads(Path(bench_path).read_text())
@@ -116,6 +154,8 @@ def check(bench_path: str, thresholds_path: str) -> list[str]:
         return _check_compress(bench["results"], thresholds)
     if kind == "stream":
         return _check_stream(bench["results"], thresholds)
+    if kind == "shard":
+        return _check_shard(bench["results"], thresholds)
     return [f"{bench_path}: no regression gate for benchmark kind {kind!r}"]
 
 
