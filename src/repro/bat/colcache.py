@@ -4,9 +4,13 @@ The decoded-column tier sits between the plan/result caches and the
 :class:`~repro.bat.filecache.BATFileCache` file-handle tier: a v4 column
 payload that survives here is never run through its codec again, so
 repeated plans and progressive refinements touching the same treelets pay
-the decode cost once. Entries are keyed ``(path, treelet_id, column_slot)``
-— the slot is the treelet directory index (0 nodes, 1 positions, 2+
-attributes) — and hold the exact arrays the decode path produced (for the
+the decode cost once. Entries are keyed ``(file_key, treelet_id,
+column_slot)`` — the slot is the treelet directory index (0 nodes, 1
+positions, 2+ attributes). ``file_key`` is the handle's inode-qualified
+:attr:`BATFile.cache_key`, not the bare path: after an atomic republish
+of a leaf, an old leased handle and the fresh reopened handle coexist for
+the same path, and their decoded columns must never mix. Entries hold
+the exact arrays the decode path produced (for the
 position slot, the final reshaped/dequantized ``(n, 3)`` float32 block),
 so a hit is byte-identical to a cold decode by construction. While a
 handle has this tier attached, its treelet views do *not* memoize

@@ -9,6 +9,7 @@ the first pages of the file.
 from __future__ import annotations
 
 import mmap
+import os
 import threading
 import zlib
 from collections.abc import Mapping
@@ -164,6 +165,16 @@ class BATFile:
     def __init__(self, path):
         self.path = str(path)
         self._f = open(self.path, "rb")
+        # Identity of the file *object* behind this handle, captured from
+        # the open fd so it cannot race a concurrent os.replace. Caches use
+        # it to detect that the path now names different bytes: an atomic
+        # publish (tmp + rename) always lands a new inode, and an in-place
+        # rewrite changes size or mtime_ns.
+        st = os.fstat(self._f.fileno())
+        self.stat_signature = (st.st_mtime_ns, st.st_size, st.st_ino)
+        #: inode-qualified cache key — two handles for the same *path* but
+        #: different file generations never share decoded-column entries
+        self.cache_key = f"{self.path}\x00{st.st_ino}:{st.st_mtime_ns}"
         try:
             self._mm = mmap.mmap(self._f.fileno(), 0, access=mmap.ACCESS_READ)
         except ValueError:
@@ -195,6 +206,8 @@ class BATFile:
         self = cls.__new__(cls)
         self.path = name
         self._f = None
+        self.stat_signature = None
+        self.cache_key = name
         self._mm = bytes(data)
         self._parse()
         return self
@@ -500,7 +513,7 @@ class BATFile:
         """
         cache = self.column_cache
         if cache is not None:
-            arr = cache.get(self.path, leaf, idx)
+            arr = cache.get(self.cache_key, leaf, idx)
             if arr is not None:
                 return arr
         d = col_dir[idx]
@@ -518,7 +531,7 @@ class BATFile:
         if transform is not None:
             arr = transform(arr)
         if cache is not None:
-            cache.put(self.path, leaf, idx, arr)
+            cache.put(self.cache_key, leaf, idx, arr)
         return arr
 
     def treelet(self, leaf: int) -> TreeletView:

@@ -16,6 +16,7 @@ timestep separately.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from contextlib import contextmanager
@@ -66,6 +67,9 @@ class BATFileCache:
         #: opens that raised (missing or corrupt file) — nothing is cached
         #: for a failed open, so retries re-attempt the open
         self.open_errors = 0
+        #: cached handles found pointing at replaced bytes (the path was
+        #: atomically republished since the open) and reopened fresh
+        self.stale_reopens = 0
         #: column bytes decoded by handles already evicted or dropped;
         #: :meth:`stats` adds the live handles' counters on top
         self._retired_decoded_bytes = 0
@@ -85,7 +89,39 @@ class BATFileCache:
         """
         self._retired_decoded_bytes += f.decoded_bytes
         if self.column_cache is not None:
-            self.column_cache.invalidate(f.path)
+            self.column_cache.invalidate(f.cache_key)
+
+    @staticmethod
+    def _is_stale(f: BATFile, key: str) -> bool:
+        """True when ``key`` no longer names the bytes ``f`` has mapped.
+
+        An atomic republish (``os.replace``) lands a new inode; an
+        in-place rewrite changes size or mtime_ns. A vanished path also
+        counts as stale — the reopen attempt surfaces the real error.
+        In-memory handles (``from_bytes``) have no signature and are
+        never stale.
+        """
+        if f.stat_signature is None:
+            return False
+        try:
+            st = os.stat(key)
+        except OSError:
+            return True
+        return (st.st_mtime_ns, st.st_size, st.st_ino) != f.stat_signature
+
+    def _discard_stale(self, key: str, f: BATFile) -> None:
+        """Forget a stale handle (close deferred while the path is leased).
+
+        A lease pins the *handle generation* a stream started on: the
+        stream keeps reading the old mapping until its lease releases,
+        while the cache entry is replaced so new requests see new bytes.
+        """
+        self._open.pop(key, None)
+        self._retire(f)
+        if key in self._pins:
+            self._deferred.setdefault(key, []).append(f)
+        else:
+            f.close()
 
     def __len__(self) -> int:
         with self._lock:
@@ -97,9 +133,15 @@ class BATFileCache:
         with self._lock:
             f = self._open.get(key)
             if f is not None:
-                self.hits += 1
-                self._open.move_to_end(key)
-                return f
+                if self._is_stale(f, key):
+                    # the path was replaced since this handle opened:
+                    # serving its mmap would return the *old* file's bytes
+                    self.stale_reopens += 1
+                    self._discard_stale(key, f)
+                else:
+                    self.hits += 1
+                    self._open.move_to_end(key)
+                    return f
             self.misses += 1
             try:
                 f = BATFile(key)
@@ -129,10 +171,18 @@ class BATFileCache:
 
         Does not count as a hit or miss and does not touch LRU order —
         used by callers that merely want metadata from an already-open
-        file and must not fault planner-skipped files into the cache.
+        file and must not fault planner-skipped files into the cache. A
+        stale handle (path replaced since open) is discarded, not
+        returned: peek answers "what is at this path", never "what used
+        to be".
         """
         with self._lock:
-            return self._open.get(str(Path(path)))
+            key = str(Path(path))
+            f = self._open.get(key)
+            if f is not None and self._is_stale(f, key):
+                self._discard_stale(key, f)
+                return None
+            return f
 
     def drop(self, path) -> None:
         """Close and forget one path, if cached.
@@ -197,6 +247,7 @@ class BATFileCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "open_errors": self.open_errors,
+                "stale_reopens": self.stale_reopens,
                 "hit_rate": self.hits / total if total else 0.0,
                 #: column bytes materialized through this cache's handles —
                 #: the v4 decode-skipping story in one number

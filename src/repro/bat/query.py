@@ -91,6 +91,10 @@ class QueryStats:
     #: reads): both files quarantined during this query and files a prior
     #: query quarantined that the plan excluded up front
     quarantined_files: int = 0
+    #: v4 column bytes materialized for this query (0 for v2/v3 files and
+    #: for decoded-column-cache hits — it measures real decode work); set
+    #: by the dataset layer from the handle's counter delta
+    decoded_bytes: int = 0
 
     def merge(self, other: "QueryStats") -> None:
         self.treelets_visited += other.treelets_visited
@@ -102,6 +106,7 @@ class QueryStats:
         self.pruned_files += other.pruned_files
         self.files_opened += other.files_opened
         self.quarantined_files += other.quarantined_files
+        self.decoded_bytes += other.decoded_bytes
 
     @staticmethod
     def merge_ordered(indexed) -> "QueryStats":

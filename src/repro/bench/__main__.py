@@ -52,6 +52,7 @@ from .harness import (
     parallel_write_query_benchmark,
     read_path_benchmark,
     record_benchmark,
+    reorg_benchmark,
     serve_benchmark,
     shard_benchmark,
     stream_benchmark,
@@ -327,6 +328,51 @@ def _run_faults(args) -> dict:
     return payload
 
 
+def _run_reorg(args) -> dict:
+    def run(out_dir):
+        return reorg_benchmark(
+            out_dir,
+            nranks=args.ranks,
+            particles_per_rank=args.particles,
+            target_size=args.target_kb * 1024,
+            rounds=args.rounds,
+        )
+
+    if args.out_dir is not None:
+        payload = run(args.out_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            payload = run(tmp)
+
+    r = payload["results"]
+    b, a = r["before"], r["after"]
+    print(
+        f"reorg: {args.ranks} ranks x {args.particles} particles, "
+        f"{payload['n_files']} files, {b['requests']} requests per phase"
+    )
+    print(
+        f"  generation {b['generation']} -> {a['generation']}: "
+        f"{r['reorg']['leaves_before']} -> {r['reorg']['leaves_after']} leaves "
+        f"({len(r['reorg']['files_written'])} files rewritten, "
+        f"{r['reorg']['verified_points']} points verified)"
+    )
+    print(
+        f"  files opened: {b['files_opened']} -> {a['files_opened']} "
+        f"({100 * r['files_opened_reduction']:.1f}% fewer)"
+    )
+    print(
+        f"  decoded bytes: {b['decoded_bytes']} -> {a['decoded_bytes']} "
+        f"({100 * r['decoded_bytes_reduction']:.1f}% fewer)"
+    )
+    print(
+        f"  p99 latency: {b['latency_ms']['p99']:.2f} -> "
+        f"{a['latency_ms']['p99']:.2f} ms (ratio {r['p99_ratio']:.2f}); "
+        f"identity samples checked: {b['identity_samples_checked']}"
+        f" + {a['identity_samples_checked']}"
+    )
+    return payload
+
+
 def _run_compress(args) -> dict:
     def run(out_dir):
         return compression_benchmark(
@@ -388,7 +434,7 @@ def main(argv=None) -> int:
     p.add_argument(
         "--suite",
         choices=("write", "parallel", "read", "serve", "stream", "shard",
-                 "faults", "compress"),
+                 "faults", "compress", "reorg"),
         default="write",
         help="write (alias: parallel): multi-executor write+query; read: "
              "planner + engine comparison; serve: concurrent service under "
@@ -396,7 +442,8 @@ def main(argv=None) -> int:
              "shard: N worker processes vs one, plus the job-queue "
              "crash-resume drill; faults: write under injected faults, "
              "prove recovery + degraded reads; compress: v4 column codecs "
-             "vs the v3 baseline",
+             "vs the v3 baseline; reorg: hot-view trace before vs after "
+             "telemetry-driven layout reorganization",
     )
     p.add_argument(
         "--executors",
@@ -445,6 +492,10 @@ def main(argv=None) -> int:
         "--ops", type=int, default=6, help="serve suite: requests per session trace"
     )
     p.add_argument(
+        "--rounds", type=int, default=40,
+        help="reorg suite: hot-view trace rounds replayed per phase",
+    )
+    p.add_argument(
         "--lossy-bits", type=int, default=12,
         help="compress suite: also demonstrate quantize<N> on one column "
              "(0 disables the lossy leg)",
@@ -475,6 +526,8 @@ def main(argv=None) -> int:
         if args.lossy_bits == 0:
             args.lossy_bits = None
         payload = _run_compress(args)
+    elif args.suite == "reorg":
+        payload = _run_reorg(args)
     else:
         payload = _run_write(args)
 

@@ -40,6 +40,7 @@ __all__ = [
     "shard_benchmark",
     "stream_benchmark",
     "fault_injection_benchmark",
+    "reorg_benchmark",
     "compression_benchmark",
     "codec_throughput_benchmark",
     "record_benchmark",
@@ -1253,6 +1254,177 @@ def compression_benchmark(
         "nranks": nranks,
         "particles_per_rank": particles_per_rank,
         "target_size": target_size,
+        "results": results,
+    }
+
+
+def reorg_benchmark(
+    out_dir,
+    nranks: int = 32,
+    particles_per_rank: int = 10_000,
+    target_size: int = 128 * 1024,
+    machine: MachineSpec | None = None,
+    seed: int = 0,
+    rounds: int = 40,
+    identity_samples: int = 8,
+) -> dict:
+    """Replay a hot-view trace before and after online reorganization.
+
+    Writes one v4 workload (the structured
+    :func:`~repro.workloads.compressible_rank_data`, so per-column codec
+    choice matters), replays a deterministic trace (three recurring hot
+    views plus an occasional full sweep) through a fresh
+    :class:`~repro.serve.service.QueryService`, reorganizes the layout
+    from the telemetry that replay produced, then replays the identical
+    trace through a second, identically configured service. Reported per
+    phase: total planned file opens (from access telemetry), codec decode
+    work (file-cache ``decoded_bytes``), and latency percentiles. A sample
+    of responses from each phase is re-run directly against the manifest
+    generation that phase observed and must match byte for byte.
+
+    Both phases run with a 1-entry result cache and the decoded-column
+    cache off, so recurring hot views actually reach the I/O layer and
+    every request pays the decode work its layout induces (the point of
+    the benchmark) — the configuration is identical on both sides, so
+    the comparison isolates the layout change.
+    """
+    from ..bat.builder import BATBuildConfig
+    from ..reorg import ReorgConfig, reorganize
+    from ..serve import QueryService, ServeConfig
+    from ..serve.metrics import percentile
+    from ..machines import stampede2
+    from ..types import Box
+    from ..workloads import compressible_rank_data
+
+    machine = machine or stampede2()
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    data = compressible_rank_data(nranks, particles_per_rank, seed=seed)
+    writer = TwoPhaseWriter(
+        machine, target_size=target_size,
+        agg_config=paper_agg_config(target_size),
+        bat_config=BATBuildConfig(codecs="auto"),
+    )
+    report = writer.write(data, out_dir=out_dir, name="reorgbench")
+    manifest = report.metadata_path
+
+    from ..core.metadata import DatasetMetadata
+
+    md = DatasetMetadata.load(manifest)
+    lo = np.array(md.bounds.lower)
+    hi = np.array(md.bounds.upper)
+    ext = hi - lo
+    attr = sorted(md.attr_dtypes)[0] if md.attr_dtypes else None
+
+    def _view(frac_lo, frac_hi):
+        return Box(tuple(lo + frac_lo * ext), tuple(lo + frac_hi * ext))
+
+    # one shared dashboard view plus two zoom-ins nested inside it — the
+    # recurring-exact-box pattern the serve telemetry's box census is
+    # built to recognize
+    hot_views = [
+        _view(np.array([0.30, 0.30, 0.30]), np.array([0.58, 0.58, 0.58])),
+        _view(np.array([0.34, 0.34, 0.34]), np.array([0.52, 0.52, 0.52])),
+        _view(np.array([0.38, 0.36, 0.35]), np.array([0.50, 0.48, 0.47])),
+    ]
+    # hot views only: the trace is the access pattern reorganization
+    # optimizes for. Decode work is memoized per open handle, so a full
+    # sweep would add a large identical unique-bytes constant to both
+    # phases and drown the hot-path signal in the reduction metrics.
+    trace: list[QueryRequest] = []
+    for _ in range(rounds):
+        for box in hot_views:
+            cols = ("positions", attr) if attr else None
+            trace.append(QueryRequest(box=box, quality=1.0, columns=cols))
+
+    config = ServeConfig(
+        capacity=1, result_cache_entries=1, collapse=False,
+        column_cache_bytes=0,
+    )
+
+    def _phase(label: str) -> dict:
+        latencies = []
+        samples = []
+        with QueryService(manifest, config) as service:
+            generation = service.generation(0)
+            every = max(1, len(trace) // identity_samples)
+            for i, req in enumerate(trace):
+                t0 = time.perf_counter()
+                resp = service.execute(req)
+                latencies.append(time.perf_counter() - t0)
+                if i % every == 0:
+                    samples.append((req, resp.batch))
+            tele = service.telemetry.snapshot()
+            cache_stats = service.dataset(0).file_cache.stats()
+            opens = service.telemetry.files_opened(0)
+        # identity: every sampled response must equal a direct query
+        # against the same manifest generation the service observed
+        checked = 0
+        with BATDataset(manifest) as ds:
+            if ds.metadata.generation != generation:
+                raise RuntimeError(
+                    f"{label}: manifest generation moved mid-phase"
+                )
+            for req, batch in samples:
+                direct = ds.query(req)
+                if direct.batch.positions.tobytes() != batch.positions.tobytes():
+                    raise RuntimeError(f"{label}: positions differ from direct")
+                for k, v in batch.attributes.items():
+                    if direct.batch.attributes[k].tobytes() != v.tobytes():
+                        raise RuntimeError(f"{label}: column {k} differs")
+                checked += 1
+        lat = sorted(latencies)
+        decoded = sum(
+            t["decoded_bytes"]
+            for t in tele["steps"].get("0", {}).get("leaves", {}).values()
+        )
+        return {
+            "generation": generation,
+            "requests": len(trace),
+            "files_opened": opens,
+            "decoded_bytes": decoded,
+            "column_cache": cache_stats.get("column_cache", {}),
+            "latency_ms": {
+                "p50": 1e3 * percentile(lat, 50),
+                "p99": 1e3 * percentile(lat, 99),
+            },
+            "identity_samples_checked": checked,
+            "telemetry": tele,
+        }
+
+    before = _phase("before")
+    reorg_report = reorganize(
+        manifest,
+        before.pop("telemetry"),
+        step=0,
+        config=ReorgConfig(min_queries=8, min_box_queries=4),
+    )
+    after = _phase("after")
+    after.pop("telemetry")
+
+    def _reduction(metric: str) -> float:
+        b = before[metric]
+        return (b - after[metric]) / b if b else 0.0
+
+    results = {
+        "before": before,
+        "after": after,
+        "reorg": reorg_report.to_doc(),
+        "files_opened_reduction": _reduction("files_opened"),
+        "decoded_bytes_reduction": _reduction("decoded_bytes"),
+        "p99_ratio": (
+            after["latency_ms"]["p99"] / before["latency_ms"]["p99"]
+            if before["latency_ms"]["p99"]
+            else 1.0
+        ),
+    }
+    return {
+        "benchmark": "reorg",
+        "nranks": nranks,
+        "particles_per_rank": particles_per_rank,
+        "target_size": target_size,
+        "n_files": report.n_files,
+        "rounds": rounds,
         "results": results,
     }
 

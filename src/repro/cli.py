@@ -353,6 +353,48 @@ def _cmd_scrub(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_reorg(args) -> int:
+    """One offline reorganization pass driven by a telemetry snapshot."""
+    import json
+
+    from .reorg import ReorgConfig, ReorgError, reorganize
+
+    telemetry = json.loads(Path(args.telemetry).read_text())
+    # accept a full service snapshot (repro serve --stats-out) as-is
+    if "telemetry" in telemetry and "steps" not in telemetry:
+        telemetry = telemetry["telemetry"]
+    config = ReorgConfig(
+        min_queries=args.min_queries,
+        cold_open_fraction=args.cold_open_fraction,
+        verify=not args.no_verify,
+        remove_old=args.remove_old,
+    )
+    try:
+        report = reorganize(
+            Path(args.manifest), telemetry, step=args.step, config=config
+        )
+    except ReorgError as exc:
+        print(f"reorg failed, nothing published: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.to_doc(), indent=1))
+    else:
+        if not report.changed:
+            print("layout already aligned with observed access; no rewrite")
+        else:
+            print(
+                f"generation {report.generation_from} -> {report.generation_to}: "
+                f"{report.leaves_before} -> {report.leaves_after} leaves, "
+                f"{len(report.files_written)} files written "
+                f"({report.bytes_written} bytes), "
+                f"{report.verified_points} points verified"
+            )
+            for action in report.actions:
+                print(f"  {action.kind}: leaves {list(action.leaf_indices)}"
+                      f" ({action.reason})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__,
                                 formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -494,6 +536,32 @@ def build_parser() -> argparse.ArgumentParser:
     scrub.add_argument("--json", action="store_true",
                        help="emit the full report as JSON")
     scrub.set_defaults(func=_cmd_scrub)
+
+    reorg = sub.add_parser(
+        "reorg",
+        help="rewrite cold-but-touched leaves into a query-aligned layout "
+             "using a serve-tier telemetry snapshot, bumping the manifest's "
+             "layout generation",
+    )
+    reorg.add_argument("manifest", help=".meta.json manifest to reorganize")
+    reorg.add_argument("telemetry",
+                       help="JSON telemetry snapshot (AccessTelemetry.snapshot "
+                            "or a full service snapshot containing one)")
+    reorg.add_argument("--step", type=int, default=0,
+                       help="which step's telemetry to apply (default 0)")
+    reorg.add_argument("--min-queries", type=int, default=8,
+                       help="do nothing below this much query evidence")
+    reorg.add_argument("--cold-open-fraction", type=float, default=0.25,
+                       help="leaves opened at most this fraction of the "
+                            "hottest leaf's opens are merge candidates")
+    reorg.add_argument("--no-verify", action="store_true",
+                       help="skip the pre-publish particle-multiset check")
+    reorg.add_argument("--remove-old", action="store_true",
+                       help="unlink replaced leaf files after republish "
+                            "(default keeps them for in-flight readers)")
+    reorg.add_argument("--json", action="store_true",
+                       help="emit the full report as JSON")
+    reorg.set_defaults(func=_cmd_reorg)
     return p
 
 

@@ -60,6 +60,8 @@ def _query_leaf(directory: str, kwargs: dict, item):
         return leaf_index, None, None, ("corrupt", str(exc))
     try:
         batch, stats = query_file(f, box=box, **kwargs)
+        # the per-task handle opened at 0, so its counter is this query's
+        stats.decoded_bytes = f.decoded_bytes
     except IntegrityError as exc:
         return leaf_index, None, None, ("corrupt", str(exc))
     finally:
@@ -104,6 +106,12 @@ class BATDataset:
         # quarantined leaves are excluded from all subsequent plans
         self._quarantine_lock = threading.Lock()
         self._quarantined: dict[int, str] = {}
+        #: optional access-telemetry sink attached by the serve layer (a
+        #: :meth:`repro.serve.metrics.AccessTelemetry.bind` handle): gets
+        #: one ``view(box, filters, columns)`` per executed query and one
+        #: ``leaf(leaf_index, points, decoded_bytes)`` per file the query
+        #: actually opened — the reorganizer's evidence of what is hot
+        self.telemetry = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -286,6 +294,12 @@ class BATDataset:
             legacy["columns"] = (*legacy.pop("attributes"), "positions")
         return QueryRequest(**legacy), plan, callback
 
+    def _materialized_columns(self, req: QueryRequest) -> list[str]:
+        """The column names ``req`` materializes — for access telemetry."""
+        if req.columns is not None:
+            return list(req.columns)
+        return ["positions", *self.metadata.attr_dtypes]
+
     def _query_request(
         self, req: QueryRequest, plan: QueryPlan | None = None, callback=None
     ) -> QueryResult:
@@ -361,6 +375,7 @@ class BATDataset:
             for fp in plan.files:
                 try:
                     f = self.file(fp.leaf_index)
+                    decoded_before = f.decoded_bytes
                     res, s = query_file(f, box=fp.box, callback=callback, **kwargs)
                 except FileNotFoundError as exc:
                     self._leaf_failed(fp.leaf_index, "missing", str(exc), on_error)
@@ -370,12 +385,19 @@ class BATDataset:
                     self._leaf_failed(fp.leaf_index, "corrupt", str(exc), on_error)
                     newly_failed += 1
                     continue
+                s.decoded_bytes = f.decoded_bytes - decoded_before
                 indexed_stats.append((fp.leaf_index, s))
                 if res is not None and len(res):
                     parts.append(res)
         stats = QueryStats.merge_ordered(indexed_stats)
         stats.pruned_files += plan.pruned_files
         stats.quarantined_files += plan.excluded_files + newly_failed
+        if self.telemetry is not None:
+            self.telemetry.view(box, filters, self._materialized_columns(req))
+            for i, s in indexed_stats:
+                self.telemetry.leaf(
+                    i, points=s.points_returned, decoded_bytes=s.decoded_bytes
+                )
         if callback is not None:
             return QueryResult(batch=None, stats=stats)
         if not parts:
@@ -450,7 +472,10 @@ class BATDataset:
         stats.pruned_files += plan.pruned_files
         stats.quarantined_files += plan.excluded_files
         partial = False
-        specs = None
+        # per-leaf telemetry gathered over the stream's whole life: the
+        # handle and its decode counter at stream start, points delivered
+        leaf_handles: dict[int, tuple] = {}
+        leaf_points: dict[int, int] = {}
         with self._cache.lease(
             [self.directory / fp.file_name for fp in plan.files]
         ):
@@ -458,6 +483,7 @@ class BATDataset:
             for file_rank, fp in enumerate(plan.files):
                 try:
                     f = self.file(fp.leaf_index)
+                    leaf_handles[fp.leaf_index] = (f, f.decoded_bytes)
                 except FileNotFoundError as exc:
                     self._leaf_failed(fp.leaf_index, "missing", str(exc), req.on_error)
                     stats.quarantined_files += 1
@@ -484,62 +510,89 @@ class BATDataset:
                         ),
                     )
                 )
-            prev = req.prev_quality
-            for q in ladder:
-                parts: list[ParticleBatch] = []
-                orders: list[np.ndarray] = []
-                dead: list[int] = []
-                for slot, (file_rank, leaf_index, gen) in enumerate(gens):
-                    try:
-                        inc = next(gen)
-                    except FileNotFoundError as exc:
-                        self._leaf_failed(leaf_index, "missing", str(exc), req.on_error)
-                        stats.quarantined_files += 1
-                        partial = True
-                        dead.append(slot)
-                        continue
-                    except IntegrityError as exc:
-                        self._leaf_failed(leaf_index, "corrupt", str(exc), req.on_error)
-                        stats.quarantined_files += 1
-                        partial = True
-                        dead.append(slot)
-                        continue
-                    if inc.count:
-                        parts.append(
-                            ParticleBatch(
-                                inc.positions, inc.attributes, count=inc.count
-                            )
-                        )
-                        okeys = np.empty((inc.count, 3), dtype=np.int64)
-                        okeys[:, 0] = file_rank
-                        okeys[:, 1] = inc.treelet_rank
-                        okeys[:, 2] = inc.slots
-                        orders.append(okeys)
-                for slot in reversed(dead):
-                    gens.pop(slot)[2].close()
-                if parts:
-                    batch = (
-                        ParticleBatch.concatenate(parts) if len(parts) > 1 else parts[0]
-                    )
-                    order = (
-                        np.concatenate(orders, axis=0) if len(orders) > 1 else orders[0]
-                    )
-                else:
-                    if specs is None:
-                        specs = self.attribute_specs()
-                        if attributes is not None:
-                            specs = [sp for sp in specs if sp.name in attributes]
-                    batch = ParticleBatch.empty(specs, with_positions=with_positions)
-                    order = np.empty((0, 3), dtype=np.int64)
-                yield StreamIncrement(
-                    quality=q,
-                    prev_quality=prev,
-                    batch=batch,
-                    order=order,
-                    stats=stats,
-                    partial=partial,
+            try:
+                yield from self._stream_ladder(
+                    req, ladder, gens, stats, partial, attributes,
+                    with_positions, leaf_points,
                 )
-                prev = q
+            finally:
+                # record what the stream actually touched, even when the
+                # consumer closed it early at a rung boundary (shedding)
+                if self.telemetry is not None:
+                    self.telemetry.view(
+                        req.box, req.filters, self._materialized_columns(req)
+                    )
+                    for leaf_index, (f, decoded_before) in leaf_handles.items():
+                        self.telemetry.leaf(
+                            leaf_index,
+                            points=leaf_points.get(leaf_index, 0),
+                            decoded_bytes=max(f.decoded_bytes - decoded_before, 0),
+                        )
+
+    def _stream_ladder(
+        self, req, ladder, gens, stats, partial, attributes,
+        with_positions, leaf_points,
+    ):
+        specs = None
+        prev = req.prev_quality
+        for q in ladder:
+            parts: list[ParticleBatch] = []
+            orders: list[np.ndarray] = []
+            dead: list[int] = []
+            for slot, (file_rank, leaf_index, gen) in enumerate(gens):
+                try:
+                    inc = next(gen)
+                except FileNotFoundError as exc:
+                    self._leaf_failed(leaf_index, "missing", str(exc), req.on_error)
+                    stats.quarantined_files += 1
+                    partial = True
+                    dead.append(slot)
+                    continue
+                except IntegrityError as exc:
+                    self._leaf_failed(leaf_index, "corrupt", str(exc), req.on_error)
+                    stats.quarantined_files += 1
+                    partial = True
+                    dead.append(slot)
+                    continue
+                if inc.count:
+                    leaf_points[leaf_index] = (
+                        leaf_points.get(leaf_index, 0) + inc.count
+                    )
+                    parts.append(
+                        ParticleBatch(
+                            inc.positions, inc.attributes, count=inc.count
+                        )
+                    )
+                    okeys = np.empty((inc.count, 3), dtype=np.int64)
+                    okeys[:, 0] = file_rank
+                    okeys[:, 1] = inc.treelet_rank
+                    okeys[:, 2] = inc.slots
+                    orders.append(okeys)
+            for slot in reversed(dead):
+                gens.pop(slot)[2].close()
+            if parts:
+                batch = (
+                    ParticleBatch.concatenate(parts) if len(parts) > 1 else parts[0]
+                )
+                order = (
+                    np.concatenate(orders, axis=0) if len(orders) > 1 else orders[0]
+                )
+            else:
+                if specs is None:
+                    specs = self.attribute_specs()
+                    if attributes is not None:
+                        specs = [sp for sp in specs if sp.name in attributes]
+                batch = ParticleBatch.empty(specs, with_positions=with_positions)
+                order = np.empty((0, 3), dtype=np.int64)
+            yield StreamIncrement(
+                quality=q,
+                prev_quality=prev,
+                batch=batch,
+                order=order,
+                stats=stats,
+                partial=partial,
+            )
+            prev = q
 
     def _query_leaf_shared(self, kwargs: dict, item):
         """Thread-executor work unit: query one leaf via the shared cache.
@@ -551,11 +604,16 @@ class BATDataset:
         leaf_index, file_name, box = item
         try:
             f = self._cache.get(self.directory / file_name)
+            # decode accounting is a per-handle counter shared by all
+            # threads; the delta is approximate under concurrent queries
+            # of the same leaf, but the sum across a quiet service is exact
+            decoded_before = f.decoded_bytes
             batch, stats = query_file(f, box=box, **kwargs)
         except FileNotFoundError as exc:
             return leaf_index, None, None, ("missing", str(exc))
         except IntegrityError as exc:
             return leaf_index, None, None, ("corrupt", str(exc))
+        stats.decoded_bytes = max(f.decoded_bytes - decoded_before, 0)
         return leaf_index, batch, stats, None
 
     def _leaf_failed(self, leaf_index: int, kind: str, message: str,

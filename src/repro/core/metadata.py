@@ -64,6 +64,12 @@ class DatasetMetadata:
     #: per-attribute numpy dtype strings (empty for manifests written
     #: before this field existed; readers then fall back to a leaf file)
     attr_dtypes: dict[str, str] = field(default_factory=dict)
+    #: layout generation counter, bumped by every online reorganization
+    #: republish. Caches that derive anything from the *leaf set* (plans,
+    #: results, in-flight collapse) key on it so entries built against a
+    #: pre-reorg layout are never served afterwards. Write-time manifests
+    #: start at 0; older manifests without the field load as 0.
+    generation: int = 0
 
     @property
     def n_files(self) -> int:
@@ -162,6 +168,7 @@ class DatasetMetadata:
             "format": "bat-dataset",
             "version": FORMAT_VERSION,
             "layout": self.layout,
+            "generation": self.generation,
             "nranks": self.nranks,
             "bounds": [list(self.bounds.lower), list(self.bounds.upper)],
             "attr_ranges": {k: list(v) for k, v in self.attr_ranges.items()},
@@ -228,6 +235,7 @@ class DatasetMetadata:
             inner_bitmaps=[{k: int(v) for k, v in bm.items()} for bm in doc["inner_bitmaps"]],
             layout=doc.get("layout", "bat"),
             attr_dtypes=dict(doc.get("attr_dtypes", {})),
+            generation=int(doc.get("generation", 0)),
         )
 
 

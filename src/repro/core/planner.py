@@ -140,13 +140,18 @@ def plan_query(
 
 
 class PlanCache:
-    """Small LRU memo of query plans, keyed by ``(box, filters, exclude)``.
+    """Small LRU memo of query plans, keyed by
+    ``(generation, box, filters, exclude)``.
 
     Quality is deliberately absent from the key: plans are
     quality-independent, so a progressive refinement sequence hits the
     same entry at every step. The quarantine set *is* part of the key —
     quarantining a corrupt leaf changes which files a plan may touch, so
-    pre-quarantine plans must not be served afterwards. All key
+    pre-quarantine plans must not be served afterwards. The manifest's
+    layout generation is part of the key for the same reason: an online
+    reorganization republish changes the leaf set itself, and a plan
+    built against the pre-reorg layout names files that may no longer
+    exist (or no longer cover the box the same way). All key
     components are frozen/hashable. Thread-safe: the serve layer plans
     concurrent sessions' queries against one shared cache per timestep
     (two threads racing on the same cold key may both build the plan —
@@ -172,7 +177,7 @@ class PlanCache:
         exclude=frozenset(),
     ) -> QueryPlan:
         exclude = frozenset(exclude)
-        key = (box, tuple(filters), exclude)
+        key = (metadata.generation, box, tuple(filters), exclude)
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:

@@ -34,7 +34,8 @@ __all__ = ["ResultCache", "result_key"]
 
 
 def result_key(
-    step, box, filters, prev_quality: float, quality: float, columns=None
+    step, box, filters, prev_quality: float, quality: float, columns=None,
+    generation: int = 0,
 ) -> tuple:
     """The full identity of one progressive-increment response.
 
@@ -42,11 +43,14 @@ def result_key(
     the direct ``0 → 0.7`` read are different byte streams. ``columns``
     (the request's materialized-attribute selection, ``None`` for all) is
     part of the key too — the same traversal with fewer columns is a
-    different payload.
+    different payload. ``generation`` is the manifest's layout generation:
+    an online reorganization republish changes row order (results follow
+    file/treelet order), so responses cached against the old layout must
+    never satisfy requests planned against the new one.
     """
     return (
-        step, box, tuple(filters), float(prev_quality), float(quality),
-        None if columns is None else tuple(columns),
+        step, generation, box, tuple(filters), float(prev_quality),
+        float(quality), None if columns is None else tuple(columns),
     )
 
 
@@ -99,6 +103,19 @@ class ResultCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+    def invalidate_step(self, step) -> int:
+        """Drop every entry for one step; returns how many were dropped.
+
+        Belt-and-braces for reorganization republish: generation-qualified
+        keys already prevent stale hits, and this eagerly frees the old
+        generation's payload bytes instead of waiting for TTL/LRU.
+        """
+        with self._lock:
+            victims = [k for k in self._entries if k[0] == step]
+            for k in victims:
+                del self._entries[k]
+            return len(victims)
 
     @property
     def nbytes(self) -> int:

@@ -75,6 +75,10 @@ class CollapseKey:
     quality: float
     columns: tuple | None
     engine: str
+    #: manifest layout generation — a request planned against a
+    #: reorganized layout must never join a leader started on the old
+    #: one (row order follows the leaf set, so their streams differ)
+    generation: int = 0
 
 
 @dataclass(frozen=True)

@@ -32,9 +32,11 @@ import numpy as np
 
 __all__ = [
     "DEFAULT_METRICS_WINDOW",
+    "AccessTelemetry",
     "RequestSpan",
     "ServeMetrics",
     "json_sanitize",
+    "merge_telemetry",
     "percentile",
 ]
 
@@ -322,3 +324,197 @@ class ServeMetrics:
             f"ServeMetrics(completed={self.completed}, rejected={self.rejected}, "
             f"degraded={self.degraded})"
         )
+
+
+@dataclass
+class _LeafTally:
+    """Cumulative access counters for one (step, leaf)."""
+
+    opens: int = 0
+    points: int = 0
+    decoded_bytes: int = 0
+
+    def to_doc(self) -> dict:
+        return {
+            "opens": self.opens,
+            "points": self.points,
+            "decoded_bytes": self.decoded_bytes,
+        }
+
+
+class _StepTelemetry:
+    """A per-step recording handle bound onto a dataset by the service.
+
+    :class:`~repro.core.dataset.BATDataset` calls :meth:`leaf` once per
+    planned file per executed query and :meth:`view` once per query; the
+    handle forwards into the owning :class:`AccessTelemetry` with the
+    step baked in, so the dataset layer stays step-agnostic.
+    """
+
+    __slots__ = ("_telemetry", "step")
+
+    def __init__(self, telemetry: "AccessTelemetry", step: int):
+        self._telemetry = telemetry
+        self.step = int(step)
+
+    def view(self, box, filters=(), columns=()) -> None:
+        self._telemetry.record_view(self.step, box, filters, columns)
+
+    def leaf(self, leaf_index: int, points: int = 0, decoded_bytes: int = 0) -> None:
+        self._telemetry.record_leaf(self.step, leaf_index, points, decoded_bytes)
+
+
+class AccessTelemetry:
+    """Per-(step, leaf) access tallies plus hot-box/column evidence.
+
+    This is the input side of online layout reorganization (Wan et al.,
+    arXiv 2107.07108): the reorganizer needs to know *which leaves* real
+    sessions open, how many points each contributes, how much column
+    data it decodes, which query boxes recur, and which columns are
+    touched. Everything here is cumulative counters plus a bounded
+    top-K box census, so memory stays constant for a service that has
+    been up for weeks.
+
+    Thread-safe; a snapshot is strict-JSON (string keys, plain ints) so
+    shard workers can ship theirs over the pipe RPC and the router can
+    merge them with :func:`merge_telemetry`.
+    """
+
+    #: distinct boxes tracked per step before the census sheds rare ones
+    BOX_CENSUS_CAP = 512
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: (step, leaf_index) -> tally
+        self._leaves: dict[tuple[int, int], _LeafTally] = {}
+        #: (step, column_name) -> touch count
+        self._columns: dict[tuple[int, str], int] = {}
+        #: step -> {(lower, upper) or None: count} — recurring query boxes
+        self._boxes: dict[int, dict] = {}
+        self.queries = 0
+
+    def bind(self, step: int) -> _StepTelemetry:
+        """A per-step recorder to attach to a dataset (``ds.telemetry``)."""
+        return _StepTelemetry(self, step)
+
+    # -- recording ---------------------------------------------------------
+
+    def record_view(self, step: int, box, filters=(), columns=()) -> None:
+        """Count one executed query: its box, filters, and touched columns."""
+        step = int(step)
+        if box is not None:
+            box_key = (
+                tuple(float(v) for v in box.lower),
+                tuple(float(v) for v in box.upper),
+            )
+        else:
+            box_key = None
+        names = list(columns or ())
+        for f in filters or ():
+            name = f[0] if isinstance(f, (tuple, list)) else getattr(f, "name", None)
+            if name is not None:
+                names.append(name)
+        with self._lock:
+            self.queries += 1
+            census = self._boxes.setdefault(step, {})
+            census[box_key] = census.get(box_key, 0) + 1
+            if len(census) > self.BOX_CENSUS_CAP:
+                # shed the rarest half; recurring hot boxes survive
+                keep = sorted(census.items(), key=lambda kv: -kv[1])
+                census.clear()
+                census.update(keep[: self.BOX_CENSUS_CAP // 2])
+            for name in names:
+                k = (step, str(name))
+                self._columns[k] = self._columns.get(k, 0) + 1
+
+    def record_leaf(
+        self, step: int, leaf_index: int, points: int = 0, decoded_bytes: int = 0
+    ) -> None:
+        """Count one planned-file open and its per-query contribution."""
+        k = (int(step), int(leaf_index))
+        with self._lock:
+            t = self._leaves.get(k)
+            if t is None:
+                t = self._leaves[k] = _LeafTally()
+            t.opens += 1
+            t.points += int(points)
+            t.decoded_bytes += int(decoded_bytes)
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Strict-JSON telemetry document, grouped per step.
+
+        ``steps.<step>.leaves.<leaf_index>`` carries the open/point/decode
+        tallies; ``boxes`` lists the top recurring query boxes as
+        ``[lower, upper, count]`` (full-domain queries appear with null
+        bounds); ``columns`` maps column name to touch count.
+        """
+        with self._lock:
+            steps: dict[str, dict] = {}
+
+            def _step_doc(step: int) -> dict:
+                return steps.setdefault(
+                    str(step), {"leaves": {}, "boxes": [], "columns": {}}
+                )
+
+            for (step, leaf), tally in self._leaves.items():
+                _step_doc(step)["leaves"][str(leaf)] = tally.to_doc()
+            for (step, name), n in self._columns.items():
+                _step_doc(step)["columns"][name] = n
+            for step, census in self._boxes.items():
+                doc = _step_doc(step)
+                top = sorted(census.items(), key=lambda kv: -kv[1])[:64]
+                doc["boxes"] = [
+                    [list(k[0]), list(k[1]), n] if k is not None else [None, None, n]
+                    for k, n in top
+                ]
+            return {"queries": self.queries, "steps": steps}
+
+    def files_opened(self, step: int | None = None) -> int:
+        """Total planned-file opens recorded (optionally for one step)."""
+        with self._lock:
+            return sum(
+                t.opens
+                for (s, _), t in self._leaves.items()
+                if step is None or s == int(step)
+            )
+
+
+def merge_telemetry(docs) -> dict:
+    """Merge telemetry snapshots (e.g. one per shard worker) into one.
+
+    Leaf tallies and column touches sum; box censuses sum per box. The
+    result has the same shape as :meth:`AccessTelemetry.snapshot`, so the
+    reorg planner consumes router-merged and single-process documents
+    identically.
+    """
+    out = {"queries": 0, "steps": {}}
+    for doc in docs:
+        if not doc:
+            continue
+        out["queries"] += int(doc.get("queries", 0))
+        for step, sdoc in doc.get("steps", {}).items():
+            tgt = out["steps"].setdefault(
+                str(step), {"leaves": {}, "boxes": [], "columns": {}}
+            )
+            for leaf, tally in sdoc.get("leaves", {}).items():
+                cur = tgt["leaves"].setdefault(
+                    str(leaf), {"opens": 0, "points": 0, "decoded_bytes": 0}
+                )
+                for k in cur:
+                    cur[k] += int(tally.get(k, 0))
+            for name, n in sdoc.get("columns", {}).items():
+                tgt["columns"][name] = tgt["columns"].get(name, 0) + int(n)
+            census: dict = {}
+            for lo, hi, n in tgt["boxes"]:
+                key = (tuple(lo), tuple(hi)) if lo is not None else None
+                census[key] = census.get(key, 0) + int(n)
+            for lo, hi, n in sdoc.get("boxes", []):
+                key = (tuple(lo), tuple(hi)) if lo is not None else None
+                census[key] = census.get(key, 0) + int(n)
+            tgt["boxes"] = [
+                [list(k[0]), list(k[1]), n] if k is not None else [None, None, n]
+                for k, n in sorted(census.items(), key=lambda kv: -kv[1])
+            ]
+    return out

@@ -61,11 +61,18 @@ from ..bat.colcache import DEFAULT_COLUMN_CACHE_BYTES
 from ..bat.filecache import DEFAULT_CAPACITY, BATFileCache
 from ..bat.query import default_quality_ladder
 from ..core.dataset import BATDataset
+from ..core.metadata import DatasetMetadata
 from ..types import Box, ParticleBatch
 from .cache import ResultCache, result_key
 from .collapse import _DONE, CollapseAbandoned, CollapseKey, InflightTable, adapt_increment
 from .degrade import DegradationConfig, DegradationPolicy
-from .metrics import DEFAULT_METRICS_WINDOW, RequestSpan, ServeMetrics, json_sanitize
+from .metrics import (
+    DEFAULT_METRICS_WINDOW,
+    AccessTelemetry,
+    RequestSpan,
+    ServeMetrics,
+    json_sanitize,
+)
 from .scheduler import (
     PRIORITY_BULK,
     PRIORITY_INTERACTIVE,
@@ -241,6 +248,8 @@ class QueryService:
         )
         self.collapse = InflightTable()
         self.metrics = ServeMetrics(clock=clock, window=self.config.metrics_window)
+        #: per-(step, leaf) access tallies — the reorganizer's evidence
+        self.telemetry = AccessTelemetry()
         self._sessions: dict[int, ServeSession] = {}
         self._session_lock = threading.Lock()
         self._next_session = 0
@@ -316,8 +325,45 @@ class QueryService:
                     executor=self.config.executor,
                     file_cache=self._file_cache,
                 )
+                ds.telemetry = self.telemetry.bind(step)
                 self._datasets[step] = ds
             return ds
+
+    def generation(self, step: int = 0) -> int:
+        """The layout generation the service currently serves for a step."""
+        return self.dataset(step).metadata.generation
+
+    def reload_step(self, step: int = 0) -> int:
+        """Swap in the step's current on-disk manifest; returns its generation.
+
+        The coherent-invalidation path of an online reorganization
+        republish: the old dataset is closed (its handles drop from the
+        shared file cache — deferred under leases, so streams in flight
+        finish on their pinned old-generation handles), the step's result
+        entries are evicted eagerly, and the fresh manifest's generation
+        flows into every plan/result/collapse key from here on. In-flight
+        requests holding the old dataset object still read the old leaf
+        files (a reorg never deletes them in place), so whichever
+        generation a request observed, its response is byte-identical to
+        a direct query against that generation.
+        """
+        with self._dataset_lock:
+            old = self._datasets.pop(step, None)
+        if old is not None:
+            old.close()
+        self.results.invalidate_step(step)
+        return self.dataset(step).metadata.generation
+
+    def maybe_reload(self, step: int = 0) -> bool:
+        """Reload one step iff its on-disk manifest generation moved."""
+        manifest = self._step_manifests.get(step)
+        if manifest is None:
+            raise KeyError(f"no step {step}; have {self.steps}")
+        on_disk = DatasetMetadata.load(manifest).generation
+        if on_disk == self.dataset(step).metadata.generation:
+            return False
+        self.reload_step(step)
+        return True
 
     # -- sessions ----------------------------------------------------------------
 
@@ -488,7 +534,10 @@ class QueryService:
         span.queue_depth = sched.queue_depth + sched.in_flight
         ds = self.dataset(step)
         prev, effective = req.prev_quality, req.quality
-        key = result_key(step, req.box, req.filters, prev, effective, req.columns)
+        key = result_key(
+            step, req.box, req.filters, prev, effective, req.columns,
+            generation=ds.metadata.generation,
+        )
         batch = self.results.get(key)
         cache_hit = batch is not None
         if not cache_hit:
@@ -649,7 +698,10 @@ class QueryService:
                 served = prev
                 cache_hit = False
             else:
-                key = result_key(step, box, filters, prev, effective, columns)
+                key = result_key(
+                    step, box, filters, prev, effective, columns,
+                    generation=ds.metadata.generation,
+                )
                 batch = self.results.get(key)
                 cache_hit = batch is not None
                 if cache_hit:
@@ -686,7 +738,10 @@ class QueryService:
                         # complete; shed results are cached at the
                         # (prev, served) window they actually cover
                         self.results.put(
-                            result_key(step, box, filters, prev, served, columns),
+                            result_key(
+                                step, box, filters, prev, served, columns,
+                                generation=ds.metadata.generation,
+                            ),
                             batch,
                         )
                     span.gather_seconds = self._clock() - t0
@@ -737,7 +792,8 @@ class QueryService:
         entry = spec = None
         if self.config.collapse:
             ckey = CollapseKey(
-                step, req.box, req.filters, prev, effective, req.columns, req.engine
+                step, req.box, req.filters, prev, effective, req.columns,
+                req.engine, ds.metadata.generation,
             )
             entry, spec = self.collapse.acquire(ckey, ladder)
         if spec is not None:
@@ -887,6 +943,10 @@ class QueryService:
             quarantined = {
                 step: ds.quarantined() for step, ds in self._datasets.items()
             }
+            generations = {
+                str(step): ds.metadata.generation
+                for step, ds in self._datasets.items()
+            }
         file_stats = self._file_cache.stats()
         doc = self.metrics.snapshot()
         doc["scheduler"] = self.scheduler.stats()
@@ -916,6 +976,9 @@ class QueryService:
         }
         doc["sessions"] = self.n_sessions
         doc["steps"] = len(self._step_manifests)
+        #: per-(step, leaf) open/decode/point tallies for the reorganizer
+        doc["telemetry"] = self.telemetry.snapshot()
+        doc["generations"] = generations
         # strictly JSON: shard workers ship this over IPC and re-emit it
         # verbatim; nothing numpy-shaped or tuple-keyed may leak through
         return json_sanitize(doc)

@@ -73,7 +73,13 @@ from ..types import Box, ParticleBatch
 from .cache import ResultCache, result_key
 from .degrade import DegradationPolicy
 from .hashing import DEFAULT_REPLICAS, HashRing, assign_leaves
-from .metrics import RequestSpan, ServeMetrics, json_sanitize
+from .metrics import (
+    AccessTelemetry,
+    RequestSpan,
+    ServeMetrics,
+    json_sanitize,
+    merge_telemetry,
+)
 from .scheduler import (
     PRIORITY_BULK,
     RequestScheduler,
@@ -158,6 +164,7 @@ class _ShardWorker:
         self._owned: dict[int, frozenset] = {}
         self._lock = threading.Lock()
         self.metrics = ServeMetrics()
+        self.telemetry = AccessTelemetry()
         self._started = time.perf_counter()
 
     def dataset(self, step: int):
@@ -172,12 +179,36 @@ class _ShardWorker:
                     executor=self.options.get("executor"),
                     file_cache=self._file_cache,
                 )
+                ds.telemetry = self.telemetry.bind(step)
                 owners = assign_leaves(ds.metadata, manifest.name, step, self.ring)
                 self._owned[step] = frozenset(
                     i for i, owner in enumerate(owners) if owner == self.shard_id
                 )
                 self._datasets[step] = ds
             return ds
+
+    def reload(self, doc: dict) -> dict:
+        """Drop one step's dataset and reload its on-disk manifest.
+
+        The router broadcasts this after a reorganization republish: the
+        worker's file-handle/decoded-column entries for the step drop
+        with the dataset, leaf ownership is recomputed over the new leaf
+        set, and the reply reports the generation now being served.
+        """
+        step = int(doc["step"])
+        with self._lock:
+            ds = self._datasets.pop(step, None)
+            self._owned.pop(step, None)
+        if ds is not None:
+            ds.close()
+        ds = self.dataset(step)
+        with self._lock:
+            owned = len(self._owned[step])
+        return {
+            "shard": self.shard_id,
+            "generation": ds.metadata.generation,
+            "owned_leaves": owned,
+        }
 
     def execute(self, doc: dict) -> dict:
         """One scattered window on this shard's leaves; a keyed increment.
@@ -259,6 +290,10 @@ class _ShardWorker:
                 len(ds.quarantined()) for ds in self._datasets.values()
             )
             owned = {step: len(v) for step, v in self._owned.items()}
+            generations = {
+                str(step): ds.metadata.generation
+                for step, ds in self._datasets.items()
+            }
         file_stats = self._file_cache.stats()
         doc = self.metrics.snapshot()
         doc["shard"] = self.shard_id
@@ -270,6 +305,8 @@ class _ShardWorker:
             "decoded_columns": file_stats.pop("decoded_columns", {}),
         }
         doc["quarantined_leaves"] = quarantined
+        doc["generations"] = generations
+        doc["telemetry"] = self.telemetry.snapshot()
         return json_sanitize(doc)
 
     def close(self) -> None:
@@ -306,6 +343,8 @@ def shard_worker_main(conn, source: str, shard_id: int, n_shards: int,
                 reply(req_id, worker.execute(doc))
             elif kind == "snapshot":
                 reply(req_id, worker.snapshot())
+            elif kind == "reload":
+                reply(req_id, worker.reload(doc))
             elif kind == "ping":
                 reply(req_id, {"shard": shard_id})
             else:
@@ -619,6 +658,32 @@ class ShardedQueryService:
         self.metadata(step)
         return self._owners[step]
 
+    def generation(self, step: int = 0) -> int:
+        """The layout generation the router currently serves for a step."""
+        return self.metadata(step).generation
+
+    def reload_step(self, step: int = 0) -> int:
+        """Re-read the step's manifest and fan invalidation out to workers.
+
+        The sharded half of a reorganization republish: the router drops
+        its cached metadata/plan cache/ownership for the step and evicts
+        the step's result entries, then broadcasts a ``reload`` RPC so
+        every worker closes its dataset (dropping file-handle and
+        decoded-column entries) and reloads the new manifest with freshly
+        computed leaf ownership. A worker that crashes and respawns later
+        reads the new manifest from disk anyway — the broadcast just makes
+        the live ones agree *now*. Returns the new generation.
+        """
+        with self._meta_lock:
+            self._metadata.pop(step, None)
+            self._plan_caches.pop(step, None)
+            self._owners.pop(step, None)
+        self.results.invalidate_step(step)
+        meta = self.metadata(step)
+        for client in self._shards:
+            client.call("reload", {"step": step}, timeout=self._rpc_timeout)
+        return meta.generation
+
     @property
     def bounds(self):
         return self.metadata(self.steps[0]).bounds
@@ -798,7 +863,10 @@ class ShardedQueryService:
         span.wait_seconds = ticket.wait_seconds
         span.queue_depth = self.scheduler.queue_depth + self.scheduler.in_flight
         prev, effective = req.prev_quality, req.quality
-        key = result_key(step, req.box, req.filters, prev, effective, req.columns)
+        key = result_key(
+            step, req.box, req.filters, prev, effective, req.columns,
+            generation=self.generation(step),
+        )
         batch = self.results.get(key)
         cache_hit = batch is not None
         if cache_hit:
@@ -863,7 +931,10 @@ class ShardedQueryService:
                 served = prev
                 cache_hit = False
             else:
-                key = result_key(step, box, filters, prev, effective, columns)
+                key = result_key(
+                    step, box, filters, prev, effective, columns,
+                    generation=self.generation(step),
+                )
                 batch = self.results.get(key)
                 cache_hit = batch is not None
                 if cache_hit:
@@ -935,7 +1006,30 @@ class ShardedQueryService:
             doc["shards"]["workers"] = workers
         doc["sessions"] = self.n_sessions
         doc["steps"] = len(self._step_manifests)
+        with self._meta_lock:
+            doc["generations"] = {
+                str(step): meta.generation
+                for step, meta in self._metadata.items()
+            }
         return json_sanitize(doc)
+
+    def telemetry_snapshot(self) -> dict:
+        """Per-(step, leaf) access tallies merged across every worker.
+
+        The traversal happens in the shard processes, so the authoritative
+        open/decode/point counts live there; this gathers each worker's
+        :class:`~repro.serve.metrics.AccessTelemetry` snapshot and sums
+        them into one document the reorg planner consumes exactly like a
+        single-process service's ``snapshot()["telemetry"]``.
+        """
+        docs = []
+        for client in self._shards:
+            try:
+                worker = client.call("snapshot", timeout=self._rpc_timeout)
+            except (ShardCrashed, ShardUnavailable):
+                continue
+            docs.append(worker.get("telemetry"))
+        return merge_telemetry(docs)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

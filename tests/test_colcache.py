@@ -172,10 +172,11 @@ class TestIntegration:
             query_file(cache.get(a), quality=1.0)
             assert cache.column_cache.stats()["entries"] > 0
             # opening b evicts a's handle, which must take its columns along
-            query_file(cache.get(b), quality=1.0)
+            handle_b = cache.get(b)
+            query_file(handle_b, quality=1.0)
             assert cache.evictions == 1
             remaining = {k[0] for k in cache.column_cache._entries}
-            assert remaining == {str(b)}
+            assert remaining == {handle_b.cache_key}
 
     def test_drop_invalidates_columns(self, v4_bytes, tmp_path):
         path = tmp_path / "a.bat"
@@ -201,7 +202,9 @@ class TestIntegration:
             ds.query()
             colcache = ds.file_cache.column_cache
             assert colcache.stats()["entries"] > 0
-            victim = str(ds.directory / ds.metadata.leaves[0].file_name)
+            victim = ds.file_cache.peek(
+                ds.directory / ds.metadata.leaves[0].file_name
+            ).cache_key
             assert any(k[0] == victim for k in colcache._entries)
             ds.quarantine_leaf(0, "test")
             assert not any(k[0] == victim for k in colcache._entries)

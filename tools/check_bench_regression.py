@@ -144,6 +144,42 @@ def _check_shard(results: dict, thresholds: dict) -> list[str]:
     return failures
 
 
+def _check_reorg(results: dict, thresholds: dict) -> list[str]:
+    t = thresholds.get("reorg")
+    if t is None:
+        return ["thresholds file has no 'reorg' section"]
+
+    failures = []
+    opens = results["files_opened_reduction"]
+    if opens < t["min_files_opened_reduction"]:
+        failures.append(
+            f"files-opened reduction {opens:.2f} below floor "
+            f"{t['min_files_opened_reduction']:.2f}"
+        )
+    decoded = results["decoded_bytes_reduction"]
+    if decoded < t["min_decoded_bytes_reduction"]:
+        failures.append(
+            f"decoded-bytes reduction {decoded:.2f} below floor "
+            f"{t['min_decoded_bytes_reduction']:.2f}"
+        )
+    p99_ratio = results["p99_ratio"]
+    if p99_ratio > t["max_p99_ratio"]:
+        failures.append(
+            f"post-reorg p99 is {p99_ratio:.2f}x the pre-reorg p99, "
+            f"ceiling {t['max_p99_ratio']:.2f}x"
+        )
+    for phase in ("before", "after"):
+        if results[phase]["identity_samples_checked"] < 1:
+            failures.append(f"no identity samples were checked {phase} reorg")
+    gen_from = results["reorg"]["generation_from"]
+    gen_to = results["reorg"]["generation_to"]
+    if gen_to <= gen_from:
+        failures.append(
+            f"manifest generation did not advance ({gen_from} -> {gen_to})"
+        )
+    return failures
+
+
 def check(bench_path: str, thresholds_path: str) -> list[str]:
     """Return a list of human-readable violations (empty when clean)."""
     bench = json.loads(Path(bench_path).read_text())
@@ -156,6 +192,8 @@ def check(bench_path: str, thresholds_path: str) -> list[str]:
         return _check_stream(bench["results"], thresholds)
     if kind == "shard":
         return _check_shard(bench["results"], thresholds)
+    if kind == "reorg":
+        return _check_reorg(bench["results"], thresholds)
     return [f"{bench_path}: no regression gate for benchmark kind {kind!r}"]
 
 
