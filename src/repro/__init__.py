@@ -25,7 +25,15 @@ All errors raised by the library derive from
 """
 
 from . import errors, machines
-from .api import QueryRequest, QueryResult, StreamIncrement, open_dataset, reassemble_stream
+from .api import (
+    NeighborRequest,
+    NeighborResult,
+    QueryRequest,
+    QueryResult,
+    StreamIncrement,
+    open_dataset,
+    reassemble_stream,
+)
 from .bat import AttributeFilter, BATBuildConfig, BATFile, build_bat
 from .bat.validate import validate_dataset, validate_file
 from .binning import EquiDepthBinning, EquiWidthBinning
@@ -54,6 +62,8 @@ __all__ = [
     "open_dataset",
     "QueryRequest",
     "QueryResult",
+    "NeighborRequest",
+    "NeighborResult",
     "StreamIncrement",
     "reassemble_stream",
     "Box",

@@ -28,6 +28,7 @@ from __future__ import annotations
 import threading
 import warnings
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 import numpy as np
 
@@ -35,15 +36,26 @@ from .errors import InvalidRequestError
 from .types import Box, ParticleBatch
 
 __all__ = [
+    "Request",
     "QueryRequest",
+    "NeighborRequest",
     "QueryResult",
+    "NeighborResult",
     "StreamIncrement",
     "reassemble_stream",
+    "request_to_doc",
+    "request_from_doc",
     "open_dataset",
 ]
 
 #: legal ``on_error`` policies for corrupt/missing leaf files
 ON_ERROR_POLICIES = ("raise", "degrade")
+
+#: traversal engines a :class:`NeighborRequest` may choose: ``"tree"``
+#: (best-first k-d pruning, the default) or ``"brute"`` (the exhaustive
+#: reference — opens and tests everything; kept byte-identical as the
+#: correctness oracle)
+NEIGHBOR_ENGINES = ("tree", "brute")
 
 # one DeprecationWarning per distinct legacy call form, process-wide —
 # a loop over the old signature must not flood the user's terminal
@@ -71,7 +83,45 @@ def _reset_deprecation_warnings() -> None:
 
 
 @dataclass(frozen=True)
-class QueryRequest:
+class Request:
+    """Frozen base of every request family.
+
+    Carries the fields the families share — ``filters``, ``columns``,
+    ``engine``, ``on_error`` — plus the common construction-time
+    machinery: sequence fields are frozen to tuples, the error policy is
+    checked, and then the subclass's :meth:`_validate` hook runs. Every
+    request is therefore hashable and comparable the moment it exists,
+    so request objects key the plan/result/collapse caches directly, and
+    an invalid request fails at construction with an
+    :class:`~repro.errors.InvalidRequestError` naming the offending
+    field — never deep inside a traversal.
+
+    ``family`` is the wire-format discriminator used by
+    :func:`request_to_doc` / :func:`request_from_doc` and by the serve
+    tier's cache and collapse keys.
+    """
+
+    filters: tuple = ()
+    columns: tuple[str, ...] | None = None
+    engine: str = "frontier"
+    on_error: str = "raise"
+
+    family: ClassVar[str] = "query"
+
+    def __post_init__(self):
+        object.__setattr__(self, "filters", tuple(self.filters))
+        if self.columns is not None:
+            object.__setattr__(self, "columns", tuple(self.columns))
+        if self.on_error not in ON_ERROR_POLICIES:
+            raise InvalidRequestError("on_error must be 'raise' or 'degrade'")
+        self._validate()
+
+    def _validate(self) -> None:
+        """Family-specific construction checks (subclass hook)."""
+
+
+@dataclass(frozen=True)
+class QueryRequest(Request):
     """One immutable description of a (progressive) read.
 
     ``quality``/``prev_quality`` bound the progressive increment: the
@@ -94,17 +144,12 @@ class QueryRequest:
     """
 
     box: Box | None = None
-    filters: tuple = ()
     quality: float = 1.0
     prev_quality: float = 0.0
-    columns: tuple[str, ...] | None = None
-    engine: str = "frontier"
-    on_error: str = "raise"
 
-    def __post_init__(self):
-        object.__setattr__(self, "filters", tuple(self.filters))
-        if self.columns is not None:
-            object.__setattr__(self, "columns", tuple(self.columns))
+    family: ClassVar[str] = "query"
+
+    def _validate(self):
         # quality 0.0 is a valid (empty) read — progressive loops start there
         if not 0.0 <= self.quality <= 1.0:
             raise InvalidRequestError(
@@ -115,8 +160,116 @@ class QueryRequest:
                 f"prev_quality must be in [0, quality], got "
                 f"{self.prev_quality} with quality {self.quality}"
             )
-        if self.on_error not in ON_ERROR_POLICIES:
-            raise InvalidRequestError("on_error must be 'raise' or 'degrade'")
+
+
+@dataclass(frozen=True)
+class NeighborRequest(Request):
+    """One immutable description of a neighbor-list query.
+
+    Centers come from exactly one of two sources: ``points`` (an explicit
+    sequence of ``(x, y, z)`` probe positions, frozen to a tuple of float
+    triples) or ``center_box`` (every stored particle inside the box
+    becomes a center, in the dataset's canonical file/treelet/slot
+    order). Exactly one of ``k`` (the *k* nearest neighbors per center)
+    and ``radius`` (all neighbors with distance ≤ radius) selects the
+    query mode; both are validated here, at construction — ``k >= 1``,
+    ``radius > 0`` and finite — so a degenerate request can never reach
+    the planner's ghost-halo expansion.
+
+    ``filters`` restrict which particles participate at all: as
+    neighbors always, and — for ``center_box`` requests — as centers
+    too, so a filtered friends-of-friends run links only the particles
+    that pass. A center is its own neighbor when it is a stored particle
+    (distance 0 sorts first). Per-center neighbor lists are ordered by
+    ``(distance, leaf, treelet, slot)`` — the global particle order-key
+    breaks distance ties, which makes results reproducible across
+    executors, engines, and shard layouts (see docs/API.md).
+    """
+
+    center_box: Box | None = None
+    points: tuple | None = None
+    k: int | None = None
+    radius: float | None = None
+    engine: str = "tree"
+
+    family: ClassVar[str] = "neighbor"
+
+    def _validate(self):
+        if self.points is not None:
+            try:
+                pts = tuple(
+                    tuple(float(c) for c in p) for p in self.points
+                )
+            except (TypeError, ValueError):
+                raise InvalidRequestError(
+                    "points must be a sequence of (x, y, z) triples"
+                ) from None
+            if not pts:
+                raise InvalidRequestError(
+                    "points must name at least one center (got an empty "
+                    "sequence); omit it to use center_box instead"
+                )
+            for p in pts:
+                if len(p) != 3:
+                    raise InvalidRequestError(
+                        f"points entries must be (x, y, z) triples, got "
+                        f"a length-{len(p)} entry"
+                    )
+                if not all(np.isfinite(c) for c in p):
+                    raise InvalidRequestError(
+                        f"points entries must be finite, got {p}"
+                    )
+            object.__setattr__(self, "points", pts)
+        if (self.center_box is None) == (self.points is None):
+            raise InvalidRequestError(
+                "exactly one of center_box and points must be given"
+            )
+        if self.center_box is not None:
+            if not isinstance(self.center_box, Box):
+                raise InvalidRequestError(
+                    f"center_box must be a Box, got "
+                    f"{type(self.center_box).__name__}"
+                )
+            if self.center_box.is_empty:
+                raise InvalidRequestError("center_box must not be empty")
+        if (self.k is None) == (self.radius is None):
+            raise InvalidRequestError(
+                "exactly one of k and radius must be given"
+            )
+        if self.k is not None:
+            if isinstance(self.k, bool) or not isinstance(
+                self.k, (int, np.integer)
+            ):
+                raise InvalidRequestError(
+                    f"k must be an integer >= 1, got {self.k!r}"
+                )
+            if self.k < 1:
+                raise InvalidRequestError(f"k must be >= 1, got {self.k}")
+            object.__setattr__(self, "k", int(self.k))
+        if self.radius is not None:
+            try:
+                r = float(self.radius)
+            except (TypeError, ValueError):
+                raise InvalidRequestError(
+                    f"radius must be a finite number > 0, got {self.radius!r}"
+                ) from None
+            if not np.isfinite(r) or not r > 0.0:
+                raise InvalidRequestError(
+                    f"radius must be a finite number > 0, got {self.radius!r}"
+                )
+            object.__setattr__(self, "radius", r)
+        if self.engine not in NEIGHBOR_ENGINES:
+            raise InvalidRequestError(
+                f"unknown neighbor engine {self.engine!r} "
+                f"(choose from {NEIGHBOR_ENGINES})"
+            )
+
+    @property
+    def region(self) -> Box:
+        """Tight box around the query centers (the pre-halo query region)."""
+        if self.center_box is not None:
+            return self.center_box
+        return Box.of_points(np.asarray(self.points, dtype=np.float64))
 
 
 @dataclass(frozen=True)
@@ -137,6 +290,143 @@ class QueryResult:
 
     def __len__(self) -> int:
         return len(self.batch) if self.batch is not None else 0
+
+
+@dataclass(frozen=True, eq=False)
+class NeighborResult:
+    """What one :class:`NeighborRequest` returned.
+
+    Per-center neighbor lists in CSR form: center ``i``'s neighbors are
+    rows ``offsets[i]:offsets[i+1]`` of ``batch`` / ``distances`` /
+    ``keys``. Within each list rows ascend by ``(distance, leaf,
+    treelet, slot)`` — the deterministic tie-break contract — and
+    ``keys`` carries each neighbor's global ``(leaf, treelet, slot)``
+    order-key so two results can be compared (or joined against the
+    center set) without relying on float identity.
+
+    ``centers`` holds the resolved query centers (float64, request
+    order); ``center_keys`` their order-keys when the centers came from
+    ``center_box`` (``None`` for explicit ``points``). ``stats`` is a
+    :class:`~repro.bat.neighbors.NeighborStats` with the traversal and
+    ghost-exchange work counters.
+    """
+
+    centers: np.ndarray
+    offsets: np.ndarray
+    batch: ParticleBatch | None
+    distances: np.ndarray
+    keys: np.ndarray
+    center_keys: np.ndarray | None = None
+    stats: object = field(repr=False, default=None)
+
+    def __len__(self) -> int:
+        """Total neighbor rows across all centers."""
+        return int(self.offsets[-1]) if len(self.offsets) else 0
+
+    @property
+    def n_centers(self) -> int:
+        return len(self.offsets) - 1 if len(self.offsets) else 0
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Neighbors found per center (``(C,)`` int64)."""
+        return np.diff(self.offsets)
+
+    @property
+    def nbytes(self) -> int:
+        n = (
+            self.centers.nbytes + self.offsets.nbytes
+            + self.distances.nbytes + self.keys.nbytes
+        )
+        if self.center_keys is not None:
+            n += self.center_keys.nbytes
+        if self.batch is not None:
+            n += self.batch.nbytes
+        return n
+
+    def neighbors(self, i: int) -> slice:
+        """Row slice of center ``i``'s neighbor list."""
+        return slice(int(self.offsets[i]), int(self.offsets[i + 1]))
+
+
+def request_to_doc(req: Request) -> dict:
+    """Serialize any request family to a plain-JSON wire doc.
+
+    The inverse of :func:`request_from_doc`; the shard router uses this
+    pair to move requests across process boundaries without pickling.
+    """
+    doc = {
+        "family": req.family,
+        "filters": [[f.name, float(f.lo), float(f.hi)] for f in req.filters],
+        "columns": list(req.columns) if req.columns is not None else None,
+        "engine": req.engine,
+        "on_error": req.on_error,
+    }
+    if isinstance(req, QueryRequest):
+        doc["box"] = (
+            [list(map(float, req.box.lower)), list(map(float, req.box.upper))]
+            if req.box is not None else None
+        )
+        doc["quality"] = float(req.quality)
+        doc["prev_quality"] = float(req.prev_quality)
+    elif isinstance(req, NeighborRequest):
+        doc["center_box"] = (
+            [list(map(float, req.center_box.lower)),
+             list(map(float, req.center_box.upper))]
+            if req.center_box is not None else None
+        )
+        doc["points"] = (
+            [list(map(float, p)) for p in req.points]
+            if req.points is not None else None
+        )
+        doc["k"] = None if req.k is None else int(req.k)
+        doc["radius"] = None if req.radius is None else float(req.radius)
+    else:  # pragma: no cover - future families must extend this
+        raise InvalidRequestError(
+            f"cannot serialize request family {req.family!r}"
+        )
+    return doc
+
+
+def request_from_doc(doc: dict) -> Request:
+    """Rebuild a request from its :func:`request_to_doc` wire doc.
+
+    Docs without a ``family`` tag predate the neighbor family and parse
+    as query requests.
+    """
+    from .bat.query import AttributeFilter  # local: avoids an import cycle
+
+    common = dict(
+        filters=tuple(
+            AttributeFilter(name, lo, hi) for name, lo, hi in doc.get("filters", ())
+        ),
+        columns=(
+            tuple(doc["columns"]) if doc.get("columns") is not None else None
+        ),
+        on_error=doc.get("on_error", "raise"),
+    )
+    family = doc.get("family", "query")
+    if family == "query":
+        box = doc.get("box")
+        return QueryRequest(
+            box=Box(tuple(box[0]), tuple(box[1])) if box is not None else None,
+            quality=doc.get("quality", 1.0),
+            prev_quality=doc.get("prev_quality", 0.0),
+            engine=doc.get("engine", "frontier"),
+            **common,
+        )
+    if family == "neighbor":
+        cb = doc.get("center_box")
+        pts = doc.get("points")
+        return NeighborRequest(
+            center_box=Box(tuple(cb[0]), tuple(cb[1])) if cb is not None else None,
+            points=tuple(tuple(p) for p in pts) if pts is not None else None,
+            k=doc.get("k"),
+            radius=doc.get("radius"),
+            engine=doc.get("engine", "tree"),
+            **common,
+        )
+    raise InvalidRequestError(f"unknown request family {family!r} in doc")
 
 
 @dataclass(frozen=True)

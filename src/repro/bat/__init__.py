@@ -18,6 +18,7 @@ from .builder import BATBuildConfig, build_bat
 from .file import BATFile
 from .filecache import BATFileCache
 from .integrity import scrub_dataset, scrub_file
+from .neighbors import NeighborStats
 from .query import AttributeFilter, QueryStats
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "AttributeFilter",
     "IntegrityError",
     "QueryStats",
+    "NeighborStats",
     "scrub_file",
     "scrub_dataset",
 ]

@@ -49,6 +49,7 @@ import tempfile
 from .harness import (
     compression_benchmark,
     fault_injection_benchmark,
+    neighbors_benchmark,
     parallel_write_query_benchmark,
     read_path_benchmark,
     record_benchmark,
@@ -328,6 +329,40 @@ def _run_faults(args) -> dict:
     return payload
 
 
+def _run_neighbors(args) -> dict:
+    def run(out_dir):
+        return neighbors_benchmark(out_dir)
+
+    if args.out_dir is not None:
+        payload = run(args.out_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+            payload = run(tmp)
+
+    s = payload["summary"]
+    print(
+        f"neighbors: {payload['total_particles']:,} particles in "
+        f"{payload['n_files']} files; knn + sph + fof workloads"
+    )
+    for name, row in payload["results"].items():
+        t, b = row["tree"], row["brute"]
+        print(
+            f"  {name}: {row['n_centers']} centers, {row['n_neighbors']:,} "
+            f"neighbors; tree {t['seconds']:.3f}s/{t['files_opened']} files "
+            f"({t['ghost_files_opened']} ghost) vs brute "
+            f"{b['seconds']:.3f}s/{b['files_opened']} files; "
+            f"identical: {'ok' if row['identical'] else 'MISMATCH'}"
+        )
+    print(
+        f"  files opened: {s['tree_files_opened']} vs {s['brute_files_opened']} "
+        f"naive ({s['files_opened_ratio']:.1f}x fewer), "
+        f"{s['ghost_points']:,} ghost candidates exchanged "
+        f"(naive halo read: {s['naive_halo_points']:,} points); "
+        f"byte identity: {'ok' if s['byte_identity_ok'] else 'FAILED'}"
+    )
+    return payload
+
+
 def _run_reorg(args) -> dict:
     def run(out_dir):
         return reorg_benchmark(
@@ -434,7 +469,7 @@ def main(argv=None) -> int:
     p.add_argument(
         "--suite",
         choices=("write", "parallel", "read", "serve", "stream", "shard",
-                 "faults", "compress", "reorg"),
+                 "faults", "compress", "reorg", "neighbors"),
         default="write",
         help="write (alias: parallel): multi-executor write+query; read: "
              "planner + engine comparison; serve: concurrent service under "
@@ -443,7 +478,9 @@ def main(argv=None) -> int:
              "crash-resume drill; faults: write under injected faults, "
              "prove recovery + degraded reads; compress: v4 column codecs "
              "vs the v3 baseline; reorg: hot-view trace before vs after "
-             "telemetry-driven layout reorganization",
+             "telemetry-driven layout reorganization; neighbors: k-NN and "
+             "fixed-radius neighbor lists, tree engine vs brute-force "
+             "oracle with ghost-region exchange",
     )
     p.add_argument(
         "--executors",
@@ -528,6 +565,8 @@ def main(argv=None) -> int:
         payload = _run_compress(args)
     elif args.suite == "reorg":
         payload = _run_reorg(args)
+    elif args.suite == "neighbors":
+        payload = _run_neighbors(args)
     else:
         payload = _run_write(args)
 

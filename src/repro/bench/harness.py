@@ -40,6 +40,7 @@ __all__ = [
     "shard_benchmark",
     "stream_benchmark",
     "fault_injection_benchmark",
+    "neighbors_benchmark",
     "reorg_benchmark",
     "compression_benchmark",
     "codec_throughput_benchmark",
@@ -1426,6 +1427,181 @@ def reorg_benchmark(
         "n_files": report.n_files,
         "rounds": rounds,
         "results": results,
+    }
+
+
+def neighbors_benchmark(
+    out_dir,
+    nranks: int = 128,
+    scale: float = 0.015,
+    target_size: int = 8 * 1024,
+    timestep: int = 600,
+    knn_centers: int = 24,
+    k: int = 16,
+    sph_h: float = 0.05,
+    fof_link: float = 0.015,
+    seed: int = 0,
+) -> dict:
+    """Neighbor queries on the dam-break workload: tree vs brute oracle.
+
+    Writes one dam-break timestep as a v4 multi-file dataset, then runs
+    three neighbor workloads with both engines:
+
+    - **knn** — k-NN lists at point centers clustered inside one
+      interior leaf (the zoom-in analysis pattern);
+    - **sph** — fixed-radius lists (SPH cubic-spline smoothing of the
+      pressure field) over a slab hugging one leaf's bounds, so every
+      boundary ball needs ghost strips from the adjacent files;
+    - **fof** — a friends-of-friends pass over the same slab.
+
+    For every workload the tree engine's lists must be byte-identical to
+    the brute-force reference; reported alongside the timings are the
+    files each engine opened (brute == the naive halo-full-read plan:
+    every candidate file, read fully) and the ghost-exchange volume, the
+    quantities the regression gate thresholds.
+    """
+    from ..analysis import cubic_spline_kernel
+    from ..api import NeighborRequest
+    from ..bat.builder import BATBuildConfig
+    from ..machines import testing_machine
+    from ..types import Box
+    from ..workloads import DamBreak
+
+    out_dir = Path(out_dir)
+    dam = DamBreak(seed=seed)
+    data = dam.rank_data(timestep, nranks, scale=scale, materialize=True)
+    writer = TwoPhaseWriter(
+        testing_machine(),
+        target_size=target_size,
+        bat_config=BATBuildConfig(quantize_positions=True, compress=True),
+    )
+    writer.write(data, out_dir=out_dir, name="neigh")
+
+    rng = np.random.default_rng(seed)
+    results: dict = {}
+    identity_ok = True
+
+    with BATDataset(out_dir / "neigh.meta.json") as ds:
+        n_files = ds.metadata.n_files
+        leaves = sorted(ds.metadata.leaves, key=lambda l: l.count)
+        mid = leaves[len(leaves) // 2].bounds
+        eps = 1e-4
+        slab = Box(
+            tuple(v + eps for v in mid.lower),
+            tuple(v - eps for v in mid.upper),
+        )
+        lo = np.asarray(mid.lower)
+        hi = np.asarray(mid.upper)
+        pts = tuple(
+            tuple(float(v) for v in p)
+            for p in lo + rng.random((knn_centers, 3)) * (hi - lo)
+        )
+
+        workloads = {
+            "knn": NeighborRequest(points=pts, k=k),
+            "sph": NeighborRequest(center_box=slab, radius=sph_h),
+            "fof": NeighborRequest(center_box=slab, radius=fof_link, columns=()),
+        }
+        for name, req in workloads.items():
+            row: dict = {}
+            for engine in ("tree", "brute"):
+                t0 = time.perf_counter()
+                res = ds.neighbors(replace(req, engine=engine))
+                seconds = time.perf_counter() - t0
+                s = res.stats
+                row[engine] = {
+                    "seconds": seconds,
+                    "files_opened": s.files_opened,
+                    "ghost_files_opened": s.ghost_files_opened,
+                    "ghost_points": s.ghost_points,
+                    "pruned_files": s.pruned_files,
+                    "pairs_tested": s.pairs_tested,
+                    "points_returned": s.points_returned,
+                    "decoded_bytes": s.decoded_bytes,
+                }
+                row.setdefault("_res", {})[engine] = res
+            a, b = row["_res"]["tree"], row["_res"]["brute"]
+            if a.batch.positions is None or b.batch.positions is None:
+                pos_same = a.batch.positions is None and b.batch.positions is None
+            else:
+                pos_same = a.batch.positions.tobytes() == b.batch.positions.tobytes()
+            same = (
+                np.array_equal(a.offsets, b.offsets)
+                and np.array_equal(a.keys, b.keys)
+                and np.array_equal(a.distances, b.distances)
+                and pos_same
+                and sorted(a.batch.attributes) == sorted(b.batch.attributes)
+                and all(
+                    a.batch.attributes[n2].tobytes() == b.batch.attributes[n2].tobytes()
+                    for n2 in a.batch.attributes
+                )
+            )
+            row["identical"] = bool(same)
+            identity_ok = identity_ok and bool(same)
+            row["n_centers"] = a.n_centers
+            row["n_neighbors"] = len(a)
+            del row["_res"]
+            results[name] = row
+
+        # the SPH smoothing consumes the fixed-radius lists end to end
+        sph = ds.neighbors(
+            NeighborRequest(center_box=slab, radius=sph_h, columns=("pressure",))
+        )
+        w = cubic_spline_kernel(sph.distances, sph_h)
+        c = np.concatenate([[0.0], np.cumsum(w, dtype=np.float64)])
+        den = c[sph.offsets[1:]] - c[sph.offsets[:-1]]
+        results["sph"]["kernel_pairs"] = int(len(w))
+        results["sph"]["covered_centers"] = int((den > 0).sum())
+
+        # naive halo-full-read volume: every file the halo touches, in full
+        halo = Box(
+            tuple(v - sph_h for v in slab.lower),
+            tuple(v + sph_h for v in slab.upper),
+        )
+        naive_points = sum(
+            l.count for l in ds.metadata.leaves if l.bounds.intersects(halo)
+        )
+        total_particles = ds.total_particles
+
+    tree_files = sum(r["tree"]["files_opened"] for r in results.values())
+    brute_files = sum(r["brute"]["files_opened"] for r in results.values())
+    tree_seconds = sum(r["tree"]["seconds"] for r in results.values())
+    brute_seconds = sum(r["brute"]["seconds"] for r in results.values())
+    ghost_points = results["sph"]["tree"]["ghost_points"]
+    return {
+        "benchmark": "neighbors",
+        "config": {
+            "nranks": nranks,
+            "scale": scale,
+            "target_size": target_size,
+            "timestep": timestep,
+            "knn_centers": knn_centers,
+            "k": k,
+            "sph_h": sph_h,
+            "fof_link": fof_link,
+            "seed": seed,
+        },
+        "n_files": n_files,
+        "total_particles": int(total_particles),
+        "results": results,
+        "summary": {
+            "byte_identity_ok": bool(identity_ok),
+            "tree_files_opened": int(tree_files),
+            "brute_files_opened": int(brute_files),
+            #: the headline: how many fewer file opens than the naive
+            #: open-everything baseline across the whole workload mix
+            "files_opened_ratio": (
+                brute_files / tree_files if tree_files else float("inf")
+            ),
+            "tree_seconds": tree_seconds,
+            "brute_seconds": brute_seconds,
+            "speedup_vs_brute": (
+                brute_seconds / tree_seconds if tree_seconds else float("inf")
+            ),
+            "ghost_points": int(ghost_points),
+            #: points a halo-full-read plan would decode for the SPH slab
+            "naive_halo_points": int(naive_points),
+        },
     }
 
 

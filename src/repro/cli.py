@@ -22,7 +22,7 @@ from pathlib import Path
 import numpy as np
 
 from . import machines
-from .api import QueryRequest, open_dataset
+from .api import NEIGHBOR_ENGINES, NeighborRequest, QueryRequest, open_dataset
 from .bat.file import BATFile
 from .bat.query import ENGINES, AttributeFilter
 from .core.metadata import DatasetMetadata
@@ -43,6 +43,13 @@ def _parse_filter(spec: str) -> AttributeFilter:
     if len(parts) != 3:
         raise argparse.ArgumentTypeError("filter must be 'name:lo:hi'")
     return AttributeFilter(parts[0], float(parts[1]), float(parts[2]))
+
+
+def _parse_point(spec: str) -> tuple:
+    vals = [float(x) for x in spec.split(",")]
+    if len(vals) != 3:
+        raise argparse.ArgumentTypeError("point must be 'x,y,z'")
+    return tuple(vals)
 
 
 def _machine(name: str):
@@ -96,12 +103,14 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_query(args) -> int:
+    if args.knn is not None or args.radius is not None or args.at:
+        return _cmd_neighbor_query(args)
     request = QueryRequest(
         quality=args.quality,
         box=args.box,
         filters=tuple(args.filter or ()),
         columns=tuple(args.columns.split(",")) if args.columns else None,
-        engine=args.engine,
+        engine=args.engine or "frontier",
     )
     with open_dataset(args.metadata, executor=args.executor) as ds:
         batch, stats = ds.query(request)
@@ -115,6 +124,51 @@ def _cmd_query(args) -> int:
                 print(f"  {name}: mean {arr.mean():g}  min {arr.min():g}  max {arr.max():g}")
         if args.output:
             np.savez(args.output, positions=batch.positions, **batch.attributes)
+            print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_neighbor_query(args) -> int:
+    """The neighbor-mode branch of ``repro query`` (--knn / --radius)."""
+    request = NeighborRequest(
+        center_box=None if args.at else args.box,
+        points=tuple(args.at) if args.at else None,
+        k=args.knn,
+        radius=args.radius,
+        filters=tuple(args.filter or ()),
+        columns=tuple(args.columns.split(",")) if args.columns else None,
+        engine=args.engine or "tree",
+    )
+    with open_dataset(args.metadata, executor=args.executor) as ds:
+        res = ds.neighbors(request)
+        s = res.stats
+        mode = f"k={args.knn}" if args.knn is not None else f"radius={args.radius:g}"
+        print(f"{res.n_centers:,} centers ({mode}): {len(res):,} neighbors "
+              f"(tested {s.points_tested:,} candidates, "
+              f"visited {s.nodes_visited:,} nodes)")
+        print(f"files: {s.files_opened} opened "
+              f"({s.ghost_files_opened} ghost, {s.ghost_points:,} ghost candidates), "
+              f"{s.pruned_files} skipped by the planner")
+        if args.stats and len(res):
+            counts = res.counts
+            print(f"  list sizes: mean {counts.mean():.2f}  "
+                  f"min {counts.min()}  max {counts.max()}")
+            print(f"  distances: mean {res.distances.mean():g}  "
+                  f"max {res.distances.max():g}")
+            for name, arr in res.batch.attributes.items():
+                print(f"  {name}: mean {arr.mean():g}  min {arr.min():g}  max {arr.max():g}")
+        if args.output:
+            out = {
+                "centers": res.centers,
+                "offsets": res.offsets,
+                "distances": res.distances,
+                "keys": res.keys,
+            }
+            if res.center_keys is not None:
+                out["center_keys"] = res.center_keys
+            if res.batch.positions is not None:
+                out["positions"] = res.batch.positions
+            np.savez(args.output, **out, **res.batch.attributes)
             print(f"wrote {args.output}")
     return 0
 
@@ -408,21 +462,31 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("metadata", help="path to the .meta.json manifest")
     query.add_argument("--quality", type=float, default=1.0)
     query.add_argument("--box", type=_parse_box, default=None,
-                       help="spatial filter: x0,y0,z0,x1,y1,z1")
+                       help="spatial filter: x0,y0,z0,x1,y1,z1 (in neighbor "
+                            "mode: every particle in the box is a center)")
     query.add_argument("--filter", type=_parse_filter, action="append",
                        help="attribute filter: name:lo:hi (repeatable)")
     query.add_argument("--columns", default=None,
                        help="comma-separated attribute columns to materialize "
                             "(default: all; on v4 files, others never decode)")
+    query.add_argument("--knn", type=int, default=None, metavar="K",
+                       help="neighbor mode: K nearest neighbors per center")
+    query.add_argument("--radius", type=float, default=None,
+                       help="neighbor mode: all neighbors within this radius")
+    query.add_argument("--at", type=_parse_point, action="append", default=None,
+                       metavar="X,Y,Z",
+                       help="neighbor-query center point (repeatable)")
     query.add_argument("--stats", action="store_true",
                        help="print per-attribute statistics of the result")
     query.add_argument("--output", help="write the result to an .npz file")
     query.add_argument("--executor", default=None,
                        help="execution backend: serial, thread[:N], process[:N] "
                             "(default: $REPRO_EXECUTOR or serial)")
-    query.add_argument("--engine", choices=ENGINES, default="frontier",
-                       help="traversal engine (frontier: vectorized, default; "
-                            "recursive: reference)")
+    query.add_argument("--engine",
+                       choices=tuple(ENGINES) + tuple(NEIGHBOR_ENGINES),
+                       default=None,
+                       help="traversal engine (box mode: frontier [default] or "
+                            "recursive; neighbor mode: tree [default] or brute)")
     query.set_defaults(func=_cmd_query)
 
     serve = sub.add_parser(

@@ -15,12 +15,28 @@ from __future__ import annotations
 import threading
 from functools import partial
 from pathlib import Path
+from types import SimpleNamespace
 
 import numpy as np
 
-from ..api import QueryRequest, QueryResult, StreamIncrement, warn_deprecated
+from ..api import (
+    NeighborRequest,
+    NeighborResult,
+    QueryRequest,
+    QueryResult,
+    StreamIncrement,
+    warn_deprecated,
+)
 from ..bat.file import BATFile
 from ..bat.filecache import BATFileCache
+from ..bat.neighbors import (
+    NeighborStats,
+    box_members,
+    brute_neighbors,
+    knn_neighbors,
+    materialize_rows,
+    radius_neighbors,
+)
 from ..bat.query import (
     QueryStats,
     default_quality_ladder,
@@ -31,7 +47,7 @@ from ..errors import IntegrityError, InvalidRequestError, LeafUnavailableError
 from ..parallel import get_executor
 from ..types import Box, ParticleBatch
 from .metadata import DatasetMetadata
-from .planner import PlanCache, QueryPlan
+from .planner import NeighborQueryPlan, PlanCache, QueryPlan
 
 __all__ = ["BATDataset"]
 
@@ -466,6 +482,204 @@ class BATDataset:
                 "plan was built for a different box/filters shape"
             )
         return self._stream_rungs(req, ladder, plan, attributes, with_positions)
+
+    def neighbors(
+        self, request: NeighborRequest, plan: NeighborQueryPlan | None = None
+    ) -> NeighborResult:
+        """Run one k-NN or fixed-radius neighbor-list query.
+
+        Centers come from ``request.points`` or from the stored
+        particles inside ``request.center_box`` (canonical file/treelet
+        /slot order, also returned as ``result.center_keys``). The
+        planner's ghost-region layer decides which leaf files to open:
+        files beyond the halo expansion of the query region are skipped
+        unopened, boundary files are opened only for the ghost strip the
+        query balls reach into, and the k-NN engine additionally skips
+        files dynamically once every center's k-th-neighbor bound falls
+        short of their bounds. Per-center lists are ordered by
+        ``(distance, leaf, treelet, slot)`` — deterministic across
+        engines, executors, and shard layouts; ``engine="brute"`` is the
+        exhaustive byte-identical reference.
+
+        ``request.on_error`` matches :meth:`query`: ``"degrade"``
+        quarantines corrupt/missing leaves and returns the partial
+        result (``stats.quarantined_files`` counts what was lost).
+        """
+        if not isinstance(request, NeighborRequest):
+            raise InvalidRequestError("neighbors() takes a repro.NeighborRequest")
+        stats = NeighborStats()
+        on_error = request.on_error
+        attributes = None
+        with_positions = True
+        if request.columns is not None:
+            attributes = [c for c in request.columns if c != "positions"]
+            with_positions = "positions" in request.columns
+        specs = self.attribute_specs()
+        known = {sp.name for sp in specs}
+        for f in request.filters:
+            if f.name not in known:
+                raise KeyError(
+                    f"no attribute {f.name!r} in {self.metadata_path.name!r}"
+                )
+        if attributes is not None:
+            for name in attributes:
+                if name not in known:
+                    raise KeyError(
+                        f"no attribute {name!r} in {self.metadata_path.name!r}"
+                    )
+
+        opened: dict[int, tuple[BATFile, int]] = {}
+        failed: set[int] = set()
+
+        def open_leaf(leaf_index: int, action: str | None = None):
+            ent = opened.get(leaf_index)
+            if ent is not None:
+                return ent[0]
+            if leaf_index in failed:
+                return None
+            try:
+                f = self.file(leaf_index)
+            except FileNotFoundError as exc:
+                self._leaf_failed(leaf_index, "missing", str(exc), on_error)
+                failed.add(leaf_index)
+                stats.quarantined_files += 1
+                return None
+            except IntegrityError as exc:
+                self._leaf_failed(leaf_index, "corrupt", str(exc), on_error)
+                failed.add(leaf_index)
+                stats.quarantined_files += 1
+                return None
+            opened[leaf_index] = (f, f.decoded_bytes)
+            stats.files_opened += 1
+            if action == "ghost":
+                stats.ghost_files_opened += 1
+            return f
+
+        def open_plan_file(fp):
+            return open_leaf(fp.leaf_index, fp.action)
+
+        # -- resolve centers ------------------------------------------------
+        center_keys = None
+        if request.points is not None:
+            centers = np.asarray(request.points, dtype=np.float64).reshape(-1, 3)
+        else:
+            cplan = self._plan_cache.get_or_build(
+                self.metadata, request.center_box, request.filters,
+                exclude=self._exclude(),
+            )
+            pos_parts, key_parts = [], []
+            for fp in cplan.files:
+                f = open_leaf(fp.leaf_index)
+                if f is None:
+                    continue
+                pos, keys = box_members(
+                    f, fp.leaf_index, request.center_box, request.filters, stats
+                )
+                if len(pos):
+                    pos_parts.append(pos)
+                    key_parts.append(keys)
+            if pos_parts:
+                centers = np.concatenate(pos_parts, axis=0)
+                center_keys = np.concatenate(key_parts, axis=0)
+            else:
+                centers = np.empty((0, 3), dtype=np.float64)
+                center_keys = np.empty((0, 3), dtype=np.int64)
+        stats.centers = len(centers)
+
+        # -- plan + engines -------------------------------------------------
+        region = request.region
+        if plan is None:
+            plan = self._plan_cache.get_or_build_neighbor(
+                self.metadata, region, request.radius, request.filters,
+                exclude=self._exclude(),
+            )
+        elif (
+            plan.region != region or plan.radius != request.radius
+            or plan.filters != request.filters
+        ):
+            raise InvalidRequestError(
+                "plan was built for a different region/radius/filters shape"
+            )
+        stats.pruned_files += plan.pruned_files
+        stats.quarantined_files += plan.excluded_files
+
+        if len(centers) == 0:
+            offsets = np.zeros(1, dtype=np.int64)
+            keys = np.empty((0, 3), dtype=np.int64)
+            d2 = np.empty(0, dtype=np.float64)
+        elif request.engine == "brute":
+            excl = self._exclude()
+            brute_files = [
+                SimpleNamespace(
+                    leaf_index=leaf.leaf_index,
+                    file_name=leaf.file_name,
+                    action="full",
+                )
+                for leaf in self.metadata.leaves
+                if leaf.leaf_index not in excl
+            ]
+            offsets, keys, d2 = brute_neighbors(
+                brute_files, open_plan_file, centers, request.k,
+                request.radius, request.filters, stats,
+            )
+        elif request.radius is not None:
+            offsets, keys, d2 = radius_neighbors(
+                plan.files, open_plan_file, centers, request.radius,
+                region, request.filters, stats,
+            )
+        else:
+            offsets, keys, d2 = knn_neighbors(
+                plan.files, open_plan_file, centers, request.k,
+                request.filters, stats,
+            )
+        stats.points_returned = int(offsets[-1])
+
+        # -- materialize the selected rows ---------------------------------
+        tv_cache: dict[tuple[int, int], object] = {}
+        rank_to_leaf: dict[int, np.ndarray] = {}
+
+        def open_treelet(leaf_index: int, trank: int):
+            tv = tv_cache.get((leaf_index, trank))
+            if tv is None:
+                f = open_leaf(leaf_index)
+                inv = rank_to_leaf.get(leaf_index)
+                if inv is None:
+                    inv = rank_to_leaf[leaf_index] = np.argsort(
+                        f.shallow_leaf_visit_rank()
+                    )
+                tv = tv_cache[(leaf_index, trank)] = f.treelet(int(inv[trank]))
+            return tv
+
+        batch = materialize_rows(
+            open_treelet, keys, specs, attributes, with_positions
+        )
+
+        # -- telemetry + decode accounting ---------------------------------
+        leaf_rows: dict[int, int] = {}
+        if len(keys):
+            uniq, cnt = np.unique(keys[:, 0], return_counts=True)
+            leaf_rows = dict(zip(uniq.tolist(), cnt.tolist()))
+        for leaf_index, (f, before) in opened.items():
+            stats.decoded_bytes += max(f.decoded_bytes - before, 0)
+        if self.telemetry is not None:
+            self.telemetry.view(
+                region, request.filters, self._materialized_columns(request)
+            )
+            for leaf_index, (f, before) in opened.items():
+                self.telemetry.leaf(
+                    leaf_index,
+                    points=leaf_rows.get(leaf_index, 0),
+                    decoded_bytes=max(f.decoded_bytes - before, 0),
+                )
+        return NeighborResult(
+            centers=centers,
+            offsets=offsets,
+            batch=batch,
+            distances=np.sqrt(d2),
+            keys=keys,
+            center_keys=center_keys,
+            stats=stats,
+        )
 
     def _stream_rungs(self, req, ladder, plan, attributes, with_positions):
         stats = QueryStats()

@@ -27,7 +27,19 @@ from ..bitmaps import query_bitmap
 from ..types import Box
 from .metadata import DatasetMetadata
 
-__all__ = ["FilePlan", "QueryPlan", "plan_query", "PlanCache", "leaves_for_boxes"]
+__all__ = [
+    "FilePlan",
+    "QueryPlan",
+    "plan_query",
+    "NeighborFilePlan",
+    "NeighborQueryPlan",
+    "plan_neighbor_query",
+    "PlanCache",
+    "leaves_for_boxes",
+]
+
+#: relative slack on squared-distance prune bounds (see repro.bat.neighbors)
+_PRUNE_SLACK = 1e-9
 
 
 @dataclass(frozen=True)
@@ -139,6 +151,137 @@ def plan_query(
     )
 
 
+@dataclass(frozen=True)
+class NeighborFilePlan:
+    """One leaf file a neighbor query may need to open."""
+
+    leaf_index: int
+    file_name: str
+    #: ``"full"`` — the file overlaps the query region itself (its own
+    #: particles can be centers' immediate surroundings);
+    #: ``"ghost"`` — it overlaps only the halo expansion: the query opens
+    #: it purely to exchange the ghost particles inside the strip
+    action: str
+    #: the file's leaf bounds (the k-NN engine's distance ordering key)
+    bounds: Box
+    #: leaf bounds ∩ halo-expanded region — the ghost strip a ``"ghost"``
+    #: file contributes (``None`` for k-NN plans, whose reach is dynamic)
+    strip: Box | None
+    #: min squared distance from the query region to the leaf bounds
+    min_d2: float
+
+
+@dataclass(frozen=True)
+class NeighborQueryPlan:
+    """Per-file skip/full/ghost plan for one neighbor query shape.
+
+    Skipped files simply do not appear in ``files``; the counters record
+    why. ``radius=None`` marks a k-NN plan: no file can be excluded by
+    halo geometry up front (the search radius is data-dependent), so
+    every non-pruned file is listed in ascending ``min_d2`` order and the
+    engine prunes dynamically against its running k-th-neighbor bounds.
+    """
+
+    region: Box
+    radius: float | None
+    filters: tuple
+    n_files: int
+    files: tuple[NeighborFilePlan, ...]
+    #: files whose bounds lie beyond the halo expansion
+    pruned_spatial_files: int
+    #: files whose root bitmaps prove no filtered particle exists inside
+    pruned_bitmap_files: int
+    excluded_files: int = 0
+
+    @property
+    def pruned_files(self) -> int:
+        return self.pruned_spatial_files + self.pruned_bitmap_files
+
+
+def plan_neighbor_query(
+    metadata: DatasetMetadata, region: Box, radius: float | None = None,
+    filters=(), exclude=frozenset(),
+) -> NeighborQueryPlan:
+    """Halo-expand a neighbor query region and classify every leaf file.
+
+    The halo is the Euclidean expansion of ``region`` by ``radius``:
+    a file is kept when the box-to-box distance between its bounds and
+    the region is within ``radius`` (exactly the round-cornered Minkowski
+    sum, tighter than an axis-aligned ±radius box). Kept files split into
+    ``"full"`` (they intersect the region itself) and ``"ghost"`` (halo
+    only — opened just for the ghost strip recorded in
+    :attr:`NeighborFilePlan.strip`). Bitmap pruning mirrors
+    :func:`plan_query`: a file whose root bitmaps rule out every filter
+    match can contribute neither centers nor neighbors.
+    """
+    filters = tuple(filters)
+    exclude = frozenset(exclude)
+    n = metadata.n_files
+    lo, hi = metadata.leaf_bounds_arrays()
+    rlo = np.asarray(region.lower, dtype=np.float64)
+    rhi = np.asarray(region.upper, dtype=np.float64)
+
+    if n:
+        g = np.maximum(rlo - hi, 0.0) + np.maximum(lo - rhi, 0.0)
+        d2 = g[:, 0] * g[:, 0] + g[:, 1] * g[:, 1] + g[:, 2] * g[:, 2]
+    else:
+        d2 = np.empty(0, dtype=np.float64)
+    if radius is not None:
+        keep = d2 <= (radius * radius) * (1.0 + _PRUNE_SLACK)
+    else:
+        keep = np.ones(n, dtype=bool)
+    pruned_spatial = int(n - keep.sum())
+
+    pruned_bitmap = 0
+    if filters and n:
+        ok = np.ones(n, dtype=bool)
+        for f in filters:
+            glo, ghi = metadata.attr_ranges[f.name]
+            q = np.uint32(query_bitmap(f.lo, f.hi, glo, ghi))
+            ok &= (metadata.leaf_bitmaps_array(f.name) & q) != 0
+        pruned_bitmap = int((keep & ~ok).sum())
+        keep &= ok
+
+    excluded = 0
+    files = []
+    for idx in np.flatnonzero(keep):
+        leaf = metadata.leaves[int(idx)]
+        if leaf.leaf_index in exclude:
+            excluded += 1
+            continue
+        bounds = Box(tuple(lo[idx].tolist()), tuple(hi[idx].tolist()))
+        action = "full" if d2[idx] == 0.0 else "ghost"
+        strip = None
+        if action == "ghost" and radius is not None:
+            slo = np.maximum(lo[idx], rlo - radius)
+            shi = np.minimum(hi[idx], rhi + radius)
+            strip = Box(tuple(slo.tolist()), tuple(shi.tolist()))
+        files.append(
+            NeighborFilePlan(
+                leaf_index=leaf.leaf_index,
+                file_name=leaf.file_name,
+                action=action,
+                bounds=bounds,
+                strip=strip,
+                min_d2=float(d2[idx]),
+            )
+        )
+    if radius is None:
+        # best-first visiting order for the k-NN engine; leaf index
+        # breaks distance ties so the order is deterministic
+        files.sort(key=lambda fp: (fp.min_d2, fp.leaf_index))
+    return NeighborQueryPlan(
+        region=region,
+        radius=radius,
+        filters=filters,
+        n_files=n,
+        files=tuple(files),
+        pruned_spatial_files=pruned_spatial,
+        pruned_bitmap_files=pruned_bitmap,
+        excluded_files=excluded,
+    )
+
+
 class PlanCache:
     """Small LRU memo of query plans, keyed by
     ``(generation, box, filters, exclude)``.
@@ -186,6 +329,38 @@ class PlanCache:
                 return plan
             self.misses += 1
         plan = plan_query(metadata, box, tuple(filters), exclude=exclude)
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+        return plan
+
+    def get_or_build_neighbor(
+        self, metadata: DatasetMetadata, region: Box, radius: float | None,
+        filters, exclude=frozenset(),
+    ) -> NeighborQueryPlan:
+        """Memoized :func:`plan_neighbor_query` (shares this cache's LRU).
+
+        The ``"neighbor"`` tag keeps the key space disjoint from box
+        plans; generation and quarantine set key it for the same reasons
+        as :meth:`get_or_build`.
+        """
+        exclude = frozenset(exclude)
+        key = (
+            metadata.generation, "neighbor", region, radius,
+            tuple(filters), exclude,
+        )
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                self._plans.move_to_end(key)
+                return plan
+            self.misses += 1
+        plan = plan_neighbor_query(
+            metadata, region, radius, tuple(filters), exclude=exclude
+        )
         with self._lock:
             self._plans[key] = plan
             self._plans.move_to_end(key)

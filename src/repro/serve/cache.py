@@ -30,7 +30,7 @@ from collections import OrderedDict
 
 from ..types import ParticleBatch
 
-__all__ = ["ResultCache", "result_key"]
+__all__ = ["ResultCache", "neighbor_result_key", "result_key"]
 
 
 def result_key(
@@ -52,6 +52,19 @@ def result_key(
         step, generation, box, tuple(filters), float(prev_quality),
         float(quality), None if columns is None else tuple(columns),
     )
+
+
+def neighbor_result_key(step, request, generation: int = 0) -> tuple:
+    """Cache identity of one neighbor-query response.
+
+    The frozen :class:`~repro.api.NeighborRequest` *is* the identity —
+    centers, k/radius, filters, columns, and engine are all hashed
+    construction-time fields. ``step`` stays first so
+    :meth:`ResultCache.invalidate_step` drops neighbor entries alongside
+    query entries; the ``"neighbor"`` tag keeps the two families from
+    ever colliding.
+    """
+    return (step, generation, "neighbor", request)
 
 
 class ResultCache:

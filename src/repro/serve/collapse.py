@@ -79,6 +79,10 @@ class CollapseKey:
     #: reorganized layout must never join a leader started on the old
     #: one (row order follows the leaf set, so their streams differ)
     generation: int = 0
+    #: request family ("query" or "neighbor") — families never share a
+    #: decode; neighbor entries carry the frozen request as ``box`` and
+    #: join on exact match only
+    family: str = "query"
 
 
 @dataclass(frozen=True)
@@ -259,7 +263,7 @@ class InflightTable:
         (who must later :meth:`release` the entry) and a
         :class:`FollowSpec` for a follower.
         """
-        bucket_key = (key.step, key.box, key.prev_quality, key.engine)
+        bucket_key = (key.family, key.step, key.box, key.prev_quality, key.engine)
         with self._lock:
             for entry in self._buckets.get(bucket_key, ()):
                 if entry.key == key:
@@ -279,7 +283,8 @@ class InflightTable:
     def release(self, entry: InflightEntry) -> None:
         """Leader done (or dead): entry leaves the pre-completion table."""
         bucket_key = (
-            entry.key.step, entry.key.box, entry.key.prev_quality, entry.key.engine,
+            entry.key.family, entry.key.step, entry.key.box,
+            entry.key.prev_quality, entry.key.engine,
         )
         with self._lock:
             bucket = self._buckets.get(bucket_key)

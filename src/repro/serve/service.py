@@ -56,14 +56,21 @@ import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
-from ..api import QueryRequest, StreamIncrement, reassemble_stream, warn_deprecated
+from ..api import (
+    NeighborRequest,
+    NeighborResult,
+    QueryRequest,
+    StreamIncrement,
+    reassemble_stream,
+    warn_deprecated,
+)
 from ..bat.colcache import DEFAULT_COLUMN_CACHE_BYTES
 from ..bat.filecache import DEFAULT_CAPACITY, BATFileCache
 from ..bat.query import default_quality_ladder
 from ..core.dataset import BATDataset
 from ..core.metadata import DatasetMetadata
 from ..types import Box, ParticleBatch
-from .cache import ResultCache, result_key
+from .cache import ResultCache, neighbor_result_key, result_key
 from .collapse import _DONE, CollapseAbandoned, CollapseKey, InflightTable, adapt_increment
 from .degrade import DegradationConfig, DegradationPolicy
 from .metrics import (
@@ -210,6 +217,9 @@ class ServeResponse:
     shed: bool = False
     #: increments delivered (1 for a one-shot response, 0 if nothing new)
     increments: int = 0
+    #: the full neighbor-query result when the request was a
+    #: :class:`~repro.api.NeighborRequest` (``batch`` then holds its rows)
+    neighbors: NeighborResult | None = None
 
     def __len__(self) -> int:
         return len(self.batch)
@@ -441,10 +451,17 @@ class QueryService:
         :class:`~repro.serve.scheduler.AdmissionRejected` past the bounds
         (the rejection is recorded on the metrics surface).
 
-        Takes a :class:`~repro.api.QueryRequest`; the pre-1.x form
-        (``submit(sid, quality, box=..., filters=...)``) still works as a
-        deprecated shim.
+        Takes a :class:`~repro.api.QueryRequest` or a
+        :class:`~repro.api.NeighborRequest` (served one-shot at bulk
+        priority through the same caches and collapse table); the
+        pre-1.x form (``submit(sid, quality, box=..., filters=...)``)
+        still works as a deprecated shim.
         """
+        if isinstance(request, NeighborRequest):
+            if legacy:
+                name = next(iter(legacy))
+                raise TypeError(f"submit() got an unexpected keyword argument {name!r}")
+            return self._submit_neighbors(session_id, request, step)
         if not isinstance(request, QueryRequest):
             request = self._coerce_legacy_request("submit", request, legacy)
         elif legacy:
@@ -481,7 +498,9 @@ class QueryService:
         **legacy,
     ) -> ServeResponse:
         """Synchronous :meth:`submit` — blocks until the response is ready."""
-        if not isinstance(request, QueryRequest):
+        if isinstance(request, NeighborRequest):
+            pass
+        elif not isinstance(request, QueryRequest):
             request = self._coerce_legacy_request("request", request, legacy)
         elif legacy:
             name = next(iter(legacy))
@@ -502,7 +521,15 @@ class QueryService:
         reproduces the identical bytes and completion digest. Shares the
         result cache and scheduler with interactive traffic but never
         outranks it.
+
+        Also takes a :class:`~repro.api.NeighborRequest` — neighbor
+        queries are one-shot by nature, so the stateless path serves
+        them for both batch jobs and sessionless clients.
         """
+        if isinstance(request, NeighborRequest):
+            return self._submit_neighbors(
+                self.BATCH_SESSION, request, step
+            ).result(timeout)
         if not isinstance(request, QueryRequest):
             raise TypeError("execute() takes a repro.QueryRequest")
         span = RequestSpan(
@@ -570,6 +597,122 @@ class QueryService:
             partial=span.partial,
             quarantined_files=span.quarantined_files,
             increments=span.increments,
+        )
+
+    def _submit_neighbors(self, session_id: int, request: NeighborRequest, step) -> Ticket:
+        """Admit one neighbor query (bulk priority, one-shot)."""
+        sess = None
+        if session_id != self.BATCH_SESSION:
+            sess = self.session(session_id)
+            step = sess.step if step is None else step
+        else:
+            step = 0 if step is None else step
+        span = RequestSpan(
+            session_id=session_id, seq=0, requested_quality=1.0, prev_quality=0.0,
+        )
+        span.priority = PRIORITY_BULK
+
+        def fn(ticket):
+            return self._execute_neighbor(ticket, sess, span, request, step)
+
+        try:
+            ticket = self.scheduler.submit(
+                fn, session_id=session_id, priority=PRIORITY_BULK
+            )
+        except Exception as exc:
+            span.rejected = True
+            span.queue_depth = getattr(exc, "queue_depth", 0)
+            self.metrics.record(span)
+            raise
+        span.seq = ticket.seq
+        return ticket
+
+    def _execute_neighbor(
+        self, ticket, sess, span, req: NeighborRequest, step: int
+    ) -> ServeResponse:
+        """Result cache → collapse → :meth:`BATDataset.neighbors`.
+
+        Neighbor results are one-shot (no quality ladder), so the
+        collapse entry publishes exactly one increment whose ``batch``
+        is the whole :class:`~repro.api.NeighborResult`; joins are
+        exact-match only (the frozen request rides in the key's ``box``
+        slot). Partial results — a quarantined leaf — are never cached
+        and never shared, exactly like the query family.
+        """
+        t_start = self._clock()
+        span.wait_seconds = ticket.wait_seconds
+        sched = self.scheduler
+        span.queue_depth = sched.queue_depth + sched.in_flight
+        ds = self.dataset(step)
+        gen = ds.metadata.generation
+        key = neighbor_result_key(step, req, generation=gen)
+        result = self.results.get(key)
+        cache_hit = result is not None
+        collapsed = False
+        if not cache_hit:
+            entry = spec = None
+            if self.config.collapse:
+                ckey = CollapseKey(
+                    step, req, (), 0.0, 1.0, None, req.engine, gen,
+                    family="neighbor",
+                )
+                entry, spec = self.collapse.acquire(ckey, (1.0,))
+            if spec is not None:
+                incs, _, abandoned = self._follow(entry, spec, span, None, t_start)
+                if abandoned:
+                    self.collapse.record_fallback()
+                elif incs:
+                    result = incs[0].batch
+                    collapsed = True
+            if result is None:
+                leading = entry is not None and spec is None
+                try:
+                    t0 = self._clock()
+                    exec_req = replace(req, on_error="degrade")
+                    result = ds.neighbors(exec_req)
+                    span.traverse_seconds = self._clock() - t0
+                    span.quarantined_files = result.stats.quarantined_files
+                    span.partial = result.stats.quarantined_files > 0
+                    if leading:
+                        entry.publish(StreamIncrement(
+                            quality=1.0, prev_quality=0.0, batch=result,
+                            partial=span.partial,
+                        ))
+                        entry.finish()
+                    if not span.partial:
+                        self.results.put(key, result)
+                except BaseException:
+                    if leading:
+                        entry.abandon()
+                    raise
+                finally:
+                    if leading:
+                        self.collapse.release(entry)
+        span.increments = 1
+        span.served_quality = 1.0
+        span.cache_hit = cache_hit
+        span.collapsed = collapsed
+        span.points = len(result)
+        span.nbytes = result.nbytes
+        span.total_seconds = span.wait_seconds + (self._clock() - t_start)
+        self.metrics.record(span)
+        if sess is not None:
+            with sess.lock:
+                sess.requests += 1
+                sess.bytes_sent += result.nbytes
+        return ServeResponse(
+            batch=result.batch,
+            requested_quality=1.0,
+            served_quality=1.0,
+            prev_quality=0.0,
+            degraded=False,
+            cache_hit=cache_hit,
+            span=span,
+            partial=span.partial,
+            quarantined_files=span.quarantined_files,
+            collapsed=collapsed,
+            increments=1,
+            neighbors=result,
         )
 
     def stream(

@@ -63,13 +63,14 @@ from pathlib import Path
 
 import numpy as np
 
-from ..api import QueryRequest, StreamIncrement, reassemble_stream
+from ..api import NeighborRequest, QueryRequest, StreamIncrement, reassemble_stream
+from ..api import request_from_doc as api_request_from_doc
+from ..api import request_to_doc as api_request_to_doc
 from ..bat.filecache import BATFileCache
-from ..bat.query import AttributeFilter
 from ..core.metadata import DatasetMetadata
 from ..core.planner import PlanCache
-from ..errors import ReproError
-from ..types import Box, ParticleBatch
+from ..errors import InvalidRequestError, ReproError
+from ..types import ParticleBatch
 from .cache import ResultCache, result_key
 from .degrade import DegradationPolicy
 from .hashing import DEFAULT_REPLICAS, HashRing, assign_leaves
@@ -107,38 +108,16 @@ class ShardUnavailable(ReproError, RuntimeError):
 
 # -- request wire form ---------------------------------------------------------
 #
-# QueryRequests cross two boundaries that want plain data: the worker
+# Requests cross two boundaries that want plain data: the worker
 # pipe (picklable, but a stable doc decouples worker versions from
-# router internals) and the SQLite job store (strict JSON).
+# router internals) and the SQLite job store (strict JSON). The
+# family-tagged codec lives beside the request types in
+# :mod:`repro.api`; these names stay importable here for callers of the
+# original shard-local pair (docs without a family tag parse as query
+# requests, so PR-8-era stores stay readable).
 
-def request_to_doc(req: QueryRequest) -> dict:
-    """A :class:`~repro.api.QueryRequest` as a plain-JSON document."""
-    return {
-        "box": None if req.box is None else
-            [list(map(float, req.box.lower)), list(map(float, req.box.upper))],
-        "filters": [[f.name, float(f.lo), float(f.hi)] for f in req.filters],
-        "quality": float(req.quality),
-        "prev_quality": float(req.prev_quality),
-        "columns": None if req.columns is None else list(req.columns),
-        "engine": req.engine,
-        "on_error": req.on_error,
-    }
-
-
-def request_from_doc(doc: dict) -> QueryRequest:
-    """Inverse of :func:`request_to_doc`."""
-    box = doc.get("box")
-    return QueryRequest(
-        box=None if box is None else Box(tuple(box[0]), tuple(box[1])),
-        filters=tuple(
-            AttributeFilter(name, lo, hi) for name, lo, hi in doc.get("filters", ())
-        ),
-        quality=doc.get("quality", 1.0),
-        prev_quality=doc.get("prev_quality", 0.0),
-        columns=None if doc.get("columns") is None else tuple(doc["columns"]),
-        engine=doc.get("engine", "frontier"),
-        on_error=doc.get("on_error", "raise"),
-    )
+request_to_doc = api_request_to_doc
+request_from_doc = api_request_from_doc
 
 
 # -- worker process ------------------------------------------------------------
@@ -722,6 +701,13 @@ class ShardedQueryService:
     def submit(self, session_id: int, request: QueryRequest, *,
                step: int | None = None):
         """Admit one progressive request; mirrors :meth:`QueryService.submit`."""
+        if isinstance(request, NeighborRequest):
+            raise InvalidRequestError(
+                "the sharded tier does not serve NeighborRequest yet: neighbor "
+                "lists cross shard ownership boundaries (ghost exchange spans "
+                "leaf files owned by different workers); use QueryService or "
+                "BATDataset.neighbors"
+            )
         if not isinstance(request, QueryRequest):
             raise TypeError("submit() takes a repro.QueryRequest")
         sess = self.session(session_id)
@@ -759,6 +745,13 @@ class ShardedQueryService:
         Blocks while the batch share of the scheduler is fully occupied —
         sweeps throttle, interactive sessions do not.
         """
+        if isinstance(request, NeighborRequest):
+            raise InvalidRequestError(
+                "the sharded tier does not serve NeighborRequest yet: neighbor "
+                "lists cross shard ownership boundaries (ghost exchange spans "
+                "leaf files owned by different workers); use QueryService or "
+                "BATDataset.neighbors"
+            )
         if not isinstance(request, QueryRequest):
             raise TypeError("execute() takes a repro.QueryRequest")
         self._batch_gate.acquire()

